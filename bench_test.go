@@ -1,0 +1,476 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (see DESIGN.md §4). All benchmarks share one experiment flow, so every
+// synthesis/tuning combination runs exactly once and later iterations
+// measure the cached regeneration; the rendered table/series of each
+// experiment is attached with b.Log (visible with -v).
+//
+// Set STC_BENCH=small to run against the scaled-down MCU and a smaller
+// Monte-Carlo sample count.
+package stdcelltune_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/exp"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/pathmc"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+var (
+	benchOnce sync.Once
+	benchFlow *exp.Flow
+	benchErr  error
+)
+
+func flow(b *testing.B) *exp.Flow {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := exp.DefaultFlowConfig()
+		if os.Getenv("STC_BENCH") == "small" {
+			cfg = exp.SmallFlowConfig()
+		}
+		benchFlow, benchErr = exp.NewFlow(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchFlow
+}
+
+func logOnce(b *testing.B, i int, text string) {
+	if i == 0 {
+		b.Log("\n" + text)
+	}
+}
+
+// ----------------------------------------------------------- tables
+
+func BenchmarkTable1ClockPeriods(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkTable2ConstraintParams(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, f.Table2().Render())
+	}
+}
+
+func BenchmarkTable3BestBounds(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// ----------------------------------------------------------- figures
+
+func BenchmarkFig1VariabilityMetric(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, f.Fig1().Render())
+	}
+}
+
+func BenchmarkFig2StatLibBuild(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig3Bilinear(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig4InverterSurfaces(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig5DriveSixSurfaces(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig6LargestRectangle(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig7AllSurfaces(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig8PeriodAreaCurve(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig9CellUseHistograms(b *testing.B) {
+	f := flow(b)
+	clocks, err := f.Clocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		hi, err := f.Fig9(clocks.HighPerf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, err := f.Fig9(clocks.Low)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, hi.Render()+"\n"+lo.Render())
+	}
+}
+
+func BenchmarkFig10SigmaReduction(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig11CeilingTradeoff(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig12PathDepths(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig13SigmaVsDepth(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig14PathDelaySpread(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig15CornerScaling(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+func BenchmarkFig16LocalContribution(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// BenchmarkExtPlacementClockTree regenerates the extension experiment:
+// placement wire loads plus baseline-vs-tuned clock tree synthesis (the
+// paper's future-work section).
+func BenchmarkExtPlacementClockTree(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.ExtPNR()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// BenchmarkExtPowerCost regenerates the power-cost extension: baseline
+// vs tuned switching/internal/leakage power and power sigma.
+func BenchmarkExtPowerCost(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.ExtPower()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// BenchmarkExtYieldReclaim regenerates the yield/uncertainty-reclaim
+// extension (the paper's motivation paragraph, quantified).
+func BenchmarkExtYieldReclaim(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.ExtYield()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// BenchmarkExtCornerTransfer regenerates the PVT-corner transfer
+// extension: the same relative sigma reduction at fast/typical/slow.
+func BenchmarkExtCornerTransfer(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.ExtCorners()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// BenchmarkExtWorkloadGeneralization regenerates the cross-workload
+// extension: MCU vs FIR vs CRC under the same tuning.
+func BenchmarkExtWorkloadGeneralization(b *testing.B) {
+	f := flow(b)
+	for i := 0; i < b.N; i++ {
+		r, err := f.ExtWorkloads()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r.Render())
+	}
+}
+
+// --------------------------------------------------------- ablations
+// The DESIGN.md §5 design-choice studies.
+
+// Ablation 1: the paper's exhaustive largest-rectangle scan (Algorithm
+// 1) against the histogram-stack implementation.
+func BenchmarkAblationRectanglePaper(b *testing.B) {
+	mask := rectangleMask(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mask.LargestRectangle()
+	}
+}
+
+// BenchmarkAblationRectangleFast is the optimized counterpart.
+func BenchmarkAblationRectangleFast(b *testing.B) {
+	mask := rectangleMask(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mask.LargestRectangleFast()
+	}
+}
+
+func rectangleMask(b *testing.B) *lut.Binary {
+	f := flow(b)
+	cell := f.Stat.Cell("NR4_6")
+	maxEq, err := cell.Pins[0].MaxSigmaTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return maxEq.ThresholdLE(0.02)
+}
+
+// Ablation 2: path convolution with rho=0 (eq. 10) vs correlated
+// (eq. 9).
+func BenchmarkAblationConvolutionRho(b *testing.B) {
+	cells := make([]dist.Normal, 57)
+	for i := range cells {
+		cells[i] = dist.Normal{Mu: 0.04, Sigma: 0.002}
+	}
+	for i := 0; i < b.N; i++ {
+		p0, err := dist.ConvolvePathCorrelated(cells, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p5, err := dist.ConvolvePathCorrelated(cells, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("57-cell path sigma: rho=0 %.5f ns, rho=0.5 %.5f ns", p0.Sigma, p5.Sigma)
+		}
+	}
+}
+
+// Ablation 3: statistical library accuracy versus Monte-Carlo sample
+// count (the paper's future-work note).
+func BenchmarkAblationStatlibSamples(b *testing.B) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{10, 30, 50} {
+			libs := variation.Instances(cat, variation.Config{N: n, Seed: 3})
+			sl, err := statlib.Build("abl", libs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				spec := cat.Spec("NR2_2")
+				arc := sl.Cell("NR2_2").Pins[0].Arcs[0]
+				want := spec.Sigma(spec.LoadAxis()[3], stdcell.SlewAxis[3], stdcell.Typical) * 1.05
+				got := arc.SigmaRise.Values[3][3]
+				b.Logf("N=%d: sigma estimate %.5f vs analytic %.5f", n, got, want)
+			}
+		}
+	}
+}
+
+// Ablation 4: the sigma metric against the coefficient-of-variation
+// metric on the Fig. 1 pair.
+func BenchmarkAblationMetricChoice(b *testing.B) {
+	left := dist.Normal{Mu: 0.5, Sigma: 0.01}
+	right := dist.Normal{Mu: 5, Sigma: 0.1}
+	for i := 0; i < b.N; i++ {
+		if left.Variability() != right.Variability() {
+			b.Fatal("premise broken")
+		}
+		if i == 0 {
+			b.Logf("CoV identical (%.3f); sigma separates: %.3f vs %.3f",
+				left.Variability(), left.Sigma, right.Sigma)
+		}
+	}
+}
+
+// Ablation 5: strength clustering vs per-cell thresholds at the same
+// bound (built into the method set; timed here head-to-head).
+func BenchmarkAblationClusteringMode(b *testing.B) {
+	f := flow(b)
+	tuner := core.NewTuner(f.Stat)
+	for i := 0; i < b.N; i++ {
+		_, repS, err := tuner.Tune(core.ParamsFor(core.CellStrengthLoadSlope, 0.03))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, repC, err := tuner.Tune(core.ParamsFor(core.CellLoadSlope, 0.03))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("clusters: strength=%d, per-cell=%d", len(repS.Clusters), len(repC.Clusters))
+		}
+	}
+}
+
+// Micro-benchmarks for the hot kernels.
+
+func BenchmarkLUTBilinearLookup(b *testing.B) {
+	f := flow(b)
+	t := f.Stat.Cell("ND2_4").Pins[0].Arcs[0].SigmaRise
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Lookup(0.01, 0.07)
+	}
+}
+
+func BenchmarkPathMonteCarlo(b *testing.B) {
+	f := flow(b)
+	clocks, err := f.Clocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := f.Baseline(clocks.Low)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := res.Timing.CriticalPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pathmc.DefaultConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pathmc.Simulate(cp, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1-3, Figs. 1-16) and prints them; with
+// -out it also writes one text file per experiment into a directory.
+//
+// Usage:
+//
+//	experiments                 # paper-scale flow (several minutes)
+//	experiments -small          # scaled-down quick run
+//	experiments -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stdcelltune/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	small := flag.Bool("small", false, "scaled-down MCU and fewer MC samples (quick)")
+	out := flag.String("out", "", "directory to write per-experiment text files")
+	only := flag.String("only", "", "run a single experiment (e.g. table1, fig10)")
+	flag.Parse()
+
+	cfg := exp.DefaultFlowConfig()
+	if *small {
+		cfg = exp.SmallFlowConfig()
+	}
+	start := time.Now()
+	flow, err := exp.NewFlow(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow ready: %d cells, %d MC samples, MCU %d gate nodes (%.1fs)\n\n",
+		len(flow.Stat.Cells), flow.Cfg.Samples, flow.MCU.Net.GateCount(), time.Since(start).Seconds())
+
+	type renderable interface{ Render() string }
+	experiments := []struct {
+		name string
+		run  func() (renderable, error)
+	}{
+		{"fig1", func() (renderable, error) { return flow.Fig1(), nil }},
+		{"fig2", func() (renderable, error) { return flow.Fig2() }},
+		{"fig3", func() (renderable, error) { return flow.Fig3() }},
+		{"fig4", func() (renderable, error) { return flow.Fig4() }},
+		{"fig5", func() (renderable, error) { return flow.Fig5() }},
+		{"fig6", func() (renderable, error) { return flow.Fig6() }},
+		{"fig7", func() (renderable, error) { return flow.Fig7() }},
+		{"table1", func() (renderable, error) { return flow.Table1() }},
+		{"table2", func() (renderable, error) { return flow.Table2(), nil }},
+		{"fig8", func() (renderable, error) { return flow.Fig8() }},
+		{"table3", func() (renderable, error) { return flow.Table3() }},
+		{"fig10", func() (renderable, error) { return flow.Fig10() }},
+		{"fig11", func() (renderable, error) { return flow.Fig11() }},
+		{"fig9_highperf", func() (renderable, error) {
+			clocks, err := flow.Clocks()
+			if err != nil {
+				return nil, err
+			}
+			return flow.Fig9(clocks.HighPerf)
+		}},
+		{"fig9_low", func() (renderable, error) {
+			clocks, err := flow.Clocks()
+			if err != nil {
+				return nil, err
+			}
+			return flow.Fig9(clocks.Low)
+		}},
+		{"fig12", func() (renderable, error) { return flow.Fig12() }},
+		{"fig13", func() (renderable, error) { return flow.Fig13() }},
+		{"fig14", func() (renderable, error) { return flow.Fig14() }},
+		{"fig15", func() (renderable, error) { return flow.Fig15() }},
+		{"fig16", func() (renderable, error) { return flow.Fig16() }},
+		{"ext_pnr", func() (renderable, error) { return flow.ExtPNR() }},
+		{"ext_power", func() (renderable, error) { return flow.ExtPower() }},
+		{"ext_yield", func() (renderable, error) { return flow.ExtYield() }},
+		{"ext_corners", func() (renderable, error) { return flow.ExtCorners() }},
+		{"ext_workloads", func() (renderable, error) { return flow.ExtWorkloads() }},
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		t0 := time.Now()
+		r, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		text := r.Render()
+		fmt.Printf("--- %s (%.1fs) ---\n%s\n", e.name, time.Since(t0).Seconds(), text)
+		if *out != "" {
+			path := filepath.Join(*out, e.name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+}

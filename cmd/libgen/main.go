@@ -1,0 +1,69 @@
+// Command libgen generates the 304-cell standard cell library as
+// Liberty files: the nominal library for a chosen corner and,
+// optionally, N Monte-Carlo instances with local variation — the raw
+// input of the statistical library construction.
+//
+// Usage:
+//
+//	libgen -corner typical -out lib/            # nominal only
+//	libgen -corner typical -mc 50 -seed 1 -out lib/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libgen: ")
+	cornerFlag := flag.String("corner", "typical", "process corner: fast, typical, slow")
+	mc := flag.Int("mc", 0, "number of Monte-Carlo instances to generate (0 = nominal only)")
+	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	corner, err := stdcell.ParseCorner(*cornerFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	cat := stdcell.NewCatalogue(corner)
+	nominal := filepath.Join(*out, cat.Lib.Name+".lib")
+	if err := writeLib(nominal, cat.Lib); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", nominal, len(cat.Lib.Cells))
+
+	if *mc > 0 {
+		cfg := variation.Config{N: *mc, Seed: *seed, CharNoise: 0.02}
+		for i, lib := range variation.Instances(cat, cfg) {
+			path := filepath.Join(*out, fmt.Sprintf("%s_mc%03d.lib", cat.Lib.Name, i))
+			if err := writeLib(path, lib); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d Monte-Carlo instances (seed %d)\n", *mc, *seed)
+	}
+}
+
+func writeLib(path string, lib *liberty.Library) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := liberty.Write(f, lib); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,75 @@
+// Quickstart: the end-to-end library tuning flow on the evaluation
+// microcontroller — characterize, tune with the sigma-ceiling method,
+// synthesize baseline and restricted designs, and compare design sigma
+// and area (the paper's headline experiment in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stdcelltune"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The 304-cell library at the typical corner (TT, 1.1V, 25C).
+	cat := stdcelltune.NewCatalogue(stdcelltune.Typical)
+	fmt.Printf("catalogue: %d cells at corner %s\n", len(cat.Lib.Cells), cat.Corner.Name())
+
+	// 2. Monte-Carlo characterization: 50 library instances with local
+	// variation folded into a statistical library (mean + sigma LUTs).
+	stat, err := stdcelltune.Characterize(cat, 50, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("statistical library: %d instances folded, max sigma %.4f ns\n",
+		stat.Samples, stat.MaxSigma())
+
+	// 3. Tune: restrict every cell's LUT to the region where its delay
+	// sigma stays below a 0.02 ns ceiling.
+	windows, rep, err := stdcelltune.Tune(stat, stdcelltune.SigmaCeiling, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning: %d pin windows, %d pins fully excluded\n",
+		windows.Len(), rep.ExcludedPins())
+
+	// 4. The evaluation design: a ~20k-gate 32-bit microcontroller.
+	mcu, err := stdcelltune.NewMCU()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Synthesize baseline and restricted designs at 5 ns.
+	const clock = 5.0
+	base, err := stdcelltune.Synthesize(mcu, cat, clock, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := stdcelltune.Synthesize(mcu, cat, clock, windows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: met=%v area=%.0f um2 (%d cells)\n", base.Met, base.Area(), len(base.Netlist.Instances))
+	fmt.Printf("tuned:    met=%v area=%.0f um2 (%d cells)\n", tuned.Met, tuned.Area(), len(tuned.Netlist.Instances))
+
+	// 6. Statistical timing: the design sigma before and after tuning.
+	bs, err := stdcelltune.AnalyzeVariation(base, stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := stdcelltune.AnalyzeVariation(tuned, stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp := stdcelltune.Compare{
+		BaselineSigma: bs.Design.Sigma, TunedSigma: ts.Design.Sigma,
+		BaselineArea: base.Area(), TunedArea: tuned.Area(),
+	}
+	fmt.Printf("design sigma: %.4f -> %.4f ns  (%.0f%% reduction)\n",
+		bs.Design.Sigma, ts.Design.Sigma, 100*cmp.SigmaReduction())
+	fmt.Printf("area cost:    %.0f -> %.0f um2 (%.1f%% increase)\n",
+		base.Area(), tuned.Area(), 100*cmp.AreaIncrease())
+}

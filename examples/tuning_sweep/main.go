@@ -1,0 +1,65 @@
+// Tuning sweep: the Fig. 11 experiment as an application — sweep the
+// sigma-ceiling bound at one clock and print the sigma-reduction versus
+// area-increase trade-off, demonstrating how a designer dials robustness
+// against cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stdcelltune"
+	"stdcelltune/internal/rtlgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	cat := stdcelltune.NewCatalogue(stdcelltune.Typical)
+	stat, err := stdcelltune.Characterize(cat, 50, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The scaled-down MCU keeps the sweep quick; swap for NewMCU() to
+	// run at paper scale.
+	mcu, err := stdcelltune.NewMCUWith(rtlgen.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const clock = 3.0
+	base, err := stdcelltune.Synthesize(mcu, cat, clock, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := stdcelltune.AnalyzeVariation(base, stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline @ %.1f ns: sigma %.4f ns, area %.0f um2\n\n", clock, bs.Design.Sigma, base.Area())
+	fmt.Printf("%-10s %-6s %-12s %-12s %-12s\n", "ceiling", "met", "sigma (ns)", "sigma dec %", "area inc %")
+
+	for _, bound := range stdcelltune.SweepBounds(stdcelltune.SigmaCeiling) {
+		windows, _, err := stdcelltune.Tune(stat, stdcelltune.SigmaCeiling, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := stdcelltune.Synthesize(mcu, cat, clock, windows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Met {
+			fmt.Printf("%-10g %-6v %-12s %-12s %-12s\n", bound, false, "-", "-", "-")
+			continue
+		}
+		ds, err := stdcelltune.AnalyzeVariation(res, stat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp := stdcelltune.Compare{
+			BaselineSigma: bs.Design.Sigma, TunedSigma: ds.Design.Sigma,
+			BaselineArea: base.Area(), TunedArea: res.Area(),
+		}
+		fmt.Printf("%-10g %-6v %-12.4f %-12.1f %-12.1f\n",
+			bound, true, ds.Design.Sigma, 100*cmp.SigmaReduction(), 100*cmp.AreaIncrease())
+	}
+	fmt.Println("\ntighter ceilings buy more sigma reduction for more area — pick your point")
+}

@@ -1,0 +1,3 @@
+module stdcelltune
+
+go 1.22

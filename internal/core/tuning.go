@@ -1,0 +1,311 @@
+// Package core implements the paper's contribution: statistical library
+// tuning. Instead of excluding whole cells, the tuner confines each
+// cell's look-up table to the slew/load region where its delay sigma is
+// acceptable and emits per-pin operating windows for synthesis
+// (Section VI of the paper).
+//
+// The tuning method is a two-stage process:
+//
+//  1. Threshold extraction. Cells are clustered either per drive
+//     strength or individually. Per cluster a maximum-equivalent sigma
+//     LUT is built, converted to load/slew slope tables (eqs. 12-13),
+//     thresholded by the slope bounds into a binary LUT, and the largest
+//     all-ones rectangle anchored at the origin (Algorithm 1) yields the
+//     sigma threshold — the sigma value at the rectangle corner furthest
+//     from the origin. The sigma-ceiling method uses its bound as the
+//     threshold directly.
+//
+//  2. LUT restriction. Per output pin, a maximum-equivalent LUT over all
+//     of the pin's sigma tables is thresholded by the extracted sigma
+//     threshold and the largest rectangle again picks the usable region;
+//     its axis extents become the pin's min/max load and slew window.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/statlib"
+)
+
+// Method enumerates the paper's five tuning methods (Section VI.A).
+type Method int
+
+// The five tuning methods.
+const (
+	CellStrengthLoadSlope Method = iota // drive-strength clusters, load slope bound swept
+	CellStrengthSlewSlope               // drive-strength clusters, slew slope bound swept
+	CellLoadSlope                       // per-cell, load slope bound swept
+	CellSlewSlope                       // per-cell, slew slope bound swept
+	SigmaCeiling                        // per-cell, sigma ceiling as direct threshold
+)
+
+// Methods lists all five in paper order.
+var Methods = []Method{
+	CellStrengthLoadSlope, CellStrengthSlewSlope,
+	CellLoadSlope, CellSlewSlope, SigmaCeiling,
+}
+
+func (m Method) String() string {
+	switch m {
+	case CellStrengthLoadSlope:
+		return "cell-strength load slope"
+	case CellStrengthSlewSlope:
+		return "cell-strength slew slope"
+	case CellLoadSlope:
+		return "cell load slope"
+	case CellSlewSlope:
+		return "cell slew slope"
+	case SigmaCeiling:
+		return "sigma ceiling"
+	}
+	return "unknown"
+}
+
+// ByStrength reports whether the method clusters cells per drive
+// strength.
+func (m Method) ByStrength() bool {
+	return m == CellStrengthLoadSlope || m == CellStrengthSlewSlope
+}
+
+// Default constraint parameters (paper Table 2, "Default" column).
+const (
+	DefaultLoadSlopeBound = 1.0
+	DefaultSlewSlopeBound = 0.06
+	DefaultSigmaCeiling   = 100.0
+)
+
+// Params is a full constraint-parameter assignment. The paper varies one
+// parameter per method while the other two stay at their defaults.
+type Params struct {
+	Method         Method
+	LoadSlopeBound float64
+	SlewSlopeBound float64
+	SigmaCeiling   float64
+}
+
+// ParamsFor builds the parameter set of a method with the swept bound
+// set to the given value and the other two parameters at defaults
+// (Table 2).
+func ParamsFor(m Method, bound float64) Params {
+	p := Params{
+		Method:         m,
+		LoadSlopeBound: DefaultLoadSlopeBound,
+		SlewSlopeBound: DefaultSlewSlopeBound,
+		SigmaCeiling:   DefaultSigmaCeiling,
+	}
+	switch m {
+	case CellStrengthLoadSlope, CellLoadSlope:
+		p.LoadSlopeBound = bound
+	case CellStrengthSlewSlope, CellSlewSlope:
+		p.SlewSlopeBound = bound
+	case SigmaCeiling:
+		p.SigmaCeiling = bound
+	}
+	return p
+}
+
+// SweepBounds returns the paper's Table 2 sweep values for a method.
+func SweepBounds(m Method) []float64 {
+	if m == SigmaCeiling {
+		return []float64{0.04, 0.03, 0.02, 0.01}
+	}
+	return []float64{1, 0.05, 0.03, 0.01}
+}
+
+// ClusterReport records the threshold extraction of one cluster.
+type ClusterReport struct {
+	Name      string // drive strength ("drive 6") or cell name
+	Cells     []string
+	Rect      lut.Rect
+	Threshold float64
+}
+
+// PinReport records the restriction of one cell output pin.
+type PinReport struct {
+	Cell, Pin string
+	Rect      lut.Rect
+	Window    restrict.Window
+	// Retained is the fraction of LUT entries still usable.
+	Retained float64
+	Excluded bool // empty rectangle: the pin is unusable under this tuning
+}
+
+// Report summarizes a tuning run.
+type Report struct {
+	Params   Params
+	Clusters []ClusterReport
+	Pins     []PinReport
+}
+
+// ExcludedPins counts pins whose restriction removed the entire LUT.
+func (r *Report) ExcludedPins() int {
+	n := 0
+	for _, p := range r.Pins {
+		if p.Excluded {
+			n++
+		}
+	}
+	return n
+}
+
+// Tuner runs tuning methods against a statistical library.
+type Tuner struct {
+	Stat *statlib.Library
+}
+
+// NewTuner wraps a statistical library.
+func NewTuner(stat *statlib.Library) *Tuner { return &Tuner{Stat: stat} }
+
+// Tune runs stage 1 and stage 2 and returns the per-pin windows plus the
+// full report.
+func (t *Tuner) Tune(p Params) (*restrict.Set, *Report, error) {
+	rep := &Report{Params: p}
+	thresholds, err := t.extractThresholds(p, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	set := restrict.NewSet(fmt.Sprintf("%s", p.Method))
+	// Stage 2: per-pin LUT restriction against the cluster threshold.
+	names := append([]string(nil), t.Stat.CellOrder...)
+	sort.Strings(names)
+	for _, name := range names {
+		cell := t.Stat.Cells[name]
+		thr, ok := thresholds[t.clusterKey(p.Method, cell)]
+		if !ok {
+			continue
+		}
+		for _, pin := range cell.Pins {
+			maxEq, err := pin.MaxSigmaTable()
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: cell %s pin %s: %w", name, pin.Name, err)
+			}
+			bin := maxEq.ThresholdLE(thr)
+			rect := bin.LargestRectangleFast()
+			pr := PinReport{Cell: name, Pin: pin.Name, Rect: rect}
+			if rect.Empty() {
+				pr.Excluded = true
+				// An empty window forbids every operating point.
+				set.Put(name, pin.Name, restrict.Window{MaxLoad: -1, MaxSlew: -1})
+			} else {
+				w := windowFromRect(maxEq, rect)
+				pr.Window = w
+				nl, ns := maxEq.Dims()
+				pr.Retained = float64(rect.Area()) / float64(nl*ns)
+				set.Put(name, pin.Name, w)
+			}
+			rep.Pins = append(rep.Pins, pr)
+		}
+	}
+	return set, rep, nil
+}
+
+// windowFromRect converts rectangle indices to axis bounds. A rectangle
+// touching the origin leaves the minimum unconstrained (zero) since
+// values below the first characterized point are edge-clamped anyway.
+func windowFromRect(t *lut.Table, r lut.Rect) restrict.Window {
+	w := restrict.Window{
+		MaxLoad: t.Loads[r.L2],
+		MaxSlew: t.Slews[r.S2],
+	}
+	if r.L1 > 0 {
+		w.MinLoad = t.Loads[r.L1]
+	}
+	if r.S1 > 0 {
+		w.MinSlew = t.Slews[r.S1]
+	}
+	return w
+}
+
+// clusterKey names the cluster a cell belongs to under the method.
+func (t *Tuner) clusterKey(m Method, c *statlib.Cell) string {
+	if m.ByStrength() {
+		return fmt.Sprintf("drive %d", c.DriveStrength)
+	}
+	return c.Name
+}
+
+// extractThresholds runs stage 1 for every cluster.
+func (t *Tuner) extractThresholds(p Params, rep *Report) (map[string]float64, error) {
+	// Group sigma tables per cluster.
+	clusters := make(map[string][]*lut.Table)
+	members := make(map[string][]string)
+	names := append([]string(nil), t.Stat.CellOrder...)
+	sort.Strings(names)
+	for _, name := range names {
+		cell := t.Stat.Cells[name]
+		key := t.clusterKey(p.Method, cell)
+		for _, pin := range cell.Pins {
+			clusters[key] = append(clusters[key], pin.SigmaTables()...)
+		}
+		if len(cell.Pins) > 0 {
+			members[key] = append(members[key], name)
+		}
+	}
+	out := make(map[string]float64, len(clusters))
+	keys := make([]string, 0, len(clusters))
+	for k := range clusters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		tables := clusters[key]
+		cr := ClusterReport{Name: key, Cells: members[key]}
+		if p.Method == SigmaCeiling {
+			// The ceiling is the threshold on its own (Section VI.B).
+			cr.Threshold = p.SigmaCeiling
+			out[key] = p.SigmaCeiling
+			rep.Clusters = append(rep.Clusters, cr)
+			continue
+		}
+		eq, err := maxEquivalentByIndex(tables)
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster %s: %w", key, err)
+		}
+		// Slope tables per eqs. (12)-(13): per index step, first
+		// row/column zero.
+		binLoad := eq.IndexLoadSlope().Threshold(p.LoadSlopeBound)
+		binSlew := eq.IndexSlewSlope().Threshold(p.SlewSlopeBound)
+		bin := binLoad.And(binSlew)
+		rect := bin.LargestRectangleFast()
+		cr.Rect = rect
+		if rect.Empty() {
+			// No flat region at all: fall back to the smallest sigma in
+			// the cluster so stage 2 excludes aggressively.
+			cr.Threshold = eq.Min()
+		} else {
+			cr.Threshold = eq.ThresholdValue(rect)
+		}
+		out[key] = cr.Threshold
+		rep.Clusters = append(rep.Clusters, cr)
+	}
+	return out, nil
+}
+
+// maxEquivalentByIndex folds tables entry-by-index (cells in a cluster
+// have different absolute load axes but identical 7x7 index grids —
+// exactly how the paper folds a whole cluster into one equivalent LUT).
+// The axes of the first table are kept as the nominal coordinates.
+func maxEquivalentByIndex(tables []*lut.Table) (*lut.Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("empty cluster")
+	}
+	ref := tables[0]
+	nl, ns := ref.Dims()
+	out := ref.Clone()
+	for _, tb := range tables[1:] {
+		l2, s2 := tb.Dims()
+		if l2 != nl || s2 != ns {
+			return nil, fmt.Errorf("cluster tables have different index dimensions %dx%d vs %dx%d", l2, s2, nl, ns)
+		}
+		for i := 0; i < nl; i++ {
+			for j := 0; j < ns; j++ {
+				out.Values[i][j] = math.Max(out.Values[i][j], tb.Values[i][j])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+var (
+	statOnce sync.Once
+	statCat  *stdcell.Catalogue
+	statLib  *statlib.Library
+)
+
+// sharedStat builds one 30-sample statistical library for all tests.
+func sharedStat(t *testing.T) (*stdcell.Catalogue, *statlib.Library) {
+	t.Helper()
+	statOnce.Do(func() {
+		statCat = stdcell.NewCatalogue(stdcell.Typical)
+		libs := variation.Instances(statCat, variation.Config{N: 30, Seed: 1, CharNoise: 0.02})
+		var err error
+		statLib, err = statlib.Build("stat", libs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return statCat, statLib
+}
+
+func TestMethodPresets(t *testing.T) {
+	if len(Methods) != 5 {
+		t.Fatalf("paper defines five tuning methods, got %d", len(Methods))
+	}
+	seen := map[string]bool{}
+	for _, m := range Methods {
+		if s := m.String(); s == "unknown" || seen[s] {
+			t.Errorf("method %d name %q", m, s)
+		} else {
+			seen[m.String()] = true
+		}
+	}
+	if Method(99).String() != "unknown" {
+		t.Error("out-of-range method name")
+	}
+	// Clustering split: two strength-based, three cell-based.
+	if !CellStrengthLoadSlope.ByStrength() || !CellStrengthSlewSlope.ByStrength() {
+		t.Error("strength methods misclassified")
+	}
+	if CellLoadSlope.ByStrength() || CellSlewSlope.ByStrength() || SigmaCeiling.ByStrength() {
+		t.Error("cell methods misclassified")
+	}
+}
+
+func TestParamsForDefaults(t *testing.T) {
+	// Paper Table 2: varying one parameter keeps the others at defaults
+	// (load=1, slew=0.06, sigma=100).
+	p := ParamsFor(CellLoadSlope, 0.03)
+	if p.LoadSlopeBound != 0.03 || p.SlewSlopeBound != DefaultSlewSlopeBound || p.SigmaCeiling != DefaultSigmaCeiling {
+		t.Errorf("load sweep params %+v", p)
+	}
+	p = ParamsFor(CellStrengthSlewSlope, 0.01)
+	if p.SlewSlopeBound != 0.01 || p.LoadSlopeBound != DefaultLoadSlopeBound {
+		t.Errorf("slew sweep params %+v", p)
+	}
+	p = ParamsFor(SigmaCeiling, 0.02)
+	if p.SigmaCeiling != 0.02 || p.LoadSlopeBound != DefaultLoadSlopeBound || p.SlewSlopeBound != DefaultSlewSlopeBound {
+		t.Errorf("ceiling params %+v", p)
+	}
+}
+
+func TestSweepBoundsMatchTable2(t *testing.T) {
+	want := []float64{1, 0.05, 0.03, 0.01}
+	for _, m := range []Method{CellStrengthLoadSlope, CellStrengthSlewSlope, CellLoadSlope, CellSlewSlope} {
+		got := SweepBounds(m)
+		if len(got) != 4 {
+			t.Fatalf("%v sweep len %d", m, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v sweep %v want %v", m, got, want)
+			}
+		}
+	}
+	ceil := SweepBounds(SigmaCeiling)
+	wantC := []float64{0.04, 0.03, 0.02, 0.01}
+	for i := range wantC {
+		if ceil[i] != wantC[i] {
+			t.Errorf("ceiling sweep %v want %v", ceil, wantC)
+		}
+	}
+}
+
+func TestSigmaCeilingWindows(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	set, rep, err := tuner.Tune(ParamsFor(SigmaCeiling, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("no windows produced")
+	}
+	// Every cluster threshold is the ceiling itself.
+	for _, c := range rep.Clusters {
+		if c.Threshold != 0.02 {
+			t.Errorf("cluster %s threshold %g want 0.02", c.Name, c.Threshold)
+		}
+	}
+	// Stage-2 invariant: inside every window, the pin's worst-case sigma
+	// stays below the ceiling at all grid points within the rectangle.
+	for _, pr := range rep.Pins {
+		if pr.Excluded {
+			continue
+		}
+		cell := sl.Cells[pr.Cell]
+		pin := cell.Pin(pr.Pin)
+		maxEq, err := pin.MaxSigmaTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := pr.Rect.L1; i <= pr.Rect.L2; i++ {
+			for j := pr.Rect.S1; j <= pr.Rect.S2; j++ {
+				if maxEq.Values[i][j] > 0.02 {
+					t.Fatalf("%s/%s: sigma %g inside window above ceiling", pr.Cell, pr.Pin, maxEq.Values[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestCeilingMonotonicity: tightening the ceiling can only shrink (never
+// grow) each pin's usable window.
+func TestCeilingMonotonicity(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	var prev *Report
+	for _, bound := range []float64{0.04, 0.03, 0.02, 0.01} {
+		_, rep, err := tuner.Tune(ParamsFor(SigmaCeiling, bound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			prevArea := make(map[string]int, len(prev.Pins))
+			for _, p := range prev.Pins {
+				prevArea[p.Cell+"/"+p.Pin] = p.Rect.Area()
+			}
+			for _, p := range rep.Pins {
+				if pa, ok := prevArea[p.Cell+"/"+p.Pin]; ok && p.Rect.Area() > pa {
+					t.Fatalf("window of %s/%s grew when ceiling tightened", p.Cell, p.Pin)
+				}
+			}
+		}
+		prev = rep
+	}
+}
+
+// TestHighDriveKeepsMoreLUT: under a ceiling, high-drive cells (lower
+// sigma by Pelgrom) retain a larger usable fraction of their LUT than
+// their drive-1 siblings — the Fig. 4 mechanism the tuning exploits.
+func TestHighDriveKeepsMoreLUT(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	_, rep, err := tuner.Tune(ParamsFor(SigmaCeiling, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := make(map[string]float64)
+	for _, p := range rep.Pins {
+		retained[p.Cell+"/"+p.Pin] = p.Retained
+	}
+	if retained["INV_32/Y"] <= retained["INV_1/Y"] {
+		t.Errorf("INV_32 retained %.2f not above INV_1 %.2f",
+			retained["INV_32/Y"], retained["INV_1/Y"])
+	}
+}
+
+func TestUnrestrictiveBoundsKeepFullLUT(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	// Bound 1 on load slope plus defaults elsewhere: nothing binds, the
+	// rectangle covers the full LUT and windows span the whole axis.
+	set, rep, err := tuner.Tune(ParamsFor(CellLoadSlope, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, total := 0, 0
+	for _, p := range rep.Pins {
+		total++
+		if p.Retained == 1 {
+			full++
+		}
+	}
+	if float64(full) < 0.9*float64(total) {
+		t.Errorf("only %d/%d pins keep their full LUT under non-binding bounds", full, total)
+	}
+	// Windows must allow the full characterized range for e.g. INV_4.
+	cell := sl.Cells["INV_4"]
+	maxEq, _ := cell.Pins[0].MaxSigmaTable()
+	w, ok := set.Window("INV_4", "Y")
+	if !ok {
+		t.Fatal("INV_4 window missing")
+	}
+	lastLoad := maxEq.Loads[len(maxEq.Loads)-1]
+	if w.MaxLoad < lastLoad {
+		t.Errorf("MaxLoad %g below last axis point %g", w.MaxLoad, lastLoad)
+	}
+}
+
+// TestSlopeMethodsTightenWithBound: smaller slope bounds restrict at
+// least as much as larger ones (total retained area is non-increasing).
+func TestSlopeMethodsTightenWithBound(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	for _, m := range []Method{CellLoadSlope, CellSlewSlope, CellStrengthLoadSlope, CellStrengthSlewSlope} {
+		prevTotal := math.Inf(1)
+		for _, bound := range SweepBounds(m) {
+			_, rep, err := tuner.Tune(ParamsFor(m, bound))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0.0
+			for _, p := range rep.Pins {
+				total += p.Retained
+			}
+			if total > prevTotal+1e-9 {
+				t.Errorf("%v: retained area grew when bound tightened to %g", m, bound)
+			}
+			prevTotal = total
+		}
+	}
+}
+
+func TestStrengthClustering(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	_, rep, err := tuner.Tune(ParamsFor(CellStrengthLoadSlope, 0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters are drive strengths, so far fewer clusters than cells.
+	if len(rep.Clusters) >= len(rep.Pins) {
+		t.Errorf("strength clustering made %d clusters for %d pins", len(rep.Clusters), len(rep.Pins))
+	}
+	// The drive-6 cluster of Fig. 5 exists and has several member cells.
+	var found *ClusterReport
+	for i := range rep.Clusters {
+		if rep.Clusters[i].Name == "drive 6" {
+			found = &rep.Clusters[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("drive 6 cluster missing")
+	}
+	if len(found.Cells) < 10 {
+		t.Errorf("drive 6 cluster has only %d cells", len(found.Cells))
+	}
+	// Per-cell method: clusters == cells with pins.
+	_, repCell, err := tuner.Tune(ParamsFor(CellLoadSlope, 0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repCell.Clusters) <= len(rep.Clusters) {
+		t.Error("per-cell clustering should have more clusters than strength clustering")
+	}
+}
+
+func TestExcludedPins(t *testing.T) {
+	_, sl := sharedStat(t)
+	tuner := NewTuner(sl)
+	// An absurdly low ceiling excludes essentially everything.
+	set, rep, err := tuner.Tune(ParamsFor(SigmaCeiling, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExcludedPins() == 0 {
+		t.Fatal("nothing excluded under a 1e-9 ceiling")
+	}
+	// Excluded pins get windows that allow no operating point.
+	for _, pr := range rep.Pins {
+		if !pr.Excluded {
+			continue
+		}
+		w, ok := set.Window(pr.Cell, pr.Pin)
+		if !ok {
+			t.Fatalf("excluded pin %s/%s missing window", pr.Cell, pr.Pin)
+		}
+		if w.Allows(0.001, 0.01) {
+			t.Fatalf("excluded pin %s/%s still allows operation", pr.Cell, pr.Pin)
+		}
+	}
+}
+
+func TestWindowFromRectInteriorAnchor(t *testing.T) {
+	_, sl := sharedStat(t)
+	// A rectangle anchored away from the origin must produce nonzero
+	// minimums. Build synthetically via windowFromRect.
+	cell := sl.Cells["INV_4"]
+	maxEq, _ := cell.Pins[0].MaxSigmaTable()
+	w := windowFromRect(maxEq, rectAt(1, 2, 3, 4))
+	if w.MinLoad != maxEq.Loads[1] || w.MinSlew != maxEq.Slews[2] {
+		t.Errorf("interior rect minimums wrong: %+v", w)
+	}
+	if w.MaxLoad != maxEq.Loads[3] || w.MaxSlew != maxEq.Slews[4] {
+		t.Errorf("interior rect maximums wrong: %+v", w)
+	}
+	worigin := windowFromRect(maxEq, rectAt(0, 0, 2, 2))
+	if worigin.MinLoad != 0 || worigin.MinSlew != 0 {
+		t.Errorf("origin rect should leave minimums at zero: %+v", worigin)
+	}
+}
+
+func rectAt(l1, s1, l2, s2 int) lut.Rect {
+	return lut.Rect{L1: l1, S1: s1, L2: l2, S2: s2}
+}

@@ -1,0 +1,308 @@
+// Package cts implements clock tree synthesis — the paper's explicitly
+// named future work ("the effectiveness of the method on the clock tree
+// in particular needs further investigation"). It builds a geometrically
+// balanced buffer tree over the placed flip-flops (recursive median
+// bisection, H-tree style), sizes each buffer for its stage load under
+// optional tuning windows, and computes the clock skew statistics the
+// paper asks about: since local variation is independent per buffer, the
+// skew between two sinks accumulates the sigma of the non-shared buffers
+// on their two clock paths.
+package cts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/place"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+)
+
+// Config controls tree construction.
+type Config struct {
+	// MaxFanout limits the sinks (buffers or FFs) one buffer drives.
+	MaxFanout int
+	// RootSlew is the transition at the clock root (ns).
+	RootSlew float64
+	// CapPerMicron is the clock-wire capacitance per um of Manhattan
+	// distance from buffer to sink (pF/um).
+	CapPerMicron float64
+	// Windows restricts buffer operating points (nil = unrestricted).
+	Windows *restrict.Set
+}
+
+// DefaultConfig is the standard CTS setup.
+func DefaultConfig() Config {
+	return Config{MaxFanout: 12, RootSlew: 0.05, CapPerMicron: 0.0002}
+}
+
+// Node is one buffer of the clock tree.
+type Node struct {
+	ID       int
+	Spec     *stdcell.Spec
+	X, Y     float64
+	Parent   *Node
+	Children []*Node             // child buffers
+	Sinks    []*netlist.Instance // leaf FFs driven directly
+	Level    int                 // root = 0
+
+	// Computed by Analyze:
+	Load  float64 // capacitive load driven (pF)
+	Slew  float64 // input transition (ns)
+	Delay float64 // buffer delay at the operating point (ns)
+	Sigma float64 // local-variation sigma at the operating point (ns)
+}
+
+// Tree is a synthesized clock tree.
+type Tree struct {
+	Cfg    Config
+	Root   *Node
+	Nodes  []*Node
+	Levels int
+}
+
+// BufferCount returns the number of clock buffers.
+func (t *Tree) BufferCount() int { return len(t.Nodes) }
+
+// BufferArea returns the total clock-buffer area in um^2.
+func (t *Tree) BufferArea() float64 {
+	a := 0.0
+	for _, n := range t.Nodes {
+		a += n.Spec.Area()
+	}
+	return a
+}
+
+// Build synthesizes a clock tree over the placed flip-flops.
+func Build(p *place.Placement, cat *stdcell.Catalogue, cfg Config) (*Tree, error) {
+	if cfg.MaxFanout < 2 {
+		return nil, fmt.Errorf("cts: MaxFanout must be >= 2")
+	}
+	ffs := p.Nl.Sequentials()
+	if len(ffs) == 0 {
+		return nil, fmt.Errorf("cts: no sequential cells to clock")
+	}
+	b := &builder{p: p, cat: cat, cfg: cfg}
+	root := b.cluster(ffs, 0)
+	t := &Tree{Cfg: cfg, Root: root, Nodes: b.nodes}
+	for _, n := range b.nodes {
+		if n.Level+1 > t.Levels {
+			t.Levels = n.Level + 1
+		}
+	}
+	if err := t.size(cat); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type builder struct {
+	p     *place.Placement
+	cat   *stdcell.Catalogue
+	cfg   Config
+	nodes []*Node
+}
+
+// cluster recursively bisects the sink set at the median of the wider
+// axis until a single buffer can drive it, placing each buffer at its
+// cluster centroid.
+func (b *builder) cluster(ffs []*netlist.Instance, level int) *Node {
+	node := &Node{ID: len(b.nodes), Level: level}
+	b.nodes = append(b.nodes, node)
+	cx, cy := b.centroid(ffs)
+	node.X, node.Y = cx, cy
+	if len(ffs) <= b.cfg.MaxFanout {
+		node.Sinks = append(node.Sinks, ffs...)
+		return node
+	}
+	// Split along the wider spread axis at the median.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ff := range ffs {
+		x, y := b.p.X[ff.ID], b.p.Y[ff.ID]
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	byX := maxX-minX >= maxY-minY
+	sorted := append([]*netlist.Instance(nil), ffs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if byX {
+			return b.p.X[sorted[i].ID] < b.p.X[sorted[j].ID]
+		}
+		return b.p.Y[sorted[i].ID] < b.p.Y[sorted[j].ID]
+	})
+	mid := len(sorted) / 2
+	left := b.cluster(sorted[:mid], level+1)
+	right := b.cluster(sorted[mid:], level+1)
+	left.Parent, right.Parent = node, node
+	node.Children = []*Node{left, right}
+	return node
+}
+
+func (b *builder) centroid(ffs []*netlist.Instance) (float64, float64) {
+	var sx, sy float64
+	for _, ff := range ffs {
+		sx += b.p.X[ff.ID]
+		sy += b.p.Y[ff.ID]
+	}
+	n := float64(len(ffs))
+	return sx / n, sy / n
+}
+
+// size picks, bottom-up, the smallest buffer per node whose binding load
+// limit (max_capacitance or tuning window) covers the stage load.
+func (t *Tree) size(cat *stdcell.Catalogue) error {
+	bufs := cat.Families["BUF"]
+	if len(bufs) == 0 {
+		return fmt.Errorf("cts: catalogue has no BUF family")
+	}
+	// Children must be sized before parents (load depends on child cin):
+	// process by descending level.
+	nodes := append([]*Node(nil), t.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Level > nodes[j].Level })
+	for _, n := range nodes {
+		load := t.stageWireCap(n)
+		for _, ff := range n.Sinks {
+			load += ff.Spec.ClockCap()
+		}
+		for _, c := range n.Children {
+			load += c.Spec.InputCap()
+		}
+		spec := bufs[len(bufs)-1]
+		for _, b := range bufs {
+			limit := t.Cfg.Windows.MaxLoad(b.Name, "Y", b.MaxCap())
+			if load <= limit {
+				spec = b
+				break
+			}
+		}
+		n.Spec = spec
+		n.Load = load
+	}
+	return nil
+}
+
+// stageWireCap sums the clock-wire capacitance from a buffer to each of
+// its direct consumers.
+func (t *Tree) stageWireCap(n *Node) float64 {
+	cap := 0.0
+	for _, c := range n.Children {
+		cap += (math.Abs(n.X-c.X) + math.Abs(n.Y-c.Y)) * t.Cfg.CapPerMicron
+	}
+	// Sinks are near the cluster centroid; approximate each with the
+	// cluster radius (distance buffer->sink is small after bisection).
+	for range n.Sinks {
+		cap += 2 * t.Cfg.CapPerMicron // ~2 um of local routing per leaf
+	}
+	return cap
+}
+
+// BuildLegal synthesizes a tree that respects the configured tuning
+// windows by tightening the fanout limit until no buffer operates
+// outside its window (restricted libraries force deeper, finer trees —
+// exactly the mechanism the data-path tuning uses). Returns the tree and
+// its analysis.
+func BuildLegal(p *place.Placement, cat *stdcell.Catalogue, stat *statlib.Library, cfg Config) (*Tree, *Analysis, error) {
+	var lastTree *Tree
+	var lastA *Analysis
+	for fo := cfg.MaxFanout; fo >= 2; fo-- {
+		c := cfg
+		c.MaxFanout = fo
+		t, err := Build(p, cat, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := t.Analyze(cat, stat)
+		if err != nil {
+			return nil, nil, err
+		}
+		lastTree, lastA = t, a
+		if a.Violations == 0 {
+			return t, a, nil
+		}
+	}
+	return lastTree, lastA, nil
+}
+
+// Analysis is the timing and variation report of a clock tree.
+type Analysis struct {
+	Tree *Tree
+	// InsertionMin/Max are the earliest and latest nominal clock arrival
+	// across sinks; their difference is the nominal skew.
+	InsertionMin, InsertionMax float64
+	// WorstSkewSigma is the largest pairwise local-variation sigma of
+	// the skew between any two sinks (independent buffers on the
+	// non-shared path segments).
+	WorstSkewSigma float64
+	// MeanStageSigma averages the per-buffer sigma.
+	MeanStageSigma float64
+	// Violations counts buffers operating outside their tuning window.
+	Violations int
+}
+
+// NominalSkew returns max-min insertion delay.
+func (a *Analysis) NominalSkew() float64 { return a.InsertionMax - a.InsertionMin }
+
+// Analyze propagates slew/delay down the tree, evaluates each buffer's
+// sigma from the statistical library, and computes the skew statistics.
+func (t *Tree) Analyze(cat *stdcell.Catalogue, stat *statlib.Library) (*Analysis, error) {
+	a := &Analysis{Tree: t, InsertionMin: math.Inf(1), InsertionMax: math.Inf(-1)}
+	var walk func(n *Node, slew, insertion, pathVar float64) error
+	totalSigma := 0.0
+	walk = func(n *Node, slew, insertion, pathVar float64) error {
+		n.Slew = slew
+		cell := stat.Cell(n.Spec.Name)
+		if cell == nil || len(cell.Pins) == 0 {
+			return fmt.Errorf("cts: %s missing from statistical library", n.Spec.Name)
+		}
+		arc := cell.Pins[0].Arcs[0]
+		st := arc.Stats(n.Load, slew)
+		n.Delay = st.Mu
+		n.Sigma = st.Sigma
+		totalSigma += st.Sigma
+		if t.Cfg.Windows != nil {
+			if !t.Cfg.Windows.Allows(n.Spec.Name, "Y", n.Load, slew) {
+				a.Violations++
+			}
+		}
+		ins := insertion + st.Mu
+		pv := pathVar + st.Sigma*st.Sigma
+		outSlew := n.Spec.OutputTransition(n.Load, slew, cat.Corner)
+		if len(n.Children) == 0 {
+			if ins < a.InsertionMin {
+				a.InsertionMin = ins
+			}
+			if ins > a.InsertionMax {
+				a.InsertionMax = ins
+			}
+			if pv > 0 {
+				// Two deepest sinks through different root children share
+				// no buffers in the worst case except the root; the
+				// conservative pairwise skew sigma doubles the one-path
+				// variance minus the shared root contribution.
+				rootVar := t.Root.Sigma * t.Root.Sigma
+				sk := math.Sqrt(2 * math.Max(pv-rootVar, 0))
+				if sk > a.WorstSkewSigma {
+					a.WorstSkewSigma = sk
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c, outSlew, ins, pv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root, t.Cfg.RootSlew, 0, 0); err != nil {
+		return nil, err
+	}
+	if len(t.Nodes) > 0 {
+		a.MeanStageSigma = totalSigma / float64(len(t.Nodes))
+	}
+	return a, nil
+}

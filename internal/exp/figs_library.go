@@ -1,0 +1,343 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/report"
+	"stdcelltune/internal/stdcell"
+)
+
+// Fig1Result demonstrates why the coefficient of variation is the wrong
+// tuning metric (Fig. 1): two distributions with identical variability
+// but very different absolute dispersion.
+type Fig1Result struct {
+	Left, Right dist.Normal
+}
+
+// Fig1 builds the paper's exact example.
+func (f *Flow) Fig1() *Fig1Result {
+	return &Fig1Result{
+		Left:  dist.Normal{Mu: 0.5, Sigma: 0.01},
+		Right: dist.Normal{Mu: 5, Sigma: 0.1},
+	}
+}
+
+// Render draws the comparison.
+func (r *Fig1Result) Render() string {
+	tb := &report.Table{
+		Title:  "Fig 1: variability (CoV) vs sigma as a selection metric",
+		Header: []string{"distribution", "mean", "sigma", "variability"},
+	}
+	tb.AddRow("left", r.Left.Mu, r.Left.Sigma, r.Left.Variability())
+	tb.AddRow("right", r.Right.Mu, r.Right.Sigma, r.Right.Variability())
+	return tb.Render() +
+		"identical variability, different dispersion: sigma is the usable metric\n"
+}
+
+// Fig2Result summarizes the statistical library construction (Fig. 2):
+// how well the per-entry mean/sigma across N Monte-Carlo instances
+// recover the analytic ground truth.
+type Fig2Result struct {
+	Samples     int
+	Cells       int
+	MeanRelErr  float64 // average |mc - analytic| / analytic over probes
+	SigmaRelErr float64
+	ProbedCells []string
+}
+
+// Fig2 probes a representative cell set against the analytic model.
+func (f *Flow) Fig2() (*Fig2Result, error) {
+	probes := []string{"INV_1", "INV_32", "ND2_4", "NR4_6", "XNR2_8", "MUX2_4", "DFQ_2"}
+	res := &Fig2Result{Samples: f.Stat.Samples, Cells: len(f.Stat.Cells), ProbedCells: probes}
+	var meanErr, sigmaErr float64
+	var n int
+	for _, name := range probes {
+		spec := f.Cat.Spec(name)
+		cell := f.Stat.Cell(name)
+		if spec == nil || cell == nil || len(cell.Pins) == 0 {
+			return nil, fmt.Errorf("exp: probe cell %s missing", name)
+		}
+		arc := cell.Pins[0].Arcs[0]
+		axis := spec.LoadAxis()
+		for _, li := range []int{0, 3, 6} {
+			for _, sj := range []int{0, 3, 6} {
+				load, slew := axis[li], stdcell.SlewAxis[sj]
+				wantMu := spec.Delay(load, slew, f.Cat.Corner) * 1.05
+				wantSg := spec.Sigma(load, slew, f.Cat.Corner) * 1.05
+				meanErr += math.Abs(arc.MeanRise.Values[li][sj]-wantMu) / wantMu
+				sigmaErr += math.Abs(arc.SigmaRise.Values[li][sj]-wantSg) / wantSg
+				n++
+			}
+		}
+	}
+	res.MeanRelErr = meanErr / float64(n)
+	res.SigmaRelErr = sigmaErr / float64(n)
+	return res, nil
+}
+
+// Render summarizes construction quality.
+func (r *Fig2Result) Render() string {
+	tb := &report.Table{
+		Title:  "Fig 2: statistical library construction quality",
+		Header: []string{"quantity", "value"},
+	}
+	tb.AddRow("MC instances folded", r.Samples)
+	tb.AddRow("cells", r.Cells)
+	tb.AddRow("mean rel. error", r.MeanRelErr)
+	tb.AddRow("sigma rel. error", r.SigmaRelErr)
+	return tb.Render()
+}
+
+// Fig3Result is the bilinear interpolation worked example (Fig. 3 /
+// eqs. 2-4) evaluated on a real statistical table.
+type Fig3Result struct {
+	Cell       string
+	Load, Slew float64
+	OnGrid     float64 // exact table entry at an index point
+	OffGrid    float64 // interpolated between four entries
+	Corners    [4]float64
+}
+
+// Fig3 interpolates the ND2_4 sigma table between grid points.
+func (f *Flow) Fig3() (*Fig3Result, error) {
+	cell := f.Stat.Cell("ND2_4")
+	if cell == nil {
+		return nil, fmt.Errorf("exp: ND2_4 missing")
+	}
+	t := cell.Pins[0].Arcs[0].SigmaRise
+	res := &Fig3Result{Cell: "ND2_4"}
+	res.OnGrid = t.Values[2][2]
+	res.Load = (t.Loads[2] + t.Loads[3]) / 2
+	res.Slew = (t.Slews[2] + t.Slews[3]) / 2
+	res.Corners = [4]float64{t.Values[2][2], t.Values[2][3], t.Values[3][2], t.Values[3][3]}
+	res.OffGrid = t.Lookup(res.Load, res.Slew)
+	return res, nil
+}
+
+// Render shows the interpolation inputs and output.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3: bilinear interpolation on %s sigma LUT\n", r.Cell)
+	fmt.Fprintf(&b, "Q11=%.5f Q12=%.5f Q21=%.5f Q22=%.5f\n", r.Corners[0], r.Corners[1], r.Corners[2], r.Corners[3])
+	fmt.Fprintf(&b, "query (load=%.4f pF, slew=%.4f ns) -> X=%.5f ns (on-grid ref %.5f)\n",
+		r.Load, r.Slew, r.OffGrid, r.OnGrid)
+	return b.String()
+}
+
+// DriveSurface summarizes one cell's sigma LUT for Figs. 4/5/7.
+type DriveSurface struct {
+	Cell     string
+	Drive    int
+	LoadMax  float64 // top of the load axis (range grows with drive)
+	SigmaMin float64
+	SigmaMax float64
+	GradLoad float64 // max per-index load-direction gradient
+	GradSlew float64
+}
+
+func (f *Flow) surfaceOf(name string) (DriveSurface, error) {
+	cell := f.Stat.Cell(name)
+	if cell == nil || len(cell.Pins) == 0 {
+		return DriveSurface{}, fmt.Errorf("exp: cell %s missing", name)
+	}
+	maxEq, err := cell.Pins[0].MaxSigmaTable()
+	if err != nil {
+		return DriveSurface{}, err
+	}
+	ds := DriveSurface{
+		Cell:     name,
+		Drive:    cell.DriveStrength,
+		LoadMax:  maxEq.Loads[len(maxEq.Loads)-1],
+		SigmaMin: maxEq.Min(),
+		SigmaMax: maxEq.Max(),
+		GradLoad: maxEq.IndexLoadSlope().Max(),
+		GradSlew: maxEq.IndexSlewSlope().Max(),
+	}
+	return ds, nil
+}
+
+// Fig4Result is the inverter drive-strength family of sigma surfaces.
+type Fig4Result struct {
+	Surfaces []DriveSurface
+}
+
+// Fig4 summarizes INV_1 .. INV_32 (the paper's family plot).
+func (f *Flow) Fig4() (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, name := range []string{"INV_1", "INV_2", "INV_4", "INV_8", "INV_16", "INV_32"} {
+		s, err := f.surfaceOf(name)
+		if err != nil {
+			return nil, err
+		}
+		res.Surfaces = append(res.Surfaces, s)
+	}
+	return res, nil
+}
+
+func renderSurfaces(title string, surfaces []DriveSurface) string {
+	tb := &report.Table{
+		Title:  title,
+		Header: []string{"cell", "drive", "load range (pF)", "sigma min", "sigma max", "grad load", "grad slew"},
+	}
+	for _, s := range surfaces {
+		tb.AddRow(s.Cell, s.Drive, s.LoadMax, s.SigmaMin, s.SigmaMax, s.GradLoad, s.GradSlew)
+	}
+	return tb.Render()
+}
+
+// Render draws the family summary.
+func (r *Fig4Result) Render() string {
+	return renderSurfaces("Fig 4: inverter sigma surfaces vs drive strength", r.Surfaces)
+}
+
+// Fig5Result is the drive-6 cluster of Fig. 5.
+type Fig5Result struct {
+	Surfaces []DriveSurface
+}
+
+// Fig5 summarizes every drive-6 cell (one arc each, as in the paper).
+func (f *Flow) Fig5() (*Fig5Result, error) {
+	res := &Fig5Result{}
+	var names []string
+	for _, spec := range f.Cat.ByDrive[6] {
+		names = append(names, spec.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s, err := f.surfaceOf(name)
+		if err != nil {
+			continue // tie cells etc.
+		}
+		res.Surfaces = append(res.Surfaces, s)
+	}
+	if len(res.Surfaces) == 0 {
+		return nil, fmt.Errorf("exp: no drive-6 cells")
+	}
+	return res, nil
+}
+
+// Render draws the cluster summary.
+func (r *Fig5Result) Render() string {
+	return renderSurfaces("Fig 5: sigma surfaces of the drive-6 cluster", r.Surfaces)
+}
+
+// Fig6Result demonstrates Algorithm 1 on a real binary LUT.
+type Fig6Result struct {
+	Cell      string
+	Ceiling   float64
+	Mask      *lut.Binary
+	Rect      lut.Rect
+	Threshold float64
+}
+
+// Fig6 thresholds NR4_6's worst sigma LUT by the 0.02 ceiling and
+// extracts the largest origin-anchored rectangle.
+func (f *Flow) Fig6() (*Fig6Result, error) {
+	cell := f.Stat.Cell("NR4_6")
+	if cell == nil {
+		return nil, fmt.Errorf("exp: NR4_6 missing")
+	}
+	maxEq, err := cell.Pins[0].MaxSigmaTable()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Cell: "NR4_6", Ceiling: 0.02}
+	res.Mask = maxEq.ThresholdLE(res.Ceiling)
+	res.Rect = res.Mask.LargestRectangleFast()
+	if !res.Rect.Empty() {
+		res.Threshold = maxEq.ThresholdValue(res.Rect)
+	}
+	return res, nil
+}
+
+// Render prints the mask and the extracted rectangle.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6: largest rectangle on %s binary LUT (ceiling %.3f)\n", r.Cell, r.Ceiling)
+	b.WriteString(r.Mask.String())
+	fmt.Fprintf(&b, "rectangle: %v, threshold sigma at far corner: %.5f\n", r.Rect, r.Threshold)
+	return b.String()
+}
+
+// Fig7Result summarizes all 304 cells' sigma surfaces (the paper's
+// library-wide surface plot) as distribution statistics.
+type Fig7Result struct {
+	Tables     int
+	GlobalMax  float64
+	Percentile map[int]float64 // p50/p90/p99 of per-table max sigma
+	PerFamily  []FamilySigma
+}
+
+// FamilySigma is the per-family worst sigma.
+type FamilySigma struct {
+	Family string
+	Max    float64
+}
+
+// Fig7 folds the whole statistical library.
+func (f *Flow) Fig7() (*Fig7Result, error) {
+	res := &Fig7Result{Percentile: make(map[int]float64)}
+	famMax := make(map[string]float64)
+	var maxes []float64
+	for name, cell := range f.Stat.Cells {
+		for _, pin := range cell.Pins {
+			for _, t := range pin.SigmaTables() {
+				res.Tables++
+				m := t.Max()
+				maxes = append(maxes, m)
+				if m > res.GlobalMax {
+					res.GlobalMax = m
+				}
+				fam := stdcell.FamilyOf(name)
+				if m > famMax[fam] {
+					famMax[fam] = m
+				}
+			}
+		}
+	}
+	if len(maxes) == 0 {
+		return nil, fmt.Errorf("exp: empty statistical library")
+	}
+	for _, p := range []int{50, 90, 99} {
+		res.Percentile[p] = dist.Quantile(maxes, float64(p)/100)
+	}
+	fams := make([]string, 0, len(famMax))
+	for f := range famMax {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		res.PerFamily = append(res.PerFamily, FamilySigma{Family: fam, Max: famMax[fam]})
+	}
+	return res, nil
+}
+
+// Render draws the library-wide summary.
+func (r *Fig7Result) Render() string {
+	tb := &report.Table{
+		Title:  "Fig 7: all cell delay sigma LUTs (library-wide summary)",
+		Header: []string{"quantity", "value"},
+	}
+	tb.AddRow("sigma tables", r.Tables)
+	tb.AddRow("global max sigma (ns)", r.GlobalMax)
+	tb.AddRow("p50 of per-table max", r.Percentile[50])
+	tb.AddRow("p90 of per-table max", r.Percentile[90])
+	tb.AddRow("p99 of per-table max", r.Percentile[99])
+	famT := &report.Table{Header: []string{"family", "max sigma"}}
+	for _, fs := range r.PerFamily {
+		famT.AddRow(fs.Family, fs.Max)
+	}
+	return tb.Render() + famT.Render()
+}
+
+// Fig6Sanity cross-checks the paper-faithful quartic rectangle scan
+// against the fast variant on the Fig. 6 mask (the DESIGN.md ablation).
+func (r *Fig6Result) Fig6Sanity() bool {
+	slow := r.Mask.LargestRectangle()
+	return slow.Area() == r.Rect.Area()
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"stdcelltune/internal/pathmc"
+	"stdcelltune/internal/report"
+	"stdcelltune/internal/sta"
+)
+
+// extractedPaths picks a short, medium and long worst path from the
+// baseline high-performance design, approximating the paper's 3/18/57
+// cell extraction (scaled to the design's actual maximum depth).
+func (f *Flow) extractedPaths() ([]sta.Path, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Baseline(clocks.HighPerf)
+	if err != nil {
+		return nil, err
+	}
+	paths := res.Timing.WorstPaths()
+	var nonEmpty []sta.Path
+	maxDepth := 0
+	for _, p := range paths {
+		if p.Depth() > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+		if p.Depth() > maxDepth {
+			maxDepth = p.Depth()
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil, fmt.Errorf("exp: no non-empty paths")
+	}
+	medium := 18
+	if medium > maxDepth {
+		medium = maxDepth / 2
+	}
+	long := 57
+	if long > maxDepth {
+		long = maxDepth
+	}
+	return pathmc.PickPaths(nonEmpty, 3, medium, long), nil
+}
+
+// Fig15Path is the corner sweep of one extracted path.
+type Fig15Path struct {
+	Depth   int
+	Corners []pathmc.CornerPoint
+}
+
+// Fig15Result reproduces Fig. 15: Monte-Carlo (N=200) corner behavior of
+// three extracted paths — mean and sigma must scale by the same factor.
+type Fig15Result struct {
+	Paths []Fig15Path
+}
+
+// Fig15 runs the corner sweeps.
+func (f *Flow) Fig15() (*Fig15Result, error) {
+	paths, err := f.extractedPaths()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{}
+	cfg := pathmc.DefaultConfig(f.Cfg.Seed + 100)
+	for _, p := range paths {
+		pts, err := pathmc.CornerSweep(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Paths = append(res.Paths, Fig15Path{Depth: p.Depth(), Corners: pts})
+	}
+	return res, nil
+}
+
+// Render draws the relative mean/sigma per corner.
+func (r *Fig15Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 15: Monte Carlo (N=200) corner scaling of extracted paths\n")
+	for _, p := range r.Paths {
+		tb := &report.Table{
+			Title:  fmt.Sprintf("path depth %d", p.Depth),
+			Header: []string{"corner", "mean (ns)", "sigma (ns)", "rel mean", "rel sigma"},
+		}
+		for _, c := range p.Corners {
+			tb.AddRow(c.Corner.String(), c.Stats.Mu, c.Stats.Sigma, c.RelMean, c.RelSigma)
+		}
+		b.WriteString(tb.Render())
+	}
+	b.WriteString("mean and sigma scale by (about) the same factor across corners\n")
+	return b.String()
+}
+
+// Fig16Path is the variation decomposition of one extracted path.
+type Fig16Path struct {
+	Depth      int
+	Total      float64 // sigma with global+local
+	LocalOnly  float64 // sigma with local only
+	LocalShare float64 // LocalOnly / Total
+}
+
+// Fig16Result reproduces Fig. 16: the local-variation contribution for
+// short, medium and long paths (the paper reports 65%/37%/6%).
+type Fig16Result struct {
+	Paths []Fig16Path
+}
+
+// Fig16 runs the decompositions.
+func (f *Flow) Fig16() (*Fig16Result, error) {
+	paths, err := f.extractedPaths()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	cfg := pathmc.DefaultConfig(f.Cfg.Seed + 200)
+	for _, p := range paths {
+		d, err := pathmc.Decompose(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Paths = append(res.Paths, Fig16Path{
+			Depth:      p.Depth(),
+			Total:      d.Total.Sigma,
+			LocalOnly:  d.LocalOnly.Sigma,
+			LocalShare: d.LocalShare,
+		})
+	}
+	return res, nil
+}
+
+// Render draws the contribution table.
+func (r *Fig16Result) Render() string {
+	tb := &report.Table{
+		Title:  "Fig 16: local-variation contribution per path depth (MC N=200)",
+		Header: []string{"depth", "sigma total", "sigma local-only", "local share %"},
+	}
+	for _, p := range r.Paths {
+		tb.AddRow(p.Depth, p.Total, p.LocalOnly, 100*p.LocalShare)
+	}
+	return tb.Render() +
+		"local variation dominates short paths and decays with depth\n"
+}

@@ -1,0 +1,481 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/report"
+	"stdcelltune/internal/stattime"
+)
+
+// Fig8Result is the clock-period versus cell-area curve of the baseline
+// synthesis (Fig. 8); the relaxed constraint sits where the curve goes
+// flat.
+type Fig8Result struct {
+	Periods []float64
+	Areas   []float64
+	Met     []bool
+	Knee    float64 // first period from the fast end where the curve is flat
+}
+
+// Fig8 sweeps the baseline synthesis from the minimum period outward.
+func (f *Flow) Fig8() (*Fig8Result, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	minClk := clocks.HighPerf
+	res := &Fig8Result{}
+	for _, mult := range []float64{1.0, 1.08, 1.25, 1.5, 1.8, 2.2, 2.8, 3.3, 4.15, 5.0} {
+		p := math.Round(minClk*mult*20) / 20
+		r, err := f.Baseline(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Periods = append(res.Periods, p)
+		res.Areas = append(res.Areas, r.Area())
+		res.Met = append(res.Met, r.Met)
+	}
+	// Knee: the earliest period whose area is within 2% of the final
+	// (most relaxed) area.
+	final := res.Areas[len(res.Areas)-1]
+	res.Knee = res.Periods[len(res.Periods)-1]
+	for i := range res.Periods {
+		if res.Met[i] && res.Areas[i] <= final*1.02 {
+			res.Knee = res.Periods[i]
+			break
+		}
+	}
+	return res, nil
+}
+
+// Render draws the curve.
+func (r *Fig8Result) Render() string {
+	s := report.RenderSeries("Fig 8: clock period vs total cell area (baseline)", "period(ns)",
+		report.Series{Name: "area(um2)", X: r.Periods, Y: r.Areas})
+	return s + fmt.Sprintf("relaxed-timing knee at %.2f ns\n", r.Knee)
+}
+
+// CellUseEntry is one bar of the Fig. 9 histogram.
+type CellUseEntry struct {
+	Cell     string
+	Baseline int
+	Tuned    int
+}
+
+// Fig9Result holds the cell-use histograms at one clock: baseline vs the
+// marked (Table 3) tuning method.
+type Fig9Result struct {
+	Clock    float64
+	Method   core.Method
+	Bound    float64
+	MinCount int
+	Entries  []CellUseEntry
+
+	BaselineInvUse int // total inverter+buffer instances (buffering signal)
+	TunedInvUse    int
+}
+
+// Fig9 builds the histogram for one clock using the sigma-ceiling
+// method's best bound (the paper marks the ceiling run in Fig. 9).
+func (f *Flow) Fig9(clock float64) (*Fig9Result, error) {
+	best, err := f.bestBound(core.SigmaCeiling, clock)
+	if err != nil {
+		return nil, err
+	}
+	base, err := f.Baseline(clock)
+	if err != nil {
+		return nil, err
+	}
+	bound := best.Bound
+	if !best.Met {
+		// Fall back to the loosest ceiling for reporting.
+		bound = core.SweepBounds(core.SigmaCeiling)[0]
+	}
+	tuned, err := f.Tuned(core.SigmaCeiling, bound, clock)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Clock: clock, Method: core.SigmaCeiling, Bound: bound, MinCount: 100}
+	bu := base.Netlist.CellUse()
+	tu := tuned.Netlist.CellUse()
+	names := make(map[string]bool)
+	for n := range bu {
+		names[n] = true
+	}
+	for n := range tu {
+		names[n] = true
+	}
+	var sorted []string
+	for n := range names {
+		if bu[n] > res.MinCount || tu[n] > res.MinCount {
+			sorted = append(sorted, n)
+		}
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		res.Entries = append(res.Entries, CellUseEntry{Cell: n, Baseline: bu[n], Tuned: tu[n]})
+	}
+	for n, c := range bu {
+		if strings.HasPrefix(n, "INV_") || strings.HasPrefix(n, "BUF_") {
+			res.BaselineInvUse += c
+		}
+	}
+	for n, c := range tu {
+		if strings.HasPrefix(n, "INV_") || strings.HasPrefix(n, "BUF_") {
+			res.TunedInvUse += c
+		}
+	}
+	return res, nil
+}
+
+// Render draws the histogram table.
+func (r *Fig9Result) Render() string {
+	tb := &report.Table{
+		Title: fmt.Sprintf("Fig 9: cell use at %.2f ns (cells used >%d times), baseline vs %s (bound %g)",
+			r.Clock, r.MinCount, r.Method, r.Bound),
+		Header: []string{"cell", "baseline", "tuned"},
+	}
+	for _, e := range r.Entries {
+		tb.AddRow(e.Cell, e.Baseline, e.Tuned)
+	}
+	return tb.Render() +
+		fmt.Sprintf("total inverter/buffer instances: baseline %d, tuned %d\n", r.BaselineInvUse, r.TunedInvUse)
+}
+
+// Fig10Result is the headline chart: per method and clock, the relative
+// sigma decrease and area increase of the best bound (area < 10%).
+type Fig10Result struct {
+	Table3 *Table3Result
+}
+
+// Fig10 reuses the Table 3 sweep (same data, different rendering).
+func (f *Flow) Fig10() (*Fig10Result, error) {
+	t3, err := f.Table3()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Table3: t3}, nil
+}
+
+// Headline returns the sigma-ceiling result at the high-performance
+// clock — the number the paper's abstract quotes (37% @ 7%).
+func (r *Fig10Result) Headline() (sigmaReduction, areaIncrease float64, ok bool) {
+	for _, b := range r.Table3.Best {
+		if b.Method == core.SigmaCeiling && b.Clock == r.Table3.Clocks.HighPerf {
+			return b.SigmaReduction(), b.AreaIncrease(), b.Met
+		}
+	}
+	return 0, 0, false
+}
+
+// Render draws the per-method bars for every clock.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: relative sigma decrease / area increase (best bound, area <10%)\n")
+	tb := &report.Table{
+		Header: []string{"method", "clock(ns)", "bound", "sigma base", "sigma tuned",
+			"sigma dec %", "area base", "area tuned", "area inc %"},
+	}
+	for _, best := range r.Table3.Best {
+		if !best.Met {
+			tb.AddRow(best.Method.String(), best.Clock, "-", best.SigmaBase, "-", "-", best.AreaBase, "-", "-")
+			continue
+		}
+		tb.AddRow(best.Method.String(), best.Clock, best.Bound,
+			best.SigmaBase, best.SigmaTuned, 100*best.SigmaReduction(),
+			best.AreaBase, best.AreaTuned, 100*best.AreaIncrease())
+	}
+	b.WriteString(tb.Render())
+	if sr, ai, ok := r.Headline(); ok {
+		fmt.Fprintf(&b, "headline (sigma ceiling @ high performance): %.0f%% sigma reduction at %.0f%% area increase\n",
+			100*sr, 100*ai)
+	}
+	return b.String()
+}
+
+// Fig11Point is one ceiling bound's trade-off at the high-performance
+// clock.
+type Fig11Point struct {
+	Bound          float64
+	Met            bool
+	SigmaReduction float64
+	AreaIncrease   float64
+}
+
+// Fig11Result is the sigma-versus-area trade-off across ceiling bounds.
+type Fig11Result struct {
+	Clock  float64
+	Points []Fig11Point
+}
+
+// Fig11 sweeps the sigma-ceiling bounds at the high-performance clock.
+func (f *Flow) Fig11() (*Fig11Result, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.HighPerf
+	baseRes, baseDS, err := f.BaselineStats(clk)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Clock: clk}
+	for _, bound := range core.SweepBounds(core.SigmaCeiling) {
+		sres, sds, err := f.TunedStats(core.SigmaCeiling, bound, clk)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig11Point{Bound: bound, Met: sres.Met}
+		if sres.Met {
+			cmp := stattime.Compare{
+				BaselineSigma: baseDS.Design.Sigma, TunedSigma: sds.Design.Sigma,
+				BaselineArea: baseRes.Area(), TunedArea: sres.Area(),
+			}
+			pt.SigmaReduction = cmp.SigmaReduction()
+			pt.AreaIncrease = cmp.AreaIncrease()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render draws the trade-off curve.
+func (r *Fig11Result) Render() string {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Fig 11: sigma decrease vs area increase, sigma-ceiling sweep @ %.2f ns", r.Clock),
+		Header: []string{"ceiling", "met", "sigma dec %", "area inc %"},
+	}
+	for _, p := range r.Points {
+		if p.Met {
+			tb.AddRow(p.Bound, p.Met, 100*p.SigmaReduction, 100*p.AreaIncrease)
+		} else {
+			tb.AddRow(p.Bound, p.Met, "-", "-")
+		}
+	}
+	return tb.Render()
+}
+
+// Fig12Result compares path-depth distributions of the baseline and the
+// ceiling-restricted design at the high-performance clock.
+type Fig12Result struct {
+	Clock         float64
+	Bound         float64
+	BaselineDepth map[int]int
+	TunedDepth    map[int]int
+	BaselineMean  float64
+	TunedMean     float64
+}
+
+// Fig12 computes the worst-path depth histograms.
+func (f *Flow) Fig12() (*Fig12Result, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.HighPerf
+	best, err := f.bestBound(core.SigmaCeiling, clk)
+	if err != nil {
+		return nil, err
+	}
+	bound := best.Bound
+	if !best.Met {
+		bound = core.SweepBounds(core.SigmaCeiling)[0]
+	}
+	_, baseDS, err := f.BaselineStats(clk)
+	if err != nil {
+		return nil, err
+	}
+	_, tunedDS, err := f.TunedStats(core.SigmaCeiling, bound, clk)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		Clock: clk, Bound: bound,
+		BaselineDepth: baseDS.DepthHistogram(),
+		TunedDepth:    tunedDS.DepthHistogram(),
+	}
+	res.BaselineMean = meanDepth(baseDS)
+	res.TunedMean = meanDepth(tunedDS)
+	return res, nil
+}
+
+func meanDepth(ds *stattime.DesignStats) float64 {
+	sum := 0
+	for _, p := range ds.Paths {
+		sum += p.Depth
+	}
+	if len(ds.Paths) == 0 {
+		return 0
+	}
+	return float64(sum) / float64(len(ds.Paths))
+}
+
+// Render draws the two histograms side by side.
+func (r *Fig12Result) Render() string {
+	depths := map[int]bool{}
+	for d := range r.BaselineDepth {
+		depths[d] = true
+	}
+	for d := range r.TunedDepth {
+		depths[d] = true
+	}
+	var sorted []int
+	for d := range depths {
+		sorted = append(sorted, d)
+	}
+	sort.Ints(sorted)
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Fig 12: worst-path depths @ %.2f ns, baseline vs sigma ceiling (bound %g)", r.Clock, r.Bound),
+		Header: []string{"depth", "baseline paths", "tuned paths"},
+	}
+	for _, d := range sorted {
+		tb.AddRow(d, r.BaselineDepth[d], r.TunedDepth[d])
+	}
+	return tb.Render() +
+		fmt.Sprintf("mean depth: baseline %.2f, tuned %.2f\n", r.BaselineMean, r.TunedMean)
+}
+
+// Fig13Result is the sigma-versus-depth scatter with its correlation.
+type Fig13Result struct {
+	Clock       float64
+	Bound       float64
+	BaseDepths  []int
+	BaseSigmas  []float64
+	TunedDepths []int
+	TunedSigmas []float64
+	BaseCorr    float64
+	TunedCorr   float64
+}
+
+// Fig13 extracts per-path sigma against depth for both designs.
+func (f *Flow) Fig13() (*Fig13Result, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.HighPerf
+	best, err := f.bestBound(core.SigmaCeiling, clk)
+	if err != nil {
+		return nil, err
+	}
+	bound := best.Bound
+	if !best.Met {
+		bound = core.SweepBounds(core.SigmaCeiling)[0]
+	}
+	_, baseDS, err := f.BaselineStats(clk)
+	if err != nil {
+		return nil, err
+	}
+	_, tunedDS, err := f.TunedStats(core.SigmaCeiling, bound, clk)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{Clock: clk, Bound: bound}
+	res.BaseDepths, res.BaseSigmas = baseDS.SigmaVsDepth()
+	res.TunedDepths, res.TunedSigmas = tunedDS.SigmaVsDepth()
+	res.BaseCorr = baseDS.DepthSigmaCorrelation()
+	res.TunedCorr = tunedDS.DepthSigmaCorrelation()
+	return res, nil
+}
+
+// Render summarizes the scatter (binned) plus the correlation headline.
+func (r *Fig13Result) Render() string {
+	summarize := func(depths []int, sigmas []float64) (maxSigma float64, meanSigma float64) {
+		for _, s := range sigmas {
+			if s > maxSigma {
+				maxSigma = s
+			}
+			meanSigma += s
+		}
+		if len(sigmas) > 0 {
+			meanSigma /= float64(len(sigmas))
+		}
+		return maxSigma, meanSigma
+	}
+	bMax, bMean := summarize(r.BaseDepths, r.BaseSigmas)
+	tMax, tMean := summarize(r.TunedDepths, r.TunedSigmas)
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Fig 13: path sigma vs depth @ %.2f ns", r.Clock),
+		Header: []string{"design", "paths", "max path sigma", "mean path sigma", "depth-sigma corr"},
+	}
+	tb.AddRow("baseline", len(r.BaseSigmas), bMax, bMean, r.BaseCorr)
+	tb.AddRow("sigma ceiling", len(r.TunedSigmas), tMax, tMean, r.TunedCorr)
+	return tb.Render() +
+		"path depth is not a reliable predictor of path sigma (weak correlation)\n"
+}
+
+// Fig14Result compares the mean+3sigma path-delay profile of baseline
+// and tuned designs (Figs. 14a/14b).
+type Fig14Result struct {
+	Clock        float64
+	Effective    float64 // clock minus guard band
+	Bound        float64
+	BaseWorst3S  float64 // worst mean+3sigma, baseline (paper: 2.23)
+	TunedWorst3S float64 // tuned (paper: 2.19)
+	BaseAbove    int     // paths whose mu+3sigma exceeds the effective clock
+	TunedAbove   int
+	BasePaths    int
+	TunedPaths   int
+}
+
+// Fig14 computes the worst-case profile of both designs.
+func (f *Flow) Fig14() (*Fig14Result, error) {
+	clocks, err := f.Clocks()
+	if err != nil {
+		return nil, err
+	}
+	clk := clocks.HighPerf
+	best, err := f.bestBound(core.SigmaCeiling, clk)
+	if err != nil {
+		return nil, err
+	}
+	bound := best.Bound
+	if !best.Met {
+		bound = core.SweepBounds(core.SigmaCeiling)[0]
+	}
+	baseRes, baseDS, err := f.BaselineStats(clk)
+	if err != nil {
+		return nil, err
+	}
+	_, tunedDS, err := f.TunedStats(core.SigmaCeiling, bound, clk)
+	if err != nil {
+		return nil, err
+	}
+	eff := clk - baseRes.Opts.STA.Uncertainty
+	res := &Fig14Result{Clock: clk, Effective: eff, Bound: bound,
+		BasePaths: len(baseDS.Paths), TunedPaths: len(tunedDS.Paths)}
+	for _, p := range baseDS.Paths {
+		v := p.MeanPlus3Sigma()
+		if v > res.BaseWorst3S {
+			res.BaseWorst3S = v
+		}
+		if v > eff {
+			res.BaseAbove++
+		}
+	}
+	for _, p := range tunedDS.Paths {
+		v := p.MeanPlus3Sigma()
+		if v > res.TunedWorst3S {
+			res.TunedWorst3S = v
+		}
+		if v > eff {
+			res.TunedAbove++
+		}
+	}
+	return res, nil
+}
+
+// Render summarizes both profiles.
+func (r *Fig14Result) Render() string {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Fig 14: mean+3sigma path delay @ %.2f ns (effective %.2f ns)", r.Clock, r.Effective),
+		Header: []string{"design", "paths", "worst mu+3sigma (ns)", "paths above effective clock"},
+	}
+	tb.AddRow("baseline", r.BasePaths, r.BaseWorst3S, r.BaseAbove)
+	tb.AddRow("sigma ceiling", r.TunedPaths, r.TunedWorst3S, r.TunedAbove)
+	return tb.Render()
+}

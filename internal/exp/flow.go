@@ -1,0 +1,236 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (see DESIGN.md §4). All drivers share a Flow, which caches
+// the expensive artifacts — the statistical library, the microcontroller
+// network, and every (method, bound, clock) synthesis run — so the full
+// experiment suite performs each synthesis exactly once.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+	"stdcelltune/internal/variation"
+)
+
+// FlowConfig sizes the experiment flow.
+type FlowConfig struct {
+	Samples int // Monte-Carlo instances for the statistical library
+	Seed    int64
+	MCU     rtlgen.Config // evaluation design
+	Corner  stdcell.Corner
+}
+
+// DefaultFlowConfig mirrors the paper's setup: 50 instances, the 20k-gate
+// MCU, typical corner.
+func DefaultFlowConfig() FlowConfig {
+	return FlowConfig{Samples: 50, Seed: 1, MCU: rtlgen.DefaultConfig(), Corner: stdcell.Typical}
+}
+
+// SmallFlowConfig is the scaled-down flow used by fast tests.
+func SmallFlowConfig() FlowConfig {
+	return FlowConfig{Samples: 15, Seed: 1, MCU: rtlgen.SmallConfig(), Corner: stdcell.Typical}
+}
+
+// Flow owns the shared experiment state.
+type Flow struct {
+	Cfg  FlowConfig
+	Cat  *stdcell.Catalogue
+	Stat *statlib.Library
+	MCU  *rtlgen.MCU
+
+	mu       sync.Mutex
+	synthRes map[string]*synth.Result
+	statRes  map[string]*stattime.DesignStats
+	tuneRes  map[string]*tuneEntry
+	minClock float64
+}
+
+type tuneEntry struct {
+	set *restrict.Set
+	rep *core.Report
+}
+
+// NewFlow builds the shared artifacts: catalogue, Monte-Carlo instances,
+// statistical library and the microcontroller network.
+func NewFlow(cfg FlowConfig) (*Flow, error) {
+	cat := stdcell.NewCatalogue(cfg.Corner)
+	libs := variation.Instances(cat, variation.Config{N: cfg.Samples, Seed: cfg.Seed, CharNoise: 0.02})
+	stat, err := statlib.Build("stat_"+cfg.Corner.Name(), libs)
+	if err != nil {
+		return nil, err
+	}
+	mcu, err := rtlgen.Build(cfg.MCU)
+	if err != nil {
+		return nil, err
+	}
+	return &Flow{
+		Cfg: cfg, Cat: cat, Stat: stat, MCU: mcu,
+		synthRes: make(map[string]*synth.Result),
+		statRes:  make(map[string]*stattime.DesignStats),
+		tuneRes:  make(map[string]*tuneEntry),
+	}, nil
+}
+
+// Tune runs (and caches) a tuning method at a bound.
+func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, error) {
+	key := fmt.Sprintf("%d/%g", m, bound)
+	f.mu.Lock()
+	e, ok := f.tuneRes[key]
+	f.mu.Unlock()
+	if ok {
+		return e.set, e.rep, nil
+	}
+	set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
+	if err != nil {
+		return nil, nil, err
+	}
+	f.mu.Lock()
+	f.tuneRes[key] = &tuneEntry{set: set, rep: rep}
+	f.mu.Unlock()
+	return set, rep, nil
+}
+
+// Baseline synthesizes (cached) the MCU without restrictions.
+func (f *Flow) Baseline(clock float64) (*synth.Result, error) {
+	return f.synth(fmt.Sprintf("base/%g", clock), clock, nil)
+}
+
+// Tuned synthesizes (cached) under the windows of a method at a bound.
+func (f *Flow) Tuned(m core.Method, bound, clock float64) (*synth.Result, error) {
+	set, _, err := f.Tune(m, bound)
+	if err != nil {
+		return nil, err
+	}
+	return f.synth(fmt.Sprintf("tuned/%d/%g/%g", m, bound, clock), clock, set)
+}
+
+func (f *Flow) synth(key string, clock float64, set *restrict.Set) (*synth.Result, error) {
+	f.mu.Lock()
+	res, ok := f.synthRes[key]
+	f.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	opts := synth.DefaultOptions(clock)
+	opts.Restrict = set
+	res, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.synthRes[key] = res
+	f.mu.Unlock()
+	return res, nil
+}
+
+// Stats computes (cached) the statistical timing of a synthesis result.
+func (f *Flow) Stats(key string, res *synth.Result) (*stattime.DesignStats, error) {
+	f.mu.Lock()
+	ds, ok := f.statRes[key]
+	f.mu.Unlock()
+	if ok {
+		return ds, nil
+	}
+	ds, err := stattime.Analyze(res.Timing, f.Stat, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.statRes[key] = ds
+	f.mu.Unlock()
+	return ds, nil
+}
+
+// BaselineStats is a convenience joining Baseline and Stats.
+func (f *Flow) BaselineStats(clock float64) (*synth.Result, *stattime.DesignStats, error) {
+	res, err := f.Baseline(clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := f.Stats(fmt.Sprintf("base/%g", clock), res)
+	return res, ds, err
+}
+
+// TunedStats is a convenience joining Tuned and Stats.
+func (f *Flow) TunedStats(m core.Method, bound, clock float64) (*synth.Result, *stattime.DesignStats, error) {
+	res, err := f.Tuned(m, bound, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := f.Stats(fmt.Sprintf("tuned/%d/%g/%g", m, bound, clock), res)
+	return res, ds, err
+}
+
+// MinClock finds (cached) the minimum clock period at which the baseline
+// synthesis still meets timing, to the given resolution — the paper's
+// "reducing the clock period until the synthesis fails" (Table 1).
+func (f *Flow) MinClock() (float64, error) {
+	f.mu.Lock()
+	cached := f.minClock
+	f.mu.Unlock()
+	if cached > 0 {
+		return cached, nil
+	}
+	lo, hi := 0.5, 16.0
+	// Ensure hi is feasible.
+	res, err := f.Baseline(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Met {
+		return 0, fmt.Errorf("exp: design infeasible even at %.1f ns", hi)
+	}
+	for hi-lo > 0.1 {
+		mid := math.Round((lo+hi)/2*20) / 20 // 0.05 ns grid
+		res, err := f.Baseline(mid)
+		if err != nil {
+			return 0, err
+		}
+		if res.Met {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	f.mu.Lock()
+	f.minClock = hi
+	f.mu.Unlock()
+	return hi, nil
+}
+
+// ClockSet is the experiment's Table 1: the four timing constraints.
+type ClockSet struct {
+	HighPerf   float64 // minimum achievable period
+	CloseToMax float64 // just above the minimum (paper: 2.5 vs 2.41)
+	Medium     float64 // paper ratio 4/2.41
+	Low        float64 // paper ratio 10/2.41 (relaxed knee)
+}
+
+// Periods lists the four clocks in Table-1 order.
+func (c ClockSet) Periods() []float64 {
+	return []float64{c.HighPerf, c.CloseToMax, c.Medium, c.Low}
+}
+
+// Clocks derives the four constraint periods from the measured minimum,
+// using the paper's ratios (2.41 : 2.5 : 4 : 10).
+func (f *Flow) Clocks() (ClockSet, error) {
+	minClk, err := f.MinClock()
+	if err != nil {
+		return ClockSet{}, err
+	}
+	round := func(v float64) float64 { return math.Round(v*10) / 10 }
+	return ClockSet{
+		HighPerf:   minClk,
+		CloseToMax: round(minClk * 2.5 / 2.41),
+		Medium:     round(minClk * 4 / 2.41),
+		Low:        round(minClk * 10 / 2.41),
+	}, nil
+}

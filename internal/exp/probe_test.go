@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+	"stdcelltune/internal/variation"
+)
+
+// TestProbeHeadline is a scoping probe for the paper's headline result
+// (37% sigma reduction at 7% area increase). It is retained as a live
+// integration test of the full flow at one clock.
+func TestProbeHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow probe")
+	}
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	libs := variation.Instances(cat, variation.DefaultConfig())
+	sl, err := statlib.Build("stat", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcu, err := rtlgen.Build(rtlgen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a workable "high performance" clock.
+	for _, clk := range []float64{5.0, 4.0, 3.5, 3.0, 2.8} {
+		res, err := synth.Synthesize("mcu", mcu.Net, cat, synth.DefaultOptions(clk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("baseline clk=%.2f met=%v WNS=%.3f area=%.0f\n", clk, res.Met, res.Timing.WNS(), res.Area())
+		if !res.Met {
+			continue
+		}
+		ds, err := stattime.Analyze(res.Timing, sl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("  design sigma=%.4f mean=%.1f paths=%d maxdepth=%d\n",
+			ds.Design.Sigma, ds.Design.Mu, len(ds.Paths), ds.MaxDepth())
+		tuner := core.NewTuner(sl)
+		for _, bound := range core.SweepBounds(core.SigmaCeiling) {
+			set, rep, err := tuner.Tune(core.ParamsFor(core.SigmaCeiling, bound))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := synth.DefaultOptions(clk)
+			opts.Restrict = set
+			rres, err := synth.Synthesize("mcu_r", mcu.Net, cat, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rres.Met {
+				fmt.Printf("  ceiling %.3f: UNMET (WNS=%.3f, excluded=%d)\n", bound, rres.Timing.WNS(), rep.ExcludedPins())
+				for i, v := range rres.ViolationList() {
+					if i >= 6 {
+						break
+					}
+					fmt.Printf("    viol %s/%s %s %.4f > %.4f\n", v.Cell, v.Pin, v.Kind, v.Value, v.Limit)
+				}
+				continue
+			}
+			rds, err := stattime.Analyze(rres.Timing, sl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp := stattime.Compare{
+				BaselineSigma: ds.Design.Sigma, TunedSigma: rds.Design.Sigma,
+				BaselineArea: res.Area(), TunedArea: rres.Area(),
+			}
+			fmt.Printf("  ceiling %.3f: sigma %.4f (-%.0f%%) area %.0f (+%.1f%%) excl=%d\n",
+				bound, rds.Design.Sigma, 100*cmp.SigmaReduction(), rres.Area(),
+				100*cmp.AreaIncrease(), rep.ExcludedPins())
+		}
+		break
+	}
+}

@@ -1,0 +1,198 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stdcelltune/internal/lut"
+)
+
+// Write serializes the library as Liberty text. Cells and pins are
+// emitted in their stored order; call SortCells first for a canonical
+// file. The emitted subset round-trips through Parse.
+func Write(w io.Writer, l *Library) error {
+	p := &printer{w: w}
+	p.openGroup("library", l.Name)
+	p.attr("time_unit", quoted(orDefault(l.TimeUnit, "1ns")))
+	// Complex attribute form: capacitive_load_unit (1, pf);
+	p.printf("capacitive_load_unit (1, %s);\n", strings.TrimPrefix(orDefault(l.CapacitiveUnit, "1pf"), "1"))
+	p.attr("voltage_unit", quoted(orDefault(l.VoltageUnit, "1V")))
+	p.attr("nom_voltage", formatFloat(l.NominalVoltage))
+	p.attr("nom_temperature", formatFloat(l.NominalTemp))
+	p.attr("nom_process", formatFloat(l.NominalProcess))
+	if l.OperatingCorner != "" {
+		p.attr("default_operating_conditions", l.OperatingCorner)
+	}
+	for _, t := range l.Templates {
+		p.writeTemplate(t)
+	}
+	for _, c := range l.Cells {
+		p.writeCell(c)
+	}
+	p.closeGroup()
+	return p.err
+}
+
+// WriteString serializes the library to a string.
+func WriteString(l *Library) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, l); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+	err    error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, strings.Repeat("  ", p.indent)+format, args...)
+}
+
+func (p *printer) openGroup(kind, name string) {
+	p.printf("%s (%s) {\n", kind, name)
+	p.indent++
+}
+
+func (p *printer) closeGroup() {
+	p.indent--
+	p.printf("}\n")
+}
+
+func (p *printer) attr(name, value string) {
+	p.printf("%s : %s;\n", name, value)
+}
+
+func quoted(s string) string { return `"` + s + `"` }
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func formatFloats(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = formatFloat(f)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) writeTemplate(t *Template) {
+	p.openGroup("lu_table_template", t.Name)
+	p.attr("variable_1", t.Variable1)
+	p.attr("variable_2", t.Variable2)
+	p.attr("index_1", quoted(formatFloats(t.Index1)))
+	p.attr("index_2", quoted(formatFloats(t.Index2)))
+	p.closeGroup()
+}
+
+func (p *printer) writeCell(c *Cell) {
+	p.openGroup("cell", c.Name)
+	p.attr("area", formatFloat(c.Area))
+	if c.DriveStrength > 0 {
+		p.attr("drive_strength", strconv.Itoa(c.DriveStrength))
+	}
+	if c.Footprint != "" {
+		p.attr("cell_footprint", quoted(c.Footprint))
+	}
+	if c.IsSequential {
+		p.attr("is_sequential", "true")
+	}
+	if c.LeakagePower > 0 {
+		p.attr("cell_leakage_power", formatFloat(c.LeakagePower))
+	}
+	for _, pin := range c.Pins {
+		p.writePin(pin)
+	}
+	p.closeGroup()
+}
+
+func (p *printer) writePin(pin *Pin) {
+	p.openGroup("pin", pin.Name)
+	p.attr("direction", pin.Direction.String())
+	if pin.Direction == Input {
+		p.attr("capacitance", formatFloat(pin.Capacitance))
+	} else {
+		if pin.MaxCap > 0 {
+			p.attr("max_capacitance", formatFloat(pin.MaxCap))
+		}
+		if pin.Function != "" {
+			p.attr("function", quoted(pin.Function))
+		}
+	}
+	for _, arc := range pin.Timing {
+		p.writeArc(arc)
+	}
+	for _, pw := range pin.Power {
+		p.writePowerArc(pw)
+	}
+	p.closeGroup()
+}
+
+func (p *printer) writePowerArc(a *PowerArc) {
+	p.openGroup("internal_power", "")
+	p.attr("related_pin", quoted(a.RelatedPin))
+	if a.RisePower != nil {
+		p.writeTable("rise_power", a.Template, a.RisePower)
+	}
+	if a.FallPower != nil {
+		p.writeTable("fall_power", a.Template, a.FallPower)
+	}
+	p.closeGroup()
+}
+
+func (p *printer) writeArc(a *TimingArc) {
+	p.openGroup("timing", "")
+	p.attr("related_pin", quoted(a.RelatedPin))
+	if a.Sense != "" {
+		p.attr("timing_sense", a.Sense)
+	}
+	if a.Type != "" {
+		p.attr("timing_type", a.Type)
+	}
+	// Stable order for deterministic output.
+	order := []struct {
+		kind string
+		tb   *lut.Table
+	}{
+		{"cell_rise", a.CellRise},
+		{"cell_fall", a.CellFall},
+		{"rise_transition", a.RiseTransition},
+		{"fall_transition", a.FallTransition},
+		{"ocv_sigma_cell_rise", a.SigmaRise},
+		{"ocv_sigma_cell_fall", a.SigmaFall},
+	}
+	for _, e := range order {
+		if e.tb != nil {
+			p.writeTable(e.kind, a.Template, e.tb)
+		}
+	}
+	p.closeGroup()
+}
+
+func (p *printer) writeTable(kind, template string, t *lut.Table) {
+	p.openGroup(kind, orDefault(template, "delay_template"))
+	p.attr("index_1", quoted(formatFloats(t.Loads)))
+	p.attr("index_2", quoted(formatFloats(t.Slews)))
+	rows := make([]string, len(t.Values))
+	for i, row := range t.Values {
+		rows[i] = quoted(formatFloats(row))
+	}
+	p.printf("values (%s);\n", strings.Join(rows, ", \\\n"+strings.Repeat("  ", p.indent+1)))
+	p.closeGroup()
+}

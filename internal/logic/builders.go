@@ -1,0 +1,292 @@
+package logic
+
+import "fmt"
+
+// Word-level construction helpers used by the RTL generator. A word is a
+// little-endian slice of nodes: w[0] is the LSB.
+
+// ConstWord returns a width-bit constant word.
+func (n *Network) ConstWord(v uint64, width int) []*Node {
+	w := make([]*Node, width)
+	for i := range w {
+		w[i] = n.Const(v&(1<<uint(i)) != 0)
+	}
+	return w
+}
+
+// NotWord inverts every bit.
+func (n *Network) NotWord(a []*Node) []*Node {
+	w := make([]*Node, len(a))
+	for i := range w {
+		w[i] = n.Not(a[i])
+	}
+	return w
+}
+
+// AndWord / OrWord / XorWord apply bitwise ops to equal-width words.
+func (n *Network) AndWord(a, b []*Node) []*Node { return n.zipWord(a, b, n.And) }
+
+// OrWord applies bitwise OR.
+func (n *Network) OrWord(a, b []*Node) []*Node { return n.zipWord(a, b, n.Or) }
+
+// XorWord applies bitwise XOR.
+func (n *Network) XorWord(a, b []*Node) []*Node { return n.zipWord(a, b, n.Xor) }
+
+func (n *Network) zipWord(a, b []*Node, f func(x, y *Node) *Node) []*Node {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("logic: word width mismatch %d vs %d", len(a), len(b)))
+	}
+	w := make([]*Node, len(a))
+	for i := range w {
+		w[i] = f(a[i], b[i])
+	}
+	return w
+}
+
+// MuxWord selects d1 when sel else d0, bitwise.
+func (n *Network) MuxWord(sel *Node, d0, d1 []*Node) []*Node {
+	if len(d0) != len(d1) {
+		panic("logic: mux word width mismatch")
+	}
+	w := make([]*Node, len(d0))
+	for i := range w {
+		w[i] = n.Mux(sel, d0[i], d1[i])
+	}
+	return w
+}
+
+// RippleAdd builds a ripple-carry adder using full-adder sum/majority
+// nodes (so the mapper can cover it with ADDF cells). Returns the sum
+// word and carry out.
+func (n *Network) RippleAdd(a, b []*Node, cin *Node) (sum []*Node, cout *Node) {
+	if len(a) != len(b) {
+		panic("logic: adder width mismatch")
+	}
+	sum = make([]*Node, len(a))
+	c := cin
+	for i := range a {
+		sum[i] = n.Sum3(a[i], b[i], c)
+		c = n.Maj3(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// Increment builds a +1 circuit out of half-adder pairs (XOR/AND), which
+// the mapper covers with ADDH cells.
+func (n *Network) Increment(a []*Node) (sum []*Node, cout *Node) {
+	sum = make([]*Node, len(a))
+	c := n.Const(true)
+	for i := range a {
+		sum[i] = n.Xor(a[i], c)
+		c = n.And(a[i], c)
+	}
+	return sum, c
+}
+
+// Subtract computes a - b via two's complement (a + ~b + 1).
+func (n *Network) Subtract(a, b []*Node) (diff []*Node, borrowN *Node) {
+	return n.RippleAdd(a, n.NotWord(b), n.Const(true))
+}
+
+// ShiftLeft builds a logarithmic barrel shifter: amount is a word of
+// selector bits (LSB shifts by 1, next by 2, ...). Vacated bits fill
+// with zero.
+func (n *Network) ShiftLeft(a []*Node, amount []*Node) []*Node {
+	cur := a
+	zero := n.Const(false)
+	for s, sel := range amount {
+		step := 1 << uint(s)
+		if step >= len(a) {
+			break
+		}
+		next := make([]*Node, len(cur))
+		for i := range cur {
+			var shifted *Node
+			if i-step >= 0 {
+				shifted = cur[i-step]
+			} else {
+				shifted = zero
+			}
+			next[i] = n.Mux(sel, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ShiftRight is the logical right companion of ShiftLeft.
+func (n *Network) ShiftRight(a []*Node, amount []*Node) []*Node {
+	cur := a
+	zero := n.Const(false)
+	for s, sel := range amount {
+		step := 1 << uint(s)
+		if step >= len(a) {
+			break
+		}
+		next := make([]*Node, len(cur))
+		for i := range cur {
+			var shifted *Node
+			if i+step < len(cur) {
+				shifted = cur[i+step]
+			} else {
+				shifted = zero
+			}
+			next[i] = n.Mux(sel, cur[i], shifted)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ReduceOr ORs all bits together in a balanced tree.
+func (n *Network) ReduceOr(a []*Node) *Node { return n.reduce(a, n.Or) }
+
+// ReduceAnd ANDs all bits together in a balanced tree.
+func (n *Network) ReduceAnd(a []*Node) *Node { return n.reduce(a, n.And) }
+
+// ReduceXor XORs all bits together in a balanced tree (parity).
+func (n *Network) ReduceXor(a []*Node) *Node { return n.reduce(a, n.Xor) }
+
+func (n *Network) reduce(a []*Node, f func(x, y *Node) *Node) *Node {
+	if len(a) == 0 {
+		panic("logic: reduce of empty word")
+	}
+	for len(a) > 1 {
+		next := make([]*Node, 0, (len(a)+1)/2)
+		for i := 0; i+1 < len(a); i += 2 {
+			next = append(next, f(a[i], a[i+1]))
+		}
+		if len(a)%2 == 1 {
+			next = append(next, a[len(a)-1])
+		}
+		a = next
+	}
+	return a[0]
+}
+
+// Equal compares two words for equality.
+func (n *Network) Equal(a, b []*Node) *Node {
+	return n.Not(n.ReduceOr(n.XorWord(a, b)))
+}
+
+// Decode builds a one-hot decoder: out[i] is true when the input word
+// equals i. size may be less than 2^len(sel).
+func (n *Network) Decode(sel []*Node, size int) []*Node {
+	out := make([]*Node, size)
+	for v := range out {
+		term := n.Const(true)
+		for i, s := range sel {
+			bit := s
+			if v&(1<<uint(i)) == 0 {
+				bit = n.Not(s)
+			}
+			term = n.And(term, bit)
+		}
+		out[v] = term
+	}
+	return out
+}
+
+// SelectWord builds a one-hot read multiplexer: out = words[i] where
+// onehot[i] is the (single) asserted select.
+func (n *Network) SelectWord(onehot []*Node, words [][]*Node) []*Node {
+	if len(onehot) != len(words) {
+		panic("logic: select width mismatch")
+	}
+	width := len(words[0])
+	out := make([]*Node, width)
+	terms := make([]*Node, len(words))
+	for bit := 0; bit < width; bit++ {
+		for i := range words {
+			terms[i] = n.And(onehot[i], words[i][bit])
+		}
+		out[bit] = n.ReduceOr(terms)
+	}
+	return out
+}
+
+// MuxTree selects among words by a binary select word (LSB first),
+// building a balanced mux tree. len(words) must be a power of two and
+// match 2^len(sel).
+func (n *Network) MuxTree(sel []*Node, words [][]*Node) []*Node {
+	if len(words) == 1 {
+		return words[0]
+	}
+	if len(sel) == 0 || len(words)%2 != 0 {
+		panic("logic: mux tree shape")
+	}
+	half := len(words) / 2
+	next := make([][]*Node, half)
+	for i := 0; i < half; i++ {
+		next[i] = n.MuxWord(sel[0], words[2*i], words[2*i+1])
+	}
+	return n.MuxTree(sel[1:], next)
+}
+
+// DFFWord registers a word, creating named flip-flops "name[i]".
+func (n *Network) DFFWord(d []*Node, name string) []*Node {
+	q := make([]*Node, len(d))
+	for i := range d {
+		q[i] = n.DFF(d[i], fmt.Sprintf("%s[%d]", name, i))
+	}
+	return q
+}
+
+func tooTall(columns [][]*Node) bool {
+	for _, c := range columns {
+		if len(c) > 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Multiply builds an unsigned array multiplier: aw x bw partial products
+// summed with half/full adder rows. The result has len(a)+len(b) bits.
+// This is the biggest single datapath block of the synthetic MCU.
+func (n *Network) Multiply(a, b []*Node) []*Node {
+	width := len(a) + len(b)
+	// columns[c] collects the partial product bits of weight c.
+	columns := make([][]*Node, width)
+	for i, ab := range a {
+		for j, bb := range b {
+			columns[i+j] = append(columns[i+j], n.And(ab, bb))
+		}
+	}
+	// Wallace-style layered carry-save reduction: each round compresses
+	// every column's bits in groups of three with full adders (depth one
+	// per round), so the reduction tree is O(log height) deep instead of
+	// the serial O(height) a per-column loop would give.
+	for tooTall(columns) {
+		next := make([][]*Node, width)
+		for c := 0; c < width; c++ {
+			bits := columns[c]
+			i := 0
+			for ; i+2 < len(bits); i += 3 {
+				next[c] = append(next[c], n.Sum3(bits[i], bits[i+1], bits[i+2]))
+				if c+1 < width {
+					next[c+1] = append(next[c+1], n.Maj3(bits[i], bits[i+1], bits[i+2]))
+				}
+			}
+			next[c] = append(next[c], bits[i:]...)
+		}
+		columns = next
+	}
+	// Final carry-propagate row.
+	out := make([]*Node, width)
+	carry := n.Const(false)
+	for c := 0; c < width; c++ {
+		switch len(columns[c]) {
+		case 0:
+			out[c] = carry
+			carry = n.Const(false)
+		case 1:
+			out[c] = n.Xor(columns[c][0], carry)
+			carry = n.And(columns[c][0], carry)
+		default:
+			out[c] = n.Sum3(columns[c][0], columns[c][1], carry)
+			carry = n.Maj3(columns[c][0], columns[c][1], carry)
+		}
+	}
+	return out
+}

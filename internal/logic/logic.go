@@ -1,0 +1,354 @@
+// Package logic models the technology-independent gate network that the
+// RTL generator emits and the technology mapper (internal/synth) covers
+// with standard cells. Nodes are simple logic primitives plus composite
+// adder ops (sum/majority) that let the mapper recognize full/half adder
+// cells, mirroring how commercial synthesis infers datapath cells.
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is the function of a node.
+type Op int
+
+// Node operations.
+const (
+	OpInput Op = iota // primary input (no fanin)
+	OpConst0
+	OpConst1
+	OpInv  // 1 fanin
+	OpBuf  // 1 fanin (explicit repeater, rarely emitted by RTL)
+	OpAnd  // 2 fanin
+	OpOr   // 2 fanin
+	OpXor  // 2 fanin
+	OpMux  // 3 fanin: sel, d0, d1 -> sel ? d1 : d0
+	OpSum3 // 3 fanin: a ^ b ^ c (full-adder sum)
+	OpMaj3 // 3 fanin: majority(a,b,c) (full-adder carry)
+	OpDFF  // 1 fanin: d (state element, clocked by the single clock)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInput:
+		return "input"
+	case OpConst0:
+		return "const0"
+	case OpConst1:
+		return "const1"
+	case OpInv:
+		return "inv"
+	case OpBuf:
+		return "buf"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpXor:
+		return "xor"
+	case OpMux:
+		return "mux"
+	case OpSum3:
+		return "sum3"
+	case OpMaj3:
+		return "maj3"
+	case OpDFF:
+		return "dff"
+	}
+	return "?"
+}
+
+// NumFanin returns the required fanin count of the op, or -1 if any.
+func (o Op) NumFanin() int {
+	switch o {
+	case OpInput, OpConst0, OpConst1:
+		return 0
+	case OpInv, OpBuf, OpDFF:
+		return 1
+	case OpAnd, OpOr, OpXor:
+		return 2
+	case OpMux, OpSum3, OpMaj3:
+		return 3
+	}
+	return -1
+}
+
+// Node is one vertex of the network.
+type Node struct {
+	ID    int
+	Op    Op
+	Name  string // set for inputs, DFFs and named outputs
+	Fanin []*Node
+}
+
+// Network is a single-clock synchronous gate network.
+type Network struct {
+	Nodes   []*Node
+	Inputs  []*Node
+	Outputs []Port // named primary outputs
+	FFs     []*Node
+
+	byName map[string]*Node
+}
+
+// Port names a primary output and the node that drives it.
+type Port struct {
+	Name string
+	Node *Node
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{byName: make(map[string]*Node)}
+}
+
+func (n *Network) add(op Op, name string, fanin ...*Node) *Node {
+	node := &Node{ID: len(n.Nodes), Op: op, Name: name, Fanin: fanin}
+	n.Nodes = append(n.Nodes, node)
+	return node
+}
+
+// Input declares a named primary input.
+func (n *Network) Input(name string) *Node {
+	node := n.add(OpInput, name)
+	n.Inputs = append(n.Inputs, node)
+	n.byName[name] = node
+	return node
+}
+
+// InputBus declares width named inputs "name[0]"..."name[width-1]".
+func (n *Network) InputBus(name string, width int) []*Node {
+	bus := make([]*Node, width)
+	for i := range bus {
+		bus[i] = n.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return bus
+}
+
+// Const returns a constant node.
+func (n *Network) Const(v bool) *Node {
+	if v {
+		return n.add(OpConst1, "")
+	}
+	return n.add(OpConst0, "")
+}
+
+// Not returns !a, folding double inversion.
+func (n *Network) Not(a *Node) *Node {
+	if a.Op == OpInv {
+		return a.Fanin[0]
+	}
+	if a.Op == OpConst0 {
+		return n.Const(true)
+	}
+	if a.Op == OpConst1 {
+		return n.Const(false)
+	}
+	return n.add(OpInv, "", a)
+}
+
+// And returns a & b with constant folding.
+func (n *Network) And(a, b *Node) *Node {
+	if a.Op == OpConst0 || b.Op == OpConst0 {
+		return n.Const(false)
+	}
+	if a.Op == OpConst1 {
+		return b
+	}
+	if b.Op == OpConst1 {
+		return a
+	}
+	return n.add(OpAnd, "", a, b)
+}
+
+// Or returns a | b with constant folding.
+func (n *Network) Or(a, b *Node) *Node {
+	if a.Op == OpConst1 || b.Op == OpConst1 {
+		return n.Const(true)
+	}
+	if a.Op == OpConst0 {
+		return b
+	}
+	if b.Op == OpConst0 {
+		return a
+	}
+	return n.add(OpOr, "", a, b)
+}
+
+// Xor returns a ^ b with constant folding.
+func (n *Network) Xor(a, b *Node) *Node {
+	if a.Op == OpConst0 {
+		return b
+	}
+	if b.Op == OpConst0 {
+		return a
+	}
+	if a.Op == OpConst1 {
+		return n.Not(b)
+	}
+	if b.Op == OpConst1 {
+		return n.Not(a)
+	}
+	return n.add(OpXor, "", a, b)
+}
+
+// Mux returns sel ? d1 : d0.
+func (n *Network) Mux(sel, d0, d1 *Node) *Node {
+	if sel.Op == OpConst0 {
+		return d0
+	}
+	if sel.Op == OpConst1 {
+		return d1
+	}
+	if d0 == d1 {
+		return d0
+	}
+	return n.add(OpMux, "", sel, d0, d1)
+}
+
+// Sum3 returns a ^ b ^ c as a full-adder sum node.
+func (n *Network) Sum3(a, b, c *Node) *Node { return n.add(OpSum3, "", a, b, c) }
+
+// Maj3 returns majority(a, b, c) as a full-adder carry node.
+func (n *Network) Maj3(a, b, c *Node) *Node { return n.add(OpMaj3, "", a, b, c) }
+
+// DFF declares a named state element capturing d on the (implicit) clock.
+func (n *Network) DFF(d *Node, name string) *Node {
+	ff := n.add(OpDFF, name, d)
+	n.FFs = append(n.FFs, ff)
+	n.byName[name] = ff
+	return ff
+}
+
+// SetFaninLater rewires the fanin of a DFF after creation, enabling
+// feedback loops (state machines, counters). Only DFF fanin may be
+// rewired — combinational cycles stay impossible by construction.
+func (n *Network) SetFaninLater(ff, d *Node) {
+	if ff.Op != OpDFF {
+		panic("logic: SetFaninLater on non-DFF")
+	}
+	ff.Fanin = []*Node{d}
+}
+
+// Output marks node as the named primary output.
+func (n *Network) Output(name string, node *Node) {
+	n.Outputs = append(n.Outputs, Port{Name: name, Node: node})
+}
+
+// Find returns the named input or DFF node.
+func (n *Network) Find(name string) *Node { return n.byName[name] }
+
+// GateCount returns the number of combinational gate nodes (excludes
+// inputs, constants and DFFs).
+func (n *Network) GateCount() int {
+	c := 0
+	for _, node := range n.Nodes {
+		switch node.Op {
+		case OpInput, OpConst0, OpConst1, OpDFF:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// Counts returns the node count per op.
+func (n *Network) Counts() map[Op]int {
+	m := make(map[Op]int)
+	for _, node := range n.Nodes {
+		m[node.Op]++
+	}
+	return m
+}
+
+// Validate checks structural invariants: correct fanin arity, fanin IDs
+// below node ID except through DFFs (combinational acyclicity), and
+// unique names.
+func (n *Network) Validate() error {
+	names := make(map[string]bool)
+	for _, node := range n.Nodes {
+		if want := node.Op.NumFanin(); want >= 0 && len(node.Fanin) != want {
+			return fmt.Errorf("logic: node %d op %s has %d fanin, want %d", node.ID, node.Op, len(node.Fanin), want)
+		}
+		if node.Name != "" {
+			if names[node.Name] {
+				return fmt.Errorf("logic: duplicate name %q", node.Name)
+			}
+			names[node.Name] = true
+		}
+		if node.Op != OpDFF {
+			for _, f := range node.Fanin {
+				if f.ID >= node.ID {
+					return fmt.Errorf("logic: combinational node %d has forward fanin %d", node.ID, f.ID)
+				}
+			}
+		}
+	}
+	for _, p := range n.Outputs {
+		if p.Node == nil {
+			return fmt.Errorf("logic: output %q has no driver", p.Name)
+		}
+	}
+	return nil
+}
+
+// Levels returns the combinational depth of every node: inputs, constants
+// and DFF outputs are level 0; every other node is 1 + max(fanin levels).
+// DFF D-fanin contributes to the level of downstream logic only through
+// the level of the logic feeding the DFF, not through the DFF itself.
+func (n *Network) Levels() []int {
+	lv := make([]int, len(n.Nodes))
+	for _, node := range n.Nodes {
+		switch node.Op {
+		case OpInput, OpConst0, OpConst1, OpDFF:
+			lv[node.ID] = 0
+		default:
+			m := 0
+			for _, f := range node.Fanin {
+				if lv[f.ID] > m {
+					m = lv[f.ID]
+				}
+			}
+			lv[node.ID] = m + 1
+		}
+	}
+	return lv
+}
+
+// MaxLevel returns the deepest combinational level in the network.
+func (n *Network) MaxLevel() int {
+	m := 0
+	for _, l := range n.Levels() {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// FanoutCounts returns, per node ID, how many fanin references point at
+// the node (including DFF D pins and primary outputs).
+func (n *Network) FanoutCounts() []int {
+	fo := make([]int, len(n.Nodes))
+	for _, node := range n.Nodes {
+		for _, f := range node.Fanin {
+			fo[f.ID]++
+		}
+	}
+	for _, p := range n.Outputs {
+		fo[p.Node.ID]++
+	}
+	return fo
+}
+
+// SortedOutputNames returns the output port names sorted (for stable
+// reports).
+func (n *Network) SortedOutputNames() []string {
+	names := make([]string, len(n.Outputs))
+	for i, p := range n.Outputs {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

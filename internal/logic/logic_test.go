@@ -1,0 +1,399 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFolding(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	one := n.Const(true)
+	zero := n.Const(false)
+	if n.And(a, one) != a || n.And(one, a) != a {
+		t.Error("AND identity fold")
+	}
+	if n.And(a, zero).Op != OpConst0 {
+		t.Error("AND zero fold")
+	}
+	if n.Or(a, zero) != a || n.Or(zero, a) != a {
+		t.Error("OR identity fold")
+	}
+	if n.Or(a, one).Op != OpConst1 {
+		t.Error("OR one fold")
+	}
+	if n.Xor(a, zero) != a {
+		t.Error("XOR zero fold")
+	}
+	if n.Xor(a, one).Op != OpInv {
+		t.Error("XOR one should invert")
+	}
+	if n.Not(n.Not(a)) != a {
+		t.Error("double inversion fold")
+	}
+	if n.Mux(one, a, zero) != zero || n.Mux(zero, a, one) != a {
+		t.Error("MUX constant-select fold")
+	}
+	if n.Mux(n.Input("s"), a, a) != a {
+		t.Error("MUX identical-branch fold")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	n.Output("y", x)
+	ff := n.DFF(x, "ff0")
+	n.Output("q", ff)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	// Feedback through DFF is legal.
+	n2 := New()
+	d := n2.Input("d")
+	ff2 := n2.DFF(d, "st")
+	n2.SetFaninLater(ff2, n2.Xor(ff2, d))
+	if err := n2.Validate(); err != nil {
+		t.Fatalf("DFF feedback rejected: %v", err)
+	}
+	// Duplicate names are rejected.
+	n3 := New()
+	n3.Input("x")
+	n3.Input("x")
+	if err := n3.Validate(); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestSetFaninLaterPanicsOnGate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n := New()
+	a := n.Input("a")
+	g := n.Not(a)
+	n.SetFaninLater(g, a)
+}
+
+func TestSimulateGates(t *testing.T) {
+	n := New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	n.Output("and", n.And(a, b))
+	n.Output("or", n.Or(a, b))
+	n.Output("xor", n.Xor(a, b))
+	n.Output("inv", n.Not(a))
+	n.Output("mux", n.Mux(a, b, c))
+	n.Output("sum", n.Sum3(a, b, c))
+	n.Output("maj", n.Maj3(a, b, c))
+	sim := NewSimulator(n)
+	for v := 0; v < 8; v++ {
+		av, bv, cv := v&1 != 0, v&2 != 0, v&4 != 0
+		out := sim.Step(map[string]bool{"a": av, "b": bv, "c": cv})
+		if out["and"] != (av && bv) || out["or"] != (av || bv) || out["xor"] != (av != bv) {
+			t.Fatalf("basic gates wrong at %03b", v)
+		}
+		if out["inv"] != !av {
+			t.Fatalf("inv wrong")
+		}
+		wantMux := bv
+		if av {
+			wantMux = cv
+		}
+		if out["mux"] != wantMux {
+			t.Fatalf("mux wrong at %03b", v)
+		}
+		if out["sum"] != (av != bv != cv) {
+			t.Fatalf("sum3 wrong at %03b", v)
+		}
+		if out["maj"] != ((av && bv) || (bv && cv) || (av && cv)) {
+			t.Fatalf("maj3 wrong at %03b", v)
+		}
+	}
+}
+
+func TestSimulateStateMachine(t *testing.T) {
+	// Toggle flip-flop: q' = q ^ en.
+	n := New()
+	en := n.Input("en")
+	ff := n.DFF(en, "q") // placeholder fanin
+	n.SetFaninLater(ff, n.Xor(ff, en))
+	n.Output("q", ff)
+	sim := NewSimulator(n)
+	seq := []bool{true, true, false, true}
+	want := []bool{false, true, false, false} // q before each toggle applies
+	for i, e := range seq {
+		out := sim.Step(map[string]bool{"en": e})
+		if out["q"] != want[i] {
+			t.Fatalf("cycle %d: q=%v want %v", i, out["q"], want[i])
+		}
+	}
+	if !sim.State()["q"] {
+		t.Error("final state should be true (3 toggles)")
+	}
+	sim.SetState("q", false)
+	if sim.State()["q"] {
+		t.Error("SetState failed")
+	}
+}
+
+func wordVal(t *testing.T, sim *Simulator, w []*Node) uint64 {
+	t.Helper()
+	var v uint64
+	for i, node := range w {
+		if sim.Value(node) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func inputsFor(name string, v uint64, width int, into map[string]bool) {
+	for i := 0; i < width; i++ {
+		into[keyBit(name, i)] = v&(1<<uint(i)) != 0
+	}
+}
+
+func keyBit(name string, i int) string { return name + "[" + itoa(i) + "]" }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestArithmeticProperty drives the word-level builders with random
+// operands and checks them against machine arithmetic.
+func TestArithmeticProperty(t *testing.T) {
+	const w = 16
+	n := New()
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	sum, _ := n.RippleAdd(a, b, n.Const(false))
+	diff, _ := n.Subtract(a, b)
+	inc, _ := n.Increment(a)
+	prod := n.Multiply(a, b)
+	shl := n.ShiftLeft(a, b[:4])
+	shr := n.ShiftRight(a, b[:4])
+	eq := n.Equal(a, b)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(n)
+	f := func(av, bv uint16) bool {
+		in := make(map[string]bool)
+		inputsFor("a", uint64(av), w, in)
+		inputsFor("b", uint64(bv), w, in)
+		sim.Step(in)
+		mask := uint64(1<<w) - 1
+		if wordVal(t, sim, sum) != (uint64(av)+uint64(bv))&mask {
+			t.Logf("add %d+%d", av, bv)
+			return false
+		}
+		if wordVal(t, sim, diff) != (uint64(av)-uint64(bv))&mask {
+			t.Logf("sub %d-%d", av, bv)
+			return false
+		}
+		if wordVal(t, sim, inc) != (uint64(av)+1)&mask {
+			return false
+		}
+		if wordVal(t, sim, prod) != uint64(av)*uint64(bv) {
+			t.Logf("mul %d*%d got %d", av, bv, wordVal(t, sim, prod))
+			return false
+		}
+		sh := uint(bv & 15)
+		if wordVal(t, sim, shl) != (uint64(av)<<sh)&mask {
+			t.Logf("shl %d<<%d", av, sh)
+			return false
+		}
+		if wordVal(t, sim, shr) != uint64(av)>>sh {
+			return false
+		}
+		if sim.Value(eq) != (av == bv) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitwiseWords(t *testing.T) {
+	const w = 8
+	n := New()
+	a := n.InputBus("a", w)
+	b := n.InputBus("b", w)
+	andW := n.AndWord(a, b)
+	orW := n.OrWord(a, b)
+	xorW := n.XorWord(a, b)
+	notW := n.NotWord(a)
+	sel := n.Input("sel")
+	muxW := n.MuxWord(sel, a, b)
+	sim := NewSimulator(n)
+	in := make(map[string]bool)
+	inputsFor("a", 0xC5, w, in)
+	inputsFor("b", 0x3A, w, in)
+	in["sel"] = true
+	sim.Step(in)
+	if wordVal(t, sim, andW) != 0xC5&0x3A {
+		t.Error("AndWord")
+	}
+	if wordVal(t, sim, orW) != 0xC5|0x3A {
+		t.Error("OrWord")
+	}
+	if wordVal(t, sim, xorW) != 0xC5^0x3A {
+		t.Error("XorWord")
+	}
+	if wordVal(t, sim, notW) != 0xFF&^0xC5 {
+		t.Error("NotWord")
+	}
+	if wordVal(t, sim, muxW) != 0x3A {
+		t.Error("MuxWord sel=1")
+	}
+}
+
+func TestReduceAndDecode(t *testing.T) {
+	const w = 5
+	n := New()
+	a := n.InputBus("a", w)
+	ro, ra, rx := n.ReduceOr(a), n.ReduceAnd(a), n.ReduceXor(a)
+	dec := n.Decode(a[:3], 8)
+	sim := NewSimulator(n)
+	for v := 0; v < 32; v++ {
+		in := make(map[string]bool)
+		inputsFor("a", uint64(v), w, in)
+		sim.Step(in)
+		if sim.Value(ro) != (v != 0) {
+			t.Fatalf("ReduceOr(%05b)", v)
+		}
+		if sim.Value(ra) != (v == 31) {
+			t.Fatalf("ReduceAnd(%05b)", v)
+		}
+		pop := 0
+		for i := 0; i < w; i++ {
+			if v&(1<<i) != 0 {
+				pop++
+			}
+		}
+		if sim.Value(rx) != (pop%2 == 1) {
+			t.Fatalf("ReduceXor(%05b)", v)
+		}
+		for d := 0; d < 8; d++ {
+			if sim.Value(dec[d]) != (v&7 == d) {
+				t.Fatalf("Decode bit %d at %05b", d, v)
+			}
+		}
+	}
+}
+
+func TestSelectAndMuxTree(t *testing.T) {
+	n := New()
+	sel := n.InputBus("sel", 2)
+	words := make([][]*Node, 4)
+	for i := range words {
+		words[i] = n.InputBus("w"+itoa(i), 4)
+	}
+	onehot := n.Decode(sel, 4)
+	selW := n.SelectWord(onehot, words)
+	treeW := n.MuxTree(sel, words)
+	sim := NewSimulator(n)
+	vals := []uint64{0x3, 0x7, 0xC, 0x9}
+	for s := 0; s < 4; s++ {
+		in := make(map[string]bool)
+		inputsFor("sel", uint64(s), 2, in)
+		for i, v := range vals {
+			inputsFor("w"+itoa(i), v, 4, in)
+		}
+		sim.Step(in)
+		if got := wordVal(t, sim, selW); got != vals[s] {
+			t.Errorf("SelectWord sel=%d got %x want %x", s, got, vals[s])
+		}
+		if got := wordVal(t, sim, treeW); got != vals[s] {
+			t.Errorf("MuxTree sel=%d got %x want %x", s, got, vals[s])
+		}
+	}
+}
+
+func TestDFFWordAndCounts(t *testing.T) {
+	n := New()
+	d := n.InputBus("d", 4)
+	q := n.DFFWord(d, "reg")
+	n.Output("q0", q[0])
+	if len(n.FFs) != 4 {
+		t.Fatalf("FFs %d want 4", len(n.FFs))
+	}
+	if n.Find("reg[2]") == nil || n.Find("d[0]") == nil {
+		t.Error("Find by name broken")
+	}
+	counts := n.Counts()
+	if counts[OpDFF] != 4 || counts[OpInput] != 4 {
+		t.Errorf("counts %v", counts)
+	}
+	if n.GateCount() != 0 {
+		t.Errorf("GateCount %d want 0 (only FFs and inputs)", n.GateCount())
+	}
+}
+
+func TestLevelsAndFanout(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	x := n.And(a, b)    // level 1
+	y := n.Or(x, a)     // level 2
+	z := n.Xor(y, x)    // level 3
+	ff := n.DFF(z, "f") // level 0 output
+	w := n.Not(ff)      // level 1
+	n.Output("w", w)
+	lv := n.Levels()
+	if lv[x.ID] != 1 || lv[y.ID] != 2 || lv[z.ID] != 3 || lv[ff.ID] != 0 || lv[w.ID] != 1 {
+		t.Errorf("levels %v", lv)
+	}
+	if n.MaxLevel() != 3 {
+		t.Errorf("MaxLevel %d", n.MaxLevel())
+	}
+	fo := n.FanoutCounts()
+	if fo[a.ID] != 2 { // x and y
+		t.Errorf("fanout(a)=%d want 2", fo[a.ID])
+	}
+	if fo[x.ID] != 2 { // y and z
+		t.Errorf("fanout(x)=%d want 2", fo[x.ID])
+	}
+	if fo[w.ID] != 1 { // primary output counts
+		t.Errorf("fanout(w)=%d want 1", fo[w.ID])
+	}
+}
+
+func TestOpStringAndArity(t *testing.T) {
+	ops := []Op{OpInput, OpConst0, OpConst1, OpInv, OpBuf, OpAnd, OpOr, OpXor, OpMux, OpSum3, OpMaj3, OpDFF}
+	for _, o := range ops {
+		if o.String() == "?" {
+			t.Errorf("op %d has no name", o)
+		}
+	}
+	if Op(99).String() != "?" || Op(99).NumFanin() != -1 {
+		t.Error("unknown op handling")
+	}
+	if OpMux.NumFanin() != 3 || OpAnd.NumFanin() != 2 || OpInv.NumFanin() != 1 || OpInput.NumFanin() != 0 {
+		t.Error("arity table wrong")
+	}
+}
+
+func TestSortedOutputNames(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.Output("zz", a)
+	n.Output("aa", a)
+	got := n.SortedOutputNames()
+	if got[0] != "aa" || got[1] != "zz" {
+		t.Errorf("sorted outputs %v", got)
+	}
+}

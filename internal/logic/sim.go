@@ -1,0 +1,89 @@
+package logic
+
+import "fmt"
+
+// State holds the DFF values of a network between cycles.
+type State map[string]bool
+
+// Simulator evaluates a network cycle by cycle; used to equivalence-check
+// the mapped netlist against the source network.
+type Simulator struct {
+	net   *Network
+	state State
+	vals  []bool
+}
+
+// NewSimulator creates a simulator with all flip-flops initialized to
+// zero.
+func NewSimulator(n *Network) *Simulator {
+	s := &Simulator{net: n, state: make(State), vals: make([]bool, len(n.Nodes))}
+	for _, ff := range n.FFs {
+		s.state[ff.Name] = false
+	}
+	return s
+}
+
+// SetState forces a flip-flop value.
+func (s *Simulator) SetState(name string, v bool) { s.state[name] = v }
+
+// State returns a copy of the current flip-flop state.
+func (s *Simulator) State() State {
+	cp := make(State, len(s.state))
+	for k, v := range s.state {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Step evaluates one clock cycle: combinational logic settles from the
+// given inputs and current state, outputs are sampled, then every DFF
+// captures its D input. Missing input names default to false.
+func (s *Simulator) Step(inputs map[string]bool) map[string]bool {
+	for _, node := range s.net.Nodes {
+		switch node.Op {
+		case OpInput:
+			s.vals[node.ID] = inputs[node.Name]
+		case OpConst0:
+			s.vals[node.ID] = false
+		case OpConst1:
+			s.vals[node.ID] = true
+		case OpDFF:
+			s.vals[node.ID] = s.state[node.Name]
+		case OpInv:
+			s.vals[node.ID] = !s.vals[node.Fanin[0].ID]
+		case OpBuf:
+			s.vals[node.ID] = s.vals[node.Fanin[0].ID]
+		case OpAnd:
+			s.vals[node.ID] = s.vals[node.Fanin[0].ID] && s.vals[node.Fanin[1].ID]
+		case OpOr:
+			s.vals[node.ID] = s.vals[node.Fanin[0].ID] || s.vals[node.Fanin[1].ID]
+		case OpXor:
+			s.vals[node.ID] = s.vals[node.Fanin[0].ID] != s.vals[node.Fanin[1].ID]
+		case OpMux:
+			if s.vals[node.Fanin[0].ID] {
+				s.vals[node.ID] = s.vals[node.Fanin[2].ID]
+			} else {
+				s.vals[node.ID] = s.vals[node.Fanin[1].ID]
+			}
+		case OpSum3:
+			a, b, c := s.vals[node.Fanin[0].ID], s.vals[node.Fanin[1].ID], s.vals[node.Fanin[2].ID]
+			s.vals[node.ID] = a != b != c
+		case OpMaj3:
+			a, b, c := s.vals[node.Fanin[0].ID], s.vals[node.Fanin[1].ID], s.vals[node.Fanin[2].ID]
+			s.vals[node.ID] = (a && b) || (b && c) || (a && c)
+		default:
+			panic(fmt.Sprintf("logic: cannot simulate op %v", node.Op))
+		}
+	}
+	outs := make(map[string]bool, len(s.net.Outputs))
+	for _, p := range s.net.Outputs {
+		outs[p.Name] = s.vals[p.Node.ID]
+	}
+	for _, ff := range s.net.FFs {
+		s.state[ff.Name] = s.vals[ff.Fanin[0].ID]
+	}
+	return outs
+}
+
+// Value returns the combinational value of a node after the latest Step.
+func (s *Simulator) Value(node *Node) bool { return s.vals[node.ID] }

@@ -1,0 +1,230 @@
+package lut
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Binary is a boolean mask over the same grid as a Table. Ones[i][j] true
+// means the (load i, slew j) entry is acceptable ("flat" or "below the
+// ceiling" depending on which thresholding produced it).
+type Binary struct {
+	Loads []float64
+	Slews []float64
+	Ones  [][]bool
+}
+
+// NewBinary allocates an all-false mask over the given axes.
+func NewBinary(loads, slews []float64) *Binary {
+	b := &Binary{
+		Loads: append([]float64(nil), loads...),
+		Slews: append([]float64(nil), slews...),
+		Ones:  make([][]bool, len(loads)),
+	}
+	for i := range b.Ones {
+		b.Ones[i] = make([]bool, len(slews))
+	}
+	return b
+}
+
+// Threshold converts a value table into a binary mask: entries strictly
+// smaller than limit become ones ("all table entries which are smaller
+// than the slope threshold become a logic one").
+func (t *Table) Threshold(limit float64) *Binary {
+	b := NewBinary(t.Loads, t.Slews)
+	for i := range t.Values {
+		for j, v := range t.Values[i] {
+			b.Ones[i][j] = v < limit
+		}
+	}
+	return b
+}
+
+// ThresholdLE is the inclusive variant: entries less than or equal to
+// limit become ones. Stage 2 of the tuning uses this, because the
+// threshold sigma is by construction the value at the far corner of an
+// acceptable region — the entry holding it must stay usable.
+func (t *Table) ThresholdLE(limit float64) *Binary {
+	b := NewBinary(t.Loads, t.Slews)
+	for i := range t.Values {
+		for j, v := range t.Values[i] {
+			b.Ones[i][j] = v <= limit
+		}
+	}
+	return b
+}
+
+// And combines two masks entry-wise; both must share axes dimensions.
+// The paper combines the thresholded load and slew slope tables this way.
+func (b *Binary) And(o *Binary) *Binary {
+	out := NewBinary(b.Loads, b.Slews)
+	for i := range b.Ones {
+		for j := range b.Ones[i] {
+			out.Ones[i][j] = b.Ones[i][j] && o.Ones[i][j]
+		}
+	}
+	return out
+}
+
+// CountOnes returns the number of true entries.
+func (b *Binary) CountOnes() int {
+	n := 0
+	for _, row := range b.Ones {
+		for _, v := range row {
+			if v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dims returns the number of load rows and slew columns.
+func (b *Binary) Dims() (nLoads, nSlews int) { return len(b.Loads), len(b.Slews) }
+
+// String renders the mask as rows of 0/1 characters, load-major.
+func (b *Binary) String() string {
+	var sb strings.Builder
+	for _, row := range b.Ones {
+		for _, v := range row {
+			if v {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Rect is an inclusive rectangle of grid indices: load rows L1..L2 and
+// slew columns S1..S2.
+type Rect struct {
+	L1, S1 int // lower-left (closest to the origin)
+	L2, S2 int // upper-right
+}
+
+// Empty reports whether the rectangle covers no cells.
+func (r Rect) Empty() bool { return r.L2 < r.L1 || r.S2 < r.S1 }
+
+// Area returns the number of grid cells covered.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.L2 - r.L1 + 1) * (r.S2 - r.S1 + 1)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("rect[load %d..%d, slew %d..%d]", r.L1, r.L2, r.S1, r.S2)
+}
+
+// LargestRectangle implements Algorithm 1 of the paper: an exhaustive scan
+// over every (lower-left, upper-right) index pair, keeping the largest
+// all-ones rectangle. Ties are broken toward the origin (smaller
+// L1+S1, then smaller L1), matching the paper's "starting as close as
+// possible to the origin of the LUT". Returns a zero-area Rect with
+// Empty()==true when the mask has no ones.
+func (b *Binary) LargestRectangle() Rect {
+	nl, ns := b.Dims()
+	best := Rect{L1: 0, S1: 0, L2: -1, S2: -1}
+	bestArea := 0
+	// Lower-left corners are enumerated origin-first, and a rectangle only
+	// replaces the incumbent on strictly larger area, so the result is the
+	// origin-closest rectangle of maximal area — the paper's "largest
+	// rectangle starting as close as possible to the origin".
+	for ll := 0; ll < nl; ll++ {
+		for ls := 0; ls < ns; ls++ {
+			for ul := ll; ul < nl; ul++ {
+				for us := ls; us < ns; us++ {
+					r := Rect{L1: ll, S1: ls, L2: ul, S2: us}
+					if a := r.Area(); a > bestArea && b.allOnes(r) {
+						best, bestArea = r, a
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func (b *Binary) allOnes(r Rect) bool {
+	for i := r.L1; i <= r.L2; i++ {
+		for j := r.S1; j <= r.S2; j++ {
+			if !b.Ones[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LargestRectangleFast computes the same result as LargestRectangle using
+// the classic histogram-stack technique in O(rows*cols) instead of the
+// paper's O(rows^2 * cols^2) scan. The two are equivalence-tested and
+// benchmarked against each other (DESIGN.md ablation #1).
+func (b *Binary) LargestRectangleFast() Rect {
+	nl, ns := b.Dims()
+	best := Rect{L1: 0, S1: 0, L2: -1, S2: -1}
+	bestArea := 0
+	heights := make([]int, ns)
+	type stkEntry struct{ col, height int }
+	stack := make([]stkEntry, 0, ns+1)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < ns; j++ {
+			if b.Ones[i][j] {
+				heights[j]++
+			} else {
+				heights[j] = 0
+			}
+		}
+		stack = stack[:0]
+		for j := 0; j <= ns; j++ {
+			h := 0
+			if j < ns {
+				h = heights[j]
+			}
+			start := j
+			for len(stack) > 0 && stack[len(stack)-1].height >= h {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				area := top.height * (j - top.col)
+				if area > bestArea ||
+					(area == bestArea && area > 0 && closerToOrigin(i-top.height+1, top.col, best)) {
+					bestArea = area
+					best = Rect{
+						L1: i - top.height + 1, L2: i,
+						S1: top.col, S2: j - 1,
+					}
+				}
+				start = top.col
+			}
+			if h > 0 {
+				stack = append(stack, stkEntry{col: start, height: h})
+			}
+		}
+	}
+	return best
+}
+
+// closerToOrigin reports whether a candidate rectangle with lower-left
+// (l1,s1) is nearer the LUT origin than best, using the same ordering the
+// exhaustive scan discovers rectangles in: lexicographic (L1, S1).
+func closerToOrigin(l1, s1 int, best Rect) bool {
+	if l1 != best.L1 {
+		return l1 < best.L1
+	}
+	return s1 < best.S1
+}
+
+// ThresholdValue returns the table value at the rectangle corner furthest
+// from the origin, i.e. (L2, S2). The paper extracts the tuning sigma
+// threshold from this entry ("taking the sigma value corresponding to the
+// rectangle coordinate furthest from the origin").
+func (t *Table) ThresholdValue(r Rect) float64 {
+	if r.Empty() {
+		return 0
+	}
+	return t.Values[r.L2][r.S2]
+}

@@ -1,0 +1,264 @@
+package lut
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maskFromStrings(rows ...string) *Binary {
+	loads := make([]float64, len(rows))
+	for i := range loads {
+		loads[i] = float64(i + 1)
+	}
+	slews := make([]float64, len(rows[0]))
+	for j := range slews {
+		slews[j] = float64(j + 1)
+	}
+	b := NewBinary(loads, slews)
+	for i, r := range rows {
+		for j, c := range r {
+			b.Ones[i][j] = c == '1'
+		}
+	}
+	return b
+}
+
+func TestThreshold(t *testing.T) {
+	tb := New([]float64{1, 2}, []float64{1, 2})
+	tb.Values[0][0] = 0.1
+	tb.Values[0][1] = 0.5
+	tb.Values[1][0] = 0.5
+	tb.Values[1][1] = 0.9
+	b := tb.Threshold(0.5)
+	if !b.Ones[0][0] {
+		t.Error("0.1 < 0.5 should be one")
+	}
+	if b.Ones[0][1] || b.Ones[1][0] {
+		t.Error("0.5 < 0.5 is false; boundary must be zero")
+	}
+	if b.Ones[1][1] {
+		t.Error("0.9 should be zero")
+	}
+	if got := b.CountOnes(); got != 1 {
+		t.Errorf("CountOnes=%d want 1", got)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := maskFromStrings("110", "011")
+	b := maskFromStrings("100", "111")
+	c := a.And(b)
+	want := maskFromStrings("100", "011")
+	for i := range c.Ones {
+		for j := range c.Ones[i] {
+			if c.Ones[i][j] != want.Ones[i][j] {
+				t.Fatalf("And mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLargestRectangleSimple(t *testing.T) {
+	b := maskFromStrings(
+		"1110",
+		"1110",
+		"0110",
+		"0000",
+	)
+	r := b.LargestRectangle()
+	if r.Area() != 6 {
+		t.Fatalf("area %d want 6 (%v)", r.Area(), r)
+	}
+	if !b.allOnes(r) {
+		t.Fatalf("rectangle %v covers zeros", r)
+	}
+	if r.L1 != 0 || r.S1 != 0 {
+		t.Errorf("expected origin-anchored rect, got %v", r)
+	}
+}
+
+func TestLargestRectangleAllZero(t *testing.T) {
+	b := maskFromStrings("000", "000")
+	r := b.LargestRectangle()
+	if !r.Empty() || r.Area() != 0 {
+		t.Fatalf("all-zero mask produced %v", r)
+	}
+	rf := b.LargestRectangleFast()
+	if !rf.Empty() || rf.Area() != 0 {
+		t.Fatalf("fast variant on all-zero mask produced %v", rf)
+	}
+}
+
+func TestLargestRectangleAllOnes(t *testing.T) {
+	b := maskFromStrings("111", "111", "111")
+	for _, r := range []Rect{b.LargestRectangle(), b.LargestRectangleFast()} {
+		if r.Area() != 9 || r.L1 != 0 || r.S1 != 0 || r.L2 != 2 || r.S2 != 2 {
+			t.Fatalf("full mask rect %v", r)
+		}
+	}
+}
+
+func TestLargestRectangleSingleCell(t *testing.T) {
+	b := maskFromStrings("000", "010", "000")
+	r := b.LargestRectangle()
+	if r.Area() != 1 || r.L1 != 1 || r.S1 != 1 {
+		t.Fatalf("got %v want the single 1 at (1,1)", r)
+	}
+}
+
+func TestLargestRectanglePrefersOrigin(t *testing.T) {
+	// Two disjoint 2x2 blocks of equal size: the origin-closer one must win.
+	b := maskFromStrings(
+		"1100",
+		"1100",
+		"0011",
+		"0011",
+	)
+	r := b.LargestRectangle()
+	if r.Area() != 4 || r.L1 != 0 || r.S1 != 0 {
+		t.Fatalf("expected origin block, got %v", r)
+	}
+}
+
+// Property: the fast histogram-stack variant finds a rectangle of exactly
+// the same (maximal) area as the paper's exhaustive Algorithm 1, and the
+// rectangle it reports is genuinely all ones.
+func TestLargestRectangleEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed uint32, wRaw, hRaw uint8, bias uint8) bool {
+		w := int(wRaw%7) + 1
+		h := int(hRaw%7) + 1
+		r := rand.New(rand.NewSource(int64(seed)))
+		p := 0.3 + float64(bias%5)*0.15
+		loads := make([]float64, h)
+		for i := range loads {
+			loads[i] = float64(i + 1)
+		}
+		slews := make([]float64, w)
+		for j := range slews {
+			slews[j] = float64(j + 1)
+		}
+		b := NewBinary(loads, slews)
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				b.Ones[i][j] = r.Float64() < p
+			}
+		}
+		slow := b.LargestRectangle()
+		fast := b.LargestRectangleFast()
+		if slow.Area() != fast.Area() {
+			t.Logf("mask:\n%s slow=%v fast=%v", b, slow, fast)
+			return false
+		}
+		if fast.Area() > 0 && !b.allOnes(fast) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdValue(t *testing.T) {
+	tb := New([]float64{1, 2, 3}, []float64{1, 2, 3})
+	for i := range tb.Values {
+		for j := range tb.Values[i] {
+			tb.Values[i][j] = float64(10*i + j)
+		}
+	}
+	r := Rect{L1: 0, S1: 0, L2: 1, S2: 2}
+	if got := tb.ThresholdValue(r); got != 12 {
+		t.Errorf("ThresholdValue=%g want 12 (far corner)", got)
+	}
+	if got := tb.ThresholdValue(Rect{L1: 0, S1: 0, L2: -1, S2: -1}); got != 0 {
+		t.Errorf("empty rect threshold %g want 0", got)
+	}
+}
+
+func TestSlopeTables(t *testing.T) {
+	// f(l,s) = 4l + 7s has constant per-unit slopes 4 (load) and 7 (slew).
+	tb := NewFilled(
+		[]float64{1, 2, 4, 8},
+		[]float64{1, 3, 9},
+		func(l, s float64) float64 { return 4*l + 7*s },
+	)
+	ls := tb.LoadSlope()
+	ss := tb.SlewSlope()
+	for j := range tb.Slews {
+		if ls.Values[0][j] != 0 {
+			t.Errorf("load slope first row must be zero, got %g", ls.Values[0][j])
+		}
+	}
+	for i := range tb.Loads {
+		if ss.Values[i][0] != 0 {
+			t.Errorf("slew slope first column must be zero, got %g", ss.Values[i][0])
+		}
+	}
+	for i := 1; i < len(tb.Loads); i++ {
+		for j := range tb.Slews {
+			if !almostEq(ls.Values[i][j], 4, 1e-12) {
+				t.Fatalf("load slope (%d,%d)=%g want 4", i, j, ls.Values[i][j])
+			}
+		}
+	}
+	for i := range tb.Loads {
+		for j := 1; j < len(tb.Slews); j++ {
+			if !almostEq(ss.Values[i][j], 7, 1e-12) {
+				t.Fatalf("slew slope (%d,%d)=%g want 7", i, j, ss.Values[i][j])
+			}
+		}
+	}
+}
+
+func TestIndexSlopeTables(t *testing.T) {
+	tb := NewFilled(
+		[]float64{1, 2, 4},
+		[]float64{1, 3},
+		func(l, s float64) float64 { return l + s },
+	)
+	ils := tb.IndexLoadSlope()
+	// Row 2: Q(2,j) - Q(1,j) = 4-2 = 2 regardless of axis spacing.
+	if ils.Values[2][0] != 2 {
+		t.Errorf("index load slope %g want 2", ils.Values[2][0])
+	}
+	iss := tb.IndexSlewSlope()
+	if iss.Values[0][1] != 2 {
+		t.Errorf("index slew slope %g want 2", iss.Values[0][1])
+	}
+}
+
+func TestBinaryString(t *testing.T) {
+	b := maskFromStrings("10", "01")
+	if got := b.String(); got != "10\n01\n" {
+		t.Errorf("String()=%q", got)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	r := Rect{L1: 0, S1: 1, L2: 2, S2: 3}
+	if r.String() == "" {
+		t.Error("empty Rect.String()")
+	}
+}
+
+func TestThresholdLEInclusive(t *testing.T) {
+	tb := New([]float64{1, 2}, []float64{1, 2})
+	tb.Values[0][0] = 0.1
+	tb.Values[0][1] = 0.5
+	tb.Values[1][0] = 0.5
+	tb.Values[1][1] = 0.9
+	le := tb.ThresholdLE(0.5)
+	if !le.Ones[0][0] || !le.Ones[0][1] || !le.Ones[1][0] {
+		t.Error("values <= limit must be ones")
+	}
+	if le.Ones[1][1] {
+		t.Error("0.9 above limit")
+	}
+	// Strict vs inclusive differ exactly on the boundary entries.
+	strict := tb.Threshold(0.5)
+	if strict.CountOnes() != 1 || le.CountOnes() != 3 {
+		t.Errorf("strict %d inclusive %d", strict.CountOnes(), le.CountOnes())
+	}
+}

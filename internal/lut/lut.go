@@ -1,0 +1,246 @@
+// Package lut implements the two-dimensional look-up tables that carry
+// timing information in a standard cell library, together with the LUT
+// algebra the library-tuning method is built from: bilinear interpolation
+// (paper eqs. 2-4), slope tables (eqs. 12-13), binary thresholding, the
+// max-equivalent table, and the largest-rectangle extraction of
+// Algorithm 1.
+//
+// Throughout the package the first index ("rows") runs along the output
+// load axis and the second index ("columns") along the input slew axis,
+// matching the index_1/index_2 convention of Liberty tables.
+package lut
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a dense two-dimensional look-up table over a load axis and a
+// slew axis. Values[i][j] corresponds to load Loads[i] and slew Slews[j].
+type Table struct {
+	Loads  []float64   // ascending load axis (index_1)
+	Slews  []float64   // ascending slew axis (index_2)
+	Values [][]float64 // len(Loads) rows of len(Slews) values
+}
+
+// New allocates a zero-valued table over the given axes. The axes are
+// copied so callers may reuse their slices.
+func New(loads, slews []float64) *Table {
+	t := &Table{
+		Loads:  append([]float64(nil), loads...),
+		Slews:  append([]float64(nil), slews...),
+		Values: make([][]float64, len(loads)),
+	}
+	for i := range t.Values {
+		t.Values[i] = make([]float64, len(slews))
+	}
+	return t
+}
+
+// NewFilled allocates a table and fills it by evaluating f at every grid
+// point.
+func NewFilled(loads, slews []float64, f func(load, slew float64) float64) *Table {
+	t := New(loads, slews)
+	for i, l := range t.Loads {
+		for j, s := range t.Slews {
+			t.Values[i][j] = f(l, s)
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New(t.Loads, t.Slews)
+	for i := range t.Values {
+		copy(c.Values[i], t.Values[i])
+	}
+	return c
+}
+
+// Dims returns the number of load rows and slew columns.
+func (t *Table) Dims() (nLoads, nSlews int) { return len(t.Loads), len(t.Slews) }
+
+// Validate checks structural invariants: non-empty strictly ascending axes
+// and a value grid matching the axes.
+func (t *Table) Validate() error {
+	if len(t.Loads) == 0 || len(t.Slews) == 0 {
+		return errors.New("lut: empty axis")
+	}
+	if len(t.Values) != len(t.Loads) {
+		return fmt.Errorf("lut: %d value rows for %d loads", len(t.Values), len(t.Loads))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.Slews) {
+			return fmt.Errorf("lut: row %d has %d values for %d slews", i, len(row), len(t.Slews))
+		}
+	}
+	if !strictlyAscending(t.Loads) {
+		return errors.New("lut: load axis not strictly ascending")
+	}
+	if !strictlyAscending(t.Slews) {
+		return errors.New("lut: slew axis not strictly ascending")
+	}
+	return nil
+}
+
+func strictlyAscending(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAxes reports whether two tables share identical load and slew axes.
+func SameAxes(a, b *Table) bool {
+	if len(a.Loads) != len(b.Loads) || len(a.Slews) != len(b.Slews) {
+		return false
+	}
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			return false
+		}
+	}
+	for j := range a.Slews {
+		if a.Slews[j] != b.Slews[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// segment locates i such that axis[i] <= x <= axis[i+1], clamping x to the
+// axis range. It returns the index and the normalized position within the
+// segment. Single-point axes return (0, 0).
+func segment(axis []float64, x float64) (int, float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= axis[0] {
+		return 0, 0
+	}
+	if x >= axis[n-1] {
+		return n - 2, 1
+	}
+	// sort.SearchFloat64s returns the first index with axis[i] >= x.
+	i := sort.SearchFloat64s(axis, x)
+	lo := i - 1
+	frac := (x - axis[lo]) / (axis[i] - axis[lo])
+	return lo, frac
+}
+
+// Lookup bilinearly interpolates the table at the given load and slew,
+// clamping queries outside the characterized range to the table edge.
+// This implements eqs. (2)-(4): interpolate along the load axis first,
+// then along the slew axis.
+func (t *Table) Lookup(load, slew float64) float64 {
+	li, lf := segment(t.Loads, load)
+	sj, sf := segment(t.Slews, slew)
+	if len(t.Loads) == 1 && len(t.Slews) == 1 {
+		return t.Values[0][0]
+	}
+	if len(t.Loads) == 1 {
+		return lerp(t.Values[0][sj], t.Values[0][sj+1], sf)
+	}
+	if len(t.Slews) == 1 {
+		return lerp(t.Values[li][0], t.Values[li+1][0], lf)
+	}
+	q11 := t.Values[li][sj]     // (Li, Sj)
+	q21 := t.Values[li+1][sj]   // (Li+1, Sj)
+	q12 := t.Values[li][sj+1]   // (Li, Sj+1)
+	q22 := t.Values[li+1][sj+1] // (Li+1, Sj+1)
+	p1 := lerp(q11, q21, lf)    // eq. (2)
+	p2 := lerp(q12, q22, lf)    // eq. (3)
+	return lerp(p1, p2, sf)     // eq. (4)
+}
+
+func lerp(a, b, f float64) float64 { return a + (b-a)*f }
+
+// Max returns the maximum value in the table.
+func (t *Table) Max() float64 {
+	m := math.Inf(-1)
+	for _, row := range t.Values {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value in the table.
+func (t *Table) Min() float64 {
+	m := math.Inf(1)
+	for _, row := range t.Values {
+		for _, v := range row {
+			if v < m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// At returns the value at load index i and slew index j.
+func (t *Table) At(i, j int) float64 { return t.Values[i][j] }
+
+// Set assigns the value at load index i and slew index j.
+func (t *Table) Set(i, j int, v float64) { t.Values[i][j] = v }
+
+// Scale multiplies every entry by k, in place, and returns the table.
+func (t *Table) Scale(k float64) *Table {
+	for i := range t.Values {
+		for j := range t.Values[i] {
+			t.Values[i][j] *= k
+		}
+	}
+	return t
+}
+
+// MaxEquivalent builds the element-wise maximum of the given tables. All
+// tables must share the same axes; the paper uses this to fold the LUTs of
+// all timing arcs of an output pin (or all cells of a cluster) into one
+// worst-case table.
+func MaxEquivalent(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("lut: MaxEquivalent of zero tables")
+	}
+	base := tables[0]
+	out := base.Clone()
+	for _, tb := range tables[1:] {
+		if !SameAxes(base, tb) {
+			return nil, errors.New("lut: MaxEquivalent over mismatched axes")
+		}
+		for i := range out.Values {
+			for j := range out.Values[i] {
+				if tb.Values[i][j] > out.Values[i][j] {
+					out.Values[i][j] = tb.Values[i][j]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders a compact human-readable dump of the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lut %dx%d loads=%v slews=%v\n", len(t.Loads), len(t.Slews), t.Loads, t.Slews)
+	for _, row := range t.Values {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

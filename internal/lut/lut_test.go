@@ -1,0 +1,245 @@
+package lut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func linearTable() *Table {
+	// f(l,s) = 2l + 3s + 1 is reproduced exactly by bilinear interpolation.
+	return NewFilled(
+		[]float64{0.001, 0.004, 0.016, 0.064},
+		[]float64{0.01, 0.05, 0.2, 0.6},
+		func(l, s float64) float64 { return 2*l + 3*s + 1 },
+	)
+}
+
+func TestValidate(t *testing.T) {
+	tb := linearTable()
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := tb.Clone()
+	bad.Loads[1] = bad.Loads[0] // not strictly ascending
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-ascending load axis accepted")
+	}
+	bad2 := tb.Clone()
+	bad2.Values = bad2.Values[:2]
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+	bad3 := tb.Clone()
+	bad3.Values[0] = bad3.Values[0][:1]
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+	empty := &Table{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestLookupExactOnGrid(t *testing.T) {
+	tb := linearTable()
+	for i, l := range tb.Loads {
+		for j, s := range tb.Slews {
+			got := tb.Lookup(l, s)
+			if !almostEq(got, tb.Values[i][j], 1e-12) {
+				t.Errorf("Lookup(%g,%g)=%g want %g", l, s, got, tb.Values[i][j])
+			}
+		}
+	}
+}
+
+func TestLookupBilinearReproducesBilinearFunction(t *testing.T) {
+	tb := linearTable()
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 500; k++ {
+		l := 0.001 + rng.Float64()*(0.064-0.001)
+		s := 0.01 + rng.Float64()*(0.6-0.01)
+		want := 2*l + 3*s + 1
+		if got := tb.Lookup(l, s); !almostEq(got, want, 1e-9) {
+			t.Fatalf("Lookup(%g,%g)=%g want %g", l, s, got, want)
+		}
+	}
+}
+
+func TestLookupClampsOutsideRange(t *testing.T) {
+	tb := linearTable()
+	lo := tb.Lookup(-5, -5)
+	if !almostEq(lo, tb.Values[0][0], 1e-12) {
+		t.Errorf("below-range lookup %g want corner %g", lo, tb.Values[0][0])
+	}
+	hi := tb.Lookup(100, 100)
+	n, m := tb.Dims()
+	if !almostEq(hi, tb.Values[n-1][m-1], 1e-12) {
+		t.Errorf("above-range lookup %g want corner %g", hi, tb.Values[n-1][m-1])
+	}
+}
+
+func TestLookupPaperFigure3Worked(t *testing.T) {
+	// A hand-computed bilinear example following Fig. 3 / eqs. (2)-(4).
+	tb := New([]float64{1, 3}, []float64{10, 20})
+	tb.Values[0][0] = 4 // Q11 (L1,S1)
+	tb.Values[0][1] = 8 // Q12 (L1,S2)
+	tb.Values[1][0] = 6 // Q21 (L2,S1)
+	tb.Values[1][1] = 2 // Q22 (L2,S2)
+	// L=2 halfway, S=15 halfway:
+	// P1 = 0.5*4+0.5*6 = 5; P2 = 0.5*8+0.5*2 = 5; X = 5.
+	if got := tb.Lookup(2, 15); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Lookup(2,15)=%g want 5", got)
+	}
+	// L=1 (on grid), S=12.5 quarter along slew: 4*0.75 + 8*0.25 = 5.
+	if got := tb.Lookup(1, 12.5); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Lookup(1,12.5)=%g want 5", got)
+	}
+}
+
+func TestLookupDegenerateAxes(t *testing.T) {
+	one := New([]float64{1}, []float64{1})
+	one.Values[0][0] = 42
+	if got := one.Lookup(5, 5); got != 42 {
+		t.Errorf("1x1 lookup got %g want 42", got)
+	}
+	row := New([]float64{1}, []float64{0, 10})
+	row.Values[0][0], row.Values[0][1] = 0, 10
+	if got := row.Lookup(99, 5); !almostEq(got, 5, 1e-12) {
+		t.Errorf("1xN lookup got %g want 5", got)
+	}
+	col := New([]float64{0, 10}, []float64{1})
+	col.Values[0][0], col.Values[1][0] = 0, 10
+	if got := col.Lookup(2.5, 99); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Nx1 lookup got %g want 2.5", got)
+	}
+}
+
+// Property: interpolation result is bounded by the min and max of the table.
+func TestLookupWithinBoundsProperty(t *testing.T) {
+	tb := NewFilled(
+		[]float64{0.001, 0.002, 0.008, 0.03, 0.1},
+		[]float64{0.005, 0.02, 0.09, 0.3, 1.2},
+		func(l, s float64) float64 { return math.Sin(l*40)*0.3 + math.Cos(s*3) + 2 },
+	)
+	lo, hi := tb.Min(), tb.Max()
+	f := func(lu, su uint16) bool {
+		l := float64(lu) / float64(math.MaxUint16) * 0.2
+		s := float64(su) / float64(math.MaxUint16) * 2.0
+		v := tb.Lookup(l, s)
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolation is monotone if the table is monotone in both axes.
+func TestLookupMonotoneProperty(t *testing.T) {
+	tb := NewFilled(
+		[]float64{0.001, 0.004, 0.016, 0.064},
+		[]float64{0.01, 0.05, 0.2, 0.6},
+		func(l, s float64) float64 { return 5*l + 2*s + l*s },
+	)
+	f := func(a, b uint16, su uint16) bool {
+		l1 := float64(a) / float64(math.MaxUint16) * 0.07
+		l2 := float64(b) / float64(math.MaxUint16) * 0.07
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		s := float64(su) / float64(math.MaxUint16) * 0.7
+		return tb.Lookup(l1, s) <= tb.Lookup(l2, s)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxEquivalent(t *testing.T) {
+	a := linearTable()
+	b := a.Clone()
+	b.Values[1][2] = 1e9
+	m, err := MaxEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Values[1][2] != 1e9 {
+		t.Errorf("max entry %g want 1e9", m.Values[1][2])
+	}
+	if m.Values[0][0] != a.Values[0][0] {
+		t.Errorf("untouched entry changed: %g want %g", m.Values[0][0], a.Values[0][0])
+	}
+	if _, err := MaxEquivalent(); err == nil {
+		t.Error("MaxEquivalent() of nothing should error")
+	}
+	c := New([]float64{1, 2}, []float64{1, 2})
+	if _, err := MaxEquivalent(a, c); err == nil {
+		t.Error("mismatched axes should error")
+	}
+}
+
+func TestMaxEquivalentIsElementwiseUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	loads := []float64{1, 2, 3}
+	slews := []float64{1, 2}
+	var ts []*Table
+	for k := 0; k < 5; k++ {
+		ts = append(ts, NewFilled(loads, slews, func(l, s float64) float64 {
+			return rng.NormFloat64()
+		}))
+	}
+	m, err := MaxEquivalent(ts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loads {
+		for j := range slews {
+			for _, tb := range ts {
+				if m.Values[i][j] < tb.Values[i][j] {
+					t.Fatalf("entry (%d,%d): max %g below member %g", i, j, m.Values[i][j], tb.Values[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestScaleMinMax(t *testing.T) {
+	tb := linearTable()
+	mx, mn := tb.Max(), tb.Min()
+	tb.Scale(2)
+	if !almostEq(tb.Max(), 2*mx, 1e-12) || !almostEq(tb.Min(), 2*mn, 1e-12) {
+		t.Errorf("scale: min/max %g/%g want %g/%g", tb.Min(), tb.Max(), 2*mn, 2*mx)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := linearTable()
+	b := a.Clone()
+	b.Values[0][0] = 999
+	b.Loads[0] = -1
+	if a.Values[0][0] == 999 || a.Loads[0] == -1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSameAxes(t *testing.T) {
+	a := linearTable()
+	if !SameAxes(a, a.Clone()) {
+		t.Error("clone should share axes")
+	}
+	b := a.Clone()
+	b.Slews[0] += 1e-6
+	if SameAxes(a, b) {
+		t.Error("perturbed axis reported same")
+	}
+}
+
+func TestStringContainsDims(t *testing.T) {
+	s := linearTable().String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,63 @@
+package lut
+
+// Slope tables, paper eqs. (12) and (13).
+//
+// The slew slope at entry (i,j) is the backward difference along the slew
+// axis divided by the slew step; the load slope is the backward difference
+// along the load axis divided by the load step. Because the differences
+// need a predecessor, the first column of the slew-slope table and the
+// first row of the load-slope table are zero (the paper fills them with
+// zeros for the same reason: "because the indexes start at greater than
+// one, the first row or column ... is filled with zeros").
+
+// SlewSlope returns the table of gradients along the slew axis (eq. 12).
+func (t *Table) SlewSlope() *Table {
+	out := New(t.Loads, t.Slews)
+	for i := range t.Loads {
+		for j := 1; j < len(t.Slews); j++ {
+			ds := t.Slews[j] - t.Slews[j-1]
+			out.Values[i][j] = (t.Values[i][j] - t.Values[i][j-1]) / ds
+		}
+	}
+	return out
+}
+
+// LoadSlope returns the table of gradients along the load axis (eq. 13).
+func (t *Table) LoadSlope() *Table {
+	out := New(t.Loads, t.Slews)
+	for i := 1; i < len(t.Loads); i++ {
+		dl := t.Loads[i] - t.Loads[i-1]
+		for j := range t.Slews {
+			out.Values[i][j] = (t.Values[i][j] - t.Values[i-1][j]) / dl
+		}
+	}
+	return out
+}
+
+// IndexSlewSlope returns the gradient along the slew axis computed per
+// index step rather than per unit of slew, exactly as written in eq. (12)
+// of the paper where the denominator is the index difference (always 1).
+// The per-unit variant SlewSlope is what the tuner uses by default since
+// library axes are non-uniform; this variant is kept for the ablation
+// bench comparing the two readings of the equation.
+func (t *Table) IndexSlewSlope() *Table {
+	out := New(t.Loads, t.Slews)
+	for i := range t.Loads {
+		for j := 1; j < len(t.Slews); j++ {
+			out.Values[i][j] = t.Values[i][j] - t.Values[i][j-1]
+		}
+	}
+	return out
+}
+
+// IndexLoadSlope is the per-index-step companion of IndexSlewSlope along
+// the load axis (eq. 13 read literally).
+func (t *Table) IndexLoadSlope() *Table {
+	out := New(t.Loads, t.Slews)
+	for i := 1; i < len(t.Loads); i++ {
+		for j := range t.Slews {
+			out.Values[i][j] = t.Values[i][j] - t.Values[i-1][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package netlist
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/stdcell"
+)
+
+// EvalCell evaluates the boolean function of a combinational cell (or the
+// output of a sequential cell given its captured state in ins["__state"]).
+// ins maps input pin names to values; the result maps output pin names to
+// values.
+func EvalCell(spec *stdcell.Spec, ins map[string]bool) (map[string]bool, error) {
+	out := make(map[string]bool, len(spec.Outputs))
+	get := func(pin string) bool { return ins[pin] }
+	switch spec.Kind {
+	case stdcell.KindInv:
+		out["Y"] = !get("A")
+	case stdcell.KindBuf:
+		out["Y"] = get("A")
+	case stdcell.KindOr:
+		v := false
+		for _, p := range spec.Inputs {
+			v = v || get(p)
+		}
+		out["Y"] = v
+	case stdcell.KindNand:
+		v := true
+		for _, p := range spec.Inputs {
+			b := get(p)
+			if p == "AN" {
+				b = !b
+			}
+			v = v && b
+		}
+		out["Y"] = !v
+	case stdcell.KindNor:
+		v := false
+		for _, p := range spec.Inputs {
+			b := get(p)
+			if p == "AN" {
+				b = !b
+			}
+			v = v || b
+		}
+		out["Y"] = !v
+	case stdcell.KindXnor:
+		v := false
+		for _, p := range spec.Inputs {
+			v = v != get(p)
+		}
+		out["Y"] = !v
+	case stdcell.KindAddFull, stdcell.KindAddCarry:
+		a, b, ci := get("A"), get("B"), get("CI")
+		out["S"] = a != b != ci
+		co := (a && b) || (ci && (a != b))
+		if spec.Kind == stdcell.KindAddCarry {
+			out["CON"] = !co
+		} else {
+			out["CO"] = co
+		}
+	case stdcell.KindAddHalf:
+		a, b := get("A"), get("B")
+		out["S"] = a != b
+		out["CO"] = a && b
+	case stdcell.KindMux:
+		if spec.Family == "MUX4" {
+			idx := 0
+			if get("S0") {
+				idx |= 1
+			}
+			if get("S1") {
+				idx |= 2
+			}
+			out["Y"] = get(fmt.Sprintf("D%d", idx))
+		} else {
+			if get("S") {
+				out["Y"] = get("D1")
+			} else {
+				out["Y"] = get("D0")
+			}
+		}
+	case stdcell.KindDFF, stdcell.KindLatch:
+		q := ins["__state"]
+		for _, o := range spec.Outputs {
+			if o == "QN" {
+				out[o] = !q
+			} else {
+				out[o] = q
+			}
+		}
+	case stdcell.KindTie:
+		out["Y"] = spec.Family == "TIEH"
+	default:
+		return nil, fmt.Errorf("netlist: cannot evaluate kind %v", spec.Kind)
+	}
+	return out, nil
+}
+
+// Simulator evaluates a mapped netlist cycle by cycle, for equivalence
+// checking against the source logic network.
+type Simulator struct {
+	nl    *Netlist
+	order []*Instance
+	state map[int]bool // per sequential-instance captured value
+	nets  map[int]bool // per net value after the last Step
+}
+
+// NewSimulator builds a simulator; all state elements start at zero.
+func NewSimulator(nl *Netlist) (*Simulator, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{nl: nl, order: order, state: make(map[int]bool), nets: make(map[int]bool)}
+	return s, nil
+}
+
+// SetState forces the captured value of a sequential instance by name.
+func (s *Simulator) SetState(instName string, v bool) {
+	for _, inst := range s.nl.Instances {
+		if inst.Name == instName {
+			s.state[inst.ID] = v
+			return
+		}
+	}
+}
+
+// Step applies primary-input values (by net name), settles combinational
+// logic, samples primary outputs, then clocks every sequential element.
+func (s *Simulator) Step(inputs map[string]bool) (map[string]bool, error) {
+	for _, n := range s.nl.Nets {
+		if n.PrimaryIn {
+			s.nets[n.ID] = inputs[n.Name]
+		}
+	}
+	for _, inst := range s.order {
+		ins := make(map[string]bool, len(inst.Spec.Inputs)+1)
+		for _, pin := range inst.Spec.Inputs {
+			if n := inst.In[pin]; n != nil {
+				ins[pin] = s.nets[n.ID]
+			}
+		}
+		if inst.Spec.IsSequential() {
+			ins["__state"] = s.state[inst.ID]
+		}
+		outs, err := EvalCell(inst.Spec, ins)
+		if err != nil {
+			return nil, err
+		}
+		for pin, n := range inst.Out {
+			s.nets[n.ID] = outs[pin]
+		}
+	}
+	result := make(map[string]bool)
+	for _, n := range s.nl.Nets {
+		for _, snk := range n.Sinks {
+			if snk.Inst == nil {
+				result[snk.Pin] = s.nets[n.ID]
+			}
+		}
+	}
+	// Clock edge: capture D.
+	for _, inst := range s.nl.Instances {
+		if inst.Spec.IsSequential() {
+			if d := inst.In["D"]; d != nil {
+				s.state[inst.ID] = s.nets[d.ID]
+			}
+		}
+	}
+	return result, nil
+}
+
+// NetValue returns the value of a net after the last Step.
+func (s *Simulator) NetValue(n *Net) bool { return s.nets[n.ID] }

@@ -1,0 +1,404 @@
+// Package netlist models the mapped gate-level design: instances of
+// standard cells from the catalogue connected by nets, with primary
+// inputs/outputs and an implicit ideal clock. It supports the operations
+// synthesis needs — resizing instances within a footprint, inserting
+// buffers, topological traversal — plus functional evaluation for
+// equivalence checking and structural Verilog serialization.
+package netlist
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/stdcell"
+)
+
+// Netlist is a mapped design.
+type Netlist struct {
+	Name      string
+	Cat       *stdcell.Catalogue
+	Instances []*Instance
+	Nets      []*Net
+
+	nextInst int
+	nextNet  int
+}
+
+// Instance is one placed cell.
+type Instance struct {
+	ID   int
+	Name string
+	Spec *stdcell.Spec
+	// In maps input pin name -> net; Out maps output pin name -> net.
+	In  map[string]*Net
+	Out map[string]*Net
+}
+
+// Sink is a net consumer: an instance input pin, or a primary output when
+// Inst is nil.
+type Sink struct {
+	Inst *Instance
+	Pin  string // pin name, or the primary-output name when Inst is nil
+}
+
+// Net connects one driver to its sinks.
+type Net struct {
+	ID     int
+	Name   string
+	Driver *Instance // nil when driven by a primary input
+	DrvPin string    // driver output pin ("" for primary inputs)
+	Sinks  []Sink
+
+	PrimaryIn bool
+}
+
+// New creates an empty netlist over a catalogue.
+func New(name string, cat *stdcell.Catalogue) *Netlist {
+	return &Netlist{Name: name, Cat: cat}
+}
+
+// AddNet creates a floating net.
+func (nl *Netlist) AddNet(name string) *Net {
+	if name == "" {
+		name = fmt.Sprintf("n%d", nl.nextNet)
+	}
+	n := &Net{ID: nl.nextNet, Name: name}
+	nl.nextNet++
+	nl.Nets = append(nl.Nets, n)
+	return n
+}
+
+// AddInput creates a primary-input net.
+func (nl *Netlist) AddInput(name string) *Net {
+	n := nl.AddNet(name)
+	n.PrimaryIn = true
+	return n
+}
+
+// MarkOutput registers the net as a primary output with the given name.
+func (nl *Netlist) MarkOutput(name string, n *Net) {
+	n.Sinks = append(n.Sinks, Sink{Inst: nil, Pin: name})
+}
+
+// AddInstance places a cell. Connections are made with Connect/Drive.
+func (nl *Netlist) AddInstance(name string, spec *stdcell.Spec) *Instance {
+	if name == "" {
+		name = fmt.Sprintf("u%d", nl.nextInst)
+	}
+	inst := &Instance{
+		ID:   nl.nextInst,
+		Name: name,
+		Spec: spec,
+		In:   make(map[string]*Net),
+		Out:  make(map[string]*Net),
+	}
+	nl.nextInst++
+	nl.Instances = append(nl.Instances, inst)
+	return inst
+}
+
+// Connect wires an instance input pin to a net.
+func (nl *Netlist) Connect(inst *Instance, pin string, n *Net) {
+	if old := inst.In[pin]; old != nil {
+		nl.removeSink(old, inst, pin)
+	}
+	inst.In[pin] = n
+	n.Sinks = append(n.Sinks, Sink{Inst: inst, Pin: pin})
+}
+
+// Drive wires an instance output pin as the driver of a net.
+func (nl *Netlist) Drive(inst *Instance, pin string, n *Net) {
+	inst.Out[pin] = n
+	n.Driver = inst
+	n.DrvPin = pin
+}
+
+func (nl *Netlist) removeSink(n *Net, inst *Instance, pin string) {
+	for i, s := range n.Sinks {
+		if s.Inst == inst && s.Pin == pin {
+			n.Sinks = append(n.Sinks[:i], n.Sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resize swaps an instance to a different drive strength of the same
+// footprint. The new spec must belong to the same family.
+func (nl *Netlist) Resize(inst *Instance, to *stdcell.Spec) error {
+	if to.Family != inst.Spec.Family {
+		return fmt.Errorf("netlist: resize %s across footprints %s -> %s", inst.Name, inst.Spec.Family, to.Family)
+	}
+	inst.Spec = to
+	return nil
+}
+
+// InsertBuffer splits net n: the given sinks move behind a new buffer
+// instance driven by n. Returns the buffer instance and its output net.
+func (nl *Netlist) InsertBuffer(n *Net, spec *stdcell.Spec, sinks []Sink) (*Instance, *Net) {
+	buf := nl.AddInstance("", spec)
+	out := nl.AddNet("")
+	nl.Drive(buf, spec.Outputs[0], out)
+	for _, s := range sinks {
+		if s.Inst == nil {
+			// Re-point a primary output.
+			nl.removeSinkPO(n, s.Pin)
+			out.Sinks = append(out.Sinks, Sink{Inst: nil, Pin: s.Pin})
+			continue
+		}
+		nl.Connect(s.Inst, s.Pin, out)
+	}
+	nl.Connect(buf, spec.Inputs[0], n)
+	return buf, out
+}
+
+// MoveSinks reattaches the given sinks of net from onto net to.
+func (nl *Netlist) MoveSinks(from, to *Net, sinks []Sink) {
+	for _, s := range sinks {
+		if s.Inst == nil {
+			nl.removeSinkPO(from, s.Pin)
+			to.Sinks = append(to.Sinks, Sink{Inst: nil, Pin: s.Pin})
+			continue
+		}
+		nl.Connect(s.Inst, s.Pin, to)
+	}
+}
+
+func (nl *Netlist) removeSinkPO(n *Net, name string) {
+	for i, s := range n.Sinks {
+		if s.Inst == nil && s.Pin == name {
+			n.Sinks = append(n.Sinks[:i], n.Sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// PrimaryInputs returns the primary-input nets in creation order.
+func (nl *Netlist) PrimaryInputs() []*Net {
+	var out []*Net
+	for _, n := range nl.Nets {
+		if n.PrimaryIn {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// PrimaryOutputs returns (name, net) pairs for all primary outputs.
+func (nl *Netlist) PrimaryOutputs() []Sink {
+	var out []Sink
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst == nil {
+				out = append(out, Sink{Inst: nil, Pin: s.Pin})
+			}
+		}
+	}
+	return out
+}
+
+// OutputNet returns the net driving the named primary output, or nil.
+func (nl *Netlist) OutputNet(name string) *Net {
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst == nil && s.Pin == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the netlist: instances, nets and connectivity are
+// duplicated (preserving IDs and names); specs are shared (immutable).
+// Used by ECO-style passes that must not mutate a cached design.
+func (nl *Netlist) Clone() *Netlist {
+	cp := &Netlist{
+		Name: nl.Name, Cat: nl.Cat,
+		nextInst: nl.nextInst, nextNet: nl.nextNet,
+	}
+	nets := make(map[*Net]*Net, len(nl.Nets))
+	for _, n := range nl.Nets {
+		nn := &Net{ID: n.ID, Name: n.Name, PrimaryIn: n.PrimaryIn}
+		nets[n] = nn
+		cp.Nets = append(cp.Nets, nn)
+	}
+	insts := make(map[*Instance]*Instance, len(nl.Instances))
+	for _, inst := range nl.Instances {
+		ni := &Instance{
+			ID: inst.ID, Name: inst.Name, Spec: inst.Spec,
+			In:  make(map[string]*Net, len(inst.In)),
+			Out: make(map[string]*Net, len(inst.Out)),
+		}
+		insts[inst] = ni
+		cp.Instances = append(cp.Instances, ni)
+	}
+	for _, inst := range nl.Instances {
+		ni := insts[inst]
+		for pin, n := range inst.In {
+			ni.In[pin] = nets[n]
+		}
+		for pin, n := range inst.Out {
+			ni.Out[pin] = nets[n]
+		}
+	}
+	for _, n := range nl.Nets {
+		nn := nets[n]
+		if n.Driver != nil {
+			nn.Driver = insts[n.Driver]
+			nn.DrvPin = n.DrvPin
+		}
+		for _, s := range n.Sinks {
+			ns := Sink{Pin: s.Pin}
+			if s.Inst != nil {
+				ns.Inst = insts[s.Inst]
+			}
+			nn.Sinks = append(nn.Sinks, ns)
+		}
+	}
+	return cp
+}
+
+// Area sums the cell area of all instances (um^2).
+func (nl *Netlist) Area() float64 {
+	a := 0.0
+	for _, inst := range nl.Instances {
+		a += inst.Spec.Area()
+	}
+	return a
+}
+
+// CellUse returns instance counts per cell name — the Fig. 9 histogram
+// data.
+func (nl *Netlist) CellUse() map[string]int {
+	m := make(map[string]int)
+	for _, inst := range nl.Instances {
+		m[inst.Spec.Name]++
+	}
+	return m
+}
+
+// Sequentials returns all flip-flop and latch instances.
+func (nl *Netlist) Sequentials() []*Instance {
+	var out []*Instance
+	for _, inst := range nl.Instances {
+		if inst.Spec.IsSequential() {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the combinational instances in topological order:
+// every instance appears after the drivers of its data inputs.
+// Sequential instances are sources (their outputs are cycle boundaries)
+// and are listed first. Returns an error on a combinational cycle.
+func (nl *Netlist) TopoOrder() ([]*Instance, error) {
+	state := make([]int8, len(nl.Instances)) // 0 unvisited, 1 visiting, 2 done
+	order := make([]*Instance, 0, len(nl.Instances))
+	var visit func(inst *Instance) error
+	visit = func(inst *Instance) error {
+		switch state[inst.ID] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("netlist: combinational cycle through %s", inst.Name)
+		}
+		state[inst.ID] = 1
+		if !inst.Spec.IsSequential() {
+			for _, pin := range inst.Spec.Inputs {
+				n := inst.In[pin]
+				if n == nil || n.Driver == nil {
+					continue
+				}
+				if n.Driver.Spec.IsSequential() {
+					continue
+				}
+				if err := visit(n.Driver); err != nil {
+					return err
+				}
+			}
+		}
+		state[inst.ID] = 2
+		order = append(order, inst)
+		return nil
+	}
+	// Sequentials first (sources), then everything reachable.
+	for _, inst := range nl.Instances {
+		if inst.Spec.IsSequential() {
+			state[inst.ID] = 2
+			order = append(order, inst)
+		}
+	}
+	for _, inst := range nl.Instances {
+		if state[inst.ID] == 0 {
+			if err := visit(inst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return order, nil
+}
+
+// Validate checks structural sanity: every instance input pin connected,
+// every output pin driving a net, every net with at most one driver, and
+// no dangling non-PI nets used as inputs.
+func (nl *Netlist) Validate() error {
+	for _, inst := range nl.Instances {
+		spec := inst.Spec
+		for _, pin := range spec.Inputs {
+			if inst.In[pin] == nil {
+				return fmt.Errorf("netlist: %s input %s unconnected", inst.Name, pin)
+			}
+		}
+		// Clock/reset pins are ideal and may be left implicit; outputs
+		// must drive something only if connected at all.
+		for pin, n := range inst.Out {
+			if n.Driver != inst || n.DrvPin != pin {
+				return fmt.Errorf("netlist: %s output %s driver mismatch", inst.Name, pin)
+			}
+		}
+		if len(inst.Out) == 0 {
+			return fmt.Errorf("netlist: %s has no outputs connected", inst.Name)
+		}
+	}
+	for _, n := range nl.Nets {
+		if n.PrimaryIn && n.Driver != nil {
+			return fmt.Errorf("netlist: net %s is both primary input and driven", n.Name)
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil && s.Inst.In[s.Pin] != n {
+				return fmt.Errorf("netlist: net %s sink %s.%s back-pointer broken", n.Name, s.Inst.Name, s.Pin)
+			}
+		}
+	}
+	return nil
+}
+
+// Depths returns, per instance ID, the combinational cell depth: number
+// of combinational cells on the longest path from any source (PI or
+// sequential output) up to and including the instance. Sequential cells
+// have depth 0.
+func (nl *Netlist) Depths() (map[int]int, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d := make(map[int]int, len(order))
+	for _, inst := range order {
+		if inst.Spec.IsSequential() {
+			d[inst.ID] = 0
+			continue
+		}
+		m := 0
+		for _, pin := range inst.Spec.Inputs {
+			n := inst.In[pin]
+			if n == nil || n.Driver == nil || n.Driver.Spec.IsSequential() {
+				continue
+			}
+			if d[n.Driver.ID] > m {
+				m = d[n.Driver.ID]
+			}
+		}
+		d[inst.ID] = m + 1
+	}
+	return d, nil
+}

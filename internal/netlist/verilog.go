@@ -1,0 +1,326 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"stdcelltune/internal/stdcell"
+)
+
+// WriteVerilog serializes the netlist as a flat structural Verilog
+// module: one wire per net, one cell instantiation per instance with
+// named port connections. Bus-style port names like "instr[3]" are
+// escaped Verilog identifiers.
+func WriteVerilog(w io.Writer, nl *Netlist) error {
+	var inputs, outputs []string
+	for _, n := range nl.Nets {
+		if n.PrimaryIn {
+			inputs = append(inputs, n.Name)
+		}
+	}
+	for _, s := range nl.PrimaryOutputs() {
+		outputs = append(outputs, s.Pin)
+	}
+	sort.Strings(inputs)
+	sort.Strings(outputs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n", escape(nl.Name))
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "  input %s,\n", escape(in))
+	}
+	for i, out := range outputs {
+		comma := ","
+		if i == len(outputs)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "  output %s%s\n", escape(out), comma)
+	}
+	b.WriteString(");\n")
+	for _, n := range nl.Nets {
+		if !n.PrimaryIn {
+			fmt.Fprintf(&b, "  wire %s;\n", escape(n.Name))
+		}
+	}
+	for _, inst := range nl.Instances {
+		var conns []string
+		pins := make([]string, 0, len(inst.In)+len(inst.Out))
+		for p := range inst.In {
+			pins = append(pins, p)
+		}
+		for p := range inst.Out {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		for _, p := range pins {
+			n := inst.In[p]
+			if n == nil {
+				n = inst.Out[p]
+			}
+			conns = append(conns, fmt.Sprintf(".%s(%s)", p, escape(n.Name)))
+		}
+		fmt.Fprintf(&b, "  %s %s (%s);\n", inst.Spec.Name, escape(inst.Name), strings.Join(conns, ", "))
+	}
+	// Primary output assigns.
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst == nil && s.Pin != n.Name {
+				fmt.Fprintf(&b, "  assign %s = %s;\n", escape(s.Pin), escape(n.Name))
+			}
+		}
+	}
+	b.WriteString("endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escape renders a name as a Verilog identifier, using escaped-identifier
+// syntax when it contains characters like '[' that plain identifiers
+// disallow.
+func escape(name string) string {
+	plain := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '$') {
+			plain = false
+			break
+		}
+	}
+	if plain && len(name) > 0 && !(name[0] >= '0' && name[0] <= '9') {
+		return name
+	}
+	return "\\" + name + " " // escaped identifier: backslash..space
+}
+
+// ParseVerilog reads a flat structural module written by WriteVerilog
+// back into a netlist over the given catalogue.
+func ParseVerilog(src string, cat *stdcell.Catalogue) (*Netlist, error) {
+	toks, err := vlex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks, cat: cat}
+	return p.parseModule()
+}
+
+func vlex(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\\': // escaped identifier, ends at whitespace
+			j := i + 1
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' {
+				j++
+			}
+			toks = append(toks, src[i+1:j])
+			i = j
+		case strings.IndexByte("(),.;=", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !isVDelim(src[j]) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("verilog: unexpected byte %q", c)
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isVDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\' ||
+		strings.IndexByte("(),.;=", c) >= 0
+}
+
+type vparser struct {
+	toks []string
+	pos  int
+	cat  *stdcell.Catalogue
+}
+
+func (p *vparser) next() (string, error) {
+	if p.pos >= len(p.toks) {
+		return "", fmt.Errorf("verilog: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *vparser) expect(s string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t != s {
+		return fmt.Errorf("verilog: expected %q got %q", s, t)
+	}
+	return nil
+}
+
+func (p *vparser) parseModule() (*Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	nl := New(name, p.cat)
+	nets := make(map[string]*Net)
+	getNet := func(n string) *Net {
+		if x, ok := nets[n]; ok {
+			return x
+		}
+		x := nl.AddNet(n)
+		nets[n] = x
+		return x
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var outputs []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == ")" {
+			break
+		}
+		if t == "," {
+			continue
+		}
+		id, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "input":
+			n := getNet(id)
+			n.PrimaryIn = true
+		case "output":
+			outputs = append(outputs, id)
+		default:
+			return nil, fmt.Errorf("verilog: unexpected port class %q", t)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	outputNets := make(map[string]*Net)
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "endmodule":
+			// Any output without an assign is driven by a same-named net.
+			for _, o := range outputs {
+				if outputNets[o] == nil {
+					nl.MarkOutput(o, getNet(o))
+				}
+			}
+			return nl, nil
+		case "wire":
+			id, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			getNet(id)
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "assign":
+			lhs, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			n := getNet(rhs)
+			nl.MarkOutput(lhs, n)
+			outputNets[lhs] = n
+		default:
+			// Cell instantiation: CELL instname ( .pin(net), ... );
+			spec := p.cat.Spec(t)
+			if spec == nil {
+				return nil, fmt.Errorf("verilog: unknown cell %q", t)
+			}
+			iname, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			inst := nl.AddInstance(iname, spec)
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			outPins := make(map[string]bool, len(spec.Outputs))
+			for _, o := range spec.Outputs {
+				outPins[o] = true
+			}
+			for {
+				t, err := p.next()
+				if err != nil {
+					return nil, err
+				}
+				if t == ")" {
+					break
+				}
+				if t == "," {
+					continue
+				}
+				if t != "." {
+					return nil, fmt.Errorf("verilog: expected .pin, got %q", t)
+				}
+				pin, err := p.next()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				netName, err := p.next()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				n := getNet(netName)
+				if outPins[pin] {
+					nl.Drive(inst, pin, n)
+				} else {
+					nl.Connect(inst, pin, n)
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

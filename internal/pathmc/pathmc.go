@@ -1,0 +1,178 @@
+// Package pathmc Monte-Carlo simulates extracted timing paths under
+// global and local variation across process corners — the validation
+// experiments of Section VII.C (Figs. 15 and 16). Instead of SPICE, each
+// sample evaluates the analytic cell model with a sampled global die
+// factor and per-cell local mismatch.
+package pathmc
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+// Config controls a path Monte-Carlo run.
+type Config struct {
+	N           int // samples (the paper uses 200)
+	Seed        int64
+	Local       bool    // include local (per-cell) variation
+	Global      bool    // include global (die-wide) variation
+	GlobalSigma float64 // die factor sigma; default variation.DefaultGlobalSigma
+	Corner      stdcell.Corner
+}
+
+// DefaultConfig mirrors the paper's 200-sample runs with both variation
+// components in the typical corner.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		N: 200, Seed: seed,
+		Local: true, Global: true,
+		GlobalSigma: variation.DefaultGlobalSigma,
+		Corner:      stdcell.Typical,
+	}
+}
+
+// Result is one Monte-Carlo run over one path.
+type Result struct {
+	Cfg     Config
+	Samples []float64
+	Stats   dist.Normal
+}
+
+// Histogram bins the samples (Figs. 15/16 are histograms).
+func (r *Result) Histogram(bins int) *dist.Histogram {
+	return dist.HistogramOf(r.Samples, bins)
+}
+
+// Simulate runs the Monte Carlo over one extracted path. Each sample
+// draws one global die factor (shared by every cell — global variation
+// is fully correlated across a die) and an independent mismatch sample
+// per path cell, then sums the per-step delays at the operating points
+// frozen from the STA solution.
+func Simulate(path sta.Path, cfg Config) (*Result, error) {
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("pathmc: empty path")
+	}
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("pathmc: need at least 2 samples")
+	}
+	sm := variation.NewSampler(cfg.Seed)
+	samples := make([]float64, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		g := 1.0
+		if cfg.Global {
+			sigma := cfg.GlobalSigma
+			if sigma == 0 {
+				sigma = variation.DefaultGlobalSigma
+			}
+			g = sm.Global(i, sigma)
+		}
+		total := 0.0
+		for si, step := range path.Steps {
+			cs := variation.CellSample{}
+			if cfg.Local {
+				// Key by instance name and position so every cell on the
+				// path varies independently.
+				cs = sm.Cell(i, fmt.Sprintf("%s#%d", step.Inst.Name, si))
+			}
+			total += variation.CellDelay(step.Inst.Spec, cs, g, step.Load, step.Slew, cfg.Corner)
+		}
+		samples[i] = total
+	}
+	return &Result{Cfg: cfg, Samples: samples, Stats: dist.Estimate(samples)}, nil
+}
+
+// CornerPoint is one corner's statistics relative to typical (Fig. 15
+// annotations).
+type CornerPoint struct {
+	Corner   stdcell.Corner
+	Stats    dist.Normal
+	RelMean  float64 // mean / typical mean
+	RelSigma float64 // sigma / typical sigma
+}
+
+// CornerSweep simulates the path in fast/typical/slow corners and
+// reports mean and sigma relative to typical — the paper's finding is
+// that both scale by (about) the same factor.
+func CornerSweep(path sta.Path, cfg Config) ([]CornerPoint, error) {
+	base := cfg
+	base.Corner = stdcell.Typical
+	typ, err := Simulate(path, base)
+	if err != nil {
+		return nil, err
+	}
+	var out []CornerPoint
+	for _, c := range stdcell.AllCorners {
+		cc := cfg
+		cc.Corner = c
+		r, err := Simulate(path, cc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CornerPoint{
+			Corner:   c,
+			Stats:    r.Stats,
+			RelMean:  r.Stats.Mu / typ.Stats.Mu,
+			RelSigma: r.Stats.Sigma / typ.Stats.Sigma,
+		})
+	}
+	return out, nil
+}
+
+// Decomposition splits the total variation of a path into its local
+// share (Fig. 16): the same path is simulated with global+local and with
+// local only, and the contribution is sigma_local / sigma_total.
+type Decomposition struct {
+	Total     dist.Normal // global + local
+	LocalOnly dist.Normal
+	// LocalShare = sigma(local) / sigma(global+local).
+	LocalShare float64
+}
+
+// Decompose runs both simulations on the path.
+func Decompose(path sta.Path, cfg Config) (*Decomposition, error) {
+	both := cfg
+	both.Local, both.Global = true, true
+	total, err := Simulate(path, both)
+	if err != nil {
+		return nil, err
+	}
+	loc := cfg
+	loc.Local, loc.Global = true, false
+	localOnly, err := Simulate(path, loc)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decomposition{Total: total.Stats, LocalOnly: localOnly.Stats}
+	if total.Stats.Sigma > 0 {
+		d.LocalShare = localOnly.Stats.Sigma / total.Stats.Sigma
+	}
+	return d, nil
+}
+
+// PickPaths selects a short, medium and long path from the worst-path
+// population, approximating the paper's 3/18/57-cell extraction. It
+// returns the paths closest to the requested depths.
+func PickPaths(paths []sta.Path, wantDepths ...int) []sta.Path {
+	out := make([]sta.Path, 0, len(wantDepths))
+	for _, want := range wantDepths {
+		best := paths[0]
+		for _, p := range paths[1:] {
+			if abs(p.Depth()-want) < abs(best.Depth()-want) {
+				best = p
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

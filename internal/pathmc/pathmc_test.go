@@ -1,0 +1,190 @@
+package pathmc
+
+import (
+	"math"
+	"testing"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/stdcell"
+)
+
+var cat = stdcell.NewCatalogue(stdcell.Typical)
+
+// chainPath builds FF -> n INV_2 -> FF and returns the capture path.
+func chainPath(t *testing.T, n int) sta.Path {
+	t.Helper()
+	nl := netlist.New("chain", cat)
+	in := nl.AddInput("si")
+	ff1 := nl.AddInstance("launch", cat.Spec("DFQ_2"))
+	nl.Connect(ff1, "D", in)
+	cur := nl.AddNet("")
+	nl.Drive(ff1, "Q", cur)
+	for i := 0; i < n; i++ {
+		inv := nl.AddInstance("", cat.Spec("INV_2"))
+		nl.Connect(inv, "A", cur)
+		next := nl.AddNet("")
+		nl.Drive(inv, "Y", next)
+		cur = next
+	}
+	ff2 := nl.AddInstance("capture", cat.Spec("DFQ_2"))
+	nl.Connect(ff2, "D", cur)
+	q := nl.AddNet("")
+	nl.Drive(ff2, "Q", q)
+	nl.MarkOutput("so", q)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range r.Endpoints {
+		if ep.Name == "capture" {
+			return r.WorstPath(ep)
+		}
+	}
+	t.Fatal("capture endpoint missing")
+	return sta.Path{}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := chainPath(t, 5)
+	cfg := DefaultConfig(3)
+	a, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if len(a.Samples) != 200 {
+		t.Errorf("samples %d want 200 (paper)", len(a.Samples))
+	}
+}
+
+func TestSimulateMeanMatchesSTA(t *testing.T) {
+	p := chainPath(t, 8)
+	cfg := DefaultConfig(5)
+	r, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MC mean must sit near the deterministic sum of step delays at
+	// the same operating points (CellDelay is unskewed; STA arrivals use
+	// the worst rise skew, so compare against the raw model sum).
+	want := 0.0
+	for _, s := range p.Steps {
+		want += s.Inst.Spec.Delay(s.Load, s.Slew, stdcell.Typical)
+	}
+	if rel := math.Abs(r.Stats.Mu-want) / want; rel > 0.05 {
+		t.Errorf("MC mean %g vs deterministic %g (rel %g)", r.Stats.Mu, want, rel)
+	}
+	if r.Stats.Sigma <= 0 {
+		t.Error("no variation in MC")
+	}
+}
+
+func TestNoVariationNoSpread(t *testing.T) {
+	p := chainPath(t, 4)
+	cfg := Config{N: 50, Seed: 1, Corner: stdcell.Typical}
+	r, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Sigma > 1e-12 {
+		t.Errorf("sigma %g with all variation disabled", r.Stats.Sigma)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(sta.Path{}, DefaultConfig(1)); err == nil {
+		t.Error("empty path accepted")
+	}
+	p := chainPath(t, 2)
+	if _, err := Simulate(p, Config{N: 1, Seed: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+// TestCornerScaling reproduces Fig. 15: mean and sigma scale by the same
+// factor when moving to fast/slow corners.
+func TestCornerScaling(t *testing.T) {
+	p := chainPath(t, 10)
+	cfg := DefaultConfig(7)
+	cfg.N = 400
+	pts, err := CornerSweep(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("corners %d want 3", len(pts))
+	}
+	for _, pt := range pts {
+		wantScale := pt.Corner.DelayScale()
+		if math.Abs(pt.RelMean-wantScale) > 0.03 {
+			t.Errorf("%v: rel mean %g want ~%g", pt.Corner, pt.RelMean, wantScale)
+		}
+		// The paper's claim: sigma scales like the mean.
+		if math.Abs(pt.RelSigma-pt.RelMean) > 0.12*pt.RelMean {
+			t.Errorf("%v: rel sigma %g diverges from rel mean %g", pt.Corner, pt.RelSigma, pt.RelMean)
+		}
+	}
+}
+
+// TestLocalShareDecaysWithDepth reproduces the Fig. 16 trend: the local
+// contribution to total variation is large for short paths and decays as
+// paths get deeper (global variation accumulates linearly, local only as
+// sqrt(n)).
+func TestLocalShareDecaysWithDepth(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.N = 500
+	shares := make([]float64, 0, 3)
+	for _, depth := range []int{2, 12, 40} {
+		p := chainPath(t, depth)
+		d, err := Decompose(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.LocalShare <= 0 || d.LocalShare > 1.1 {
+			t.Fatalf("depth %d: local share %g out of range", depth, d.LocalShare)
+		}
+		if d.LocalOnly.Sigma >= d.Total.Sigma {
+			t.Errorf("depth %d: local-only sigma above total", depth)
+		}
+		shares = append(shares, d.LocalShare)
+	}
+	if !(shares[0] > shares[1] && shares[1] > shares[2]) {
+		t.Errorf("local share not decaying with depth: %v", shares)
+	}
+	t.Logf("local shares short/medium/long: %.2f %.2f %.2f", shares[0], shares[1], shares[2])
+}
+
+func TestHistogram(t *testing.T) {
+	p := chainPath(t, 6)
+	r, err := Simulate(p, DefaultConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Histogram(20)
+	if h.N != len(r.Samples) {
+		t.Errorf("histogram N %d want %d", h.N, len(r.Samples))
+	}
+}
+
+func TestPickPaths(t *testing.T) {
+	paths := []sta.Path{chainPath(t, 2), chainPath(t, 10), chainPath(t, 30)}
+	picked := PickPaths(paths, 3, 18, 57)
+	if picked[0].Depth() != 3 { // 2 INVs + launch FF
+		t.Errorf("short pick depth %d", picked[0].Depth())
+	}
+	if picked[1].Depth() != 11 {
+		t.Errorf("medium pick depth %d", picked[1].Depth())
+	}
+	if picked[2].Depth() != 31 {
+		t.Errorf("long pick depth %d", picked[2].Depth())
+	}
+}

@@ -1,0 +1,163 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+)
+
+var cat = stdcell.NewCatalogue(stdcell.Typical)
+
+func mappedMCU(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	m, err := rtlgen.Build(rtlgen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := synth.Map("mcu", m.Net, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestPlaceBasics(t *testing.T) {
+	nl := mappedMCU(t)
+	p, err := Place(nl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows < 2 {
+		t.Errorf("rows %d", p.Rows)
+	}
+	if p.Width <= 0 || p.Height() <= 0 {
+		t.Fatal("degenerate die")
+	}
+	// Every instance is inside the die.
+	for _, inst := range nl.Instances {
+		x, okX := p.X[inst.ID]
+		y, okY := p.Y[inst.ID]
+		if !okX || !okY {
+			t.Fatalf("instance %s unplaced", inst.Name)
+		}
+		if x < 0 || x > p.Width+1e-9 || y < 0 || y > p.Height()+1e-9 {
+			t.Fatalf("instance %s at (%g,%g) outside die %gx%g", inst.Name, x, y, p.Width, p.Height())
+		}
+	}
+	// Rows are legal: y snapped to row centers.
+	for _, inst := range nl.Instances {
+		y := p.Y[inst.ID]
+		frac := math.Mod(y, p.Cfg.RowHeight) / p.Cfg.RowHeight
+		if math.Abs(frac-0.5) > 1e-9 {
+			t.Fatalf("instance %s not on a row center: y=%g", inst.Name, y)
+		}
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(netlist.New("empty", cat), DefaultConfig()); err == nil {
+		t.Error("empty netlist accepted")
+	}
+	nl := mappedMCU(t)
+	bad := DefaultConfig()
+	bad.TargetUtilization = 0
+	if _, err := Place(nl, bad); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.RowHeight = -1
+	if _, err := Place(nl, bad2); err == nil {
+		t.Error("negative row height accepted")
+	}
+}
+
+// TestRefinementReducesWirelength: barycenter iterations must reduce the
+// total HPWL compared to the raw seeding.
+func TestRefinementReducesWirelength(t *testing.T) {
+	nl := mappedMCU(t)
+	cfg := DefaultConfig()
+	cfg.Iterations = 0
+	p0, err := Place(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 12
+	p12, err := Place(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w12 := p0.TotalHPWL(), p12.TotalHPWL()
+	t.Logf("HPWL: seed %.0f um, refined %.0f um (-%.0f%%)", w0, w12, 100*(w0-w12)/w0)
+	if w12 >= w0 {
+		t.Errorf("refinement did not reduce wirelength: %g -> %g", w0, w12)
+	}
+}
+
+func TestHPWLAndWireCaps(t *testing.T) {
+	nl := mappedMCU(t)
+	p, err := Place(nl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := p.WireCaps()
+	total := 0.0
+	for _, n := range nl.Nets {
+		h := p.HPWL(n)
+		if h < 0 {
+			t.Fatal("negative wirelength")
+		}
+		if got := caps[n.ID]; math.Abs(got-h*p.Cfg.CapPerMicron) > 1e-12 {
+			t.Fatalf("wire cap mismatch for net %s", n.Name)
+		}
+		total += h
+	}
+	if math.Abs(total-p.TotalHPWL()) > 1e-6 {
+		t.Error("TotalHPWL disagrees with sum")
+	}
+	// Single-pin and PI-only nets have zero wirelength.
+	for _, n := range nl.Nets {
+		pins := len(n.Sinks)
+		if n.Driver != nil {
+			pins++
+		}
+		if pins < 2 && p.HPWL(n) != 0 {
+			t.Fatalf("net %s with %d pins has wirelength", n.Name, pins)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	nl := mappedMCU(t)
+	p, err := Place(nl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := nl.Instances[0], nl.Instances[1]
+	if p.Distance(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+	if p.Distance(a, b) != p.Distance(b, a) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nl := mappedMCU(t)
+	p1, err := Place(nl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(nl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range p1.X {
+		if p1.X[id] != p2.X[id] || p1.Y[id] != p2.Y[id] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}

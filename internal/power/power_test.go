@@ -1,0 +1,182 @@
+package power
+
+import (
+	"testing"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+)
+
+var cat = stdcell.NewCatalogue(stdcell.Typical)
+
+func synthSmall(t *testing.T, clock float64) *synth.Result {
+	t.Helper()
+	m, err := rtlgen.Build(rtlgen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize("mcu", m.Net, cat, synth.DefaultOptions(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEstimateBasics(t *testing.T) {
+	res := synthSmall(t, 4)
+	rep, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Switching <= 0 || rep.Internal <= 0 || rep.Leakage <= 0 {
+		t.Fatalf("zero power component: %+v", rep)
+	}
+	if rep.Total() != rep.Switching+rep.Internal+rep.Leakage {
+		t.Error("Total inconsistent")
+	}
+	if rep.SigmaInternal <= 0 || rep.SigmaInternal >= rep.Internal {
+		t.Errorf("power sigma %g implausible vs internal %g", rep.SigmaInternal, rep.Internal)
+	}
+	if rep.MeanActivity <= 0 || rep.MeanActivity > 1 {
+		t.Errorf("mean activity %g out of range", rep.MeanActivity)
+	}
+	t.Logf("power: switching %.3f + internal %.3f + leakage %.3f = %.3f mW (sigma %.4f, activity %.3f)",
+		rep.Switching, rep.Internal, rep.Leakage, rep.Total(), rep.SigmaInternal, rep.MeanActivity)
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	res := synthSmall(t, 4)
+	a, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != b.Total() || a.MeanActivity != b.MeanActivity {
+		t.Error("estimation not deterministic")
+	}
+}
+
+// TestFrequencyScaling: halving the clock period doubles dynamic power
+// for the same activity (leakage unchanged).
+func TestFrequencyScaling(t *testing.T) {
+	res := synthSmall(t, 4)
+	fast, err := Estimate(res.Netlist, res.Timing, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := fast.Switching / slow.Switching
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("switching ratio %g want 2", ratio)
+	}
+	if fast.Leakage != slow.Leakage {
+		t.Error("leakage must not depend on frequency")
+	}
+}
+
+// TestStimulusScaling: more input activity means more dynamic power.
+func TestStimulusScaling(t *testing.T) {
+	res := synthSmall(t, 4)
+	quiet := DefaultConfig(4)
+	quiet.InputToggleProb = 0.02
+	busy := DefaultConfig(4)
+	busy.InputToggleProb = 0.5
+	q, err := Estimate(res.Netlist, res.Timing, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(res.Netlist, res.Timing, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Switching <= q.Switching {
+		t.Errorf("busy switching %g not above quiet %g", b.Switching, q.Switching)
+	}
+	if b.MeanActivity <= q.MeanActivity {
+		t.Error("activity did not rise with stimulus")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	res := synthSmall(t, 4)
+	if _, err := Estimate(res.Netlist, res.Timing, Config{Cycles: 1, ClockPeriod: 4}); err == nil {
+		t.Error("1 cycle accepted")
+	}
+	if _, err := Estimate(res.Netlist, res.Timing, Config{Cycles: 16, ClockPeriod: 0}); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestLeakageByFamily(t *testing.T) {
+	res := synthSmall(t, 4)
+	doms := LeakageByFamily(res.Netlist)
+	if len(doms) < 5 {
+		t.Fatalf("only %d families", len(doms))
+	}
+	total := 0.0
+	cells := 0
+	for i, d := range doms {
+		if d.Leakage <= 0 || d.Cells <= 0 {
+			t.Errorf("family %s empty", d.Family)
+		}
+		if i > 0 && d.Family < doms[i-1].Family {
+			t.Error("families not sorted")
+		}
+		total += d.Leakage
+		cells += d.Cells
+	}
+	if cells != len(res.Netlist.Instances) {
+		t.Errorf("breakdown covers %d cells want %d", cells, len(res.Netlist.Instances))
+	}
+	rep, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := total - rep.Leakage; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("family breakdown %g disagrees with total %g", total, rep.Leakage)
+	}
+}
+
+// TestBiggerCellsBurnMore: an upsized copy of the design must leak more
+// and spend more internal power.
+func TestBiggerCellsBurnMore(t *testing.T) {
+	res := synthSmall(t, 4)
+	base, err := Estimate(res.Netlist, res.Timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range res.Netlist.Instances {
+		fam := cat.Families[inst.Spec.Family]
+		if err := res.Netlist.Resize(inst, fam[len(fam)-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timing, err := sta.Analyze(res.Netlist, res.Opts.STA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Estimate(res.Netlist, timing, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Leakage <= base.Leakage {
+		t.Errorf("max-size leakage %g not above baseline %g", big.Leakage, base.Leakage)
+	}
+	if big.Internal <= base.Internal {
+		t.Errorf("max-size internal %g not above baseline %g", big.Internal, base.Internal)
+	}
+	// But the relative power sigma shrinks (Pelgrom on energy).
+	if big.SigmaInternal/big.Internal >= base.SigmaInternal/base.Internal {
+		t.Errorf("relative power sigma did not shrink with device size")
+	}
+	_ = netlist.Sink{} // keep the import for the helper types
+}

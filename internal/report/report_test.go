@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T1", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345.0)
+	tb.AddRow("c", 42)
+	tb.AddRow("flag", true)
+	out := tb.Render()
+	for _, want := range []string{"T1", "name", "alpha", "12345", "42", "true", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + underline + header + separator + 4 rows.
+	if len(lines) != 8 {
+		t.Errorf("line count %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("x,y", `quote"inside`)
+	tb.AddRow("plain", 3)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header missing: %s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"one", "two"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+	// Zero values render empty bars without dividing by zero.
+	z := Bars([]string{"z"}, []float64{0}, 10)
+	if strings.Contains(z, "#") {
+		t.Error("zero bar has marks")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := Series{Name: "base", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}}
+	b := Series{Name: "tuned", X: []float64{1, 2}, Y: []float64{9, 18}}
+	out := RenderSeries("fig", "clk", a, b)
+	if !strings.Contains(out, "base") || !strings.Contains(out, "tuned") {
+		t.Errorf("names missing:\n%s", out)
+	}
+	if !strings.Contains(out, "30") {
+		t.Errorf("long series value missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		-2000:   "-2000",
+		12.3456: "12.35",
+		0.12345: "0.1235",
+	}
+	for v, want := range cases {
+		if got := fmtFloat(v); got != want {
+			t.Errorf("fmtFloat(%v)=%q want %q", v, got, want)
+		}
+	}
+}

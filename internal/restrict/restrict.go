@@ -1,0 +1,124 @@
+// Package restrict defines the per-pin operating windows that the
+// library tuner emits and synthesis honors: for each output pin of a
+// standard cell, minimum and maximum output-load and input-slew values
+// that bind synthesis to a section of the cell's look-up table (paper
+// Section VI: "for each pin of a standard cell a minimum and maximum slew
+// and load value can be defined").
+package restrict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Window is the allowed LUT region of one output pin.
+type Window struct {
+	MinLoad, MaxLoad float64 // pF
+	MinSlew, MaxSlew float64 // ns, input slew of the related pins
+}
+
+// Allows reports whether an operating point lies inside the window.
+func (w Window) Allows(load, slew float64) bool {
+	return load >= w.MinLoad && load <= w.MaxLoad &&
+		slew >= w.MinSlew && slew <= w.MaxSlew
+}
+
+// Empty reports whether the window excludes every operating point.
+func (w Window) Empty() bool { return w.MaxLoad < w.MinLoad || w.MaxSlew < w.MinSlew }
+
+func (w Window) String() string {
+	return fmt.Sprintf("load[%.4g,%.4g] slew[%.4g,%.4g]", w.MinLoad, w.MaxLoad, w.MinSlew, w.MaxSlew)
+}
+
+// Set is a collection of windows keyed by cell and output pin. A nil
+// *Set means "unrestricted".
+type Set struct {
+	Name    string
+	windows map[string]Window
+}
+
+// NewSet creates an empty restriction set.
+func NewSet(name string) *Set {
+	return &Set{Name: name, windows: make(map[string]Window)}
+}
+
+func key(cell, pin string) string { return cell + "/" + pin }
+
+// Put stores the window of a cell output pin.
+func (s *Set) Put(cell, pin string, w Window) { s.windows[key(cell, pin)] = w }
+
+// Window returns the stored window and whether one exists.
+func (s *Set) Window(cell, pin string) (Window, bool) {
+	if s == nil {
+		return Window{}, false
+	}
+	w, ok := s.windows[key(cell, pin)]
+	return w, ok
+}
+
+// Allows reports whether the operating point of the given cell output pin
+// is legal. Pins without a stored window are unrestricted. A nil set
+// allows everything.
+func (s *Set) Allows(cell, pin string, load, slew float64) bool {
+	if s == nil {
+		return true
+	}
+	w, ok := s.windows[key(cell, pin)]
+	if !ok {
+		return true
+	}
+	return w.Allows(load, slew)
+}
+
+// MaxLoad returns the effective maximum load of the pin: the window bound
+// if present, otherwise fallback.
+func (s *Set) MaxLoad(cell, pin string, fallback float64) float64 {
+	if w, ok := s.Window(cell, pin); ok && w.MaxLoad < fallback {
+		return w.MaxLoad
+	}
+	return fallback
+}
+
+// MaxSlew returns the effective maximum input slew of the pin: the
+// window bound if present, otherwise fallback.
+func (s *Set) MaxSlew(cell, pin string, fallback float64) float64 {
+	if w, ok := s.Window(cell, pin); ok && w.MaxSlew < fallback {
+		return w.MaxSlew
+	}
+	return fallback
+}
+
+// Len returns the number of stored windows.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.windows)
+}
+
+// Keys returns the sorted "cell/pin" keys, for reports.
+func (s *Set) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	ks := make([]string, 0, len(s.windows))
+	for k := range s.windows {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// String summarizes the set.
+func (s *Set) String() string {
+	if s == nil {
+		return "unrestricted"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "restriction set %q (%d windows)\n", s.Name, s.Len())
+	for _, k := range s.Keys() {
+		fmt.Fprintf(&b, "  %-14s %s\n", k, s.windows[k])
+	}
+	return b.String()
+}

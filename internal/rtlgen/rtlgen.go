@@ -1,0 +1,299 @@
+// Package rtlgen generates the synthetic microcontroller design used as
+// the evaluation workload — the stand-in for the paper's "widely used
+// microprocessor design" (32-bit CPU, AHB bus, 32KB SRAM, ~20k gates).
+//
+// The design is a single-issue 32-bit CPU with a register file, an ALU
+// with an array multiplier, a barrel shifter, branch logic, an AHB-lite
+// style bus fabric with address decoding, a timer and GPIO peripheral,
+// and an external-SRAM interface (the SRAM macro itself, like in the
+// paper, is not synthesized — it appears as ports).
+//
+// Everything is built from technology-independent logic primitives so
+// the technology mapper (internal/synth) can cover it with the 304-cell
+// library.
+package rtlgen
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/logic"
+)
+
+// Config sizes the generated microcontroller.
+type Config struct {
+	Width     int // datapath width in bits
+	Registers int // register-file depth (power of two)
+	MulWidth  int // multiplier operand width (<= Width)
+	Timers    int // number of timer peripherals
+}
+
+// DefaultConfig yields the ~20k-gate configuration used by the paper
+// experiments.
+func DefaultConfig() Config {
+	return Config{Width: 32, Registers: 32, MulWidth: 16, Timers: 2}
+}
+
+// SmallConfig is a scaled-down MCU for fast unit tests.
+func SmallConfig() Config {
+	return Config{Width: 12, Registers: 4, MulWidth: 4, Timers: 1}
+}
+
+// MCU is the generated design plus handles to interesting internal words
+// (used by tests and the path-extraction experiments).
+type MCU struct {
+	Net *logic.Network
+	Cfg Config
+
+	// Debug handles (combinational words inside the datapath).
+	ALUResult []*logic.Node
+	PC        []*logic.Node
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Build generates the microcontroller network.
+func Build(cfg Config) (*MCU, error) {
+	if cfg.Width < 4 || cfg.Registers < 2 || cfg.MulWidth < 2 || cfg.MulWidth > cfg.Width {
+		return nil, fmt.Errorf("rtlgen: invalid config %+v", cfg)
+	}
+	if cfg.Registers&(cfg.Registers-1) != 0 {
+		return nil, fmt.Errorf("rtlgen: register count %d not a power of two", cfg.Registers)
+	}
+	n := logic.New()
+	w := cfg.Width
+	regBits := log2(cfg.Registers)
+	shiftBits := log2(w)
+
+	// ------------------------------------------------------------ ports
+	instr := n.InputBus("instr", w)        // fetched instruction word
+	memRData := n.InputBus("mem_rdata", w) // load data from the bus
+	gpioIn := n.InputBus("gpio_in", w)     // external GPIO inputs
+	sramRData := n.InputBus("sram_rdata", w)
+	irq := n.Input("irq")
+
+	// ------------------------------------------------- pipeline: fetch
+	// Instruction register and program counter.
+	ir := n.DFFWord(instr, "u_fetch_ir")
+	pcReg := n.DFFWord(n.ConstWord(0, w), "u_fetch_pc") // fanin fixed below
+
+	// ------------------------------------------------------ decode
+	// Custom compact ISA carved out of the IR.
+	op := ir[w-4:]            // top 4 bits: opcode
+	opHot := n.Decode(op, 16) // one-hot op lines
+	rd := ir[w-4-regBits : w-4]
+	rs1 := ir[w-4-2*regBits : w-4-regBits]
+	rs2 := ir[w-4-3*regBits : w-4-2*regBits]
+	immBits := w - 4 - 3*regBits
+	imm := make([]*logic.Node, w) // sign-extended immediate
+	copy(imm, ir[:immBits])
+	for i := immBits; i < w; i++ {
+		imm[i] = ir[immBits-1]
+	}
+
+	const (
+		opAdd = iota
+		opSub
+		opAnd
+		opOr
+		opXor
+		opShl
+		opShr
+		opMul
+		opMulH
+		opLd
+		opSt
+		opBeq
+		opBne
+		opJal
+		opLui
+		opAddI
+	)
+
+	// ------------------------------------------------- register file
+	rf := make([][]*logic.Node, cfg.Registers)
+	rdHot := n.Decode(rd, cfg.Registers)
+	// Write-back data is defined later; allocate the FFs first and patch
+	// their fanin afterwards (feedback through state is allowed).
+	for r := range rf {
+		rf[r] = n.DFFWord(n.ConstWord(0, w), fmt.Sprintf("u_rf_r%d", r))
+	}
+	rs1Hot := n.Decode(rs1, cfg.Registers)
+	rs2Hot := n.Decode(rs2, cfg.Registers)
+	srcA := n.SelectWord(rs1Hot, rf)
+	srcB := n.SelectWord(rs2Hot, rf)
+
+	// Operand B: immediate for I-type ops.
+	useImm := n.Or(n.Or(opHot[opAddI], opHot[opLui]), n.Or(opHot[opLd], opHot[opSt]))
+	opB := n.MuxWord(useImm, srcB, imm)
+
+	// ------------------------------------------------------------- ALU
+	sum, _ := n.RippleAdd(srcA, opB, n.Const(false))
+	diff, _ := n.Subtract(srcA, opB)
+	andW := n.AndWord(srcA, opB)
+	orW := n.OrWord(srcA, opB)
+	xorW := n.XorWord(srcA, opB)
+	shl := n.ShiftLeft(srcA, opB[:shiftBits])
+	shr := n.ShiftRight(srcA, opB[:shiftBits])
+	prod := n.Multiply(srcA[:cfg.MulWidth], opB[:cfg.MulWidth])
+	mulLo := make([]*logic.Node, w)
+	mulHi := make([]*logic.Node, w)
+	zero := n.Const(false)
+	for i := 0; i < w; i++ {
+		if i < len(prod) {
+			mulLo[i] = prod[i]
+		} else {
+			mulLo[i] = zero
+		}
+		if i+cfg.MulWidth < len(prod) {
+			mulHi[i] = prod[i+cfg.MulWidth]
+		} else {
+			mulHi[i] = zero
+		}
+	}
+	lui := make([]*logic.Node, w)
+	for i := 0; i < w; i++ {
+		if i >= w/2 {
+			lui[i] = imm[i-w/2]
+		} else {
+			lui[i] = zero
+		}
+	}
+	// Result selection (one-hot select word).
+	aluSel := []*logic.Node{
+		opHot[opAdd], opHot[opSub], opHot[opAnd], opHot[opOr], opHot[opXor],
+		opHot[opShl], opHot[opShr], opHot[opMul], opHot[opMulH], opHot[opLui],
+		opHot[opAddI],
+	}
+	aluWords := [][]*logic.Node{sum, diff, andW, orW, xorW, shl, shr, mulLo, mulHi, lui, sum}
+	aluOut := n.SelectWord(aluSel, aluWords)
+
+	// ------------------------------------------------------- branches
+	eq := n.Equal(srcA, srcB)
+	takeBeq := n.And(opHot[opBeq], eq)
+	takeBne := n.And(opHot[opBne], n.Not(eq))
+	branch := n.Or(n.Or(takeBeq, takeBne), opHot[opJal])
+
+	// -------------------------------------------------------------- PC
+	pcInc, _ := n.Increment(pcReg)
+	branchTarget, _ := n.RippleAdd(pcReg, imm, n.Const(false))
+	pcNext := n.MuxWord(branch, pcInc, branchTarget)
+	// IRQ vectors to a fixed address.
+	vector := n.ConstWord(0x40, w)
+	pcNext = n.MuxWord(irq, pcNext, vector)
+	for i, ff := range pcReg {
+		n.SetFaninLater(ff, pcNext[i])
+	}
+
+	// ------------------------------------------------------- bus fabric
+	// AHB-lite flavoured: address from ALU (reg+imm), top 2 bits select
+	// the slave: 00 SRAM, 01 ROM(instr), 10 timer block, 11 GPIO.
+	haddr := n.DFFWord(sum, "u_bus_haddr")
+	hwdata := n.DFFWord(srcB, "u_bus_hwdata")
+	hwrite := n.DFF(opHot[opSt], "u_bus_hwrite")
+	region := n.Decode(haddr[w-2:], 4)
+
+	// Timer peripherals: free-running counters with compare registers.
+	timerRead := n.ConstWord(0, w)
+	var timerMatches []*logic.Node
+	for tmr := 0; tmr < cfg.Timers; tmr++ {
+		cnt := n.DFFWord(n.ConstWord(0, w), fmt.Sprintf("u_timer%d_cnt", tmr))
+		cntInc, _ := n.Increment(cnt)
+		// Counter restarts on bus write to its address (low bit selects
+		// the timer registers).
+		writeThis := n.And(n.And(hwrite, region[2]), biteq(n, haddr[2+tmr], true))
+		for i, ff := range cnt {
+			n.SetFaninLater(ff, n.Mux(writeThis, cntInc[i], hwdata[i]))
+		}
+		cmp := n.DFFWord(n.ConstWord(0, w), fmt.Sprintf("u_timer%d_cmp", tmr))
+		writeCmp := n.And(writeThis, haddr[1])
+		for i, ff := range cmp {
+			n.SetFaninLater(ff, n.Mux(writeCmp, ff, hwdata[i]))
+		}
+		match := n.DFF(n.Equal(cnt, cmp), fmt.Sprintf("u_timer%d_match", tmr))
+		timerMatches = append(timerMatches, match)
+		timerRead = n.MuxWord(biteq(n, haddr[2+tmr], true), timerRead, cnt)
+	}
+
+	// GPIO peripheral: output register plus input synchronizer.
+	gpioWrite := n.And(hwrite, region[3])
+	gpioOut := n.DFFWord(n.ConstWord(0, w), "u_gpio_out")
+	for i, ff := range gpioOut {
+		n.SetFaninLater(ff, n.Mux(gpioWrite, ff, hwdata[i]))
+	}
+	gpioSync := n.DFFWord(gpioIn, "u_gpio_sync")
+
+	// Read-data mux back to the CPU.
+	hrdata := n.SelectWord(region, [][]*logic.Node{sramRData, instr, timerRead, gpioSync})
+
+	// -------------------------------------------------- write-back
+	isLoad := opHot[opLd]
+	wbData := n.MuxWord(isLoad, aluOut, memRData)
+	linkData := pcInc
+	wbData = n.MuxWord(opHot[opJal], wbData, linkData)
+	writesReg := n.Not(n.Or(n.Or(opHot[opSt], opHot[opBeq]), opHot[opBne]))
+	for r := range rf {
+		wen := n.And(writesReg, rdHot[r])
+		if r == 0 {
+			wen = n.Const(false) // r0 is hard-wired zero
+		}
+		for i, ff := range rf[r] {
+			n.SetFaninLater(ff, n.Mux(wen, ff, wbData[i]))
+		}
+	}
+
+	// ----------------------------------------------------- control FSM
+	// Four states one-hot: FETCH -> EXEC -> MEM -> WB -> FETCH, with MEM
+	// skipped for non-memory ops (kept simple; exercises NOR/NAND
+	// random logic).
+	stFetch := n.DFF(n.Const(true), "u_ctl_fetch")
+	stExec := n.DFF(n.Const(false), "u_ctl_exec")
+	stMem := n.DFF(n.Const(false), "u_ctl_mem")
+	stWB := n.DFF(n.Const(false), "u_ctl_wb")
+	isMem := n.Or(opHot[opLd], opHot[opSt])
+	n.SetFaninLater(stFetch, n.Or(stWB, n.And(stMem, n.Not(isMem))))
+	n.SetFaninLater(stExec, stFetch)
+	n.SetFaninLater(stMem, n.And(stExec, isMem))
+	n.SetFaninLater(stWB, n.Or(n.And(stExec, n.Not(isMem)), stMem))
+
+	// ------------------------------------------------------------ outputs
+	outWord := func(name string, word []*logic.Node) {
+		for i, b := range word {
+			n.Output(fmt.Sprintf("%s[%d]", name, i), b)
+		}
+	}
+	outWord("imem_addr", pcReg)
+	outWord("haddr", haddr)
+	outWord("hwdata", hwdata)
+	outWord("gpio_out", gpioOut)
+	outWord("sram_addr", haddr[:w-2])
+	outWord("sram_wdata", hwdata)
+	n.Output("sram_we", n.And(hwrite, region[0]))
+	n.Output("hwrite", hwrite)
+	for i, m := range timerMatches {
+		n.Output(fmt.Sprintf("timer_match[%d]", i), m)
+	}
+	n.Output("busy", n.Not(stFetch))
+	outWord("dbg_alu", aluOut)
+	n.Output("dbg_branch", branch)
+	outWord("dbg_hrdata", hrdata)
+
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("rtlgen: generated network invalid: %w", err)
+	}
+	return &MCU{Net: n, Cfg: cfg, ALUResult: aluOut, PC: pcReg}, nil
+}
+
+// biteq returns the node itself or its inverse so that the result is true
+// when the bit equals want.
+func biteq(n *logic.Network, b *logic.Node, want bool) *logic.Node {
+	if want {
+		return b
+	}
+	return n.Not(b)
+}

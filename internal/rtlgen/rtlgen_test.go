@@ -1,0 +1,243 @@
+package rtlgen
+
+import (
+	"fmt"
+	"testing"
+
+	"stdcelltune/internal/logic"
+)
+
+func TestBuildDefaultValid(t *testing.T) {
+	m, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gates := m.Net.GateCount()
+	t.Logf("default MCU: %d gate nodes, %d FFs, max level %d",
+		gates, len(m.Net.FFs), m.Net.MaxLevel())
+	if gates < 8000 || gates > 60000 {
+		t.Errorf("gate count %d outside the ~20k-gate design class", gates)
+	}
+	if len(m.Net.FFs) < 500 {
+		t.Errorf("FF count %d too small for a 32-bit MCU with register file", len(m.Net.FFs))
+	}
+	// Long ripple paths exist (paper's deepest path is ~57 cells).
+	if lvl := m.Net.MaxLevel(); lvl < 40 {
+		t.Errorf("max combinational level %d; expected deep datapath paths", lvl)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Net.Nodes) != len(b.Net.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Net.Nodes), len(b.Net.Nodes))
+	}
+	for i := range a.Net.Nodes {
+		na, nb := a.Net.Nodes[i], b.Net.Nodes[i]
+		if na.Op != nb.Op || na.Name != nb.Name || len(na.Fanin) != len(nb.Fanin) {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Width: 2, Registers: 4, MulWidth: 2, Timers: 1},
+		{Width: 32, Registers: 3, MulWidth: 8, Timers: 1},  // not power of two
+		{Width: 32, Registers: 8, MulWidth: 64, Timers: 1}, // mul wider than datapath
+		{Width: 32, Registers: 1, MulWidth: 8, Timers: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// buildInstr assembles an instruction for the small config:
+// [op:4][rd:2][rs1:2][rs2:2][imm:2] over 12 bits.
+func smallInstr(op, rd, rs1, rs2, imm int) uint64 {
+	return uint64(op&15)<<8 | uint64(rd&3)<<6 | uint64(rs1&3)<<4 | uint64(rs2&3)<<2 | uint64(imm&3)
+}
+
+func setWord(in map[string]bool, name string, v uint64, width int) {
+	for i := 0; i < width; i++ {
+		in[fmt.Sprintf("%s[%d]", name, i)] = v&(1<<uint(i)) != 0
+	}
+}
+
+func getWord(out map[string]bool, name string, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if out[fmt.Sprintf("%s[%d]", name, i)] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// TestCPUExecutesALUOps drives real instructions through the small MCU
+// and watches the ALU result: the datapath is functionally alive, not
+// just a timing skeleton.
+func TestCPUExecutesALUOps(t *testing.T) {
+	m, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Cfg.Width
+	sim := logic.NewSimulator(m.Net)
+	// Preload register file state directly: r1=5, r2=3.
+	for i := 0; i < w; i++ {
+		sim.SetState(fmt.Sprintf("u_rf_r1[%d]", i), 5&(1<<uint(i)) != 0)
+		sim.SetState(fmt.Sprintf("u_rf_r2[%d]", i), 3&(1<<uint(i)) != 0)
+	}
+	const (
+		opAdd = 0
+		opSub = 1
+		opAnd = 2
+		opOr  = 3
+		opXor = 4
+		opMul = 7
+	)
+	cases := []struct {
+		op   int
+		want uint64
+	}{
+		{opAdd, 8}, {opSub, 2}, {opAnd, 1}, {opOr, 7}, {opXor, 6}, {opMul, 15},
+	}
+	for _, c := range cases {
+		in := make(map[string]bool)
+		setWord(in, "instr", smallInstr(c.op, 3, 1, 2, 0), w)
+		sim.Step(in) // latch IR
+		// Re-seed registers (the WB stage may have clobbered them) and
+		// evaluate the decode+execute combinationally in the next cycle.
+		for i := 0; i < w; i++ {
+			sim.SetState(fmt.Sprintf("u_rf_r1[%d]", i), 5&(1<<uint(i)) != 0)
+			sim.SetState(fmt.Sprintf("u_rf_r2[%d]", i), 3&(1<<uint(i)) != 0)
+		}
+		out := sim.Step(in)
+		if got := getWord(out, "dbg_alu", w); got != c.want {
+			t.Errorf("op %d: alu=%d want %d", c.op, got, c.want)
+		}
+	}
+}
+
+// TestPCAdvances: with no branch, the PC increments by one each cycle.
+func TestPCAdvances(t *testing.T) {
+	m, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Cfg.Width
+	sim := logic.NewSimulator(m.Net)
+	in := make(map[string]bool)
+	setWord(in, "instr", smallInstr(0, 3, 1, 2, 0), w) // plain ADD
+	prev := uint64(0)
+	for cyc := 0; cyc < 5; cyc++ {
+		out := sim.Step(in)
+		got := getWord(out, "imem_addr", w)
+		if got != prev {
+			t.Fatalf("cycle %d: pc=%d want %d", cyc, got, prev)
+		}
+		prev++
+	}
+}
+
+// TestBranchRedirectsPC: a BEQ with equal operands rewrites the PC with
+// the branch target.
+func TestBranchRedirectsPC(t *testing.T) {
+	m, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Cfg.Width
+	sim := logic.NewSimulator(m.Net)
+	const opBeq = 11
+	in := make(map[string]bool)
+	setWord(in, "instr", smallInstr(opBeq, 0, 1, 2, 1), w) // r1==r2? both zero-init: yes
+	sim.Step(in)                                           // latch
+	out := sim.Step(in)
+	if !out["dbg_branch"] {
+		t.Fatal("branch not taken for equal registers")
+	}
+	// PC was 1 at branch evaluation; the 2-bit imm=1 stays +1 after sign
+	// extension, so the next PC is 1+1=2.
+	out = sim.Step(in)
+	if got := getWord(out, "imem_addr", w); got != 2 {
+		t.Errorf("pc after branch %d want 2", got)
+	}
+}
+
+// TestTimerCounts: the free-running timer counter increments and the
+// match output fires when counter equals the (zero) compare register —
+// i.e. immediately after wrap/start.
+func TestTimerCounts(t *testing.T) {
+	m, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Cfg.Width
+	sim := logic.NewSimulator(m.Net)
+	in := make(map[string]bool)
+	setWord(in, "instr", smallInstr(0, 3, 1, 2, 0), w)
+	// Cycle 0: cnt=0, cmp=0 -> eq true -> match DFF set next cycle.
+	sim.Step(in)
+	out := sim.Step(in)
+	if !out["timer_match[0]"] {
+		t.Error("timer match should fire one cycle after cnt==cmp")
+	}
+	// Counter has advanced: match clears.
+	out = sim.Step(in)
+	if out["timer_match[0]"] {
+		t.Error("timer match should clear once counter advances")
+	}
+}
+
+// TestGPIOOutputsStable: gpio_out register holds unless written via bus.
+func TestGPIOHoldsValue(t *testing.T) {
+	m, err := Build(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Cfg.Width
+	sim := logic.NewSimulator(m.Net)
+	sim.SetState("u_gpio_out[0]", true)
+	in := make(map[string]bool)
+	setWord(in, "instr", smallInstr(0, 3, 1, 2, 0), w) // ADD, no store
+	for i := 0; i < 3; i++ {
+		out := sim.Step(in)
+		if !out["gpio_out[0]"] {
+			t.Fatal("gpio_out lost its value without a bus write")
+		}
+	}
+}
+
+func TestOutputsPresent(t *testing.T) {
+	m, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Net.SortedOutputNames()
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, want := range []string{"imem_addr[0]", "haddr[31]", "sram_we", "timer_match[0]", "timer_match[1]", "busy", "gpio_out[7]"} {
+		if !set[want] {
+			t.Errorf("output %s missing", want)
+		}
+	}
+	if len(m.ALUResult) != 32 || len(m.PC) != 32 {
+		t.Error("debug handles wrong width")
+	}
+}

@@ -1,0 +1,143 @@
+package rtlgen
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/logic"
+)
+
+// Additional evaluation workloads beyond the microcontroller. The paper
+// evaluates one design; shipping more lets the tuning method's
+// generalization be measured across very different cell mixes: the FIR
+// filter is multiplier/adder dominated, the parallel CRC is XOR
+// dominated.
+
+// FIRConfig sizes the FIR filter generator.
+type FIRConfig struct {
+	Taps       int // number of filter taps
+	Width      int // sample width in bits
+	CoeffWidth int // coefficient width in bits
+}
+
+// DefaultFIRConfig is an 8-tap 16-bit filter (~6k gates).
+func DefaultFIRConfig() FIRConfig {
+	return FIRConfig{Taps: 8, Width: 16, CoeffWidth: 8}
+}
+
+// SmallFIRConfig keeps unit tests fast.
+func SmallFIRConfig() FIRConfig {
+	return FIRConfig{Taps: 4, Width: 8, CoeffWidth: 4}
+}
+
+// BuildFIR generates a direct-form FIR filter: a sample shift register,
+// one multiplier per tap against a programmable coefficient port, an
+// adder tree, and a registered output.
+func BuildFIR(cfg FIRConfig) (*logic.Network, error) {
+	if cfg.Taps < 2 || cfg.Width < 2 || cfg.CoeffWidth < 2 {
+		return nil, fmt.Errorf("rtlgen: invalid FIR config %+v", cfg)
+	}
+	n := logic.New()
+	sample := n.InputBus("sample", cfg.Width)
+	coeffs := make([][]*logic.Node, cfg.Taps)
+	for t := range coeffs {
+		coeffs[t] = n.InputBus(fmt.Sprintf("coeff%d", t), cfg.CoeffWidth)
+	}
+	// Delay line: tap 0 sees the newest sample.
+	taps := make([][]*logic.Node, cfg.Taps)
+	taps[0] = sample
+	prev := sample
+	for t := 1; t < cfg.Taps; t++ {
+		reg := n.DFFWord(prev, fmt.Sprintf("u_dline%d", t))
+		taps[t] = reg
+		prev = reg
+	}
+	// Products, accumulated in a balanced adder tree.
+	outW := cfg.Width + cfg.CoeffWidth
+	terms := make([][]*logic.Node, cfg.Taps)
+	for t := 0; t < cfg.Taps; t++ {
+		p := n.Multiply(taps[t], coeffs[t])
+		terms[t] = p[:outW]
+	}
+	for len(terms) > 1 {
+		var next [][]*logic.Node
+		for i := 0; i+1 < len(terms); i += 2 {
+			s, _ := n.RippleAdd(terms[i], terms[i+1], n.Const(false))
+			next = append(next, s)
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	acc := n.DFFWord(terms[0], "u_acc")
+	for i, b := range acc {
+		n.Output(fmt.Sprintf("y[%d]", i), b)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// CRCConfig sizes the parallel CRC generator.
+type CRCConfig struct {
+	Width     int    // CRC register width
+	Poly      uint64 // generator polynomial (without the top bit)
+	DataWidth int    // input bits consumed per cycle
+}
+
+// DefaultCRCConfig is CRC-32 (IEEE 802.3) over 32-bit words.
+func DefaultCRCConfig() CRCConfig {
+	return CRCConfig{Width: 32, Poly: 0x04C11DB7, DataWidth: 32}
+}
+
+// SmallCRCConfig is CRC-8 over bytes for fast tests.
+func SmallCRCConfig() CRCConfig {
+	return CRCConfig{Width: 8, Poly: 0x07, DataWidth: 8}
+}
+
+// BuildCRC generates a parallel (one word per cycle) CRC circuit by
+// unrolling the serial LFSR DataWidth times — a deep XOR-only cone in
+// front of the state register, the opposite cell mix of the MCU.
+func BuildCRC(cfg CRCConfig) (*logic.Network, error) {
+	if cfg.Width < 2 || cfg.DataWidth < 1 {
+		return nil, fmt.Errorf("rtlgen: invalid CRC config %+v", cfg)
+	}
+	n := logic.New()
+	data := n.InputBus("data", cfg.DataWidth)
+	en := n.Input("en")
+	// State register (fanin patched after the cone is built).
+	state := make([]*logic.Node, cfg.Width)
+	for i := range state {
+		state[i] = n.DFF(data[0], fmt.Sprintf("u_crc[%d]", i))
+	}
+	// Unroll the serial LFSR: per input bit, fb = msb ^ d; shift left;
+	// xor the polynomial taps with fb.
+	cur := make([]*logic.Node, cfg.Width)
+	copy(cur, state)
+	for k := cfg.DataWidth - 1; k >= 0; k-- {
+		fb := n.Xor(cur[cfg.Width-1], data[k])
+		next := make([]*logic.Node, cfg.Width)
+		for i := cfg.Width - 1; i >= 1; i-- {
+			if cfg.Poly&(1<<uint(i)) != 0 {
+				next[i] = n.Xor(cur[i-1], fb)
+			} else {
+				next[i] = cur[i-1]
+			}
+		}
+		if cfg.Poly&1 != 0 {
+			next[0] = fb
+		} else {
+			next[0] = n.Const(false)
+		}
+		cur = next
+	}
+	for i, ff := range state {
+		n.SetFaninLater(ff, n.Mux(en, ff, cur[i]))
+		n.Output(fmt.Sprintf("crc[%d]", i), ff)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,158 @@
+// Package sdc parses the subset of Synopsys Design Constraints that the
+// flow consumes: clock definition, clock uncertainty, input transition,
+// output load and max fanout/capacitance overrides. Real synthesis runs
+// are driven by .sdc files; this keeps the reproduction's command-line
+// tools compatible with that workflow.
+//
+// Supported commands:
+//
+//	create_clock -period <ns> [-name <name>]
+//	set_clock_uncertainty <ns>
+//	set_input_transition <ns>
+//	set_load <pF>
+//	set_max_capacitance <pF>
+//	set_max_fanout <n>
+//
+// Lines starting with '#' are comments; unknown commands error (so typos
+// do not silently drop constraints).
+package sdc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stdcelltune/internal/sta"
+)
+
+// Constraints is the parsed constraint set.
+type Constraints struct {
+	ClockName       string
+	ClockPeriod     float64
+	Uncertainty     float64
+	InputTransition float64
+	OutputLoad      float64
+	MaxCapacitance  float64 // 0 = library limits apply
+	MaxFanout       int     // 0 = unlimited
+}
+
+// Parse reads SDC text.
+func Parse(src string) (*Constraints, error) {
+	c := &Constraints{ClockName: "clk"}
+	seenClock := false
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := fields[0]
+		args := fields[1:]
+		var err error
+		switch cmd {
+		case "create_clock":
+			err = c.parseCreateClock(args)
+			seenClock = err == nil
+		case "set_clock_uncertainty":
+			c.Uncertainty, err = oneFloat(cmd, args)
+		case "set_input_transition":
+			c.InputTransition, err = oneFloat(cmd, args)
+		case "set_load":
+			c.OutputLoad, err = oneFloat(cmd, args)
+		case "set_max_capacitance":
+			c.MaxCapacitance, err = oneFloat(cmd, args)
+		case "set_max_fanout":
+			var v float64
+			v, err = oneFloat(cmd, args)
+			c.MaxFanout = int(v)
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sdc: line %d: %w", ln+1, err)
+		}
+	}
+	if !seenClock {
+		return nil, fmt.Errorf("sdc: no create_clock")
+	}
+	if c.ClockPeriod <= 0 {
+		return nil, fmt.Errorf("sdc: non-positive clock period %g", c.ClockPeriod)
+	}
+	return c, nil
+}
+
+func (c *Constraints) parseCreateClock(args []string) error {
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-period":
+			if i+1 >= len(args) {
+				return fmt.Errorf("create_clock: -period needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("create_clock: bad period %q", args[i+1])
+			}
+			c.ClockPeriod = v
+			i++
+		case "-name":
+			if i+1 >= len(args) {
+				return fmt.Errorf("create_clock: -name needs a value")
+			}
+			c.ClockName = args[i+1]
+			i++
+		default:
+			// Port list arguments ([get_ports clk]) are accepted and
+			// ignored: the flow has a single ideal clock.
+		}
+	}
+	return nil
+}
+
+func oneFloat(cmd string, args []string) (float64, error) {
+	if len(args) < 1 {
+		return 0, fmt.Errorf("%s: missing value", cmd)
+	}
+	v, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad value %q", cmd, args[0])
+	}
+	return v, nil
+}
+
+// STAConfig converts the constraints into a timing context, starting
+// from the flow defaults for anything the SDC leaves unset.
+func (c *Constraints) STAConfig() sta.Config {
+	cfg := sta.DefaultConfig(c.ClockPeriod)
+	if c.Uncertainty > 0 {
+		cfg.Uncertainty = c.Uncertainty
+	}
+	if c.InputTransition > 0 {
+		cfg.InputSlew = c.InputTransition
+	}
+	if c.OutputLoad > 0 {
+		cfg.OutputLoad = c.OutputLoad
+	}
+	return cfg
+}
+
+// Write serializes the constraints back to SDC text.
+func (c *Constraints) Write() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "create_clock -name %s -period %g\n", c.ClockName, c.ClockPeriod)
+	if c.Uncertainty > 0 {
+		fmt.Fprintf(&b, "set_clock_uncertainty %g\n", c.Uncertainty)
+	}
+	if c.InputTransition > 0 {
+		fmt.Fprintf(&b, "set_input_transition %g\n", c.InputTransition)
+	}
+	if c.OutputLoad > 0 {
+		fmt.Fprintf(&b, "set_load %g\n", c.OutputLoad)
+	}
+	if c.MaxCapacitance > 0 {
+		fmt.Fprintf(&b, "set_max_capacitance %g\n", c.MaxCapacitance)
+	}
+	if c.MaxFanout > 0 {
+		fmt.Fprintf(&b, "set_max_fanout %d\n", c.MaxFanout)
+	}
+	return b.String()
+}

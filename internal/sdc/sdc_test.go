@@ -1,0 +1,86 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFull(t *testing.T) {
+	src := `
+# high performance constraints
+create_clock -name core_clk -period 2.41 [get_ports clk]
+set_clock_uncertainty 0.3
+set_input_transition 0.05
+set_load 0.005
+set_max_capacitance 0.1
+set_max_fanout 16
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClockName != "core_clk" || c.ClockPeriod != 2.41 {
+		t.Errorf("clock %+v", c)
+	}
+	if c.Uncertainty != 0.3 || c.InputTransition != 0.05 || c.OutputLoad != 0.005 {
+		t.Errorf("timing context %+v", c)
+	}
+	if c.MaxCapacitance != 0.1 || c.MaxFanout != 16 {
+		t.Errorf("limits %+v", c)
+	}
+	cfg := c.STAConfig()
+	if cfg.ClockPeriod != 2.41 || cfg.Uncertainty != 0.3 || cfg.InputSlew != 0.05 || cfg.OutputLoad != 0.005 {
+		t.Errorf("STA config %+v", cfg)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	c, err := Parse("create_clock -period 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClockName != "clk" {
+		t.Errorf("default clock name %q", c.ClockName)
+	}
+	cfg := c.STAConfig()
+	// Unset values fall back to the flow defaults.
+	if cfg.Uncertainty != 0.3 || cfg.InputSlew != 0.05 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no clock
+		"set_clock_uncertainty 0.3",            // no clock
+		"create_clock -period nope",            // bad float
+		"create_clock -period",                 // missing value
+		"create_clock -period 2 -name",         // missing name
+		"create_clock -period -2",              // non-positive
+		"create_clock -period 2\nfrobnicate 1", // unknown command
+		"create_clock -period 2\nset_load",     // missing value
+		"create_clock -period 2\nset_load x",   // bad value
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Parse("create_clock -name k -period 3.5\nset_clock_uncertainty 0.2\nset_max_fanout 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(c.Write())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, c.Write())
+	}
+	if *back != *c {
+		t.Errorf("round trip changed constraints:\n%+v\n%+v", c, back)
+	}
+	if !strings.Contains(c.Write(), "create_clock -name k -period 3.5") {
+		t.Errorf("write format: %s", c.Write())
+	}
+}

@@ -1,0 +1,70 @@
+package sta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReportTiming renders the worst path of the worst endpoint in the
+// classic report_timing layout: one line per cell with incremental and
+// cumulative delay, then the slack calculation. This is the report a
+// designer reads first after synthesis.
+func (r *Result) ReportTiming() string {
+	cp, err := r.CriticalPath()
+	if err != nil {
+		return "no timing paths\n"
+	}
+	return r.ReportPath(cp)
+}
+
+// ReportPath renders one path.
+func (r *Result) ReportPath(p Path) string {
+	var b strings.Builder
+	ep := p.Endpoint
+	fmt.Fprintf(&b, "Startpoint: %s\n", startpointOf(p))
+	kind := "output port"
+	if ep.IsFF {
+		kind = fmt.Sprintf("%s/D (setup check)", ep.Name)
+	} else {
+		kind = fmt.Sprintf("port %s", ep.Name)
+	}
+	fmt.Fprintf(&b, "Endpoint:   %s\n", kind)
+	fmt.Fprintf(&b, "Clock period %.3f ns, uncertainty %.3f ns\n\n",
+		r.Cfg.ClockPeriod, r.Cfg.Uncertainty)
+	fmt.Fprintf(&b, "%-28s %-10s %9s %9s\n", "point", "cell", "incr", "path")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	cum := 0.0
+	for _, s := range p.Steps {
+		cum += s.Delay
+		fmt.Fprintf(&b, "%-28s %-10s %9.4f %9.4f\n",
+			fmt.Sprintf("%s/%s->%s", s.Inst.Name, s.FromPin, s.OutPin),
+			s.Inst.Spec.Name, s.Delay, cum)
+	}
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	required := r.Cfg.ClockPeriod - r.Cfg.Uncertainty
+	if ep.IsFF {
+		setup := ep.Inst.Spec.SetupTime(r.nl.Cat.Corner)
+		required -= setup
+		fmt.Fprintf(&b, "%-28s %20s %9.4f\n", "data required (T - unc - setup)", "", required)
+	} else {
+		fmt.Fprintf(&b, "%-28s %20s %9.4f\n", "data required (T - unc)", "", required)
+	}
+	fmt.Fprintf(&b, "%-28s %20s %9.4f\n", "data arrival", "", ep.Arrival)
+	verdict := "MET"
+	if ep.Slack < 0 {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(&b, "%-28s %20s %9.4f  (%s)\n", "slack", "", ep.Slack, verdict)
+	return b.String()
+}
+
+func startpointOf(p Path) string {
+	if len(p.Steps) == 0 {
+		return "primary input"
+	}
+	first := p.Steps[0]
+	if first.Inst.Spec.IsSequential() {
+		return fmt.Sprintf("%s/%s (clock edge)", first.Inst.Name, first.FromPin)
+	}
+	return fmt.Sprintf("%s/%s", first.Inst.Name, first.FromPin)
+}

@@ -1,0 +1,74 @@
+package sta
+
+import "math"
+
+// RequiredTimes computes, per net ID, the latest time data may arrive on
+// the net without violating any downstream endpoint — a backward pass
+// mirroring the forward arrival propagation. The per-net slack
+// (required - arrival) drives the area-recovery downsizing in synthesis:
+// a cell whose output net has generous slack can afford to get slower.
+//
+// The backward pass reuses the arc delays implied by the forward
+// solution (same loads and slews), which is the standard STA required-
+// time approximation.
+func (r *Result) RequiredTimes() []float64 {
+	req := make([]float64, len(r.Arrival))
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	// Seed endpoints.
+	reqBase := r.Cfg.ClockPeriod - r.Cfg.Uncertainty
+	for _, ep := range r.Endpoints {
+		lim := reqBase
+		if ep.IsFF {
+			lim -= ep.Inst.Spec.SetupTime(r.nl.Cat.Corner)
+		}
+		if lim < req[ep.Net.ID] {
+			req[ep.Net.ID] = lim
+		}
+	}
+	// Reverse topological order: process instances after all their
+	// fanout instances.
+	order, err := r.nl.TopoOrder()
+	if err != nil {
+		return req
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		if inst.Spec.IsSequential() {
+			continue
+		}
+		for pin, out := range inst.Out {
+			ro := req[out.ID]
+			if math.IsInf(ro, 1) {
+				continue
+			}
+			for _, in := range inst.Spec.Inputs {
+				inNet := inst.In[in]
+				if inNet == nil {
+					continue
+				}
+				arc := r.arcOf(inst, pin, in)
+				if arc == nil {
+					continue
+				}
+				d, _ := evalArc(arc, r.Load[out.ID], r.Slew[inNet.ID])
+				if lim := ro - d; lim < req[inNet.ID] {
+					req[inNet.ID] = lim
+				}
+			}
+		}
+	}
+	return req
+}
+
+// NetSlacks returns required - arrival per net ID (positive = margin).
+// Nets with no downstream endpoint have +Inf slack.
+func (r *Result) NetSlacks() []float64 {
+	req := r.RequiredTimes()
+	out := make([]float64, len(req))
+	for i := range req {
+		out[i] = req[i] - r.Arrival[i]
+	}
+	return out
+}

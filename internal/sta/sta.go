@@ -1,0 +1,382 @@
+// Package sta implements static timing analysis over a mapped netlist:
+// fanout-based wire loads, LUT-interpolated cell delays and output slews
+// propagated in topological order, endpoint slacks against a clock
+// period with an uncertainty guard band (the paper uses 300 ps), and
+// worst-path extraction per unique endpoint — the path set Figs. 12-14
+// are computed from.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/netlist"
+)
+
+// Config holds the timing context.
+type Config struct {
+	ClockPeriod float64 // ns
+	Uncertainty float64 // clock uncertainty / guard band, ns
+	// WireCapPerFanout is the wire-load model: every sink adds this much
+	// capacitance to the net (pF).
+	WireCapPerFanout float64
+	// InputSlew is the transition assumed at primary inputs and at clock
+	// pins (ns).
+	InputSlew float64
+	// OutputLoad is the capacitance assumed at primary outputs (pF).
+	OutputLoad float64
+	// NetWireCap, when non-nil, overrides the fanout wire-load model
+	// with an exact per-net-ID wire capacitance (pF) — typically derived
+	// from placement wirelength (internal/place). Nets beyond the slice
+	// fall back to the fanout model.
+	NetWireCap []float64
+}
+
+// wireCap returns the wire capacitance of a net under the configured
+// model.
+func (c Config) wireCap(netID, fanout int) float64 {
+	if c.NetWireCap != nil && netID < len(c.NetWireCap) {
+		return c.NetWireCap[netID]
+	}
+	return c.WireCapPerFanout * float64(fanout)
+}
+
+// DefaultConfig returns the timing context used by the experiments:
+// 300 ps guard band, 1.5 fF per fanout, 50 ps input slew, 5 fF output
+// loads.
+func DefaultConfig(period float64) Config {
+	return Config{
+		ClockPeriod:      period,
+		Uncertainty:      0.3,
+		WireCapPerFanout: 0.0015,
+		InputSlew:        0.05,
+		OutputLoad:       0.005,
+	}
+}
+
+// Result is the outcome of one timing analysis pass.
+type Result struct {
+	Cfg Config
+
+	// Per net ID.
+	Load    []float64 // capacitive load seen by the driver
+	Arrival []float64 // worst data arrival at the net
+	Slew    []float64 // transition at the net
+
+	// Path backtracking: per net ID, the instance input pin whose arc set
+	// the arrival (empty for PI / sequential-launch nets).
+	fromPin []string
+
+	Endpoints []Endpoint
+
+	// MaxCapViolations lists nets whose load exceeds the driver pin's
+	// max_capacitance.
+	MaxCapViolations []*netlist.Net
+
+	nl *netlist.Netlist
+}
+
+// Endpoint is a timing check location: a flip-flop D pin or a primary
+// output.
+type Endpoint struct {
+	Name    string // FF instance name or PO name
+	IsFF    bool
+	Inst    *netlist.Instance // nil for POs
+	Net     *netlist.Net      // the net whose arrival is checked
+	Arrival float64
+	Slack   float64
+}
+
+// WNS returns the worst negative slack (most negative endpoint slack;
+// positive when all endpoints meet timing).
+func (r *Result) WNS() float64 {
+	w := math.Inf(1)
+	for _, e := range r.Endpoints {
+		if e.Slack < w {
+			w = e.Slack
+		}
+	}
+	if math.IsInf(w, 1) {
+		return 0
+	}
+	return w
+}
+
+// TNS returns the total negative slack.
+func (r *Result) TNS() float64 {
+	t := 0.0
+	for _, e := range r.Endpoints {
+		if e.Slack < 0 {
+			t += e.Slack
+		}
+	}
+	return t
+}
+
+// MeetsTiming reports whether every endpoint has non-negative slack and
+// no max-capacitance violations remain.
+func (r *Result) MeetsTiming() bool {
+	return r.WNS() >= 0 && len(r.MaxCapViolations) == 0
+}
+
+// Analyze runs one full timing pass over the netlist.
+func Analyze(nl *netlist.Netlist, cfg Config) (*Result, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nNets := 0
+	for _, n := range nl.Nets {
+		if n.ID >= nNets {
+			nNets = n.ID + 1
+		}
+	}
+	r := &Result{
+		Cfg:     cfg,
+		Load:    make([]float64, nNets),
+		Arrival: make([]float64, nNets),
+		Slew:    make([]float64, nNets),
+		fromPin: make([]string, nNets),
+		nl:      nl,
+	}
+	// Pass 1: net loads.
+	for _, n := range nl.Nets {
+		load := 0.0
+		for _, s := range n.Sinks {
+			if s.Inst == nil {
+				load += cfg.OutputLoad
+				continue
+			}
+			load += s.Inst.Spec.InputCap()
+		}
+		load += cfg.wireCap(n.ID, len(n.Sinks))
+		r.Load[n.ID] = load
+		if n.Driver != nil {
+			// Tolerance matches the synthesis legality checks so a load
+			// sitting exactly on the limit is not flagged by float dust.
+			if mc := n.Driver.Spec.MaxCap(); load > mc+1e-12 {
+				r.MaxCapViolations = append(r.MaxCapViolations, n)
+			}
+		}
+	}
+	// Pass 2: arrivals and slews in topological order.
+	for _, n := range nl.Nets {
+		if n.PrimaryIn {
+			r.Arrival[n.ID] = 0
+			r.Slew[n.ID] = cfg.InputSlew
+		}
+	}
+	for _, inst := range order {
+		if inst.Spec.IsSequential() {
+			// Launch: clock edge at t=0, CK->Q arc with the clock slew.
+			for pin, out := range inst.Out {
+				arc := r.arcOf(inst, pin, inst.Spec.Clock)
+				if arc == nil {
+					continue
+				}
+				d, tr := evalArc(arc, r.Load[out.ID], cfg.InputSlew)
+				r.Arrival[out.ID] = d
+				r.Slew[out.ID] = tr
+				r.fromPin[out.ID] = inst.Spec.Clock
+			}
+			continue
+		}
+		for pin, out := range inst.Out {
+			worst := math.Inf(-1)
+			worstSlew := 0.0
+			worstPin := ""
+			for _, in := range inst.Spec.Inputs {
+				inNet := inst.In[in]
+				if inNet == nil {
+					continue
+				}
+				arc := r.arcOf(inst, pin, in)
+				if arc == nil {
+					continue
+				}
+				d, tr := evalArc(arc, r.Load[out.ID], r.Slew[inNet.ID])
+				a := r.Arrival[inNet.ID] + d
+				if a > worst {
+					worst = a
+					worstSlew = tr
+					worstPin = in
+				}
+			}
+			if math.IsInf(worst, -1) {
+				// Tie cells and other arc-less outputs: time zero.
+				worst, worstSlew = 0, cfg.InputSlew
+			}
+			r.Arrival[out.ID] = worst
+			r.Slew[out.ID] = worstSlew
+			r.fromPin[out.ID] = worstPin
+		}
+	}
+	// Pass 3: endpoints.
+	required := cfg.ClockPeriod - cfg.Uncertainty
+	for _, inst := range nl.Instances {
+		if !inst.Spec.IsSequential() {
+			continue
+		}
+		d := inst.In["D"]
+		if d == nil {
+			continue
+		}
+		setup := inst.Spec.SetupTime(nl.Cat.Corner)
+		slack := required - setup - r.Arrival[d.ID]
+		r.Endpoints = append(r.Endpoints, Endpoint{
+			Name: inst.Name, IsFF: true, Inst: inst, Net: d,
+			Arrival: r.Arrival[d.ID], Slack: slack,
+		})
+	}
+	for _, n := range nl.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				continue
+			}
+			r.Endpoints = append(r.Endpoints, Endpoint{
+				Name: s.Pin, Net: n,
+				Arrival: r.Arrival[n.ID], Slack: required - r.Arrival[n.ID],
+			})
+		}
+	}
+	sort.Slice(r.Endpoints, func(i, j int) bool { return r.Endpoints[i].Name < r.Endpoints[j].Name })
+	return r, nil
+}
+
+// arcOf finds the liberty timing arc of inst's output pin related to the
+// given input pin.
+func (r *Result) arcOf(inst *netlist.Instance, outPin, inPin string) *liberty.TimingArc {
+	cell := r.nl.Cat.Lib.Cell(inst.Spec.Name)
+	if cell == nil {
+		return nil
+	}
+	p := cell.Pin(outPin)
+	if p == nil {
+		return nil
+	}
+	for _, a := range p.Timing {
+		if a.RelatedPin == inPin {
+			return a
+		}
+	}
+	return nil
+}
+
+// evalArc interpolates the worst-case delay and transition of an arc at
+// an operating point.
+func evalArc(arc *liberty.TimingArc, load, slew float64) (delay, trans float64) {
+	delay = math.Max(arc.CellRise.Lookup(load, slew), arc.CellFall.Lookup(load, slew))
+	trans = math.Max(arc.RiseTransition.Lookup(load, slew), arc.FallTransition.Lookup(load, slew))
+	return delay, trans
+}
+
+// PathStep is one cell traversal on a timing path.
+type PathStep struct {
+	Inst    *netlist.Instance
+	FromPin string  // input pin the path enters through (CK for launch FFs)
+	OutPin  string  // output pin the path leaves through
+	Load    float64 // load driven at this step
+	Slew    float64 // input slew at this step
+	Delay   float64 // arc delay at this step
+}
+
+// Path is a worst path to one endpoint.
+type Path struct {
+	Endpoint Endpoint
+	Steps    []PathStep // launch to capture order
+}
+
+// Depth returns the number of cells on the path (launching FF included,
+// matching the paper's cell-count depth metric).
+func (p *Path) Depth() int { return len(p.Steps) }
+
+// WorstPath backtracks the worst arrival path into the given endpoint.
+func (r *Result) WorstPath(ep Endpoint) Path {
+	var rev []PathStep
+	n := ep.Net
+	for n != nil && n.Driver != nil {
+		inst := n.Driver
+		inPin := r.fromPin[n.ID]
+		step := PathStep{
+			Inst:    inst,
+			FromPin: inPin,
+			OutPin:  n.DrvPin,
+			Load:    r.Load[n.ID],
+		}
+		if inst.Spec.IsSequential() {
+			step.Slew = r.Cfg.InputSlew
+			step.Delay = r.Arrival[n.ID]
+			rev = append(rev, step)
+			break
+		}
+		inNet := inst.In[inPin]
+		var prevArr float64
+		if inNet != nil {
+			step.Slew = r.Slew[inNet.ID]
+			prevArr = r.Arrival[inNet.ID]
+		}
+		step.Delay = r.Arrival[n.ID] - prevArr
+		rev = append(rev, step)
+		n = inNet
+	}
+	// Reverse to launch->capture order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Endpoint: ep, Steps: rev}
+}
+
+// WorstPaths extracts the worst path for every unique endpoint — the
+// population Figs. 12-14 plot.
+func (r *Result) WorstPaths() []Path {
+	out := make([]Path, 0, len(r.Endpoints))
+	for _, ep := range r.Endpoints {
+		out = append(out, r.WorstPath(ep))
+	}
+	return out
+}
+
+// CriticalPath returns the worst path of the worst endpoint.
+func (r *Result) CriticalPath() (Path, error) {
+	if len(r.Endpoints) == 0 {
+		return Path{}, fmt.Errorf("sta: no endpoints")
+	}
+	worst := r.Endpoints[0]
+	for _, ep := range r.Endpoints[1:] {
+		if ep.Slack < worst.Slack {
+			worst = ep
+		}
+	}
+	return r.WorstPath(worst), nil
+}
+
+// OperatingPoint describes where in its LUT a cell instance operates.
+type OperatingPoint struct {
+	Inst    *netlist.Instance
+	OutPin  string
+	Load    float64
+	WorstIn float64 // worst input slew across connected input pins
+}
+
+// OperatingPoints lists the (load, slew) point of every combinational and
+// sequential instance output — the data the restriction-legality checks
+// and the Fig. 7 style occupancy analyses consume.
+func (r *Result) OperatingPoints() []OperatingPoint {
+	var out []OperatingPoint
+	for _, inst := range r.nl.Instances {
+		worstIn := r.Cfg.InputSlew
+		for _, pin := range inst.Spec.Inputs {
+			if n := inst.In[pin]; n != nil && r.Slew[n.ID] > worstIn {
+				worstIn = r.Slew[n.ID]
+			}
+		}
+		for pin, n := range inst.Out {
+			out = append(out, OperatingPoint{
+				Inst: inst, OutPin: pin, Load: r.Load[n.ID], WorstIn: worstIn,
+			})
+		}
+	}
+	return out
+}

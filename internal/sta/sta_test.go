@@ -1,0 +1,345 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/stdcell"
+)
+
+var cat = stdcell.NewCatalogue(stdcell.Typical)
+
+// chain builds: in -> INV_1 -> INV_2 -> out
+func chain(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("chain", cat)
+	in := nl.AddInput("in")
+	i1 := nl.AddInstance("i1", cat.Spec("INV_1"))
+	nl.Connect(i1, "A", in)
+	n1 := nl.AddNet("")
+	nl.Drive(i1, "Y", n1)
+	i2 := nl.AddInstance("i2", cat.Spec("INV_2"))
+	nl.Connect(i2, "A", n1)
+	n2 := nl.AddNet("")
+	nl.Drive(i2, "Y", n2)
+	nl.MarkOutput("out", n2)
+	return nl
+}
+
+func TestAnalyzeChainArrival(t *testing.T) {
+	nl := chain(t)
+	cfg := DefaultConfig(5)
+	r, err := Analyze(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: load(n1) = cin(INV_2) + wire; load(n2) = outputLoad + wire.
+	inv1, inv2 := cat.Spec("INV_1"), cat.Spec("INV_2")
+	l1 := inv2.InputCap() + cfg.WireCapPerFanout
+	l2 := cfg.OutputLoad + cfg.WireCapPerFanout
+	lib := cat.Lib
+	arc1 := lib.Cell("INV_1").Pin("Y").Timing[0]
+	d1 := math.Max(arc1.CellRise.Lookup(l1, cfg.InputSlew), arc1.CellFall.Lookup(l1, cfg.InputSlew))
+	s1 := math.Max(arc1.RiseTransition.Lookup(l1, cfg.InputSlew), arc1.FallTransition.Lookup(l1, cfg.InputSlew))
+	arc2 := lib.Cell("INV_2").Pin("Y").Timing[0]
+	d2 := math.Max(arc2.CellRise.Lookup(l2, s1), arc2.CellFall.Lookup(l2, s1))
+	n2 := nl.OutputNet("out")
+	if got := r.Arrival[n2.ID]; math.Abs(got-(d1+d2)) > 1e-9 {
+		t.Errorf("arrival %g want %g", got, d1+d2)
+	}
+	if len(r.Endpoints) != 1 || r.Endpoints[0].Name != "out" {
+		t.Fatalf("endpoints %+v", r.Endpoints)
+	}
+	wantSlack := cfg.ClockPeriod - cfg.Uncertainty - (d1 + d2)
+	if got := r.Endpoints[0].Slack; math.Abs(got-wantSlack) > 1e-9 {
+		t.Errorf("slack %g want %g", got, wantSlack)
+	}
+	if !r.MeetsTiming() {
+		t.Error("relaxed chain should meet timing")
+	}
+	_ = inv1
+}
+
+func TestWNSAndTNS(t *testing.T) {
+	nl := chain(t)
+	r, err := Analyze(nl, DefaultConfig(0.301)) // required = 1ps: fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WNS() >= 0 {
+		t.Error("expected negative slack at 0.301ns")
+	}
+	if r.TNS() >= 0 || r.TNS() != r.WNS() {
+		t.Errorf("TNS %g WNS %g", r.TNS(), r.WNS())
+	}
+	if r.MeetsTiming() {
+		t.Error("MeetsTiming with negative WNS")
+	}
+}
+
+// ffPath builds: FF1.Q -> INV -> FF2.D, the canonical reg-to-reg path.
+func ffPath(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("ffp", cat)
+	ff1 := nl.AddInstance("ff1", cat.Spec("DFQ_1"))
+	in := nl.AddInput("si")
+	nl.Connect(ff1, "D", in)
+	q := nl.AddNet("")
+	nl.Drive(ff1, "Q", q)
+	inv := nl.AddInstance("mid", cat.Spec("INV_1"))
+	nl.Connect(inv, "A", q)
+	y := nl.AddNet("")
+	nl.Drive(inv, "Y", y)
+	ff2 := nl.AddInstance("ff2", cat.Spec("DFQ_1"))
+	nl.Connect(ff2, "D", y)
+	q2 := nl.AddNet("")
+	nl.Drive(ff2, "Q", q2)
+	nl.MarkOutput("so", q2)
+	return nl
+}
+
+func TestRegToRegTiming(t *testing.T) {
+	nl := ffPath(t)
+	cfg := DefaultConfig(4)
+	r, err := Analyze(nl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint at ff2 must include setup; arrival = CKQ(ff1) + inv delay.
+	var ff2EP *Endpoint
+	for i := range r.Endpoints {
+		if r.Endpoints[i].Name == "ff2" {
+			ff2EP = &r.Endpoints[i]
+		}
+	}
+	if ff2EP == nil {
+		t.Fatal("ff2 endpoint missing")
+	}
+	if !ff2EP.IsFF {
+		t.Error("ff2 endpoint not marked FF")
+	}
+	setup := cat.Spec("DFQ_1").SetupTime(cat.Corner)
+	wantSlack := cfg.ClockPeriod - cfg.Uncertainty - setup - ff2EP.Arrival
+	if math.Abs(ff2EP.Slack-wantSlack) > 1e-12 {
+		t.Errorf("slack %g want %g", ff2EP.Slack, wantSlack)
+	}
+	if ff2EP.Arrival <= 0 {
+		t.Error("reg-to-reg arrival must be positive (CK->Q plus logic)")
+	}
+	// Worst path: FF1 (launch) + INV = depth 2.
+	p := r.WorstPath(*ff2EP)
+	if p.Depth() != 2 {
+		t.Fatalf("path depth %d want 2 (launch FF + INV): %+v", p.Depth(), p.Steps)
+	}
+	if p.Steps[0].Inst.Name != "ff1" || p.Steps[0].FromPin != "CK" {
+		t.Errorf("launch step %+v", p.Steps[0])
+	}
+	if p.Steps[1].Inst.Name != "mid" {
+		t.Errorf("second step %+v", p.Steps[1])
+	}
+	// Step delays must sum to the endpoint arrival.
+	sum := 0.0
+	for _, s := range p.Steps {
+		sum += s.Delay
+	}
+	if math.Abs(sum-ff2EP.Arrival) > 1e-9 {
+		t.Errorf("step delays sum %g want arrival %g", sum, ff2EP.Arrival)
+	}
+}
+
+// TestWorstPathPicksLonger: diamond with a short and a long branch; the
+// backtrace must follow the long one.
+func TestWorstPathPicksLonger(t *testing.T) {
+	nl := netlist.New("diamond", cat)
+	in := nl.AddInput("in")
+	// Short branch: one inverter.
+	a := nl.AddInstance("a", cat.Spec("INV_4"))
+	nl.Connect(a, "A", in)
+	na := nl.AddNet("")
+	nl.Drive(a, "Y", na)
+	// Long branch: three inverters.
+	prev := in
+	var nb *netlist.Net
+	for i := 0; i < 3; i++ {
+		inv := nl.AddInstance("", cat.Spec("INV_1"))
+		nl.Connect(inv, "A", prev)
+		nb = nl.AddNet("")
+		nl.Drive(inv, "Y", nb)
+		prev = nb
+	}
+	// Join with a NAND.
+	nd := nl.AddInstance("join", cat.Spec("ND2_1"))
+	nl.Connect(nd, "A", na)
+	nl.Connect(nd, "B", nb)
+	ny := nl.AddNet("")
+	nl.Drive(nd, "Y", ny)
+	nl.MarkOutput("y", ny)
+	r, err := Analyze(nl, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.WorstPath(r.Endpoints[0])
+	if p.Depth() != 4 { // 3 inverters + NAND
+		t.Fatalf("depth %d want 4", p.Depth())
+	}
+	if p.Steps[len(p.Steps)-1].FromPin != "B" {
+		t.Errorf("join entered through %s want B", p.Steps[len(p.Steps)-1].FromPin)
+	}
+}
+
+func TestMaxCapViolation(t *testing.T) {
+	nl := netlist.New("viol", cat)
+	in := nl.AddInput("in")
+	drv := nl.AddInstance("drv", cat.Spec("INV_1"))
+	nl.Connect(drv, "A", in)
+	n := nl.AddNet("")
+	nl.Drive(drv, "Y", n)
+	// 60 heavy sinks exceed INV_1's max load.
+	for i := 0; i < 60; i++ {
+		s := nl.AddInstance("", cat.Spec("INV_32"))
+		nl.Connect(s, "A", n)
+		o := nl.AddNet("")
+		nl.Drive(s, "Y", o)
+		nl.MarkOutput("", o)
+	}
+	r, err := Analyze(nl, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MaxCapViolations) == 0 {
+		t.Fatal("overloaded net not reported")
+	}
+	if r.MeetsTiming() {
+		t.Error("MeetsTiming despite max-cap violation")
+	}
+}
+
+func TestSlewDegradesWithLoad(t *testing.T) {
+	// Same driver, light vs heavy load: the heavy net must see a slower
+	// transition and a larger delay.
+	build := func(sinks int) float64 {
+		nl := netlist.New("slew", cat)
+		in := nl.AddInput("in")
+		drv := nl.AddInstance("drv", cat.Spec("INV_2"))
+		nl.Connect(drv, "A", in)
+		n := nl.AddNet("")
+		nl.Drive(drv, "Y", n)
+		for i := 0; i < sinks; i++ {
+			s := nl.AddInstance("", cat.Spec("INV_1"))
+			nl.Connect(s, "A", n)
+			o := nl.AddNet("")
+			nl.Drive(s, "Y", o)
+			nl.MarkOutput("", o)
+		}
+		r, err := Analyze(nl, DefaultConfig(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Slew[n.ID]
+	}
+	if build(8) <= build(1) {
+		t.Error("slew should degrade with fanout")
+	}
+}
+
+func TestOperatingPoints(t *testing.T) {
+	nl := chain(t)
+	r, err := Analyze(nl, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := r.OperatingPoints()
+	if len(ops) != 2 {
+		t.Fatalf("ops %d want 2", len(ops))
+	}
+	for _, op := range ops {
+		if op.Load <= 0 {
+			t.Error("non-positive load")
+		}
+		if op.WorstIn < r.Cfg.InputSlew {
+			t.Error("input slew below config floor")
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	nl := ffPath(t)
+	r, err := Analyze(nl, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() == 0 {
+		t.Error("empty critical path")
+	}
+	// Empty netlist: no endpoints.
+	empty := netlist.New("e", cat)
+	re, err := Analyze(empty, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.CriticalPath(); err == nil {
+		t.Error("critical path of empty design should error")
+	}
+	if re.WNS() != 0 {
+		t.Error("empty design WNS should be 0")
+	}
+}
+
+func TestTieCellTiming(t *testing.T) {
+	nl := netlist.New("tie", cat)
+	tie := nl.AddInstance("th", cat.Spec("TIEH_1"))
+	n := nl.AddNet("")
+	nl.Drive(tie, "Y", n)
+	inv := nl.AddInstance("i", cat.Spec("INV_1"))
+	nl.Connect(inv, "A", n)
+	o := nl.AddNet("")
+	nl.Drive(inv, "Y", o)
+	nl.MarkOutput("y", o)
+	r, err := Analyze(nl, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrival[n.ID] != 0 {
+		t.Error("tie output should arrive at t=0")
+	}
+	if !r.MeetsTiming() {
+		t.Error("tie design should meet timing")
+	}
+}
+
+func TestReportTiming(t *testing.T) {
+	nl := ffPath(t)
+	r, err := Analyze(nl, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.ReportTiming()
+	for _, want := range []string{"Startpoint: ff1/CK (clock edge)", "setup check", "slack", "MET", "DFQ_1", "INV_1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Violated path shows VIOLATED.
+	r2, err := Analyze(nl, DefaultConfig(0.31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r2.ReportTiming(), "VIOLATED") {
+		t.Error("violated path not flagged")
+	}
+	// Empty design.
+	empty := netlist.New("e", cat)
+	re, err := Analyze(empty, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(re.ReportTiming(), "no timing paths") {
+		t.Error("empty design report")
+	}
+}

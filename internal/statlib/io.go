@@ -1,0 +1,101 @@
+package statlib
+
+import (
+	"errors"
+
+	"stdcelltune/internal/liberty"
+)
+
+// ToLiberty serializes the statistical library in LVF style: the mean
+// tables become cell_rise/cell_fall and the sigma tables become
+// ocv_sigma_cell_rise/ocv_sigma_cell_fall. The result can be written with
+// liberty.Write and loaded back with FromLiberty.
+func (l *Library) ToLiberty() *liberty.Library {
+	out := &liberty.Library{
+		Name:           l.Name,
+		TimeUnit:       "1ns",
+		CapacitiveUnit: "1pf",
+		VoltageUnit:    "1V",
+		NominalProcess: 1,
+	}
+	for _, name := range l.CellOrder {
+		c := l.Cells[name]
+		lc := &liberty.Cell{
+			Name:          c.Name,
+			Area:          c.Area,
+			DriveStrength: c.DriveStrength,
+			Footprint:     c.Footprint,
+		}
+		for _, p := range c.Pins {
+			lp := &liberty.Pin{Name: p.Name, Direction: liberty.Output, MaxCap: p.MaxCap}
+			for _, a := range p.Arcs {
+				lp.Timing = append(lp.Timing, &liberty.TimingArc{
+					RelatedPin: a.RelatedPin,
+					CellRise:   a.MeanRise,
+					CellFall:   a.MeanFall,
+					SigmaRise:  a.SigmaRise,
+					SigmaFall:  a.SigmaFall,
+					Template:   "stat_template",
+				})
+			}
+			lc.Pins = append(lc.Pins, lp)
+		}
+		// The statistical library only stores output-pin statistics; a
+		// placeholder input pin keeps the cell structurally valid for
+		// arc-related references.
+		for _, rel := range relatedPins(c) {
+			lc.Pins = append(lc.Pins, &liberty.Pin{Name: rel, Direction: liberty.Input})
+		}
+		out.AddCell(lc)
+	}
+	return out
+}
+
+func relatedPins(c *Cell) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range c.Pins {
+		for _, a := range p.Arcs {
+			if !seen[a.RelatedPin] {
+				seen[a.RelatedPin] = true
+				out = append(out, a.RelatedPin)
+			}
+		}
+	}
+	return out
+}
+
+// FromLiberty rebuilds a statistical library from its LVF serialization.
+func FromLiberty(lib *liberty.Library) (*Library, error) {
+	sl := &Library{Name: lib.Name, Cells: make(map[string]*Cell)}
+	for _, lc := range lib.Cells {
+		c := &Cell{
+			Name:          lc.Name,
+			Area:          lc.Area,
+			DriveStrength: lc.DriveStrength,
+			Footprint:     lc.Footprint,
+		}
+		for _, lp := range lc.Pins {
+			if lp.Direction != liberty.Output || len(lp.Timing) == 0 {
+				continue
+			}
+			p := &Pin{Name: lp.Name, MaxCap: lp.MaxCap}
+			for _, la := range lp.Timing {
+				if la.SigmaRise == nil || la.SigmaFall == nil {
+					return nil, errors.New("statlib: arc without sigma tables is not a statistical library")
+				}
+				p.Arcs = append(p.Arcs, &Arc{
+					RelatedPin: la.RelatedPin,
+					MeanRise:   la.CellRise,
+					MeanFall:   la.CellFall,
+					SigmaRise:  la.SigmaRise,
+					SigmaFall:  la.SigmaFall,
+				})
+			}
+			c.Pins = append(c.Pins, p)
+		}
+		sl.Cells[c.Name] = c
+		sl.CellOrder = append(sl.CellOrder, c.Name)
+	}
+	return sl, nil
+}

@@ -1,0 +1,224 @@
+// Package statlib builds and queries the statistical library of Section
+// IV of the paper: N Monte-Carlo library instances are folded into a
+// single library whose tables hold, per (load, slew) entry, the mean and
+// standard deviation of the cell delay across the instances (Fig. 2).
+//
+// The statistical library drives both the tuning methods (internal/core)
+// and the statistical timing of synthesized designs (internal/stattime).
+package statlib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+)
+
+// Library is a statistical library: same cell/pin/arc structure as the
+// source libraries, but every delay table is replaced by a mean table and
+// a sigma table.
+type Library struct {
+	Name      string
+	Samples   int // number of Monte-Carlo instances folded in
+	Cells     map[string]*Cell
+	CellOrder []string // original library order for deterministic output
+}
+
+// Cell is one cell's statistics.
+type Cell struct {
+	Name          string
+	Area          float64
+	DriveStrength int
+	Footprint     string
+	Pins          []*Pin
+}
+
+// Pin is one output pin with its statistical arcs.
+type Pin struct {
+	Name   string
+	MaxCap float64
+	Arcs   []*Arc
+}
+
+// Arc carries the per-entry statistics of one timing arc. MeanRise/Fall
+// estimate the nominal delay; SigmaRise/Fall the local-variation
+// standard deviation.
+type Arc struct {
+	RelatedPin string
+	MeanRise   *lut.Table
+	MeanFall   *lut.Table
+	SigmaRise  *lut.Table
+	SigmaFall  *lut.Table
+}
+
+// Build folds N Monte-Carlo library instances into a statistical library
+// (the Fig. 2 process): for every cell, every output pin, every arc and
+// every table entry, the entry values across the N libraries form a
+// temporary table whose mean and standard deviation land in the same
+// position of the statistical library.
+func Build(name string, instances []*liberty.Library) (*Library, error) {
+	if len(instances) < 2 {
+		return nil, errors.New("statlib: need at least two instances")
+	}
+	ref := instances[0]
+	sl := &Library{Name: name, Samples: len(instances), Cells: make(map[string]*Cell)}
+	for _, refCell := range ref.Cells {
+		cells := make([]*liberty.Cell, len(instances))
+		for i, inst := range instances {
+			c := inst.Cell(refCell.Name)
+			if c == nil {
+				return nil, fmt.Errorf("statlib: cell %q missing from instance %d", refCell.Name, i)
+			}
+			cells[i] = c
+		}
+		sc, err := buildCell(cells)
+		if err != nil {
+			return nil, fmt.Errorf("statlib: cell %q: %w", refCell.Name, err)
+		}
+		sl.Cells[sc.Name] = sc
+		sl.CellOrder = append(sl.CellOrder, sc.Name)
+	}
+	return sl, nil
+}
+
+func buildCell(cells []*liberty.Cell) (*Cell, error) {
+	ref := cells[0]
+	sc := &Cell{
+		Name:          ref.Name,
+		Area:          ref.Area,
+		DriveStrength: ref.DriveStrength,
+		Footprint:     ref.Footprint,
+	}
+	for pi, refPin := range ref.Pins {
+		if refPin.Direction != liberty.Output || len(refPin.Timing) == 0 {
+			continue
+		}
+		sp := &Pin{Name: refPin.Name, MaxCap: refPin.MaxCap}
+		for ai := range refPin.Timing {
+			rises := make([]*lut.Table, len(cells))
+			falls := make([]*lut.Table, len(cells))
+			for i, c := range cells {
+				if pi >= len(c.Pins) || ai >= len(c.Pins[pi].Timing) {
+					return nil, fmt.Errorf("pin/arc structure mismatch in instance %d", i)
+				}
+				arc := c.Pins[pi].Timing[ai]
+				rises[i] = arc.CellRise
+				falls[i] = arc.CellFall
+			}
+			mr, sr, err := foldTables(rises)
+			if err != nil {
+				return nil, err
+			}
+			mf, sf, err := foldTables(falls)
+			if err != nil {
+				return nil, err
+			}
+			sp.Arcs = append(sp.Arcs, &Arc{
+				RelatedPin: refPin.Timing[ai].RelatedPin,
+				MeanRise:   mr, SigmaRise: sr,
+				MeanFall: mf, SigmaFall: sf,
+			})
+		}
+		sc.Pins = append(sc.Pins, sp)
+	}
+	return sc, nil
+}
+
+// foldTables computes per-entry mean and sigma across the instance
+// tables. This is the innermost step of Fig. 2: one entry is extracted
+// from the N libraries into a temporary table of size N, whose mean and
+// standard deviation are stored at the same position.
+func foldTables(tables []*lut.Table) (mean, sigma *lut.Table, err error) {
+	ref := tables[0]
+	if ref == nil {
+		return nil, nil, nil
+	}
+	for _, t := range tables[1:] {
+		if t == nil || !lut.SameAxes(ref, t) {
+			return nil, nil, errors.New("statlib: instance tables have mismatched axes")
+		}
+	}
+	mean = lut.New(ref.Loads, ref.Slews)
+	sigma = lut.New(ref.Loads, ref.Slews)
+	tmp := make([]float64, len(tables))
+	for i := range ref.Loads {
+		for j := range ref.Slews {
+			for k, t := range tables {
+				tmp[k] = t.Values[i][j]
+			}
+			m, s := dist.MeanStdDev(tmp)
+			mean.Values[i][j] = m
+			sigma.Values[i][j] = s
+		}
+	}
+	return mean, sigma, nil
+}
+
+// Cell returns the named cell or nil.
+func (l *Library) Cell(name string) *Cell { return l.Cells[name] }
+
+// Pin returns the named output pin or nil.
+func (c *Cell) Pin(name string) *Pin {
+	for _, p := range c.Pins {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Arc returns the arc related to the given input pin, or nil.
+func (p *Pin) Arc(related string) *Arc {
+	for _, a := range p.Arcs {
+		if a.RelatedPin == related {
+			return a
+		}
+	}
+	return nil
+}
+
+// Stats returns the interpolated worst-case (max of rise/fall) mean and
+// sigma of the arc at an operating point, via bilinear interpolation
+// (Section V.A).
+func (a *Arc) Stats(load, slew float64) dist.Normal {
+	mu := math.Max(a.MeanRise.Lookup(load, slew), a.MeanFall.Lookup(load, slew))
+	sg := math.Max(a.SigmaRise.Lookup(load, slew), a.SigmaFall.Lookup(load, slew))
+	return dist.Normal{Mu: mu, Sigma: sg}
+}
+
+// SigmaTables returns all sigma tables of the pin (rise and fall of every
+// arc) — the inputs to the per-pin max-equivalent LUT of Section VI.C.
+func (p *Pin) SigmaTables() []*lut.Table {
+	var ts []*lut.Table
+	for _, a := range p.Arcs {
+		ts = append(ts, a.SigmaRise, a.SigmaFall)
+	}
+	return ts
+}
+
+// MaxSigmaTable folds the pin's sigma tables into the worst-case
+// equivalent table ("for every output pin of a cell, a maximum equivalent
+// look-up table is created by taking the maximum value for each entry of
+// the related tables").
+func (p *Pin) MaxSigmaTable() (*lut.Table, error) {
+	return lut.MaxEquivalent(p.SigmaTables()...)
+}
+
+// MaxSigma returns the library-wide maximum sigma value, used to scale
+// Fig. 7 style summaries.
+func (l *Library) MaxSigma() float64 {
+	m := 0.0
+	for _, c := range l.Cells {
+		for _, p := range c.Pins {
+			for _, t := range p.SigmaTables() {
+				if v := t.Max(); v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}

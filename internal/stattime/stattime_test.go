@@ -1,0 +1,295 @@
+package stattime
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+var (
+	once sync.Once
+	cat  *stdcell.Catalogue
+	slib *statlib.Library
+)
+
+func env(t *testing.T) (*stdcell.Catalogue, *statlib.Library) {
+	t.Helper()
+	once.Do(func() {
+		cat = stdcell.NewCatalogue(stdcell.Typical)
+		libs := variation.Instances(cat, variation.Config{N: 25, Seed: 2})
+		var err error
+		slib, err = statlib.Build("stat", libs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return cat, slib
+}
+
+// invChainNetlist builds FF -> n INVs -> FF.
+func invChainNetlist(t *testing.T, n int) *netlist.Netlist {
+	t.Helper()
+	c, _ := env(t)
+	nl := netlist.New("chain", c)
+	in := nl.AddInput("si")
+	ff1 := nl.AddInstance("launch", c.Spec("DFQ_2"))
+	nl.Connect(ff1, "D", in)
+	cur := nl.AddNet("")
+	nl.Drive(ff1, "Q", cur)
+	for i := 0; i < n; i++ {
+		inv := nl.AddInstance("", c.Spec("INV_2"))
+		nl.Connect(inv, "A", cur)
+		next := nl.AddNet("")
+		nl.Drive(inv, "Y", next)
+		cur = next
+	}
+	ff2 := nl.AddInstance("capture", c.Spec("DFQ_2"))
+	nl.Connect(ff2, "D", cur)
+	q := nl.AddNet("")
+	nl.Drive(ff2, "Q", q)
+	nl.MarkOutput("so", q)
+	return nl
+}
+
+func TestPathDistAgainstManualConvolution(t *testing.T) {
+	_, sl := env(t)
+	nl := invChainNetlist(t, 4)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint "capture" path: launch FF + 4 INVs.
+	var ep sta.Endpoint
+	for _, e := range r.Endpoints {
+		if e.Name == "capture" {
+			ep = e
+		}
+	}
+	path := r.WorstPath(ep)
+	if path.Depth() != 5 {
+		t.Fatalf("depth %d want 5", path.Depth())
+	}
+	ps, err := PathDist(path, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual: sum of means, RSS of sigmas via the same arc lookups.
+	var mu, varsum float64
+	for _, step := range path.Steps {
+		n, err := StepStats(step, sl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu += n.Mu
+		varsum += n.Sigma * n.Sigma
+	}
+	if math.Abs(ps.Dist.Mu-mu) > 1e-12 {
+		t.Errorf("mu %g want %g", ps.Dist.Mu, mu)
+	}
+	if math.Abs(ps.Dist.Sigma-math.Sqrt(varsum)) > 1e-12 {
+		t.Errorf("sigma %g want %g", ps.Dist.Sigma, math.Sqrt(varsum))
+	}
+	// The statistical-library mean must be close to the STA arrival
+	// (same tables, modulo MC estimation error).
+	if rel := math.Abs(ps.Dist.Mu-ep.Arrival) / ep.Arrival; rel > 0.05 {
+		t.Errorf("statistical mean %g far from STA arrival %g", ps.Dist.Mu, ep.Arrival)
+	}
+}
+
+// TestSqrtDepthScaling: for identical cells, path sigma grows like
+// sqrt(depth) (eq. 10).
+func TestSqrtDepthScaling(t *testing.T) {
+	_, sl := env(t)
+	sigmaOf := func(n int) float64 {
+		nl := invChainNetlist(t, n)
+		r, err := sta.Analyze(nl, sta.DefaultConfig(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst sta.Path
+		for _, p := range r.WorstPaths() {
+			if p.Depth() > worst.Depth() {
+				worst = p
+			}
+		}
+		// Strip the launch FF so only the identical inverters remain —
+		// the clean eq. (10) setting.
+		comb := worst
+		comb.Steps = comb.Steps[1:]
+		ps, err := PathDist(comb, sl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps.Dist.Sigma
+	}
+	s4, s16 := sigmaOf(4), sigmaOf(16)
+	ratio := s16 / s4
+	// Identical cells: sigma scales as sqrt(16/4) = 2 (eq. 10); the
+	// differing last-stage load leaves a little wiggle.
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("sigma ratio 16/4 = %g, want ~2 (sqrt growth)", ratio)
+	}
+}
+
+func TestAnalyzeDesignConvolution(t *testing.T) {
+	_, sl := env(t)
+	nl := invChainNetlist(t, 3)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eq. (11): design sigma = RSS of path sigmas; mean = sum of means.
+	var mu, varsum float64
+	for _, p := range ds.Paths {
+		mu += p.Dist.Mu
+		varsum += p.Dist.Sigma * p.Dist.Sigma
+	}
+	if math.Abs(ds.Design.Mu-mu) > 1e-12 || math.Abs(ds.Design.Sigma-math.Sqrt(varsum)) > 1e-12 {
+		t.Errorf("design convolution mismatch")
+	}
+	if ds.MaxDepth() != 4 {
+		t.Errorf("max depth %d want 4", ds.MaxDepth())
+	}
+	h := ds.DepthHistogram()
+	if h[4] != 1 {
+		t.Errorf("depth histogram %v", h)
+	}
+	if ds.WorstMeanPlus3Sigma() <= ds.Design.Mu/float64(len(ds.Paths)) {
+		t.Error("worst mu+3sigma implausible")
+	}
+}
+
+func TestRhoRaisesPathSigma(t *testing.T) {
+	_, sl := env(t)
+	nl := invChainNetlist(t, 6)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Analyze(r, sl, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s0, s1 float64
+	for _, p := range d0.Paths {
+		if p.Dist.Sigma > s0 {
+			s0 = p.Dist.Sigma
+		}
+	}
+	for _, p := range d1.Paths {
+		if p.Dist.Sigma > s1 {
+			s1 = p.Dist.Sigma
+		}
+	}
+	if s1 <= s0 {
+		t.Errorf("rho=0.5 sigma %g not above rho=0 %g (eq. 9 vs eq. 10)", s1, s0)
+	}
+}
+
+func TestCompareArithmetic(t *testing.T) {
+	c := Compare{BaselineSigma: 0.049, TunedSigma: 0.031, BaselineArea: 5.39e4, TunedArea: 5.77e4}
+	if r := c.SigmaReduction(); math.Abs(r-0.367) > 0.01 {
+		t.Errorf("sigma reduction %g", r)
+	}
+	if a := c.AreaIncrease(); math.Abs(a-0.0705) > 0.01 {
+		t.Errorf("area increase %g", a)
+	}
+	zero := Compare{}
+	if zero.SigmaReduction() != 0 || zero.AreaIncrease() != 0 {
+		t.Error("zero baseline should not divide by zero")
+	}
+}
+
+func TestSortByDepthAndCorrelation(t *testing.T) {
+	_, sl := env(t)
+	nl := invChainNetlist(t, 5)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SortByDepth()
+	for i := 1; i < len(ds.Paths); i++ {
+		if ds.Paths[i].Depth < ds.Paths[i-1].Depth {
+			t.Fatal("not sorted by depth")
+		}
+	}
+	depths, sigmas := ds.SigmaVsDepth()
+	if len(depths) != len(ds.Paths) || len(sigmas) != len(depths) {
+		t.Fatal("scatter dimensions")
+	}
+	corr := ds.DepthSigmaCorrelation()
+	if corr < -1-1e-9 || corr > 1+1e-9 {
+		t.Errorf("correlation %g outside [-1,1]", corr)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	c, sl := env(t)
+	// Netlist whose only endpoint is a PI-driven PO: no cell paths.
+	nl := netlist.New("empty", c)
+	in := nl.AddInput("a")
+	nl.MarkOutput("y", in)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(r, sl, 0); err == nil {
+		t.Error("design with no cell paths accepted")
+	}
+}
+
+func TestYield(t *testing.T) {
+	_, sl := env(t)
+	nl := invChainNetlist(t, 5)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yield is monotone in the clock and spans (0,1).
+	if y := ds.Yield(1e-6); y > 1e-6 {
+		t.Errorf("yield at ~zero clock %g", y)
+	}
+	if y := ds.Yield(100); y < 0.999999 {
+		t.Errorf("yield at huge clock %g", y)
+	}
+	prev := -1.0
+	for _, clk := range []float64{0.05, 0.1, 0.2, 0.5, 1, 2} {
+		y := ds.Yield(clk)
+		if y < prev {
+			t.Fatalf("yield not monotone at %g", clk)
+		}
+		prev = y
+	}
+	// MinClockForYield inverts Yield.
+	for _, target := range []float64{0.5, 0.99, 0.999} {
+		mc := ds.MinClockForYield(target)
+		if y := ds.Yield(mc); y < target-1e-6 {
+			t.Errorf("Yield(MinClock(%g)) = %g below target", target, y)
+		}
+		if y := ds.Yield(mc * 0.99); y > target {
+			t.Errorf("min clock for %g not tight", target)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package stdcell
+
+import "fmt"
+
+// Corner identifies a global process/voltage/temperature corner. The
+// paper characterizes in the typical corner (TT, 1.1V, 25C) and validates
+// on fast and slow corners in Section VII.C.
+type Corner int
+
+// Process corners.
+const (
+	Typical Corner = iota
+	Fast
+	Slow
+)
+
+// AllCorners lists the corners in fast-to-slow order as plotted in
+// Fig. 15.
+var AllCorners = []Corner{Fast, Typical, Slow}
+
+// Name returns the foundry-style corner label, e.g. "TT1P1V25C".
+func (c Corner) Name() string {
+	switch c {
+	case Fast:
+		return "FF1P21V0C"
+	case Slow:
+		return "SS0P99V125C"
+	default:
+		return "TT1P1V25C"
+	}
+}
+
+func (c Corner) String() string {
+	switch c {
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	default:
+		return "typical"
+	}
+}
+
+// DelayScale is the multiplicative factor the corner applies to every
+// cell delay relative to typical. The paper's Section VII.C observation —
+// mean and sigma scale by the same factor when moving corners — is built
+// in: Sigma uses the same factor (validated experimentally in the
+// pathmc package).
+func (c Corner) DelayScale() float64 {
+	switch c {
+	case Fast:
+		return 0.80
+	case Slow:
+		return 1.28
+	default:
+		return 1.0
+	}
+}
+
+// Voltage returns the corner supply voltage in volts.
+func (c Corner) Voltage() float64 {
+	switch c {
+	case Fast:
+		return 1.21
+	case Slow:
+		return 0.99
+	default:
+		return 1.10
+	}
+}
+
+// Temperature returns the corner temperature in Celsius.
+func (c Corner) Temperature() float64 {
+	switch c {
+	case Fast:
+		return 0
+	case Slow:
+		return 125
+	default:
+		return 25
+	}
+}
+
+// ParseCorner converts a string (fast/typical/slow or a corner name) to a
+// Corner.
+func ParseCorner(s string) (Corner, error) {
+	switch s {
+	case "fast", "FF", Fast.Name():
+		return Fast, nil
+	case "typical", "TT", "typ", Typical.Name():
+		return Typical, nil
+	case "slow", "SS", Slow.Name():
+		return Slow, nil
+	}
+	return Typical, fmt.Errorf("stdcell: unknown corner %q", s)
+}

@@ -1,0 +1,182 @@
+// Package stdcell generates the synthetic 40nm-class standard cell
+// library the reproduction characterizes and tunes. The catalogue matches
+// the paper's appendix inventory exactly — 304 cells: 19 inverters, 36
+// OR, 46 NAND, 43 NOR, 29 XNOR, 34 adders, 27 multiplexers, 51
+// flip-flops, 12 latches and 7 other cells — across realistic drive
+// strength ladders.
+//
+// Timing follows an analytic logical-effort-style NLDM model: the delay
+// of an arc grows linearly in output load with slope R/k (k = drive
+// strength), carries a parasitic term and an input-slew term, and the
+// local-variation sigma follows Pelgrom's law — sigma scales with
+// delay/sqrt(k), so large cells both vary less and have flatter sigma
+// surfaces, reproducing Figs. 4 and 5 of the paper.
+package stdcell
+
+// Kind classifies the logic function of a cell family.
+type Kind int
+
+// Cell function kinds.
+const (
+	KindInv Kind = iota
+	KindBuf
+	KindOr
+	KindNand
+	KindNor
+	KindXnor
+	KindAddFull  // full adder: S, CO
+	KindAddHalf  // half adder: S, CO
+	KindAddCarry // full adder with inverted carry: S, CON
+	KindMux
+	KindDFF
+	KindLatch
+	KindTie
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInv:
+		return "inv"
+	case KindBuf:
+		return "buf"
+	case KindOr:
+		return "or"
+	case KindNand:
+		return "nand"
+	case KindNor:
+		return "nor"
+	case KindXnor:
+		return "xnor"
+	case KindAddFull:
+		return "addf"
+	case KindAddHalf:
+		return "addh"
+	case KindAddCarry:
+		return "addc"
+	case KindMux:
+		return "mux"
+	case KindDFF:
+		return "dff"
+	case KindLatch:
+		return "latch"
+	case KindTie:
+		return "tie"
+	}
+	return "unknown"
+}
+
+// ModelParams are the analytic NLDM coefficients of one cell family.
+// Units: time ns, capacitance pF, area um^2.
+type ModelParams struct {
+	// Parasitic (intrinsic) delay at zero load and zero slew, ns.
+	Parasitic float64
+	// Effective drive resistance at drive strength 1, ns/pF. Per-cell
+	// resistance is Resistance/k.
+	Resistance float64
+	// Delay added per ns of input slew (slew sensitivity).
+	SlewCoeff float64
+	// Slew-load interaction coefficient: extra delay per (ns * pF/k).
+	Interact float64
+	// Output transition: base transition ns and ns/pF slope at drive 1.
+	TransBase  float64
+	TransSlope float64
+	// Fraction of the input slew that feeds through to the output slew.
+	TransFeed float64
+	// Pelgrom mismatch coefficient: sigma = Mismatch/sqrt(k) * delay-ish
+	// operating-point factor (see Sigma in nldm.go).
+	Mismatch float64
+	// Input pin capacitance per unit drive strength, pF (logical effort:
+	// stacked inputs present more capacitance).
+	CinPerDrive float64
+	// Maximum output load per unit drive strength, pF.
+	CmaxPerDrive float64
+	// Area model: AreaBase + AreaPerDrive*k, um^2.
+	AreaBase     float64
+	AreaPerDrive float64
+	// Setup/hold for sequential cells (ns at nominal slews); zero for
+	// combinational families.
+	Setup float64
+	Hold  float64
+}
+
+// famParams returns the model parameters of a family, derived from the
+// inverter reference scaled by the family's logical effort and stack
+// penalty. nIn is the number of (data) inputs of the family.
+func famParams(kind Kind, nIn int) ModelParams {
+	// Reference inverter, calibrated for a ~25ps FO4 at drive 1.
+	p := ModelParams{
+		Parasitic:    0.010,
+		Resistance:   3.0,
+		SlewCoeff:    0.085,
+		Interact:     0.55,
+		TransBase:    0.012,
+		TransSlope:   4.2,
+		TransFeed:    0.10,
+		Mismatch:     0.075,
+		CinPerDrive:  0.0012,
+		CmaxPerDrive: 0.040,
+		AreaBase:     0.45,
+		AreaPerDrive: 0.33,
+	}
+	// Logical effort g and parasitic growth per family. NOR stacks PMOS
+	// so it is slower and more mismatch-prone than NAND of equal fanin.
+	var effort, parX, mmX, areaX float64
+	switch kind {
+	case KindInv:
+		effort, parX, mmX, areaX = 1.0, 1.0, 1.0, 1.0
+	case KindBuf:
+		effort, parX, mmX, areaX = 1.1, 2.2, 0.8, 1.7
+	case KindNand:
+		effort = 1.0 + 0.25*float64(nIn)
+		parX = 0.9 + 0.45*float64(nIn)
+		mmX = 1.0 + 0.18*float64(nIn)
+		areaX = 0.8 + 0.55*float64(nIn)
+	case KindNor:
+		effort = 1.0 + 0.45*float64(nIn)
+		parX = 0.9 + 0.55*float64(nIn)
+		mmX = 1.0 + 0.26*float64(nIn)
+		areaX = 0.8 + 0.6*float64(nIn)
+	case KindOr: // NOR + output inverter
+		effort = 1.1 + 0.4*float64(nIn)
+		parX = 1.6 + 0.55*float64(nIn)
+		mmX = 1.05 + 0.2*float64(nIn)
+		areaX = 1.2 + 0.6*float64(nIn)
+	case KindXnor:
+		effort = 1.5 + 0.5*float64(nIn)
+		parX = 1.2 + 0.6*float64(nIn)
+		mmX = 1.3 + 0.3*float64(nIn)
+		areaX = 1.6 + 1.0*float64(nIn)
+	case KindAddFull:
+		effort, parX, mmX, areaX = 2.6, 2.8, 1.9, 5.2
+	case KindAddHalf:
+		effort, parX, mmX, areaX = 2.2, 2.1, 1.6, 3.6
+	case KindAddCarry:
+		effort, parX, mmX, areaX = 2.5, 2.7, 1.85, 5.0
+	case KindMux:
+		effort = 1.5 + 0.25*float64(nIn)
+		parX = 1.5 + 0.35*float64(nIn)
+		mmX = 1.3 + 0.12*float64(nIn)
+		areaX = 1.8 + 0.8*float64(nIn)
+	case KindDFF:
+		effort, parX, mmX, areaX = 1.8, 5.0, 1.5, 7.5
+		p.Setup = 0.045
+		p.Hold = 0.004
+	case KindLatch:
+		effort, parX, mmX, areaX = 1.6, 4.0, 1.4, 4.5
+		p.Setup = 0.030
+		p.Hold = 0.006
+	case KindTie:
+		effort, parX, mmX, areaX = 1, 1, 1, 1.2
+	}
+	p.Resistance *= effort
+	p.TransSlope *= effort
+	p.Parasitic *= parX
+	p.TransBase *= parX
+	p.Mismatch *= mmX
+	p.CinPerDrive *= 0.9 + 0.25*effort
+	// Heavily-stacked cells cannot drive as much load per unit drive.
+	p.CmaxPerDrive /= 0.8 + 0.2*effort
+	p.AreaBase *= areaX
+	p.AreaPerDrive *= 0.7 + 0.3*areaX
+	return p
+}

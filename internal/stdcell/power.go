@@ -1,0 +1,91 @@
+package stdcell
+
+import "math"
+
+// Power model. The paper's library file "also contains information about
+// the power consumption of the cell for different transition stages"
+// (Section II) and notes the tuning method "can also be adjusted to
+// measure the influence of local variation on other properties, such as
+// transition power" (Section III). This file provides that analytic
+// model: internal (short-circuit + parasitic switching) energy per
+// output transition, leakage, and the Pelgrom-style local-variation
+// sigma of the internal energy.
+//
+// Units: energy pJ (pF times V^2), power nW, capacitance pF, time ns.
+
+// powerParams returns the internal-energy and leakage coefficients of a
+// spec, derived from its timing parameters: internal energy tracks the
+// cell's parasitic capacitance (area) and grows with input slew
+// (short-circuit current flows while the input traverses the threshold
+// region); leakage tracks transistor width (drive strength and stack).
+func (s *Spec) powerParams() (eBase, eSlew, eLoad, leakNW float64) {
+	p := s.Params
+	k := float64(s.Drive)
+	v := Typical.Voltage()
+	// Parasitic internal capacitance is proportional to the cell's own
+	// input capacitance; every internal transition charges a fraction.
+	cInt := 0.6 * p.CinPerDrive * k
+	eBase = cInt * v * v
+	// Short-circuit energy per ns of input slew, scaled by drive (wider
+	// devices conduct more crowbar current).
+	eSlew = 0.35 * p.CinPerDrive * k * v * v / 0.1
+	// A small load-dependent internal component (driver crowbar under
+	// slow output edges).
+	eLoad = 0.05 * v * v
+	// Leakage: ~2 nW per unit drive at the reference inverter, scaled by
+	// transistor count via the area model.
+	leakNW = 2.0 * k * (p.AreaBase/0.45 + p.AreaPerDrive/0.33 - 1)
+	if leakNW < 0.5 {
+		leakNW = 0.5
+	}
+	return eBase, eSlew, eLoad, leakNW
+}
+
+// InternalEnergy returns the internal energy (pJ) dissipated inside the
+// cell per output transition at the given operating point. The load
+// switching energy (0.5*C*V^2) is accounted separately by the power
+// analyzer since it belongs to the net.
+func (s *Spec) InternalEnergy(load, slew float64, corner Corner) float64 {
+	if s.Kind == KindTie {
+		return 0
+	}
+	eBase, eSlew, eLoad, _ := s.powerParams()
+	// Fast corners run at higher voltage: energy scales with V^2
+	// relative to typical.
+	vr := corner.Voltage() / Typical.Voltage()
+	return (eBase + eSlew*slew + eLoad*load) * vr * vr
+}
+
+// LeakagePower returns the cell's static leakage in nW. Leakage grows
+// steeply toward the fast corner (low Vth, high temperature sensitivity
+// folded into the corner factor).
+func (s *Spec) LeakagePower(corner Corner) float64 {
+	_, _, _, leak := s.powerParams()
+	switch corner {
+	case Fast:
+		return leak * 3.2
+	case Slow:
+		return leak * 0.45
+	default:
+		return leak
+	}
+}
+
+// PowerSigma returns the local-variation standard deviation of the
+// internal energy (pJ) at an operating point. Like delay, transition
+// power mismatch follows Pelgrom: relative sigma shrinks with device
+// area (drive strength).
+func (s *Spec) PowerSigma(load, slew float64, corner Corner) float64 {
+	if s.Kind == KindTie {
+		return 0
+	}
+	k := float64(s.Drive)
+	e := s.InternalEnergy(load, slew, corner)
+	// Energy mismatch is gentler than delay mismatch (charge averages
+	// over the whole transition): 60% of the delay mismatch coefficient.
+	return 0.6 * s.Params.Mismatch / math.Sqrt(k) * e
+}
+
+// SupplyVoltage returns the nominal supply of the corner — convenience
+// for power reports.
+func SupplyVoltage(corner Corner) float64 { return corner.Voltage() }

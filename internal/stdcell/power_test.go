@@ -1,0 +1,122 @@
+package stdcell
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternalEnergyMonotone(t *testing.T) {
+	c := catTT()
+	for _, name := range []string{"INV_1", "ND2_4", "XNR2_8", "DFQ_2", "MUX2_6"} {
+		s := c.Spec(name)
+		axis := s.LoadAxis()
+		for i := 1; i < len(axis); i++ {
+			if s.InternalEnergy(axis[i], 0.064, Typical) <= s.InternalEnergy(axis[i-1], 0.064, Typical) {
+				t.Errorf("%s: energy not increasing in load", name)
+			}
+		}
+		for j := 1; j < len(SlewAxis); j++ {
+			if s.InternalEnergy(axis[3], SlewAxis[j], Typical) <= s.InternalEnergy(axis[3], SlewAxis[j-1], Typical) {
+				t.Errorf("%s: energy not increasing in slew (short-circuit)", name)
+			}
+		}
+	}
+}
+
+func TestEnergyScalesWithVoltage(t *testing.T) {
+	s := catTT().Spec("INV_4")
+	eTyp := s.InternalEnergy(0.05, 0.064, Typical)
+	eFast := s.InternalEnergy(0.05, 0.064, Fast)
+	eSlow := s.InternalEnergy(0.05, 0.064, Slow)
+	if !(eSlow < eTyp && eTyp < eFast) {
+		t.Errorf("V^2 scaling broken: slow %g typ %g fast %g", eSlow, eTyp, eFast)
+	}
+}
+
+func TestLeakageBehaviour(t *testing.T) {
+	c := catTT()
+	// Leakage grows with drive within a family.
+	fam := c.Families["ND2"]
+	for i := 1; i < len(fam); i++ {
+		if fam[i].LeakagePower(Typical) <= fam[i-1].LeakagePower(Typical) {
+			t.Errorf("ND2 leakage not increasing with drive at %s", fam[i].Name)
+		}
+	}
+	// Fast corner leaks hardest, slow corner least.
+	s := c.Spec("INV_8")
+	if !(s.LeakagePower(Slow) < s.LeakagePower(Typical) && s.LeakagePower(Typical) < s.LeakagePower(Fast)) {
+		t.Error("corner leakage ordering broken")
+	}
+	// Everything leaks at least a little.
+	for _, spec := range c.Specs {
+		if spec.LeakagePower(Typical) <= 0 {
+			t.Fatalf("%s: non-positive leakage", spec.Name)
+		}
+	}
+}
+
+func TestPowerSigmaPelgrom(t *testing.T) {
+	c := catTT()
+	// Relative power sigma shrinks with drive strength.
+	inv1, inv16 := c.Spec("INV_1"), c.Spec("INV_16")
+	rel := func(s *Spec) float64 {
+		l := s.MaxCap() / 4
+		return s.PowerSigma(l, 0.064, Typical) / s.InternalEnergy(l, 0.064, Typical)
+	}
+	if rel(inv16) >= rel(inv1) {
+		t.Errorf("relative power sigma: INV_16 %g not below INV_1 %g", rel(inv16), rel(inv1))
+	}
+	// Tie cells neither switch nor vary.
+	tie := c.Spec("TIEH_1")
+	if tie.InternalEnergy(0.01, 0.05, Typical) != 0 || tie.PowerSigma(0.01, 0.05, Typical) != 0 {
+		t.Error("tie cell has switching power")
+	}
+}
+
+// Property: power sigma is positive and well below the energy itself for
+// every cell in the characterized window.
+func TestPowerSigmaBoundedProperty(t *testing.T) {
+	c := catTT()
+	names := c.CellNames()
+	f := func(ci uint16, lu, su uint8) bool {
+		spec := c.Specs[names[int(ci)%len(names)]]
+		if spec.Kind == KindTie {
+			return true
+		}
+		axis := spec.LoadAxis()
+		l := axis[0] + (axis[len(axis)-1]-axis[0])*float64(lu)/255
+		s := SlewAxis[0] + (SlewAxis[len(SlewAxis)-1]-SlewAxis[0])*float64(su)/255
+		e := spec.InternalEnergy(l, s, Typical)
+		sg := spec.PowerSigma(l, s, Typical)
+		return e > 0 && sg > 0 && sg < e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibertyCarriesPower(t *testing.T) {
+	c := catTT()
+	cell := c.Lib.Cell("ND2_4")
+	if cell.LeakagePower <= 0 {
+		t.Error("liberty cell missing leakage")
+	}
+	y := cell.Pin("Y")
+	if len(y.Power) != 2 { // arcs from A and B
+		t.Fatalf("ND2_4 power arcs %d want 2", len(y.Power))
+	}
+	pa := y.PowerArc("A")
+	if pa == nil || pa.RisePower == nil || pa.FallPower == nil {
+		t.Fatal("power tables missing")
+	}
+	// Table matches the analytic model (with the rise skew).
+	spec := c.Spec("ND2_4")
+	want := spec.InternalEnergy(spec.LoadAxis()[2], SlewAxis[2], Typical) * 1.08
+	got := pa.RisePower.Values[2][2]
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("rise power %g want %g", got, want)
+	}
+	if SupplyVoltage(Typical) != Typical.Voltage() {
+		t.Error("SupplyVoltage helper broken")
+	}
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/logic"
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/stdcell"
+)
+
+var cat = stdcell.NewCatalogue(stdcell.Typical)
+
+// equivCheck simulates the logic network and the mapped netlist side by
+// side on random inputs for several cycles and requires identical
+// outputs and identical per-cycle behaviour (state included).
+func equivCheck(t *testing.T, src *logic.Network, nl *netlist.Netlist, cycles int, seed int64) {
+	t.Helper()
+	ls := logic.NewSimulator(src)
+	ns, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(seed)
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := make(map[string]bool)
+		for _, p := range src.Inputs {
+			in[p.Name] = rng.Float64() < 0.5
+		}
+		lo := ls.Step(in)
+		no, err := ns.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range lo {
+			if no[name] != want {
+				t.Fatalf("cycle %d output %s: mapped=%v logic=%v", cyc, name, no[name], want)
+			}
+		}
+	}
+}
+
+// miniNetwork exercises every op the mapper handles, including inverted
+// fanins (ND2B/NR2B paths), trees (ND3/ND4/OR3), XNOR forms, muxes,
+// adders and state.
+func miniNetwork() *logic.Network {
+	n := logic.New()
+	a, b, c, d := n.Input("a"), n.Input("b"), n.Input("c"), n.Input("d")
+	n.Output("and2", n.And(a, b))
+	n.Output("and_binv", n.And(a, n.Not(b)))
+	n.Output("and_ainv", n.And(n.Not(a), b))
+	n.Output("and_bothinv", n.And(n.Not(a), n.Not(b)))
+	n.Output("or2", n.Or(a, b))
+	n.Output("or_binv", n.Or(a, n.Not(b)))
+	n.Output("or_bothinv", n.Or(n.Not(a), n.Not(b)))
+	n.Output("xor2", n.Xor(a, b))
+	n.Output("xnor2", n.Not(n.Xor(a, b)))
+	n.Output("xor_binv", n.Xor(a, n.Not(b)))
+	n.Output("nand3", n.Not(n.And(n.And(a, b), c)))
+	n.Output("and4", n.And(n.And(a, b), n.And(c, d)))
+	n.Output("nor3", n.Not(n.Or(n.Or(a, b), c)))
+	n.Output("or4", n.Or(n.Or(a, b), n.Or(c, d)))
+	n.Output("mux", n.Mux(a, b, c))
+	n.Output("muxinv", n.Not(n.Mux(a, b, c)))
+	n.Output("sum3", n.Sum3(a, b, c))
+	n.Output("maj3", n.Maj3(a, b, c))
+	n.Output("sum3inv", n.Not(n.Sum3(a, b, d)))
+	n.Output("maj3inv", n.Not(n.Maj3(a, b, d)))
+	// Half adder pair.
+	n.Output("ha_s", n.Xor(c, d))
+	n.Output("ha_c", n.And(c, d))
+	// Constants.
+	n.Output("k1", n.Const(true))
+	n.Output("k0", n.Const(false))
+	n.Output("k0inv", n.Not(n.Const(false)))
+	// State: toggle register.
+	ff := n.DFF(a, "tff")
+	n.SetFaninLater(ff, n.Xor(ff, a))
+	n.Output("tq", ff)
+	n.Output("tqn", n.Not(ff))
+	// Word arithmetic for adder chains.
+	w1 := []*logic.Node{a, b, c, d}
+	w2 := []*logic.Node{d, c, b, a}
+	sum, cout := n.RippleAdd(w1, w2, n.Const(false))
+	for i, s := range sum {
+		n.Output(fmt.Sprintf("sum[%d]", i), s)
+	}
+	n.Output("cout", cout)
+	inc, _ := n.Increment(w1)
+	for i, s := range inc {
+		n.Output(fmt.Sprintf("inc[%d]", i), s)
+	}
+	return n
+}
+
+func TestMapMiniEquivalence(t *testing.T) {
+	src := miniNetwork()
+	nl, err := Map("mini", src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	equivCheck(t, src, nl, 64, 7)
+}
+
+func TestMapUsesExpectedCells(t *testing.T) {
+	src := miniNetwork()
+	nl, err := Map("mini", src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := nl.CellUse()
+	for _, want := range []string{"ND2_1", "NR2_1", "ND2B_1", "NR2B_1", "XNR2_1", "MUX2_1", "ADDF_1", "ADDH_1", "INV_1", "DFQ_1", "TIEH_1", "TIEL_1"} {
+		if use[want] == 0 {
+			t.Errorf("expected cell %s in mapped design; use map: %v", want, use)
+		}
+	}
+	// Tree collapse must produce at least one 3/4-input gate.
+	if use["ND3_1"]+use["ND4_1"] == 0 {
+		t.Errorf("no ND3/ND4 from AND-tree collapse: %v", use)
+	}
+	if use["NR3_1"]+use["NR4_1"] == 0 {
+		t.Errorf("no NR3/NR4 from OR-tree collapse: %v", use)
+	}
+}
+
+func TestMapSmallMCUEquivalence(t *testing.T) {
+	mcu, err := rtlgen.Build(rtlgen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map("mcu_small", mcu.Net, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivCheck(t, mcu.Net, nl, 50, 11)
+}
+
+func TestMapDefaultMCU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MCU mapping in -short mode")
+	}
+	mcu, err := rtlgen.Build(rtlgen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map("mcu", mcu.Net, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mapped MCU: %d instances, area %.0f um^2", len(nl.Instances), nl.Area())
+	if got := len(nl.Instances); got < 10000 || got > 40000 {
+		t.Errorf("instance count %d outside the 20k-gate class", got)
+	}
+	equivCheck(t, mcu.Net, nl, 10, 13)
+}

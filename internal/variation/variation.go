@@ -1,0 +1,139 @@
+// Package variation models the two variation components of the paper:
+//
+//   - Local (intra-die, mismatch) variation: independent per cell
+//     instance, scaled by Pelgrom's law through the catalogue's Sigma
+//     model. Used to generate the N Monte-Carlo library instances the
+//     statistical library is distilled from (Section IV).
+//   - Global (inter-die) variation: one correlated factor per die that
+//     scales every cell's delay together, on top of the process corner
+//     (Section VII.C).
+//
+// All sampling is deterministic given a seed.
+package variation
+
+import (
+	"fmt"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/stdcell"
+)
+
+// Config parameterizes Monte-Carlo library generation.
+type Config struct {
+	// N is the number of library instances (the paper uses 50; the
+	// central limit theorem wants at least 30).
+	N int
+	// Seed makes the run reproducible.
+	Seed int64
+	// GlobalSigma is the relative standard deviation of the global
+	// (inter-die) delay factor. Zero disables global variation, which is
+	// the setting for building the local-variation statistical library.
+	GlobalSigma float64
+	// CharNoise adds a small independent per-entry measurement noise
+	// (relative to the entry's local sigma), mimicking finite-precision
+	// characterization. The paper attributes part of its statistical
+	// library error to exactly this kind of noise.
+	CharNoise float64
+}
+
+// DefaultConfig mirrors the paper's characterization setup: 50 instances,
+// local variation only, a little characterization noise.
+func DefaultConfig() Config {
+	return Config{N: 50, Seed: 1, GlobalSigma: 0, CharNoise: 0.02}
+}
+
+// DefaultGlobalSigma is the inter-die sigma used by the path Monte-Carlo
+// experiments (Figs. 15/16) where global variation is enabled.
+const DefaultGlobalSigma = 0.035
+
+// CellSample holds the per-cell local mismatch draws of one Monte-Carlo
+// instance. Two components mimic threshold-voltage and current-factor
+// mismatch; their squared weights sum to one so the per-entry delay
+// standard deviation equals the catalogue's Sigma model exactly.
+type CellSample struct {
+	Vth, Beta float64
+}
+
+const (
+	wVth  = 0.8
+	wBeta = 0.6
+)
+
+// Delta returns the delay offset this sample induces at an operating
+// point of the given cell.
+func (cs CellSample) Delta(s *stdcell.Spec, load, slew float64, corner stdcell.Corner) float64 {
+	return s.Sigma(load, slew, corner) * (wVth*cs.Vth + wBeta*cs.Beta)
+}
+
+// Sampler draws deterministic local-variation samples keyed by instance
+// and cell name.
+type Sampler struct {
+	rng *dist.RNG
+}
+
+// NewSampler creates a sampler for the given seed.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: dist.NewRNG(seed)}
+}
+
+// Cell returns the mismatch sample of the named cell in the given
+// Monte-Carlo instance. The draw depends only on (seed, instance, name).
+func (sm *Sampler) Cell(instance int, name string) CellSample {
+	g := sm.rng.ForkNamed(fmt.Sprintf("mc%d/%s", instance, name))
+	return CellSample{Vth: g.StandardNormal(), Beta: g.StandardNormal()}
+}
+
+// Global returns the die-level delay factor of the given instance,
+// centred on 1.0.
+func (sm *Sampler) Global(instance int, sigma float64) float64 {
+	g := sm.rng.ForkNamed(fmt.Sprintf("global%d", instance))
+	return 1 + sigma*g.StandardNormal()
+}
+
+// Instances generates cfg.N Monte-Carlo Liberty libraries from the
+// catalogue. Each instance perturbs every cell's delay tables by that
+// cell's local mismatch sample (plus optional characterization noise and
+// global factor). This is the input of the Fig. 2 statistical library
+// construction.
+func Instances(cat *stdcell.Catalogue, cfg Config) []*liberty.Library {
+	sm := NewSampler(cfg.Seed)
+	libs := make([]*liberty.Library, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		libs[i] = Instance(cat, sm, i, cfg)
+	}
+	return libs
+}
+
+// Instance generates the i-th Monte-Carlo library.
+func Instance(cat *stdcell.Catalogue, sm *Sampler, i int, cfg Config) *liberty.Library {
+	global := 1.0
+	if cfg.GlobalSigma > 0 {
+		global = sm.Global(i, cfg.GlobalSigma)
+	}
+	noise := dist.NewRNG(cfg.Seed).ForkNamed(fmt.Sprintf("noise%d", i))
+	samples := make(map[string]CellSample, len(cat.Specs))
+	perturb := func(s *stdcell.Spec, load, slew float64) float64 {
+		cs, ok := samples[s.Name]
+		if !ok {
+			cs = sm.Cell(i, s.Name)
+			samples[s.Name] = cs
+		}
+		d := cs.Delta(s, load, slew, cat.Corner)
+		if cfg.CharNoise > 0 {
+			d += cfg.CharNoise * s.Sigma(load, slew, cat.Corner) * noise.StandardNormal()
+		}
+		if global != 1 {
+			d += (global - 1) * s.Delay(load, slew, cat.Corner)
+		}
+		return d
+	}
+	return cat.BuildLibrary(fmt.Sprintf("%s_mc%03d", cat.Lib.Name, i), perturb)
+}
+
+// CellDelay evaluates the perturbed delay of one cell instance at an
+// operating point — the path Monte-Carlo (Figs. 15/16) uses this directly
+// instead of materializing whole libraries.
+func CellDelay(s *stdcell.Spec, cs CellSample, global float64, load, slew float64, corner stdcell.Corner) float64 {
+	return global*s.Delay(load, slew, corner) + cs.Delta(s, load, slew, corner)
+}

@@ -1,0 +1,183 @@
+// Package stdcelltune reproduces "Standard Cell Library Tuning for
+// Variability Tolerant Designs" (Fabrie, DATE 2014): a library tuning
+// method that confines each standard cell's look-up table to the
+// slew/load region where its delay sigma is low, binding synthesis to
+// the variation-robust part of the library and reducing a design's
+// sensitivity to local (intra-die) process variation.
+//
+// The package is a facade over the full flow:
+//
+//	cat := stdcelltune.NewCatalogue(stdcelltune.Typical)        // 304-cell 40nm-class library
+//	stat, _ := stdcelltune.Characterize(cat, 50, 1)             // Monte-Carlo statistical library
+//	win, rep, _ := stdcelltune.Tune(stat, stdcelltune.SigmaCeiling, 0.02)
+//	mcu, _ := stdcelltune.NewMCU()                              // 20k-gate evaluation design
+//	base, _ := stdcelltune.Synthesize(mcu, cat, 5.0, nil)       // baseline
+//	tuned, _ := stdcelltune.Synthesize(mcu, cat, 5.0, win)      // restricted
+//	bs, _ := stdcelltune.AnalyzeVariation(base, stat)
+//	ts, _ := stdcelltune.AnalyzeVariation(tuned, stat)
+//	// ts.Design.Sigma < bs.Design.Sigma at a modest area cost.
+//
+// Every table and figure of the paper regenerates through Experiments
+// (see the root bench_test.go and cmd/experiments).
+package stdcelltune
+
+import (
+	"stdcelltune/internal/core"
+	"stdcelltune/internal/exp"
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/logic"
+	"stdcelltune/internal/power"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
+	"stdcelltune/internal/variation"
+)
+
+// Corner is a process/voltage/temperature corner.
+type Corner = stdcell.Corner
+
+// Process corners.
+const (
+	Typical = stdcell.Typical
+	Fast    = stdcell.Fast
+	Slow    = stdcell.Slow
+)
+
+// Catalogue is the 304-cell standard cell library: the Liberty model
+// plus the analytic NLDM behind every cell.
+type Catalogue = stdcell.Catalogue
+
+// NewCatalogue builds the library characterized at a corner.
+func NewCatalogue(c Corner) *Catalogue { return stdcell.NewCatalogue(c) }
+
+// Library is a parsed or generated Liberty (.lib) model.
+type Library = liberty.Library
+
+// WriteLiberty serializes a Liberty library to text.
+func WriteLiberty(l *Library) (string, error) { return liberty.WriteString(l) }
+
+// ParseLiberty loads Liberty text.
+func ParseLiberty(src string) (*Library, error) { return liberty.Parse(src) }
+
+// StatisticalLibrary holds per-LUT-entry delay mean and sigma across the
+// Monte-Carlo instances (paper Section IV, Fig. 2).
+type StatisticalLibrary = statlib.Library
+
+// Characterize runs the Monte-Carlo characterization (n library
+// instances under local variation) and folds them into the statistical
+// library. The paper uses n = 50.
+func Characterize(cat *Catalogue, n int, seed int64) (*StatisticalLibrary, error) {
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: seed, CharNoise: 0.02})
+	return statlib.Build("stat_"+cat.Corner.Name(), libs)
+}
+
+// Method is one of the paper's five tuning methods.
+type Method = core.Method
+
+// The five tuning methods (paper Section VI.A).
+const (
+	CellStrengthLoadSlope = core.CellStrengthLoadSlope
+	CellStrengthSlewSlope = core.CellStrengthSlewSlope
+	CellLoadSlope         = core.CellLoadSlope
+	CellSlewSlope         = core.CellSlewSlope
+	SigmaCeiling          = core.SigmaCeiling
+)
+
+// Methods lists all five tuning methods in paper order.
+var Methods = core.Methods
+
+// SweepBounds returns the paper's Table 2 sweep values for a method.
+func SweepBounds(m Method) []float64 { return core.SweepBounds(m) }
+
+// Windows is a set of per-pin slew/load operating windows — the tuning
+// output that binds synthesis to each cell's robust LUT region.
+type Windows = restrict.Set
+
+// TuningReport records the thresholds and per-pin restrictions of a
+// tuning run.
+type TuningReport = core.Report
+
+// Tune runs a tuning method at the given constraint bound against the
+// statistical library.
+func Tune(stat *StatisticalLibrary, m Method, bound float64) (*Windows, *TuningReport, error) {
+	return core.NewTuner(stat).Tune(core.ParamsFor(m, bound))
+}
+
+// Design is a technology-independent logic network, the synthesis input.
+type Design = logic.Network
+
+// MCUConfig sizes the generated microcontroller.
+type MCUConfig = rtlgen.Config
+
+// NewMCU generates the paper's evaluation workload: a ~20k-gate 32-bit
+// microcontroller (CPU, AHB-style bus, timers, GPIO, SRAM interface).
+func NewMCU() (*Design, error) {
+	m, err := rtlgen.Build(rtlgen.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return m.Net, nil
+}
+
+// NewMCUWith generates the microcontroller with a custom configuration.
+func NewMCUWith(cfg MCUConfig) (*Design, error) {
+	m, err := rtlgen.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Net, nil
+}
+
+// SynthesisResult is a completed synthesis run: the mapped and sized
+// netlist, its timing, and the optimization statistics.
+type SynthesisResult = synth.Result
+
+// Synthesize maps the design onto the catalogue and sizes it against a
+// clock period (ns). windows may be nil for an unrestricted baseline.
+func Synthesize(d *Design, cat *Catalogue, clock float64, windows *Windows) (*SynthesisResult, error) {
+	opts := synth.DefaultOptions(clock)
+	opts.Restrict = windows
+	return synth.Synthesize("design", d, cat, opts)
+}
+
+// DesignStats is the statistical timing of a synthesized design: per
+// worst path and design-level delay mean and sigma (paper eqs. 5-11).
+type DesignStats = stattime.DesignStats
+
+// AnalyzeVariation computes the local-variation statistics of a
+// synthesis result against the statistical library (correlation rho=0,
+// the paper's assumption).
+func AnalyzeVariation(res *SynthesisResult, stat *StatisticalLibrary) (*DesignStats, error) {
+	return stattime.Analyze(res.Timing, stat, 0)
+}
+
+// Compare summarizes tuned-versus-baseline sigma and area.
+type Compare = stattime.Compare
+
+// PowerReport is a power estimate: switching, internal and leakage
+// components in mW plus the local-variation sigma of the internal part.
+type PowerReport = power.Report
+
+// EstimatePower runs activity-based power estimation on a synthesis
+// result at the given clock period.
+func EstimatePower(res *SynthesisResult, clock float64) (*PowerReport, error) {
+	return power.Estimate(res.Netlist, res.Timing, power.DefaultConfig(clock))
+}
+
+// Experiments drives the paper's full evaluation: every table and figure
+// regenerates through its methods (Table1..Table3, Fig1..Fig16).
+type Experiments = exp.Flow
+
+// ExperimentsConfig sizes the experiment flow.
+type ExperimentsConfig = exp.FlowConfig
+
+// NewExperiments builds the experiment flow at paper scale (50 MC
+// instances, the 20k-gate MCU).
+func NewExperiments() (*Experiments, error) { return exp.NewFlow(exp.DefaultFlowConfig()) }
+
+// NewExperimentsWith builds the flow with a custom configuration (the
+// scaled-down exp.SmallFlowConfig is useful for quick runs).
+func NewExperimentsWith(cfg ExperimentsConfig) (*Experiments, error) { return exp.NewFlow(cfg) }
