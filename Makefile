@@ -1,0 +1,31 @@
+# Development targets. `make ci` is the pre-merge gate referenced from
+# ROADMAP.md's tier-1 verify line.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz experiments-small clean
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the Liberty parser (seeds always run under
+# plain `go test`; this explores beyond them).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=30s ./internal/liberty
+
+experiments-small:
+	$(GO) run ./cmd/experiments -small
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package stdcelltune_test
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -36,7 +37,7 @@ func flow(b *testing.B) *exp.Flow {
 		if os.Getenv("STC_BENCH") == "small" {
 			cfg = exp.SmallFlowConfig()
 		}
-		benchFlow, benchErr = exp.NewFlow(cfg)
+		benchFlow, benchErr = exp.NewFlow(context.Background(), cfg)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)

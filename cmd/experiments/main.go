@@ -7,17 +7,30 @@
 //	experiments                 # paper-scale flow (several minutes)
 //	experiments -small          # scaled-down quick run
 //	experiments -out results/
+//	experiments -seed 7         # reseed the Monte-Carlo characterization
+//	experiments -faultrate 0.05 # corrupt 5% of LUT entries (robustness demo)
+//
+// Ctrl-C cancels the run promptly (the flow context is honoured between
+// synthesis/tuning units). A failing experiment no longer aborts the
+// rest of the suite: its error is reported, the remaining experiments
+// run, and the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"stdcelltune/internal/exp"
+	"stdcelltune/internal/robust"
+	"stdcelltune/internal/robust/faultinject"
 )
 
 func main() {
@@ -26,20 +39,26 @@ func main() {
 	small := flag.Bool("small", false, "scaled-down MCU and fewer MC samples (quick)")
 	out := flag.String("out", "", "directory to write per-experiment text files")
 	only := flag.String("only", "", "run a single experiment (e.g. table1, fig10)")
+	seed := flag.Int64("seed", 0, "Monte-Carlo seed (0 keeps the paper's default)")
+	faultRate := flag.Float64("faultrate", 0, "fraction of LUT entries to corrupt before folding (0 disables)")
+	faultSeed := flag.Int64("faultseed", 1, "seed of the fault-injection pattern")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := exp.DefaultFlowConfig()
 	if *small {
 		cfg = exp.SmallFlowConfig()
 	}
-	start := time.Now()
-	flow, err := exp.NewFlow(cfg)
-	if err != nil {
-		log.Fatal(err)
+	if *seed != 0 {
+		cfg.Seed = *seed
 	}
-	fmt.Printf("flow ready: %d cells, %d MC samples, MCU %d gate nodes (%.1fs)\n\n",
-		len(flow.Stat.Cells), flow.Cfg.Samples, flow.MCU.Net.GateCount(), time.Since(start).Seconds())
-
+	if *faultRate > 0 {
+		cfg.Fault = faultinject.Config{Rate: *faultRate, Seed: *faultSeed}
+	}
+	start := time.Now()
+	var flow *exp.Flow
 	type renderable interface{ Render() string }
 	experiments := []struct {
 		name string
@@ -89,14 +108,64 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *only != "" {
+		known := false
+		var names []string
+		for _, e := range experiments {
+			names = append(names, e.name)
+			known = known || e.name == *only
+		}
+		// Validated before the (possibly minutes-long) flow build so a
+		// typo fails in milliseconds, not after characterization.
+		if !known {
+			log.Fatalf("unknown experiment %q; valid names: %v", *only, names)
+		}
+	}
+
+	flow, err := exp.NewFlow(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow ready: %d cells, %d MC samples, MCU %d gate nodes (%.1fs)\n",
+		len(flow.Stat.Cells), flow.Cfg.Samples, flow.MCU.Net.GateCount(), time.Since(start).Seconds())
+	if cfg.Fault.Rate > 0 {
+		fmt.Printf("%s\n", flow.Injected)
+	}
+	if flow.Quarantine.Len() > 0 {
+		fmt.Printf("%s", flow.Quarantine.Render())
+	}
+	fmt.Println()
+
+	var failed []string
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
 			continue
 		}
+		if ctx.Err() != nil {
+			log.Printf("cancelled before %s: %v", e.name, ctx.Err())
+			failed = append(failed, "(cancelled)")
+			break
+		}
 		t0 := time.Now()
-		r, err := e.run()
+		var r renderable
+		// robust.Safe: a panicking driver fails its own experiment (with
+		// the recovered stack in the error), never the whole suite.
+		err := robust.Safe(func() error {
+			var runErr error
+			r, runErr = e.run()
+			return runErr
+		})
 		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				log.Printf("%s: cancelled: %v", e.name, err)
+				failed = append(failed, "(cancelled)")
+				break
+			}
+			// Degrade, don't abort: report and keep the suite running so
+			// one broken experiment cannot hide the other twenty-four.
+			log.Printf("%s: FAILED: %v", e.name, err)
+			failed = append(failed, e.name)
+			continue
 		}
 		text := r.Render()
 		fmt.Printf("--- %s (%.1fs) ---\n%s\n", e.name, time.Since(t0).Seconds(), text)
@@ -108,4 +177,7 @@ func main() {
 		}
 	}
 	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+	if len(failed) > 0 {
+		log.Fatalf("%d experiment(s) failed: %v", len(failed), failed)
+	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"stdcelltune/internal/lut"
 	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/robust"
 	"stdcelltune/internal/statlib"
 )
 
@@ -139,6 +140,12 @@ type Report struct {
 	Params   Params
 	Clusters []ClusterReport
 	Pins     []PinReport
+
+	// Quarantine lists cells the tuner skipped because their sigma
+	// statistics were degenerate (non-finite values, mismatched table
+	// structure). Skipped cells get no operating window — synthesis
+	// treats them as unrestricted, the baseline behaviour.
+	Quarantine *robust.Quarantine
 }
 
 // ExcludedPins counts pins whose restriction removed the entire LUT.
@@ -161,9 +168,21 @@ type Tuner struct {
 func NewTuner(stat *statlib.Library) *Tuner { return &Tuner{Stat: stat} }
 
 // Tune runs stage 1 and stage 2 and returns the per-pin windows plus the
-// full report.
+// full report. Cells whose sigma statistics are degenerate are skipped
+// into the report's Quarantine (left unrestricted) rather than failing
+// the run; Tune errors hard only when the quarantined fraction exceeds
+// robust.DefaultQuarantineLimit.
 func (t *Tuner) Tune(p Params) (*restrict.Set, *Report, error) {
-	rep := &Report{Params: p}
+	rep := &Report{Params: p, Quarantine: robust.NewQuarantine("tuner")}
+	rep.Quarantine.Total = len(t.Stat.CellOrder)
+	for _, name := range t.Stat.CellOrder {
+		if reason := degenerateStats(t.Stat.Cells[name]); reason != "" {
+			rep.Quarantine.Add(name, reason)
+		}
+	}
+	if err := rep.Quarantine.Check(robust.DefaultQuarantineLimit); err != nil {
+		return nil, nil, err
+	}
 	thresholds, err := t.extractThresholds(p, rep)
 	if err != nil {
 		return nil, nil, err
@@ -174,6 +193,9 @@ func (t *Tuner) Tune(p Params) (*restrict.Set, *Report, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		cell := t.Stat.Cells[name]
+		if rep.Quarantine.Has(name) {
+			continue
+		}
 		thr, ok := thresholds[t.clusterKey(p.Method, cell)]
 		if !ok {
 			continue
@@ -228,6 +250,35 @@ func (t *Tuner) clusterKey(m Method, c *statlib.Cell) string {
 	return c.Name
 }
 
+// degenerateStats checks one cell's sigma statistics for values the
+// threshold extraction cannot digest. It returns an empty string for a
+// usable cell, else the quarantine reason. (Libraries built by
+// statlib.Build are pre-screened; this guards hand-written or parsed
+// LVF libraries fed to the tuner directly.)
+func degenerateStats(c *statlib.Cell) string {
+	for _, pin := range c.Pins {
+		for _, tb := range pin.SigmaTables() {
+			if tb == nil {
+				return fmt.Sprintf("pin %s missing sigma table", pin.Name)
+			}
+			if err := tb.Validate(); err != nil {
+				return fmt.Sprintf("pin %s: %v", pin.Name, err)
+			}
+			for i := range tb.Values {
+				for _, v := range tb.Values[i] {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Sprintf("pin %s sigma table non-finite", pin.Name)
+					}
+				}
+			}
+		}
+		if _, err := pin.MaxSigmaTable(); err != nil {
+			return fmt.Sprintf("pin %s: %v", pin.Name, err)
+		}
+	}
+	return ""
+}
+
 // extractThresholds runs stage 1 for every cluster.
 func (t *Tuner) extractThresholds(p Params, rep *Report) (map[string]float64, error) {
 	// Group sigma tables per cluster.
@@ -237,6 +288,9 @@ func (t *Tuner) extractThresholds(p Params, rep *Report) (map[string]float64, er
 	sort.Strings(names)
 	for _, name := range names {
 		cell := t.Stat.Cells[name]
+		if rep.Quarantine.Has(name) {
+			continue // degenerate sigma data must not poison the cluster
+		}
 		key := t.clusterKey(p.Method, cell)
 		for _, pin := range cell.Pins {
 			clusters[key] = append(clusters[key], pin.SigmaTables()...)

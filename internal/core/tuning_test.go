@@ -295,6 +295,39 @@ func TestExcludedPins(t *testing.T) {
 	}
 }
 
+// TestTunerQuarantinesDegenerateCell: a cell whose sigma data went
+// non-finite must be skipped (left unrestricted) and reported, without
+// poisoning its cluster's threshold or failing the run.
+func TestTunerQuarantinesDegenerateCell(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	libs := variation.Instances(cat, variation.Config{N: 5, Seed: 3, CharNoise: 0.02})
+	sl, err := statlib.Build("x", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := "ND2_2"
+	sl.Cell(victim).Pins[0].Arcs[0].SigmaRise.Values[1][1] = math.NaN()
+	win, rep, err := NewTuner(sl).Tune(ParamsFor(SigmaCeiling, 0.02))
+	if err != nil {
+		t.Fatalf("one degenerate cell must degrade, not fail: %v", err)
+	}
+	if !rep.Quarantine.Has(victim) {
+		t.Fatalf("%s not quarantined: %s", victim, rep.Quarantine.Render())
+	}
+	if rep.Quarantine.Len() != 1 {
+		t.Errorf("quarantine %d cells, want 1", rep.Quarantine.Len())
+	}
+	// A quarantined cell stays unrestricted; a healthy sibling at the
+	// same drive is still tuned.
+	if w, ok := win.Window(victim, sl.Cell(victim).Pins[0].Name); ok {
+		t.Errorf("quarantined cell got a window: %+v", w)
+	}
+	healthy := "ND2_4"
+	if _, ok := win.Window(healthy, sl.Cell(healthy).Pins[0].Name); !ok {
+		t.Errorf("healthy cell %s lost its window", healthy)
+	}
+}
+
 func TestWindowFromRectInteriorAnchor(t *testing.T) {
 	_, sl := sharedStat(t)
 	// A rectangle anchored away from the origin must produce nonzero

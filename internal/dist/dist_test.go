@@ -306,7 +306,10 @@ func TestRNGHelpers(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -329,7 +332,10 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramOf(t *testing.T) {
-	h := HistogramOf([]float64{1, 2, 3, 4, 5}, 5)
+	h, err := HistogramOf([]float64{1, 2, 3, 4, 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.N != 5 {
 		t.Errorf("N=%d", h.N)
 	}
@@ -337,18 +343,49 @@ func TestHistogramOf(t *testing.T) {
 		t.Errorf("range [%g,%g] want [1,5]", h.Lo, h.Hi)
 	}
 	// Degenerate all-equal samples.
-	d := HistogramOf([]float64{3, 3, 3}, 4)
+	d, err := HistogramOf([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.N != 3 {
 		t.Errorf("degenerate N=%d", d.N)
 	}
-	e := HistogramOf(nil, 3)
+	e, err := HistogramOf(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.N != 0 {
 		t.Errorf("empty N=%d", e.N)
 	}
 }
 
+func TestHistogramInvalidInputs(t *testing.T) {
+	// Input validation returns errors, never panics (robustness PR).
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("bins=0 must error")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Error("empty range must error")
+	}
+	if _, err := NewHistogram(7, 2, 4); err == nil {
+		t.Error("inverted range must error")
+	}
+	if _, err := NewHistogram(math.NaN(), 1, 4); err == nil {
+		t.Error("NaN bound must error")
+	}
+	if _, err := HistogramOf([]float64{1, math.NaN(), 3}, 4); err == nil {
+		t.Error("NaN sample must error")
+	}
+	if _, err := HistogramOf([]float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative bins must error")
+	}
+}
+
 func TestHistogramModeAndRender(t *testing.T) {
-	h := NewHistogram(0, 3, 3)
+	h, err := NewHistogram(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Add(1.5)
 	h.Add(1.6)
 	h.Add(0.5)

@@ -16,21 +16,25 @@ type Histogram struct {
 }
 
 // NewHistogram creates a histogram of the given number of bins spanning
-// [lo, hi]. Bins must be >= 1 and hi > lo.
-func NewHistogram(lo, hi float64, bins int) *Histogram {
+// [lo, hi]. It errors when bins < 1 or the range is empty or non-finite.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 	if bins < 1 {
-		panic("dist: histogram needs at least one bin")
+		return nil, fmt.Errorf("dist: histogram needs at least one bin, got %d", bins)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, fmt.Errorf("dist: histogram range [%g,%g] is not a number", lo, hi)
 	}
 	if !(hi > lo) {
-		panic("dist: histogram range must satisfy hi > lo")
+		return nil, fmt.Errorf("dist: histogram range must satisfy hi > lo, got [%g,%g]", lo, hi)
 	}
-	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
 }
 
 // HistogramOf builds a histogram that spans the sample range with the
 // given number of bins. A degenerate all-equal sample set gets a unit
-// span centred on the value.
-func HistogramOf(samples []float64, bins int) *Histogram {
+// span centred on the value; non-finite samples make the range invalid
+// and error.
+func HistogramOf(samples []float64, bins int) (*Histogram, error) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, s := range samples {
 		lo = math.Min(lo, s)
@@ -41,11 +45,14 @@ func HistogramOf(samples []float64, bins int) *Histogram {
 	} else if lo == hi {
 		lo, hi = lo-0.5, hi+0.5
 	}
-	h := NewHistogram(lo, hi, bins)
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
 	for _, s := range samples {
 		h.Add(s)
 	}
-	return h
+	return h, nil
 }
 
 // Add accumulates one sample.

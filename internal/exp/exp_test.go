@@ -1,9 +1,13 @@
 package exp
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"stdcelltune/internal/core"
 )
@@ -18,7 +22,7 @@ var (
 func smallFlow(t *testing.T) *Flow {
 	t.Helper()
 	flowOnce.Do(func() {
-		flowInst, flowErr = NewFlow(SmallFlowConfig())
+		flowInst, flowErr = NewFlow(context.Background(), SmallFlowConfig())
 	})
 	if flowErr != nil {
 		t.Fatal(flowErr)
@@ -553,6 +557,51 @@ func TestExtCorners(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "corners") {
 		t.Error("render incomplete")
+	}
+}
+
+// TestCancelMidTable3 checks the cancellation contract end to end:
+// cancelling the flow context while Table3's method-by-clock fan-out is
+// running must return promptly with context.Canceled and leave no
+// worker goroutine behind.
+func TestCancelMidTable3(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f, err := NewFlow(ctx, SmallFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the clock selection so the cancel lands inside Table3 itself,
+	// not in the shared MinClock bisection.
+	if _, err := f.Clocks(); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Table3()
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the fan-out start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Table3 after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Table3 did not return promptly after cancellation")
+	}
+	// The pool drains before Wait returns, so the goroutine count must
+	// come back down (allow the runtime a moment and a little slack).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancel: %d before, %d after", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

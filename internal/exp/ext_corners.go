@@ -5,6 +5,7 @@ import (
 
 	"stdcelltune/internal/core"
 	"stdcelltune/internal/report"
+	"stdcelltune/internal/robust/faultinject"
 	"stdcelltune/internal/rtlgen"
 	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stattime"
@@ -70,7 +71,11 @@ func (f *Flow) cornerOutcome(corner stdcell.Corner, clock, bound float64) (Corne
 		return oc, nil
 	}
 	cat := stdcell.NewCatalogue(corner)
-	libs := variation.Instances(cat, variation.Config{N: f.Cfg.Samples, Seed: f.Cfg.Seed, CharNoise: 0.02})
+	libs, err := variation.InstancesCtx(f.ctx, cat, variation.Config{N: f.Cfg.Samples, Seed: f.Cfg.Seed, CharNoise: 0.02})
+	if err != nil {
+		return oc, err
+	}
+	faultinject.Corrupt(libs, f.Cfg.Fault)
 	stat, err := statlib.Build("stat_"+corner.Name(), libs)
 	if err != nil {
 		return oc, err

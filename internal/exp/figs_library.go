@@ -9,6 +9,7 @@ import (
 	"stdcelltune/internal/dist"
 	"stdcelltune/internal/lut"
 	"stdcelltune/internal/report"
+	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stdcell"
 )
 
@@ -39,6 +40,28 @@ func (r *Fig1Result) Render() string {
 		"identical variability, different dispersion: sigma is the usable metric\n"
 }
 
+// probe returns the named statistical cell, or — when the cell was
+// quarantined out of the library (fault injection, broken
+// characterization data) — the first healthy cell of the same family in
+// library order, so the library-inspection figures degrade to a
+// representative neighbour instead of failing. The returned name is the
+// cell actually used.
+func (f *Flow) probe(name string) (*statlib.Cell, string, error) {
+	if c := f.Stat.Cell(name); c != nil && len(c.Pins) > 0 {
+		return c, name, nil
+	}
+	fam := stdcell.FamilyOf(name)
+	for _, alt := range f.Stat.CellOrder {
+		if stdcell.FamilyOf(alt) != fam {
+			continue
+		}
+		if c := f.Stat.Cell(alt); c != nil && len(c.Pins) > 0 {
+			return c, alt, nil
+		}
+	}
+	return nil, "", fmt.Errorf("exp: probe cell %s missing and family %s has no healthy member", name, fam)
+}
+
 // Fig2Result summarizes the statistical library construction (Fig. 2):
 // how well the per-entry mean/sigma across N Monte-Carlo instances
 // recover the analytic ground truth.
@@ -53,14 +76,18 @@ type Fig2Result struct {
 // Fig2 probes a representative cell set against the analytic model.
 func (f *Flow) Fig2() (*Fig2Result, error) {
 	probes := []string{"INV_1", "INV_32", "ND2_4", "NR4_6", "XNR2_8", "MUX2_4", "DFQ_2"}
-	res := &Fig2Result{Samples: f.Stat.Samples, Cells: len(f.Stat.Cells), ProbedCells: probes}
+	res := &Fig2Result{Samples: f.Stat.Samples, Cells: len(f.Stat.Cells)}
 	var meanErr, sigmaErr float64
 	var n int
-	for _, name := range probes {
+	for _, want := range probes {
+		cell, name, err := f.probe(want)
+		if err != nil {
+			return nil, err
+		}
+		res.ProbedCells = append(res.ProbedCells, name)
 		spec := f.Cat.Spec(name)
-		cell := f.Stat.Cell(name)
-		if spec == nil || cell == nil || len(cell.Pins) == 0 {
-			return nil, fmt.Errorf("exp: probe cell %s missing", name)
+		if spec == nil {
+			return nil, fmt.Errorf("exp: probe cell %s missing from catalogue", name)
 		}
 		arc := cell.Pins[0].Arcs[0]
 		axis := spec.LoadAxis()
@@ -103,14 +130,15 @@ type Fig3Result struct {
 	Corners    [4]float64
 }
 
-// Fig3 interpolates the ND2_4 sigma table between grid points.
+// Fig3 interpolates the ND2_4 sigma table between grid points (or a
+// family neighbour's when ND2_4 is quarantined).
 func (f *Flow) Fig3() (*Fig3Result, error) {
-	cell := f.Stat.Cell("ND2_4")
-	if cell == nil {
-		return nil, fmt.Errorf("exp: ND2_4 missing")
+	cell, name, err := f.probe("ND2_4")
+	if err != nil {
+		return nil, err
 	}
 	t := cell.Pins[0].Arcs[0].SigmaRise
-	res := &Fig3Result{Cell: "ND2_4"}
+	res := &Fig3Result{Cell: name}
 	res.OnGrid = t.Values[2][2]
 	res.Load = (t.Loads[2] + t.Loads[3]) / 2
 	res.Slew = (t.Slews[2] + t.Slews[3]) / 2
@@ -166,15 +194,23 @@ type Fig4Result struct {
 	Surfaces []DriveSurface
 }
 
-// Fig4 summarizes INV_1 .. INV_32 (the paper's family plot).
+// Fig4 summarizes INV_1 .. INV_32 (the paper's family plot). Members
+// quarantined out of the statistical library are skipped; the figure
+// needs at least two drives to show the trend.
 func (f *Flow) Fig4() (*Fig4Result, error) {
 	res := &Fig4Result{}
 	for _, name := range []string{"INV_1", "INV_2", "INV_4", "INV_8", "INV_16", "INV_32"} {
 		s, err := f.surfaceOf(name)
 		if err != nil {
+			if f.Quarantine.Has(name) {
+				continue
+			}
 			return nil, err
 		}
 		res.Surfaces = append(res.Surfaces, s)
+	}
+	if len(res.Surfaces) < 2 {
+		return nil, fmt.Errorf("exp: fewer than two healthy inverter drives")
 	}
 	return res, nil
 }
@@ -235,18 +271,19 @@ type Fig6Result struct {
 	Threshold float64
 }
 
-// Fig6 thresholds NR4_6's worst sigma LUT by the 0.02 ceiling and
-// extracts the largest origin-anchored rectangle.
+// Fig6 thresholds NR4_6's worst sigma LUT (or a family neighbour's
+// when NR4_6 is quarantined) by the 0.02 ceiling and extracts the
+// largest origin-anchored rectangle.
 func (f *Flow) Fig6() (*Fig6Result, error) {
-	cell := f.Stat.Cell("NR4_6")
-	if cell == nil {
-		return nil, fmt.Errorf("exp: NR4_6 missing")
+	cell, name, err := f.probe("NR4_6")
+	if err != nil {
+		return nil, err
 	}
 	maxEq, err := cell.Pins[0].MaxSigmaTable()
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig6Result{Cell: "NR4_6", Ceiling: 0.02}
+	res := &Fig6Result{Cell: name, Ceiling: 0.02}
 	res.Mask = maxEq.ThresholdLE(res.Ceiling)
 	res.Rect = res.Mask.LargestRectangleFast()
 	if !res.Rect.Empty() {

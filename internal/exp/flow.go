@@ -6,12 +6,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"stdcelltune/internal/core"
 	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/robust"
+	"stdcelltune/internal/robust/faultinject"
 	"stdcelltune/internal/rtlgen"
 	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stattime"
@@ -26,6 +29,12 @@ type FlowConfig struct {
 	Seed    int64
 	MCU     rtlgen.Config // evaluation design
 	Corner  stdcell.Corner
+
+	// Fault optionally corrupts the Monte-Carlo instances before the
+	// statistical library is folded, exercising the quarantine and
+	// degradation paths. Rate 0 (the zero value) disables injection and
+	// reproduces the clean flow bit-identically.
+	Fault faultinject.Config
 }
 
 // DefaultFlowConfig mirrors the paper's setup: 50 instances, the 20k-gate
@@ -46,6 +55,13 @@ type Flow struct {
 	Stat *statlib.Library
 	MCU  *rtlgen.MCU
 
+	// Quarantine reports the cells the statistical-library build
+	// skipped (always non-nil; empty on a clean run).
+	Quarantine *robust.Quarantine
+	// Injected summarizes what fault injection corrupted, if enabled.
+	Injected faultinject.Report
+
+	ctx      context.Context
 	mu       sync.Mutex
 	synthRes map[string]*synth.Result
 	statRes  map[string]*stattime.DesignStats
@@ -58,11 +74,21 @@ type tuneEntry struct {
 	rep *core.Report
 }
 
-// NewFlow builds the shared artifacts: catalogue, Monte-Carlo instances,
-// statistical library and the microcontroller network.
-func NewFlow(cfg FlowConfig) (*Flow, error) {
+// NewFlow builds the shared artifacts: catalogue, Monte-Carlo instances
+// (generated in parallel on the worker pool), statistical library and
+// the microcontroller network. The context cancels both construction
+// and every driver run later on the returned flow; nil means
+// context.Background().
+func NewFlow(ctx context.Context, cfg FlowConfig) (*Flow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cat := stdcell.NewCatalogue(cfg.Corner)
-	libs := variation.Instances(cat, variation.Config{N: cfg.Samples, Seed: cfg.Seed, CharNoise: 0.02})
+	libs, err := variation.InstancesCtx(ctx, cat, variation.Config{N: cfg.Samples, Seed: cfg.Seed, CharNoise: 0.02})
+	if err != nil {
+		return nil, err
+	}
+	injected := faultinject.Corrupt(libs, cfg.Fault)
 	stat, err := statlib.Build("stat_"+cfg.Corner.Name(), libs)
 	if err != nil {
 		return nil, err
@@ -73,11 +99,22 @@ func NewFlow(cfg FlowConfig) (*Flow, error) {
 	}
 	return &Flow{
 		Cfg: cfg, Cat: cat, Stat: stat, MCU: mcu,
-		synthRes: make(map[string]*synth.Result),
-		statRes:  make(map[string]*stattime.DesignStats),
-		tuneRes:  make(map[string]*tuneEntry),
+		Quarantine: stat.Quarantine,
+		Injected:   injected,
+		ctx:        ctx,
+		synthRes:   make(map[string]*synth.Result),
+		statRes:    make(map[string]*stattime.DesignStats),
+		tuneRes:    make(map[string]*tuneEntry),
 	}, nil
 }
+
+// Context returns the context the flow was built with.
+func (f *Flow) Context() context.Context { return f.ctx }
+
+// checkCtx is the cancellation checkpoint every driver passes through
+// before starting an expensive unit of work (a tuning run, a synthesis,
+// a statistical analysis).
+func (f *Flow) checkCtx() error { return f.ctx.Err() }
 
 // Tune runs (and caches) a tuning method at a bound.
 func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, error) {
@@ -87,6 +124,9 @@ func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, 
 	f.mu.Unlock()
 	if ok {
 		return e.set, e.rep, nil
+	}
+	if err := f.checkCtx(); err != nil {
+		return nil, nil, err
 	}
 	set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
 	if err != nil {
@@ -119,6 +159,9 @@ func (f *Flow) synth(key string, clock float64, set *restrict.Set) (*synth.Resul
 	if ok {
 		return res, nil
 	}
+	if err := f.checkCtx(); err != nil {
+		return nil, err
+	}
 	opts := synth.DefaultOptions(clock)
 	opts.Restrict = set
 	res, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts)
@@ -138,6 +181,9 @@ func (f *Flow) Stats(key string, res *synth.Result) (*stattime.DesignStats, erro
 	f.mu.Unlock()
 	if ok {
 		return ds, nil
+	}
+	if err := f.checkCtx(); err != nil {
+		return nil, err
 	}
 	ds, err := stattime.Analyze(res.Timing, f.Stat, 0)
 	if err != nil {
@@ -189,6 +235,9 @@ func (f *Flow) MinClock() (float64, error) {
 		return 0, fmt.Errorf("exp: design infeasible even at %.1f ns", hi)
 	}
 	for hi-lo > 0.1 {
+		if err := f.checkCtx(); err != nil {
+			return 0, err
+		}
 		mid := math.Round((lo+hi)/2*20) / 20 // 0.05 ns grid
 		res, err := f.Baseline(mid)
 		if err != nil {

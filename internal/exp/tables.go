@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"stdcelltune/internal/core"
 	"stdcelltune/internal/report"
+	"stdcelltune/internal/robust"
 )
 
 // Table1Result reproduces Table 1: the clock periods of the four timing
@@ -150,24 +150,22 @@ func (f *Flow) Table3() (*Table3Result, error) {
 			cells = append(cells, cell{m, clk})
 		}
 	}
+	// The worker pool bounds concurrency (slots are acquired before a
+	// goroutine spawns), recovers per-cell panics into errors, honours
+	// the flow context, and joins every cell error instead of dropping
+	// all but the first.
 	results := make([]MethodBest, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = f.bestBound(c.m, c.clk)
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = robust.ForEach(f.ctx, robust.DefaultWorkers(), len(cells), func(_ context.Context, i int) error {
+		c := cells[i]
+		b, err := f.bestBound(c.m, c.clk)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("table3 %s at %.2f ns: %w", c.m, c.clk, err)
 		}
+		results[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Table3Result{Clocks: clocks, Best: results}, nil
 }

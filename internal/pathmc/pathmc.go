@@ -43,7 +43,7 @@ type Result struct {
 }
 
 // Histogram bins the samples (Figs. 15/16 are histograms).
-func (r *Result) Histogram(bins int) *dist.Histogram {
+func (r *Result) Histogram(bins int) (*dist.Histogram, error) {
 	return dist.HistogramOf(r.Samples, bins)
 }
 

@@ -169,9 +169,15 @@ func TestHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := r.Histogram(20)
+	h, err := r.Histogram(20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.N != len(r.Samples) {
 		t.Errorf("histogram N %d want %d", h.N, len(r.Samples))
+	}
+	if _, err := r.Histogram(0); err == nil {
+		t.Error("zero-bin histogram must error")
 	}
 }
 

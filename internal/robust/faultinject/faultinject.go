@@ -1,0 +1,153 @@
+// Package faultinject corrupts Monte-Carlo library instances on purpose
+// so the pipeline's degradation paths (entry-level sample filtering,
+// cell quarantine, quarantine-limit hard failure) can be exercised in
+// tests and from cmd/experiments without waiting for genuinely broken
+// characterization data.
+//
+// Corruption is deterministic given the seed, and disjoint from the
+// variation RNG streams: a zero-rate injector leaves every library
+// bit-identical to the clean run.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/liberty"
+)
+
+// Mode is one corruption kind.
+type Mode int
+
+// The supported corruptions, mirroring real characterization failures.
+const (
+	// NaNEntry overwrites a delay-table entry with NaN (a characterizer
+	// that failed to converge). Filtered per entry by statlib's fold.
+	NaNEntry Mode = iota
+	// NegativeDelay overwrites an entry with a large negative value (a
+	// broken measurement). Filtered per entry by statlib's fold, like
+	// NaNEntry — a delay sample below zero is physically impossible.
+	NegativeDelay
+	// DropArc removes a timing arc from a cell in one instance (a
+	// truncated .lib), breaking cross-instance structure so the cell is
+	// quarantined.
+	DropArc
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NaNEntry:
+		return "nan-entry"
+	case NegativeDelay:
+		return "negative-delay"
+	case DropArc:
+		return "drop-arc"
+	}
+	return "unknown"
+}
+
+// AllModes lists every corruption kind, the default mix.
+var AllModes = []Mode{NaNEntry, NegativeDelay, DropArc}
+
+// Config parameterizes an injection pass.
+type Config struct {
+	// Rate is the corruption budget (0 disables), split evenly across
+	// the enabled modes: per delay-LUT entry for NaNEntry and
+	// NegativeDelay, per timing arc for DropArc.
+	Rate float64
+	// Seed makes the corruption pattern reproducible; independent of
+	// the variation seed.
+	Seed int64
+	// Modes restricts which corruptions are injected; empty = AllModes.
+	Modes []Mode
+}
+
+// Report summarizes one injection pass.
+type Report struct {
+	Entries int // LUT entries overwritten (NaN + negative)
+	Arcs    int // timing arcs dropped
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("faultinject: corrupted %d LUT entries, dropped %d arcs", r.Entries, r.Arcs)
+}
+
+// Corrupt damages the libraries in place according to the config and
+// returns what it did. The rate budget is split evenly across the
+// enabled modes: entry modes (NaNEntry, NegativeDelay) corrupt each
+// delay-table entry of each output-pin timing arc independently with
+// their share of Rate, while DropArc is an arc-level event — one roll
+// per arc with its share of Rate — so that a realistic entry-corruption
+// rate does not annihilate every arc in the library.
+func Corrupt(libs []*liberty.Library, cfg Config) Report {
+	var rep Report
+	if cfg.Rate <= 0 || len(libs) == 0 {
+		return rep
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = AllModes
+	}
+	var entryModes []Mode
+	dropArc := false
+	for _, m := range modes {
+		if m == DropArc {
+			dropArc = true
+		} else {
+			entryModes = append(entryModes, m)
+		}
+	}
+	share := cfg.Rate / float64(len(modes))
+	dropRate := 0.0
+	if dropArc {
+		dropRate = share
+	}
+	entryRate := share * float64(len(entryModes))
+	for li, lib := range libs {
+		// One named stream per instance: the pattern does not depend on
+		// visit order and stays stable if instances generate in parallel.
+		rng := dist.NewRNG(cfg.Seed).ForkNamed(fmt.Sprintf("faultinject%d", li))
+		for _, cell := range lib.Cells {
+			for _, pin := range cell.Pins {
+				if pin.Direction != liberty.Output {
+					continue
+				}
+				kept := pin.Timing[:0]
+				for _, arc := range pin.Timing {
+					if dropRate > 0 && rng.Float64() < dropRate {
+						rep.Arcs++
+						continue
+					}
+					if len(entryModes) > 0 {
+						corruptEntries(arc, rng, entryRate, entryModes, &rep)
+					}
+					kept = append(kept, arc)
+				}
+				pin.Timing = kept
+			}
+		}
+	}
+	return rep
+}
+
+// corruptEntries damages one surviving arc's delay tables entry by
+// entry.
+func corruptEntries(arc *liberty.TimingArc, rng *dist.RNG, rate float64, modes []Mode, rep *Report) {
+	for _, tb := range arc.DelayTables() {
+		for i := range tb.Values {
+			for j := range tb.Values[i] {
+				if rng.Float64() >= rate {
+					continue
+				}
+				switch modes[rng.Intn(len(modes))] {
+				case NaNEntry:
+					tb.Values[i][j] = math.NaN()
+				case NegativeDelay:
+					tb.Values[i][j] = -1 - 10*math.Abs(tb.Values[i][j])
+				}
+				rep.Entries++
+			}
+		}
+	}
+}

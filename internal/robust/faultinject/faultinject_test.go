@@ -1,0 +1,194 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+func instances(t *testing.T, n int) []*liberty.Library {
+	t.Helper()
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	return variation.Instances(cat, variation.Config{N: n, Seed: 1, CharNoise: 0.02})
+}
+
+// snapshot flattens every delay-table value so two library sets can be
+// compared bit-for-bit.
+func snapshot(libs []*liberty.Library) []float64 {
+	var out []float64
+	for _, lib := range libs {
+		for _, cell := range lib.Cells {
+			for _, pin := range cell.Pins {
+				for _, arc := range pin.Timing {
+					for _, tb := range arc.DelayTables() {
+						for _, row := range tb.Values {
+							out = append(out, row...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestZeroRateIsNoOp(t *testing.T) {
+	libs := instances(t, 2)
+	before := snapshot(libs)
+	rep := Corrupt(libs, Config{Rate: 0, Seed: 99})
+	if rep.Entries != 0 || rep.Arcs != 0 {
+		t.Fatalf("zero rate reported work: %+v", rep)
+	}
+	after := snapshot(libs)
+	if len(before) != len(after) {
+		t.Fatal("structure changed")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("entry %d changed", i)
+		}
+	}
+}
+
+func TestDeterministicPattern(t *testing.T) {
+	a := instances(t, 3)
+	b := instances(t, 3)
+	cfg := Config{Rate: 0.03, Seed: 7}
+	ra := Corrupt(a, cfg)
+	rb := Corrupt(b, cfg)
+	if ra != rb {
+		t.Fatalf("same seed, different reports: %+v vs %+v", ra, rb)
+	}
+	sa, sb := snapshot(a), snapshot(b)
+	if len(sa) != len(sb) {
+		t.Fatal("same seed, different structure")
+	}
+	for i := range sa {
+		va, vb := sa[i], sb[i]
+		if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+			t.Fatalf("same seed, entry %d differs: %g vs %g", i, va, vb)
+		}
+	}
+	// A different seed must produce a different pattern.
+	c := instances(t, 3)
+	rc := Corrupt(c, Config{Rate: 0.03, Seed: 8})
+	if rc == ra {
+		t.Log("reports coincidentally equal; comparing values")
+		sc := snapshot(c)
+		same := true
+		for i := range sa {
+			if sa[i] != sc[i] && !(math.IsNaN(sa[i]) && math.IsNaN(sc[i])) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corruption")
+		}
+	}
+}
+
+func TestRateScalesDamage(t *testing.T) {
+	libs := instances(t, 2)
+	clean := len(snapshot(libs))
+	rep := Corrupt(libs, Config{Rate: 0.05, Seed: 1, Modes: []Mode{NaNEntry}})
+	if rep.Arcs != 0 {
+		t.Fatalf("NaN-only run dropped arcs: %+v", rep)
+	}
+	got := float64(rep.Entries) / float64(clean)
+	if got < 0.03 || got > 0.07 {
+		t.Errorf("damaged fraction %.3f, want ~0.05", got)
+	}
+	nan := 0
+	for _, v := range snapshot(libs) {
+		if math.IsNaN(v) {
+			nan++
+		}
+	}
+	if nan != rep.Entries {
+		t.Errorf("report says %d entries, library holds %d NaNs", rep.Entries, nan)
+	}
+}
+
+func TestNegativeDelayMode(t *testing.T) {
+	libs := instances(t, 2)
+	rep := Corrupt(libs, Config{Rate: 0.05, Seed: 1, Modes: []Mode{NegativeDelay}})
+	if rep.Entries == 0 {
+		t.Fatal("nothing corrupted at 5%")
+	}
+	neg := 0
+	for _, v := range snapshot(libs) {
+		if v < 0 {
+			neg++
+		}
+	}
+	if neg != rep.Entries {
+		t.Errorf("report says %d entries, library holds %d negatives", rep.Entries, neg)
+	}
+}
+
+func TestDropArcMode(t *testing.T) {
+	libs := instances(t, 2)
+	arcsBefore := 0
+	for _, pinArcs := range arcCounts(libs) {
+		arcsBefore += pinArcs
+	}
+	rep := Corrupt(libs, Config{Rate: 0.02, Seed: 1, Modes: []Mode{DropArc}})
+	if rep.Arcs == 0 {
+		t.Fatal("no arcs dropped at 2%")
+	}
+	arcsAfter := 0
+	for _, pinArcs := range arcCounts(libs) {
+		arcsAfter += pinArcs
+	}
+	if arcsBefore-arcsAfter != rep.Arcs {
+		t.Errorf("report says %d dropped, libraries lost %d", rep.Arcs, arcsBefore-arcsAfter)
+	}
+}
+
+func arcCounts(libs []*liberty.Library) []int {
+	var out []int
+	for _, lib := range libs {
+		for _, cell := range lib.Cells {
+			for _, pin := range cell.Pins {
+				if pin.Direction == liberty.Output {
+					out = append(out, len(pin.Timing))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestStatlibSurvivesInjection is the integration seam: a 5% mixed-mode
+// injection must fold into a statistical library with some cells
+// quarantined, every surviving table finite, and no hard failure.
+func TestStatlibSurvivesInjection(t *testing.T) {
+	libs := instances(t, 8)
+	Corrupt(libs, Config{Rate: 0.05, Seed: 1})
+	sl, err := statlib.Build("injected", libs)
+	if err != nil {
+		t.Fatalf("5%% injection must degrade, not fail: %v", err)
+	}
+	if sl.Quarantine.Len() == 0 {
+		t.Error("mixed-mode injection quarantined nothing")
+	}
+	if sl.Quarantine.Len() == sl.Quarantine.Total {
+		t.Error("every cell quarantined: degradation ladder broken")
+	}
+	for name, c := range sl.Cells {
+		for _, p := range c.Pins {
+			for _, a := range p.Arcs {
+				for _, tb := range []interface{ Max() float64 }{a.MeanRise, a.MeanFall, a.SigmaRise, a.SigmaFall} {
+					if m := tb.Max(); math.IsNaN(m) || math.IsInf(m, 0) {
+						t.Fatalf("%s: non-finite value survived folding", name)
+					}
+				}
+			}
+		}
+	}
+}

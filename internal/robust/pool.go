@@ -1,0 +1,100 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Group is a bounded worker pool tied to a context. Tasks submitted
+// with Go run on at most the configured number of goroutines; the
+// semaphore is acquired by the submitter *before* the goroutine is
+// spawned, so at most workers+1 goroutines ever exist regardless of
+// how many tasks are queued behind it. A panicking task is recovered
+// into a *PanicError; Wait returns every task error joined with
+// errors.Join.
+type Group struct {
+	ctx  context.Context
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewGroup creates a pool of the given width bound to ctx. A width
+// below one is clamped to one; a nil ctx means context.Background().
+func NewGroup(ctx context.Context, workers int) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Group{ctx: ctx, sem: make(chan struct{}, workers)}
+}
+
+// Go submits one task. It blocks until a worker slot is free (bounding
+// both goroutine count and submission rate) and returns false without
+// running the task if the context is cancelled first. The task receives
+// the group context and should return promptly once it is done.
+func (g *Group) Go(fn func(ctx context.Context) error) bool {
+	select {
+	case <-g.ctx.Done():
+		g.record(g.ctx.Err())
+		return false
+	case g.sem <- struct{}{}:
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if err := Safe(func() error { return fn(g.ctx) }); err != nil {
+			g.record(err)
+		}
+	}()
+	return true
+}
+
+func (g *Group) record(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	// A cancelled context is recorded once, not once per unfinished
+	// submission, so Wait's error stays readable.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		for _, e := range g.errs {
+			if errors.Is(e, err) {
+				g.mu.Unlock()
+				return
+			}
+		}
+	}
+	g.errs = append(g.errs, err)
+	g.mu.Unlock()
+}
+
+// Wait blocks until every spawned task has finished and returns all
+// recorded errors joined with errors.Join (nil when none failed).
+// After Wait returns no group goroutine is left running.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return errors.Join(g.errs...)
+}
+
+// ForEach runs n indexed tasks on a pool of the given width and waits
+// for completion. Cancellation stops unsubmitted tasks; already-running
+// tasks drain before ForEach returns. The returned error joins every
+// task error (and the context error, once, if cancelled).
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	g := NewGroup(ctx, workers)
+	for i := 0; i < n; i++ {
+		i := i
+		if !g.Go(func(ctx context.Context) error { return fn(ctx, i) }) {
+			break
+		}
+	}
+	return g.Wait()
+}

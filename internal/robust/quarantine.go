@@ -1,0 +1,125 @@
+package robust
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultQuarantineLimit is the fraction of quarantined items above
+// which a stage must fail hard instead of degrading: losing up to half
+// the library thins the result, losing more means the inputs themselves
+// are broken.
+const DefaultQuarantineLimit = 0.5
+
+// QuarantineEntry records one skipped item and why it was skipped.
+type QuarantineEntry struct {
+	Name   string
+	Reason string
+}
+
+// Quarantine collects items (library cells, in this pipeline) that a
+// stage skipped because their data was degenerate, so the run degrades
+// gracefully and still reports exactly what was dropped. Safe for
+// concurrent Add.
+type Quarantine struct {
+	Stage string // which pipeline stage quarantined, e.g. "statlib"
+	Total int    // items considered; set by the stage for Fraction
+
+	mu      sync.Mutex
+	entries []QuarantineEntry
+	names   map[string]bool
+}
+
+// NewQuarantine creates an empty report for the named stage.
+func NewQuarantine(stage string) *Quarantine {
+	return &Quarantine{Stage: stage, names: make(map[string]bool)}
+}
+
+// Add records one quarantined item. Duplicate names keep the first
+// reason.
+func (q *Quarantine) Add(name, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.names[name] {
+		return
+	}
+	q.names[name] = true
+	q.entries = append(q.entries, QuarantineEntry{Name: name, Reason: reason})
+}
+
+// Has reports whether the named item was quarantined.
+func (q *Quarantine) Has(name string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.names[name]
+}
+
+// Len returns the number of quarantined items.
+func (q *Quarantine) Len() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// Entries returns a name-sorted copy of the report.
+func (q *Quarantine) Entries() []QuarantineEntry {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	out := append([]QuarantineEntry(nil), q.entries...)
+	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fraction returns quarantined/total (zero when Total is unset).
+func (q *Quarantine) Fraction() float64 {
+	if q == nil || q.Total == 0 {
+		return 0
+	}
+	return float64(q.Len()) / float64(q.Total)
+}
+
+// Check returns a hard error when the quarantined fraction exceeds the
+// limit — the degradation contract's escape hatch for inputs too broken
+// to produce a meaningful result.
+func (q *Quarantine) Check(limit float64) error {
+	if q == nil {
+		return nil
+	}
+	if f := q.Fraction(); f > limit {
+		return fmt.Errorf("robust: %s quarantined %d of %d items (%.0f%% > %.0f%% limit)",
+			q.Stage, q.Len(), q.Total, 100*f, 100*limit)
+	}
+	return nil
+}
+
+// Render draws the report as one line per quarantined item, or an
+// all-clear line when nothing was skipped.
+func (q *Quarantine) Render() string {
+	if q.Len() == 0 {
+		return fmt.Sprintf("quarantine (%s): no cells quarantined\n", q.stage())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantine (%s): %d of %d cells skipped\n", q.stage(), q.Len(), q.Total)
+	for _, e := range q.Entries() {
+		fmt.Fprintf(&b, "  %-16s %s\n", e.Name, e.Reason)
+	}
+	return b.String()
+}
+
+func (q *Quarantine) stage() string {
+	if q == nil || q.Stage == "" {
+		return "unknown"
+	}
+	return q.Stage
+}

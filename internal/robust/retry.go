@@ -1,0 +1,121 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy configures Retry: up to MaxAttempts tries with exponential
+// backoff starting at BaseDelay, multiplied by Multiplier per attempt,
+// capped at MaxDelay, with a uniform +/-Jitter fraction applied to each
+// sleep so synchronized retriers spread out.
+type Policy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	Multiplier  float64
+	Jitter      float64 // 0..1 fraction of the delay randomized
+
+	// Sleep overrides the waiting primitive (tests). Nil uses a real
+	// timer honouring context cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy retries transient failures a few times with a fast
+// first retry: 5 attempts, 10ms base, x2 growth, 500ms cap, 20% jitter.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Retry stops immediately instead of
+// burning the remaining attempts. A nil error stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Retry invokes fn until it succeeds, returns a Permanent error, the
+// context is cancelled, or MaxAttempts is exhausted. The terminal error
+// wraps the last attempt's error so errors.Is/As see through it.
+func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := p.BaseDelay
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, last)
+		}
+		last = Safe(func() error { return fn(ctx) })
+		if last == nil {
+			return nil
+		}
+		if IsPermanent(last) {
+			return last
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("robust: %d attempts exhausted: %w", attempts, last)
+		}
+		if err := p.sleep(ctx, jittered(delay, p.Jitter)); err != nil {
+			return errors.Join(err, last)
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if p.MaxDelay > 0 && delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// jittered spreads d uniformly over [d*(1-j), d*(1+j)]. Retry timing is
+// the one place the pipeline is deliberately non-deterministic: it only
+// shifts when a retry fires, never what any experiment computes.
+func jittered(d time.Duration, j float64) time.Duration {
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	f := 1 + j*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

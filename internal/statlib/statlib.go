@@ -15,6 +15,7 @@ import (
 	"stdcelltune/internal/dist"
 	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/lut"
+	"stdcelltune/internal/robust"
 )
 
 // Library is a statistical library: same cell/pin/arc structure as the
@@ -25,7 +26,17 @@ type Library struct {
 	Samples   int // number of Monte-Carlo instances folded in
 	Cells     map[string]*Cell
 	CellOrder []string // original library order for deterministic output
+
+	// Quarantine lists the cells Build skipped because their statistics
+	// were degenerate (missing from an instance, mismatched structure,
+	// non-finite or negative folded values). Consumers degrade: the
+	// tuner leaves quarantined cells unrestricted and statistical timing
+	// falls back to their nominal STA delay with zero sigma.
+	Quarantine *robust.Quarantine
 }
+
+// Quarantined reports whether Build skipped the named cell.
+func (l *Library) Quarantined(name string) bool { return l.Quarantine.Has(name) }
 
 // Cell is one cell's statistics.
 type Cell struct {
@@ -59,29 +70,91 @@ type Arc struct {
 // every table entry, the entry values across the N libraries form a
 // temporary table whose mean and standard deviation land in the same
 // position of the statistical library.
+//
+// A cell whose data is degenerate — absent from an instance, arc/pin
+// structure differing between instances, folded statistics non-finite
+// or negative, non-monotone table axes — is skipped into the library's
+// Quarantine report instead of failing the whole build. Build fails
+// hard only when more than robust.DefaultQuarantineLimit of the cells
+// are quarantined.
 func Build(name string, instances []*liberty.Library) (*Library, error) {
 	if len(instances) < 2 {
 		return nil, errors.New("statlib: need at least two instances")
 	}
 	ref := instances[0]
-	sl := &Library{Name: name, Samples: len(instances), Cells: make(map[string]*Cell)}
+	sl := &Library{
+		Name: name, Samples: len(instances), Cells: make(map[string]*Cell),
+		Quarantine: robust.NewQuarantine("statlib"),
+	}
+	sl.Quarantine.Total = len(ref.Cells)
 	for _, refCell := range ref.Cells {
 		cells := make([]*liberty.Cell, len(instances))
+		quarantined := false
 		for i, inst := range instances {
 			c := inst.Cell(refCell.Name)
 			if c == nil {
-				return nil, fmt.Errorf("statlib: cell %q missing from instance %d", refCell.Name, i)
+				sl.Quarantine.Add(refCell.Name, fmt.Sprintf("missing from instance %d", i))
+				quarantined = true
+				break
 			}
 			cells[i] = c
 		}
+		if quarantined {
+			continue
+		}
 		sc, err := buildCell(cells)
 		if err != nil {
-			return nil, fmt.Errorf("statlib: cell %q: %w", refCell.Name, err)
+			sl.Quarantine.Add(refCell.Name, err.Error())
+			continue
+		}
+		if reason := degenerateCell(sc); reason != "" {
+			sl.Quarantine.Add(refCell.Name, reason)
+			continue
 		}
 		sl.Cells[sc.Name] = sc
 		sl.CellOrder = append(sl.CellOrder, sc.Name)
 	}
+	if err := sl.Quarantine.Check(robust.DefaultQuarantineLimit); err != nil {
+		return nil, err
+	}
 	return sl, nil
+}
+
+// degenerateCell validates the folded statistics of one cell: every
+// table must have valid ascending axes, finite values, non-negative
+// mean delays and non-negative sigmas. It returns an empty string for a
+// healthy cell, else the quarantine reason.
+func degenerateCell(c *Cell) string {
+	for _, p := range c.Pins {
+		for _, a := range p.Arcs {
+			for name, tb := range map[string]*lut.Table{
+				"mean_rise": a.MeanRise, "mean_fall": a.MeanFall,
+				"sigma_rise": a.SigmaRise, "sigma_fall": a.SigmaFall,
+			} {
+				if tb == nil {
+					continue
+				}
+				if err := tb.Validate(); err != nil {
+					return fmt.Sprintf("pin %s arc %s %s: %v", p.Name, a.RelatedPin, name, err)
+				}
+				for i := range tb.Values {
+					for j, v := range tb.Values[i] {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							return fmt.Sprintf("pin %s arc %s %s[%d][%d] non-finite", p.Name, a.RelatedPin, name, i, j)
+						}
+						if v < 0 {
+							kind := "sigma"
+							if name == "mean_rise" || name == "mean_fall" {
+								kind = "mean delay"
+							}
+							return fmt.Sprintf("pin %s arc %s %s[%d][%d] negative %s (%g)", p.Name, a.RelatedPin, name, i, j, kind, v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
 }
 
 func buildCell(cells []*liberty.Cell) (*Cell, error) {
@@ -93,7 +166,24 @@ func buildCell(cells []*liberty.Cell) (*Cell, error) {
 		Footprint:     ref.Footprint,
 	}
 	for pi, refPin := range ref.Pins {
-		if refPin.Direction != liberty.Output || len(refPin.Timing) == 0 {
+		if refPin.Direction != liberty.Output {
+			continue
+		}
+		// Structure must agree across every instance — a dropped or
+		// extra arc anywhere (truncated .lib, fault injection) makes the
+		// whole cell unusable for folding. The check runs even when the
+		// reference pin has no arcs: an arc-less pin that other instances
+		// disagree with means the *reference* lost its arcs, not that the
+		// pin is legitimately untimed (tie cells agree everywhere).
+		for i, c := range cells {
+			if pi >= len(c.Pins) || c.Pins[pi].Name != refPin.Name {
+				return nil, fmt.Errorf("pin structure mismatch in instance %d", i)
+			}
+			if got, want := len(c.Pins[pi].Timing), len(refPin.Timing); got != want {
+				return nil, fmt.Errorf("pin %s has %d arcs in instance %d, want %d", refPin.Name, got, i, want)
+			}
+		}
+		if len(refPin.Timing) == 0 {
 			continue
 		}
 		sp := &Pin{Name: refPin.Name, MaxCap: refPin.MaxCap}
@@ -101,10 +191,11 @@ func buildCell(cells []*liberty.Cell) (*Cell, error) {
 			rises := make([]*lut.Table, len(cells))
 			falls := make([]*lut.Table, len(cells))
 			for i, c := range cells {
-				if pi >= len(c.Pins) || ai >= len(c.Pins[pi].Timing) {
-					return nil, fmt.Errorf("pin/arc structure mismatch in instance %d", i)
-				}
 				arc := c.Pins[pi].Timing[ai]
+				if arc.RelatedPin != refPin.Timing[ai].RelatedPin {
+					return nil, fmt.Errorf("pin %s arc %d related to %s in instance %d, want %s",
+						refPin.Name, ai, arc.RelatedPin, i, refPin.Timing[ai].RelatedPin)
+				}
 				rises[i] = arc.CellRise
 				falls[i] = arc.CellFall
 			}
@@ -131,6 +222,11 @@ func buildCell(cells []*liberty.Cell) (*Cell, error) {
 // tables. This is the innermost step of Fig. 2: one entry is extracted
 // from the N libraries into a temporary table of size N, whose mean and
 // standard deviation are stored at the same position.
+//
+// Non-finite and negative samples (a characterizer that failed to
+// converge or mis-measured on one instance — a real delay is never
+// below zero) are dropped per entry rather than poisoning the fold; an
+// entry needs at least two usable samples to have statistics at all.
 func foldTables(tables []*lut.Table) (mean, sigma *lut.Table, err error) {
 	ref := tables[0]
 	if ref == nil {
@@ -143,11 +239,18 @@ func foldTables(tables []*lut.Table) (mean, sigma *lut.Table, err error) {
 	}
 	mean = lut.New(ref.Loads, ref.Slews)
 	sigma = lut.New(ref.Loads, ref.Slews)
-	tmp := make([]float64, len(tables))
+	tmp := make([]float64, 0, len(tables))
 	for i := range ref.Loads {
 		for j := range ref.Slews {
-			for k, t := range tables {
-				tmp[k] = t.Values[i][j]
+			tmp = tmp[:0]
+			for _, t := range tables {
+				if v := t.Values[i][j]; !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+					tmp = append(tmp, v)
+				}
+			}
+			if len(tmp) < 2 {
+				return nil, nil, fmt.Errorf("statlib: entry [%d][%d] has %d usable samples of %d, need 2",
+					i, j, len(tmp), len(tables))
 			}
 			m, s := dist.MeanStdDev(tmp)
 			mean.Values[i][j] = m

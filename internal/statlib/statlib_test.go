@@ -122,11 +122,24 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("single instance accepted")
 	}
 	libs := variation.Instances(cat, variation.Config{N: 2, Seed: 1})
-	// Remove a cell from the second instance.
+	// Remove a cell from the second instance: the build must survive but
+	// quarantine the damaged cell rather than silently folding a partial
+	// sample set.
+	gone := libs[1].Cells[0].Name
 	libs[1].Cells = libs[1].Cells[1:]
 	mut := &liberty.Library{Name: libs[1].Name, Cells: libs[1].Cells}
-	if _, err := Build("x", []*liberty.Library{libs[0], mut}); err == nil {
-		t.Error("missing cell accepted")
+	sl, err := Build("x", []*liberty.Library{libs[0], mut})
+	if err != nil {
+		t.Fatalf("missing cell must quarantine, not fail: %v", err)
+	}
+	if !sl.Quarantined(gone) {
+		t.Errorf("%s not quarantined", gone)
+	}
+	if sl.Cell(gone) != nil {
+		t.Errorf("%s still present in folded library", gone)
+	}
+	if sl.Quarantine.Len() != 1 {
+		t.Errorf("quarantine len %d want 1", sl.Quarantine.Len())
 	}
 }
 

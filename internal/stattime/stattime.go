@@ -34,6 +34,11 @@ type DesignStats struct {
 	Paths  []PathStats
 	Design dist.Normal // eq. (11) over all paths
 	Rho    float64
+
+	// Degraded counts, per cell name, the path steps that fell back to
+	// the nominal STA delay with zero sigma because the cell was
+	// quarantined out of the statistical library. Empty on a clean run.
+	Degraded map[string]int
 }
 
 // WorstMeanPlus3Sigma returns the largest mu+3sigma across paths — the
@@ -80,15 +85,18 @@ func (d *DesignStats) SortByDepth() {
 }
 
 // Analyze computes the statistics of every worst path (one per unique
-// endpoint, as in the paper) and the design-level convolution.
+// endpoint, as in the paper) and the design-level convolution. Steps
+// through cells the statistical library quarantined degrade to their
+// nominal STA delay with zero sigma and are tallied in Degraded; a cell
+// missing for any other reason is still a hard error.
 func Analyze(r *sta.Result, stat *statlib.Library, rho float64) (*DesignStats, error) {
-	ds := &DesignStats{Rho: rho}
+	ds := &DesignStats{Rho: rho, Degraded: make(map[string]int)}
 	var pathDists []dist.Normal
 	for _, path := range r.WorstPaths() {
 		if len(path.Steps) == 0 {
 			continue // endpoint fed directly by a primary input
 		}
-		ps, err := PathDist(path, stat, rho)
+		ps, err := pathDist(path, stat, rho, ds.Degraded)
 		if err != nil {
 			return nil, err
 		}
@@ -106,10 +114,24 @@ func Analyze(r *sta.Result, stat *statlib.Library, rho float64) (*DesignStats, e
 	return ds, nil
 }
 
+// DegradedSteps returns the total number of path steps that fell back
+// to nominal timing because their cell was quarantined.
+func (d *DesignStats) DegradedSteps() int {
+	n := 0
+	for _, c := range d.Degraded {
+		n += c
+	}
+	return n
+}
+
 // PathDist computes the delay distribution of one path: per-step
 // statistics interpolated from the statistical library at the step's
 // operating point, convolved along the path.
 func PathDist(path sta.Path, stat *statlib.Library, rho float64) (PathStats, error) {
+	return pathDist(path, stat, rho, nil)
+}
+
+func pathDist(path sta.Path, stat *statlib.Library, rho float64, degraded map[string]int) (PathStats, error) {
 	cells := make([]dist.Normal, 0, len(path.Steps))
 	for _, step := range path.Steps {
 		if step.Inst.Spec.Kind == stdcell.KindTie {
@@ -117,7 +139,16 @@ func PathDist(path sta.Path, stat *statlib.Library, rho float64) (PathStats, err
 		}
 		n, err := StepStats(step, stat)
 		if err != nil {
-			return PathStats{}, err
+			if !stat.Quarantined(step.Inst.Spec.Name) {
+				return PathStats{}, err
+			}
+			// Quarantined cell: its statistics were degenerate, so take
+			// the step's nominal STA delay as a zero-sigma contribution
+			// instead of killing the analysis.
+			if degraded != nil {
+				degraded[step.Inst.Spec.Name]++
+			}
+			n = dist.Normal{Mu: step.Delay}
 		}
 		cells = append(cells, n)
 	}

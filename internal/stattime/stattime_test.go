@@ -256,6 +256,56 @@ func TestAnalyzeErrors(t *testing.T) {
 	}
 }
 
+// TestAnalyzeDegradesQuarantinedCell: a step through a quarantined cell
+// falls back to its nominal STA delay with zero sigma and is tallied,
+// while a cell missing for any other reason stays a hard error.
+func TestAnalyzeDegradesQuarantinedCell(t *testing.T) {
+	c, _ := env(t)
+	libs := variation.Instances(c, variation.Config{N: 5, Seed: 9})
+	sl, err := statlib.Build("q", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := invChainNetlist(t, 6)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DegradedSteps() != 0 {
+		t.Fatalf("clean run reports %d degraded steps", clean.DegradedSteps())
+	}
+	// Quarantine the chain's inverter out of the statistical library.
+	sl.Quarantine.Add("INV_2", "test: degenerate statistics")
+	delete(sl.Cells, "INV_2")
+	ds, err := Analyze(r, sl, 0)
+	if err != nil {
+		t.Fatalf("quarantined cell must degrade, not fail: %v", err)
+	}
+	if ds.Degraded["INV_2"] == 0 {
+		t.Fatal("inverter steps not tallied as degraded")
+	}
+	if ds.DegradedSteps() < 6 {
+		t.Errorf("degraded steps %d, chain has 6 inverters", ds.DegradedSteps())
+	}
+	// Zero-sigma fallback: design sigma must shrink, mean must stay finite
+	// and in the same ballpark (nominal delay replaces the statistical mean).
+	if ds.Design.Sigma >= clean.Design.Sigma {
+		t.Errorf("degraded sigma %g not below clean %g", ds.Design.Sigma, clean.Design.Sigma)
+	}
+	if math.IsNaN(ds.Design.Mu) || ds.Design.Mu <= 0 {
+		t.Errorf("degraded mean %g not finite-positive", ds.Design.Mu)
+	}
+	// Missing without quarantine is still fatal.
+	delete(sl.Cells, "DFQ_2")
+	if _, err := Analyze(r, sl, 0); err == nil {
+		t.Error("unquarantined missing cell accepted")
+	}
+}
+
 func TestYield(t *testing.T) {
 	_, sl := env(t)
 	nl := invChainNetlist(t, 5)

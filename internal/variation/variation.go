@@ -12,10 +12,12 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 
 	"stdcelltune/internal/dist"
 	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/robust"
 	"stdcelltune/internal/stdcell"
 )
 
@@ -97,12 +99,26 @@ func (sm *Sampler) Global(instance int, sigma float64) float64 {
 // global factor). This is the input of the Fig. 2 statistical library
 // construction.
 func Instances(cat *stdcell.Catalogue, cfg Config) []*liberty.Library {
+	libs, _ := InstancesCtx(context.Background(), cat, cfg)
+	return libs
+}
+
+// InstancesCtx is Instances on the shared worker pool: the N instances
+// generate in parallel (each instance's streams are named by (seed,
+// instance, cell), so the result is bit-identical to the sequential
+// order) and the context cancels generation between instances. On
+// cancellation the partial slice is discarded and ctx's error returned.
+func InstancesCtx(ctx context.Context, cat *stdcell.Catalogue, cfg Config) ([]*liberty.Library, error) {
 	sm := NewSampler(cfg.Seed)
 	libs := make([]*liberty.Library, cfg.N)
-	for i := 0; i < cfg.N; i++ {
+	err := robust.ForEach(ctx, robust.DefaultWorkers(), cfg.N, func(ctx context.Context, i int) error {
 		libs[i] = Instance(cat, sm, i, cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return libs
+	return libs, nil
 }
 
 // Instance generates the i-th Monte-Carlo library.

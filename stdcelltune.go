@@ -22,6 +22,8 @@
 package stdcelltune
 
 import (
+	"context"
+
 	"stdcelltune/internal/core"
 	"stdcelltune/internal/exp"
 	"stdcelltune/internal/liberty"
@@ -176,8 +178,19 @@ type ExperimentsConfig = exp.FlowConfig
 
 // NewExperiments builds the experiment flow at paper scale (50 MC
 // instances, the 20k-gate MCU).
-func NewExperiments() (*Experiments, error) { return exp.NewFlow(exp.DefaultFlowConfig()) }
+func NewExperiments() (*Experiments, error) {
+	return exp.NewFlow(context.Background(), exp.DefaultFlowConfig())
+}
 
 // NewExperimentsWith builds the flow with a custom configuration (the
 // scaled-down exp.SmallFlowConfig is useful for quick runs).
-func NewExperimentsWith(cfg ExperimentsConfig) (*Experiments, error) { return exp.NewFlow(cfg) }
+func NewExperimentsWith(cfg ExperimentsConfig) (*Experiments, error) {
+	return exp.NewFlow(context.Background(), cfg)
+}
+
+// NewExperimentsContext builds the flow bound to a context: cancelling
+// it aborts construction and any driver still running, promptly and
+// without goroutine leaks (see DESIGN.md, "Failure semantics").
+func NewExperimentsContext(ctx context.Context, cfg ExperimentsConfig) (*Experiments, error) {
+	return exp.NewFlow(ctx, cfg)
+}
