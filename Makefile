@@ -3,9 +3,15 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz experiments-small clean
+# Benchmarks tracked in BENCH_PR2.json (see DESIGN.md, "Performance
+# baseline & benchmark JSON").
+BENCH_JSON ?= BENCH_PR2.json
+BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$
+BENCH_SCALE ?= small
 
-ci: vet build race
+.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small clean
+
+ci: vet build race fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +29,19 @@ race:
 # plain `go test`; this explores beyond them).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=30s ./internal/liberty
+
+# One short iteration over every fuzz target, so the NaN-lookup guard
+# and the parser cannot regress silently in CI.
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzLookup -fuzztime=5s ./internal/lut
+	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=5s ./internal/liberty
+
+# Regenerate the current numbers in BENCH_PR2.json from the tracked
+# benchmarks (STC_BENCH=$(BENCH_SCALE) flow; seed baselines recorded in
+# the file are preserved). See DESIGN.md for the schema.
+bench-json:
+	STC_BENCH=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 experiments-small:
 	$(GO) run ./cmd/experiments -small

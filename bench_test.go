@@ -20,6 +20,7 @@ import (
 	"stdcelltune/internal/lut"
 	"stdcelltune/internal/pathmc"
 	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stattime"
 	"stdcelltune/internal/stdcell"
 	"stdcelltune/internal/variation"
 )
@@ -438,6 +439,29 @@ func BenchmarkAblationClusteringMode(b *testing.B) {
 		}
 		if i == 0 {
 			b.Logf("clusters: strength=%d, per-cell=%d", len(repS.Clusters), len(repC.Clusters))
+		}
+	}
+}
+
+// BenchmarkAnalyzeDesign times the statistical-timing hot path on its
+// own: one full stattime.Analyze over the baseline synthesis at the
+// relaxed clock (every worst path re-analyzed per iteration, no flow
+// cache in the loop). This is the headline number BENCH_PR2.json
+// tracks.
+func BenchmarkAnalyzeDesign(b *testing.B) {
+	f := flow(b)
+	clocks, err := f.Clocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := f.Baseline(clocks.Low)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stattime.Analyze(res.Timing, f.Stat, 0); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

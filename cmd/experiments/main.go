@@ -9,6 +9,8 @@
 //	experiments -out results/
 //	experiments -seed 7         # reseed the Monte-Carlo characterization
 //	experiments -faultrate 0.05 # corrupt 5% of LUT entries (robustness demo)
+//	experiments -benchjson BENCH_PR2.json  # perf phase report + JSON
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Ctrl-C cancels the run promptly (the flow context is honoured between
 // synthesis/tuning units). A failing experiment no longer aborts the
@@ -25,10 +27,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"stdcelltune/internal/exp"
+	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/robust"
 	"stdcelltune/internal/robust/faultinject"
 )
@@ -42,7 +47,22 @@ func main() {
 	seed := flag.Int64("seed", 0, "Monte-Carlo seed (0 keeps the paper's default)")
 	faultRate := flag.Float64("faultrate", 0, "fraction of LUT entries to corrupt before folding (0 disables)")
 	faultSeed := flag.Int64("faultseed", 1, "seed of the fault-injection pattern")
+	benchJSON := flag.String("benchjson", "", "print the per-phase perf report and merge phase timings into this BENCH JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -177,7 +197,33 @@ func main() {
 		}
 	}
 	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+	if *benchJSON != "" {
+		fmt.Printf("--- perf phases ---\n%s", flow.Perf.Report())
+		bf, err := perfstat.ReadBenchFile(*benchJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bf.Phases = flow.Perf.Phases()
+		if err := bf.Write(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("phase timings merged into %s\n", *benchJSON)
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // flush recently-freed objects so the heap profile is current
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			log.Fatal(err)
+		}
+		mf.Close()
+	}
 	if len(failed) > 0 {
+		// log.Fatalf skips deferred functions, so close the CPU profile
+		// by hand to keep it readable on a failing run.
+		pprof.StopCPUProfile()
 		log.Fatalf("%d experiment(s) failed: %v", len(failed), failed)
 	}
 }

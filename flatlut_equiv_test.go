@@ -1,0 +1,223 @@
+// Equivalence harness for the flat-backed LUT: every timing table of the
+// full 304-cell library must answer Lookup/MaxEquivalent/Threshold
+// bit-identically to the seed implementation (per-row allocations, plain
+// binary search, no segment hint). The reference below is that seed
+// algorithm reimplemented verbatim over the exported fields, and the
+// shadow tables it runs against are struct literals — which the lut
+// package keeps on the pre-flat code path — so any divergence in the
+// contiguous backing or the hint memoization fails here, not in a
+// downstream figure.
+package stdcelltune_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/stdcell"
+)
+
+// seedSegment is the seed's segment() verbatim (pre NaN-guard; the
+// harness never feeds it NaN).
+func seedSegment(axis []float64, x float64) (int, float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= axis[0] {
+		return 0, 0
+	}
+	if x >= axis[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(axis, x)
+	lo := i - 1
+	frac := (x - axis[lo]) / (axis[i] - axis[lo])
+	return lo, frac
+}
+
+func seedLerp(a, b, f float64) float64 { return a + (b-a)*f }
+
+// seedLookup is the seed's Table.Lookup verbatim, reading the exported
+// Values rows only.
+func seedLookup(t *lut.Table, load, slew float64) float64 {
+	li, lf := seedSegment(t.Loads, load)
+	sj, sf := seedSegment(t.Slews, slew)
+	if len(t.Loads) == 1 && len(t.Slews) == 1 {
+		return t.Values[0][0]
+	}
+	if len(t.Loads) == 1 {
+		return seedLerp(t.Values[0][sj], t.Values[0][sj+1], sf)
+	}
+	if len(t.Slews) == 1 {
+		return seedLerp(t.Values[li][0], t.Values[li+1][0], lf)
+	}
+	q11 := t.Values[li][sj]
+	q21 := t.Values[li+1][sj]
+	q12 := t.Values[li][sj+1]
+	q22 := t.Values[li+1][sj+1]
+	p1 := seedLerp(q11, q21, lf)
+	p2 := seedLerp(q12, q22, lf)
+	return seedLerp(p1, p2, sf)
+}
+
+// shadow deep-copies a table into a struct literal with per-row slices:
+// no contiguous backing, no hint — the lut package's fallback path,
+// which is the seed code unchanged.
+func shadow(t *lut.Table) *lut.Table {
+	s := &lut.Table{
+		Loads:  append([]float64(nil), t.Loads...),
+		Slews:  append([]float64(nil), t.Slews...),
+		Values: make([][]float64, len(t.Values)),
+	}
+	for i, row := range t.Values {
+		s.Values[i] = append([]float64(nil), row...)
+	}
+	return s
+}
+
+// queryPoints spans every regime of one axis: each grid point exactly,
+// each segment midpoint and a skewed interior point, below/above range,
+// and the exact endpoints.
+func queryPoints(axis []float64) []float64 {
+	pts := append([]float64(nil), axis...)
+	for i := 1; i < len(axis); i++ {
+		pts = append(pts,
+			(axis[i-1]+axis[i])/2,
+			axis[i-1]+0.3141592653589793*(axis[i]-axis[i-1]),
+		)
+	}
+	lo, hi := axis[0], axis[len(axis)-1]
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	pts = append(pts, lo-span, lo-1e-12, hi+1e-12, hi+span, math.Inf(-1), math.Inf(1))
+	return pts
+}
+
+// libraryTables walks every timing table of every arc of every cell.
+func libraryTables(t *testing.T, lib *liberty.Library, visit func(cell, kind string, tb *lut.Table)) {
+	t.Helper()
+	n := 0
+	for _, cell := range lib.Cells {
+		for _, pin := range cell.Pins {
+			for _, arc := range pin.Timing {
+				for _, nt := range []struct {
+					kind string
+					tb   *lut.Table
+				}{
+					{"cell_rise", arc.CellRise},
+					{"cell_fall", arc.CellFall},
+					{"rise_transition", arc.RiseTransition},
+					{"fall_transition", arc.FallTransition},
+					{"sigma_rise", arc.SigmaRise},
+					{"sigma_fall", arc.SigmaFall},
+				} {
+					if nt.tb == nil {
+						continue
+					}
+					visit(cell.Name, nt.kind, nt.tb)
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("library walk visited no tables")
+	}
+}
+
+// TestFlatLookupBitIdenticalAcrossLibrary: for every table of the
+// 304-cell catalogue and every query regime, the flat-backed Lookup —
+// cold and with a warm (possibly wrong-segment) hint — returns the very
+// bits the seed implementation returns.
+func TestFlatLookupBitIdenticalAcrossLibrary(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	if got := len(cat.Lib.Cells); got != 304 {
+		t.Fatalf("catalogue has %d cells, want the paper's 304", got)
+	}
+	queries := 0
+	libraryTables(t, cat.Lib, func(cell, kind string, tb *lut.Table) {
+		loads := queryPoints(tb.Loads)
+		slews := queryPoints(tb.Slews)
+		for _, l := range loads {
+			for _, s := range slews {
+				want := seedLookup(tb, l, s)
+				// Two calls back to back: the first may run the binary
+				// search and set the hint, the second takes the hint path
+				// (or rejects a stale one) — both must match the seed.
+				for pass := 0; pass < 2; pass++ {
+					got := tb.Lookup(l, s)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("%s %s Lookup(%g,%g) pass %d = %x want %x (%g vs %g)",
+							cell, kind, l, s, pass, math.Float64bits(got), math.Float64bits(want), got, want)
+					}
+				}
+				queries++
+			}
+		}
+	})
+	t.Logf("compared %d query points bit-for-bit", queries)
+}
+
+// TestFlatMaxEquivalentAndThresholdAcrossLibrary folds and thresholds
+// every pin's arc tables twice — once through the flat-backed tables,
+// once through struct-literal shadows on the seed code path — and
+// demands bit-identical grids and identical masks.
+func TestFlatMaxEquivalentAndThresholdAcrossLibrary(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	folds := 0
+	for _, cell := range cat.Lib.Cells {
+		for _, pin := range cell.Pins {
+			var flat, shad []*lut.Table
+			for _, arc := range pin.Timing {
+				if arc.CellRise == nil {
+					continue
+				}
+				flat = append(flat, arc.CellRise)
+				shad = append(shad, shadow(arc.CellRise))
+			}
+			if len(flat) == 0 {
+				continue
+			}
+			fm, err := lut.MaxEquivalent(flat...)
+			if err != nil {
+				continue // mismatched axes fold the same way on both sides
+			}
+			sm, err := lut.MaxEquivalent(shad...)
+			if err != nil {
+				t.Fatalf("%s/%s: shadow fold failed where flat fold succeeded: %v", cell.Name, pin.Name, err)
+			}
+			nl, ns := fm.Dims()
+			for i := 0; i < nl; i++ {
+				for j := 0; j < ns; j++ {
+					if math.Float64bits(fm.At(i, j)) != math.Float64bits(sm.At(i, j)) {
+						t.Fatalf("%s/%s: MaxEquivalent[%d][%d] flat %g shadow %g",
+							cell.Name, pin.Name, i, j, fm.At(i, j), sm.At(i, j))
+					}
+				}
+			}
+			// Threshold at values that straddle the table: below min (all
+			// zeros), the exact median entry (mixed), above max (all ones).
+			for _, limit := range []float64{fm.Min(), (fm.Min() + fm.Max()) / 2, fm.Max() + 1} {
+				fb, sb := fm.Threshold(limit), sm.Threshold(limit)
+				for i := 0; i < nl; i++ {
+					for j := 0; j < ns; j++ {
+						if fb.Ones[i][j] != sb.Ones[i][j] {
+							t.Fatalf("%s/%s: Threshold(%g)[%d][%d] flat %v shadow %v",
+								cell.Name, pin.Name, limit, i, j, fb.Ones[i][j], sb.Ones[i][j])
+						}
+					}
+				}
+			}
+			folds++
+		}
+	}
+	if folds == 0 {
+		t.Fatal("no pins folded")
+	}
+	t.Logf("checked %d pin folds", folds)
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"stdcelltune/internal/core"
+	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/restrict"
 	"stdcelltune/internal/robust"
 	"stdcelltune/internal/robust/faultinject"
@@ -61,6 +62,12 @@ type Flow struct {
 	// Injected summarizes what fault injection corrupted, if enabled.
 	Injected faultinject.Report
 
+	// Perf accumulates per-phase wall-time and allocation counters
+	// across everything the flow runs (always non-nil). cmd/experiments
+	// renders it with -benchjson; it costs two ReadMemStats per unit of
+	// work, which is noise next to a synthesis or tuning run.
+	Perf *perfstat.Collector
+
 	ctx      context.Context
 	mu       sync.Mutex
 	synthRes map[string]*synth.Result
@@ -83,17 +90,24 @@ func NewFlow(ctx context.Context, cfg FlowConfig) (*Flow, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	perf := perfstat.New()
 	cat := stdcell.NewCatalogue(cfg.Corner)
+	stopChar := perf.Start("characterize")
 	libs, err := variation.InstancesCtx(ctx, cat, variation.Config{N: cfg.Samples, Seed: cfg.Seed, CharNoise: 0.02})
+	stopChar()
 	if err != nil {
 		return nil, err
 	}
 	injected := faultinject.Corrupt(libs, cfg.Fault)
+	stopFold := perf.Start("statlib-fold")
 	stat, err := statlib.Build("stat_"+cfg.Corner.Name(), libs)
+	stopFold()
 	if err != nil {
 		return nil, err
 	}
+	stopRTL := perf.Start("rtlgen")
 	mcu, err := rtlgen.Build(cfg.MCU)
+	stopRTL()
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +115,7 @@ func NewFlow(ctx context.Context, cfg FlowConfig) (*Flow, error) {
 		Cfg: cfg, Cat: cat, Stat: stat, MCU: mcu,
 		Quarantine: stat.Quarantine,
 		Injected:   injected,
+		Perf:       perf,
 		ctx:        ctx,
 		synthRes:   make(map[string]*synth.Result),
 		statRes:    make(map[string]*stattime.DesignStats),
@@ -128,7 +143,9 @@ func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, 
 	if err := f.checkCtx(); err != nil {
 		return nil, nil, err
 	}
+	stop := f.Perf.Start("tune")
 	set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
+	stop()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -164,7 +181,9 @@ func (f *Flow) synth(key string, clock float64, set *restrict.Set) (*synth.Resul
 	}
 	opts := synth.DefaultOptions(clock)
 	opts.Restrict = set
+	stop := f.Perf.Start("synth")
 	res, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts)
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +204,9 @@ func (f *Flow) Stats(key string, res *synth.Result) (*stattime.DesignStats, erro
 	if err := f.checkCtx(); err != nil {
 		return nil, err
 	}
-	ds, err := stattime.Analyze(res.Timing, f.Stat, 0)
+	stop := f.Perf.Start("stattime")
+	ds, err := stattime.AnalyzeCtx(f.ctx, res.Timing, f.Stat, 0)
+	stop()
 	if err != nil {
 		return nil, err
 	}

@@ -122,10 +122,13 @@ func (r Rect) String() string {
 
 // LargestRectangle implements Algorithm 1 of the paper: an exhaustive scan
 // over every (lower-left, upper-right) index pair, keeping the largest
-// all-ones rectangle. Ties are broken toward the origin (smaller
-// L1+S1, then smaller L1), matching the paper's "starting as close as
-// possible to the origin of the LUT". Returns a zero-area Rect with
-// Empty()==true when the mask has no ones.
+// all-ones rectangle. Ties are broken toward the origin: among equal-area
+// rectangles the one with the lexicographically smallest (L1, S1)
+// lower-left corner wins (smaller L1 first, then smaller S1), because
+// lower-left corners are enumerated in exactly that order and only a
+// strictly larger area replaces the incumbent — matching the paper's
+// "starting as close as possible to the origin of the LUT". Returns a
+// zero-area Rect with Empty()==true when the mask has no ones.
 func (b *Binary) LargestRectangle() Rect {
 	nl, ns := b.Dims()
 	best := Rect{L1: 0, S1: 0, L2: -1, S2: -1}

@@ -161,6 +161,98 @@ func TestLargestRectangleEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// TestLargestRectangleTieBreakProperty pins the *exact* rectangle, not
+// just its area: on masks engineered to contain several equal-area
+// maximal rectangles, the fast histogram-stack variant must pick the
+// same lexicographically-first (L1, S1) rectangle the exhaustive scan
+// keeps. (The scan's documented tie-break is exactly that order — see
+// LargestRectangle.)
+func TestLargestRectangleTieBreakProperty(t *testing.T) {
+	adversarial := []*Binary{
+		// 2x3 (rows 0-1) vs 3x2 (cols 0-1): same lower-left corner, area 6.
+		maskFromStrings(
+			"111",
+			"111",
+			"110",
+		),
+		// Two disjoint 2x2 blocks on the anti-diagonal.
+		maskFromStrings(
+			"0011",
+			"0011",
+			"1100",
+			"1100",
+		),
+		// Four 1x2 dominoes, all area 2.
+		maskFromStrings(
+			"0110",
+			"0000",
+			"1001",
+			"1001",
+		),
+		// Horizontal vs vertical stripe through the middle, both area 5.
+		maskFromStrings(
+			"00100",
+			"00100",
+			"11111",
+			"00100",
+			"00100",
+		),
+		// Checkerboard: every 1 is its own maximal rectangle.
+		maskFromStrings(
+			"1010",
+			"0101",
+			"1010",
+		),
+		// Full-width top band vs full-height left band, both area 6.
+		maskFromStrings(
+			"111",
+			"100",
+			"100",
+			"100",
+			"101",
+		),
+	}
+	for k, b := range adversarial {
+		slow := b.LargestRectangle()
+		fast := b.LargestRectangleFast()
+		if slow != fast {
+			t.Errorf("mask %d:\n%s slow=%v fast=%v", k, b, slow, fast)
+		}
+	}
+	// Randomized tie-heavy masks: small grids with coarse density make
+	// equal-area maximal rectangles the common case.
+	f := func(seed uint32, wRaw, hRaw, bias uint8) bool {
+		w := int(wRaw%5) + 1
+		h := int(hRaw%5) + 1
+		r := rand.New(rand.NewSource(int64(seed)))
+		p := 0.35 + float64(bias%4)*0.18
+		loads := make([]float64, h)
+		for i := range loads {
+			loads[i] = float64(i + 1)
+		}
+		slews := make([]float64, w)
+		for j := range slews {
+			slews[j] = float64(j + 1)
+		}
+		b := NewBinary(loads, slews)
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				b.Ones[i][j] = r.Float64() < p
+			}
+		}
+		slow := b.LargestRectangle()
+		fast := b.LargestRectangleFast()
+		if slow != fast {
+			t.Logf("mask:\n%s slow=%v fast=%v", b, slow, fast)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestThresholdValue(t *testing.T) {
 	tb := New([]float64{1, 2, 3}, []float64{1, 2, 3})
 	for i := range tb.Values {

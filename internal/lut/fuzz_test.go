@@ -1,0 +1,56 @@
+package lut
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLookup drives Lookup with arbitrary float64 loads and slews —
+// including NaN, ±Inf, subnormals and huge magnitudes — and checks the
+// documented contract: never panic, NaN in ⇒ NaN out, and any other
+// query (the axes clamp it) lands within the table's value range.
+func FuzzLookup(f *testing.F) {
+	nan := math.NaN()
+	seeds := [][2]float64{
+		{0.01, 0.05},
+		{nan, 0.05},
+		{0.01, nan},
+		{nan, nan},
+		{math.Inf(1), math.Inf(-1)},
+		{math.Inf(-1), math.Inf(1)},
+		{-1e308, 1e308},
+		{5e-324, -5e-324},
+		{0, 0},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	tables := []*Table{
+		NewFilled(
+			[]float64{0.001, 0.004, 0.016, 0.064},
+			[]float64{0.01, 0.05, 0.2, 0.6},
+			func(l, s float64) float64 { return 2*l + 3*s + 1 },
+		),
+		New([]float64{0.5}, []float64{0.25}),                         // 1x1
+		NewFilled([]float64{1}, []float64{0, 10}, add),               // 1xN
+		NewFilled([]float64{0, 10}, []float64{1}, add),               // Nx1
+		NewFilled([]float64{-2, -1, 0, 1, 2}, []float64{-1, 1}, add), // negative axes
+	}
+	f.Fuzz(func(t *testing.T, load, slew float64) {
+		for _, tb := range tables {
+			got := tb.Lookup(load, slew)
+			if math.IsNaN(load) || math.IsNaN(slew) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Lookup(%g,%g)=%g want NaN", load, slew, got)
+				}
+				continue
+			}
+			lo, hi := tb.Min(), tb.Max()
+			if math.IsNaN(got) || got < lo-1e-9 || got > hi+1e-9 {
+				t.Fatalf("Lookup(%g,%g)=%g outside table range [%g,%g]", load, slew, got, lo, hi)
+			}
+		}
+	})
+}
+
+func add(l, s float64) float64 { return l + s }

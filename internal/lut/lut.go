@@ -16,26 +16,49 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Table is a dense two-dimensional look-up table over a load axis and a
 // slew axis. Values[i][j] corresponds to load Loads[i] and slew Slews[j].
+//
+// Tables built through New/NewFilled store their grid in one contiguous
+// row-major backing array; the Values rows are views into it, so element
+// writes through Values and through Set stay coherent. Tables assembled
+// as struct literals keep working through the same API, just without the
+// contiguous fast path.
 type Table struct {
 	Loads  []float64   // ascending load axis (index_1)
 	Slews  []float64   // ascending slew axis (index_2)
 	Values [][]float64 // len(Loads) rows of len(Slews) values
+
+	// flat is the contiguous row-major backing of Values (nil for tables
+	// built as struct literals); stride is the row length.
+	flat   []float64
+	stride int
+
+	// seg memoizes the last (load, slew) segment pair a Lookup resolved,
+	// packed as two uint32 indices. Queries along a timing path land in
+	// the same segment almost every time, so validating the hint replaces
+	// two binary searches with two comparisons. The hint is only trusted
+	// after re-checking it brackets the query, so a stale or torn value
+	// costs a binary search, never a wrong result.
+	seg atomic.Uint64
 }
 
 // New allocates a zero-valued table over the given axes. The axes are
-// copied so callers may reuse their slices.
+// copied so callers may reuse their slices. The value grid is one
+// contiguous row-major allocation; Values exposes per-row views into it.
 func New(loads, slews []float64) *Table {
 	t := &Table{
 		Loads:  append([]float64(nil), loads...),
 		Slews:  append([]float64(nil), slews...),
 		Values: make([][]float64, len(loads)),
+		flat:   make([]float64, len(loads)*len(slews)),
+		stride: len(slews),
 	}
 	for i := range t.Values {
-		t.Values[i] = make([]float64, len(slews))
+		t.Values[i] = t.flat[i*t.stride : (i+1)*t.stride : (i+1)*t.stride]
 	}
 	return t
 }
@@ -116,9 +139,25 @@ func SameAxes(a, b *Table) bool {
 
 // segment locates i such that axis[i] <= x <= axis[i+1], clamping x to the
 // axis range. It returns the index and the normalized position within the
-// segment. Single-point axes return (0, 0).
+// segment. Single-point axes return (0, 0); a NaN query yields a NaN
+// fraction (never an out-of-range index).
 func segment(axis []float64, x float64) (int, float64) {
+	return segmentHint(axis, x, -1)
+}
+
+// segmentHint is segment with a candidate index from a previous query.
+// A hint that still brackets x (axis[hint] < x <= axis[hint+1], the exact
+// bracket the binary search would pick) is returned directly; anything
+// else — including a stale, out-of-range or torn hint — falls back to the
+// binary search, so the result is bit-identical either way.
+func segmentHint(axis []float64, x float64, hint int) (int, float64) {
 	n := len(axis)
+	if math.IsNaN(x) {
+		// All comparisons with NaN are false, so sort.SearchFloat64s
+		// would return n and index out of range below. Surface the NaN
+		// through the fraction instead.
+		return 0, math.NaN()
+	}
 	if n == 1 {
 		return 0, 0
 	}
@@ -127,6 +166,9 @@ func segment(axis []float64, x float64) (int, float64) {
 	}
 	if x >= axis[n-1] {
 		return n - 2, 1
+	}
+	if hint >= 0 && hint+1 < n && axis[hint] < x && x <= axis[hint+1] {
+		return hint, (x - axis[hint]) / (axis[hint+1] - axis[hint])
 	}
 	// sort.SearchFloat64s returns the first index with axis[i] >= x.
 	i := sort.SearchFloat64s(axis, x)
@@ -138,18 +180,38 @@ func segment(axis []float64, x float64) (int, float64) {
 // Lookup bilinearly interpolates the table at the given load and slew,
 // clamping queries outside the characterized range to the table edge.
 // This implements eqs. (2)-(4): interpolate along the load axis first,
-// then along the slew axis.
+// then along the slew axis. A NaN load or slew returns NaN (the query
+// point is undefined, so no table entry can be the right answer);
+// ±Inf queries clamp to the table edge like any other out-of-range
+// value. Lookup is safe for concurrent use.
 func (t *Table) Lookup(load, slew float64) float64 {
-	li, lf := segment(t.Loads, load)
-	sj, sf := segment(t.Slews, slew)
+	if math.IsNaN(load) || math.IsNaN(slew) {
+		return math.NaN()
+	}
+	hint := t.seg.Load()
+	li, lf := segmentHint(t.Loads, load, int(uint32(hint>>32)))
+	sj, sf := segmentHint(t.Slews, slew, int(uint32(hint)))
+	if packed := uint64(uint32(li))<<32 | uint64(uint32(sj)); packed != hint {
+		t.seg.Store(packed)
+	}
 	if len(t.Loads) == 1 && len(t.Slews) == 1 {
-		return t.Values[0][0]
+		return t.at(0, 0)
 	}
 	if len(t.Loads) == 1 {
-		return lerp(t.Values[0][sj], t.Values[0][sj+1], sf)
+		return lerp(t.at(0, sj), t.at(0, sj+1), sf)
 	}
 	if len(t.Slews) == 1 {
-		return lerp(t.Values[li][0], t.Values[li+1][0], lf)
+		return lerp(t.at(li, 0), t.at(li+1, 0), lf)
+	}
+	if t.flat != nil {
+		base := li*t.stride + sj
+		q11 := t.flat[base]            // (Li, Sj)
+		q21 := t.flat[base+t.stride]   // (Li+1, Sj)
+		q12 := t.flat[base+1]          // (Li, Sj+1)
+		q22 := t.flat[base+t.stride+1] // (Li+1, Sj+1)
+		p1 := lerp(q11, q21, lf)       // eq. (2)
+		p2 := lerp(q12, q22, lf)       // eq. (3)
+		return lerp(p1, p2, sf)        // eq. (4)
 	}
 	q11 := t.Values[li][sj]     // (Li, Sj)
 	q21 := t.Values[li+1][sj]   // (Li+1, Sj)
@@ -158,6 +220,14 @@ func (t *Table) Lookup(load, slew float64) float64 {
 	p1 := lerp(q11, q21, lf)    // eq. (2)
 	p2 := lerp(q12, q22, lf)    // eq. (3)
 	return lerp(p1, p2, sf)     // eq. (4)
+}
+
+// at reads one grid value through the contiguous backing when present.
+func (t *Table) at(i, j int) float64 {
+	if t.flat != nil {
+		return t.flat[i*t.stride+j]
+	}
+	return t.Values[i][j]
 }
 
 func lerp(a, b, f float64) float64 { return a + (b-a)*f }
@@ -189,10 +259,16 @@ func (t *Table) Min() float64 {
 }
 
 // At returns the value at load index i and slew index j.
-func (t *Table) At(i, j int) float64 { return t.Values[i][j] }
+func (t *Table) At(i, j int) float64 { return t.at(i, j) }
 
 // Set assigns the value at load index i and slew index j.
-func (t *Table) Set(i, j int, v float64) { t.Values[i][j] = v }
+func (t *Table) Set(i, j int, v float64) {
+	if t.flat != nil {
+		t.flat[i*t.stride+j] = v
+		return
+	}
+	t.Values[i][j] = v
+}
 
 // Scale multiplies every entry by k, in place, and returns the table.
 func (t *Table) Scale(k float64) *Table {

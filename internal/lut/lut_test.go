@@ -118,6 +118,65 @@ func TestLookupDegenerateAxes(t *testing.T) {
 	}
 }
 
+// A NaN query has no defined position on the axis, so Lookup answers
+// NaN instead of panicking (sort.SearchFloat64s would otherwise return
+// len(axis) and read out of bounds — the PR-1 fault injector hit this).
+func TestLookupNaNQuery(t *testing.T) {
+	nan := math.NaN()
+	for _, tb := range []*Table{linearTable(), New([]float64{1}, []float64{1})} {
+		for _, q := range [][2]float64{{nan, 0.05}, {0.01, nan}, {nan, nan}} {
+			if got := tb.Lookup(q[0], q[1]); !math.IsNaN(got) {
+				t.Errorf("Lookup(%g,%g)=%g want NaN", q[0], q[1], got)
+			}
+		}
+	}
+}
+
+// Infinite queries are ordinary out-of-range values: they clamp to the
+// table edge like any finite query beyond the axis.
+func TestLookupInfQueryClamps(t *testing.T) {
+	tb := linearTable()
+	n, m := tb.Dims()
+	pos, neg := math.Inf(1), math.Inf(-1)
+	cases := []struct {
+		l, s, want float64
+	}{
+		{neg, neg, tb.Values[0][0]},
+		{pos, pos, tb.Values[n-1][m-1]},
+		{neg, pos, tb.Values[0][m-1]},
+		{pos, neg, tb.Values[n-1][0]},
+	}
+	for _, c := range cases {
+		if got := tb.Lookup(c.l, c.s); got != c.want {
+			t.Errorf("Lookup(%g,%g)=%g want %g", c.l, c.s, got, c.want)
+		}
+	}
+}
+
+// The memoized segment hint must never change a result: sweeping the
+// same table with query orders designed to hit and miss the cached
+// segment gives the same values as a fresh table each time.
+func TestLookupSegmentHintConsistency(t *testing.T) {
+	tb := NewFilled(
+		[]float64{0.001, 0.004, 0.016, 0.064, 0.256},
+		[]float64{0.01, 0.05, 0.2, 0.6, 1.8},
+		func(l, s float64) float64 { return math.Sin(l*50) + math.Cos(s*2) },
+	)
+	queries := [][2]float64{
+		{0.002, 0.02}, {0.002, 0.021}, // same segment twice (hint hit)
+		{0.1, 1.0}, {0.002, 0.02}, // far jump, then back (hint miss)
+		{0.004, 0.05}, {0.004, 0.05}, // exactly on grid
+		{-1, 5}, {0.03, 0.3},
+	}
+	for k, q := range queries {
+		fresh := tb.Clone() // cold hint
+		want := fresh.Lookup(q[0], q[1])
+		if got := tb.Lookup(q[0], q[1]); got != want {
+			t.Errorf("query %d (%g,%g): warm %g != cold %g", k, q[0], q[1], got, want)
+		}
+	}
+}
+
 // Property: interpolation result is bounded by the min and max of the table.
 func TestLookupWithinBoundsProperty(t *testing.T) {
 	tb := NewFilled(

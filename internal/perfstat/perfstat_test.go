@@ -1,0 +1,124 @@
+package perfstat
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var allocSink []byte
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := New()
+	for i := 0; i < 3; i++ {
+		stop := c.Start("fold")
+		allocSink = make([]byte, 1<<16) // escapes: charged to the phase
+		stop()
+	}
+	c.Start("synth")()
+	phases := c.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases want 2", len(phases))
+	}
+	if phases[0].Name != "fold" || phases[0].Count != 3 {
+		t.Errorf("phase 0 = %+v, want fold x3 (first-start order)", phases[0])
+	}
+	if phases[0].WallNS <= 0 {
+		t.Errorf("fold wall %d not positive", phases[0].WallNS)
+	}
+	if phases[0].Allocs <= 0 || phases[0].Bytes < 1<<16 {
+		t.Errorf("fold allocs=%d bytes=%d implausibly low", phases[0].Allocs, phases[0].Bytes)
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "fold") || !strings.Contains(rep, "synth") {
+		t.Errorf("report missing phases:\n%s", rep)
+	}
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := New()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				c.Start("p")()
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if got := c.Phases()[0].Count; got != 400 {
+		t.Errorf("count %d want 400", got)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: stdcelltune
+BenchmarkFig3Bilinear-8         363550      3401 ns/op     640 B/op      14 allocs/op
+--- BENCH: BenchmarkFig3Bilinear
+    bench_test.go:51: noise
+BenchmarkAnalyzeDesign-8          1893    668686 ns/op  420784 B/op     993 allocs/op
+BenchmarkLUTBilinearLookup-8  85385416        13.89 ns/op       0 B/op       0 allocs/op
+PASS
+`
+	got := ParseGoBench(out)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks want 3: %+v", len(got), got)
+	}
+	fig3 := got["BenchmarkFig3Bilinear"]
+	if fig3.NsPerOp != 3401 || fig3.BytesPerOp != 640 || fig3.AllocsPerOp != 14 {
+		t.Errorf("fig3 = %+v", fig3)
+	}
+	if math.Abs(got["BenchmarkLUTBilinearLookup"].NsPerOp-13.89) > 1e-9 {
+		t.Errorf("lookup ns = %g", got["BenchmarkLUTBilinearLookup"].NsPerOp)
+	}
+}
+
+func TestBenchFileMergeAndRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := ReadBenchFile(path) // missing file -> empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Merge(map[string]BenchResult{"BenchmarkX": {NsPerOp: 200, AllocsPerOp: 10}}, true)
+	f.Merge(map[string]BenchResult{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 4}}, false)
+	f.Phases = []Phase{{Name: "synth", Count: 2, WallNS: 5e8}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := back.Benchmarks["BenchmarkX"]
+	if r.BaselineNsPerOp != 200 || r.NsPerOp != 100 {
+		t.Errorf("round trip lost numbers: %+v", r)
+	}
+	if math.Abs(r.Speedup-2) > 1e-12 {
+		t.Errorf("speedup %g want 2", r.Speedup)
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Name != "synth" {
+		t.Errorf("phases lost: %+v", back.Phases)
+	}
+	if back.Schema != Schema {
+		t.Errorf("schema %q", back.Schema)
+	}
+	if names := back.Names(); len(names) != 1 || names[0] != "BenchmarkX" {
+		t.Errorf("names %v", names)
+	}
+}
+
+// Merging current numbers before any baseline exists must not divide by
+// zero or fabricate a speedup.
+func TestMergeWithoutBaseline(t *testing.T) {
+	f := NewBenchFile()
+	f.Merge(map[string]BenchResult{"BenchmarkY": {NsPerOp: 50}}, false)
+	if s := f.Benchmarks["BenchmarkY"].Speedup; s != 0 {
+		t.Errorf("speedup %g without baseline", s)
+	}
+}

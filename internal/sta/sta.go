@@ -7,12 +7,14 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/robust"
 )
 
 // Config holds the timing context.
@@ -294,7 +296,22 @@ func (p *Path) Depth() int { return len(p.Steps) }
 
 // WorstPath backtracks the worst arrival path into the given endpoint.
 func (r *Result) WorstPath(ep Endpoint) Path {
-	var rev []PathStep
+	// First pass: measure the path so the steps slice is allocated once,
+	// at exact size, and filled back to front — backtracking yields
+	// capture->launch order, the slice wants launch->capture.
+	depth := 0
+	for n := ep.Net; n != nil && n.Driver != nil; {
+		depth++
+		if n.Driver.Spec.IsSequential() {
+			break
+		}
+		n = n.Driver.In[r.fromPin[n.ID]]
+	}
+	if depth == 0 {
+		return Path{Endpoint: ep}
+	}
+	steps := make([]PathStep, depth)
+	i := depth - 1
 	n := ep.Net
 	for n != nil && n.Driver != nil {
 		inst := n.Driver
@@ -308,7 +325,7 @@ func (r *Result) WorstPath(ep Endpoint) Path {
 		if inst.Spec.IsSequential() {
 			step.Slew = r.Cfg.InputSlew
 			step.Delay = r.Arrival[n.ID]
-			rev = append(rev, step)
+			steps[i] = step
 			break
 		}
 		inNet := inst.In[inPin]
@@ -318,14 +335,11 @@ func (r *Result) WorstPath(ep Endpoint) Path {
 			prevArr = r.Arrival[inNet.ID]
 		}
 		step.Delay = r.Arrival[n.ID] - prevArr
-		rev = append(rev, step)
+		steps[i] = step
+		i--
 		n = inNet
 	}
-	// Reverse to launch->capture order.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return Path{Endpoint: ep, Steps: rev}
+	return Path{Endpoint: ep, Steps: steps}
 }
 
 // WorstPaths extracts the worst path for every unique endpoint — the
@@ -336,6 +350,35 @@ func (r *Result) WorstPaths() []Path {
 		out = append(out, r.WorstPath(ep))
 	}
 	return out
+}
+
+// WorstPathsCtx is WorstPaths with the backtracking fanned out over the
+// robust worker pool. Each endpoint's path lands at its endpoint's index,
+// so the result order (and every path in it) is identical to the serial
+// WorstPaths; backtracking only reads the Result, so workers never
+// contend. Cancelling the context abandons unstarted endpoints and
+// returns the context error.
+func (r *Result) WorstPathsCtx(ctx context.Context) ([]Path, error) {
+	out := make([]Path, len(r.Endpoints))
+	if workers := robust.DefaultWorkers(); workers > 1 {
+		err := robust.ForEach(ctx, workers, len(r.Endpoints), func(_ context.Context, i int) error {
+			out[i] = r.WorstPath(r.Endpoints[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	// One worker means no parallelism to win; skip the pool's per-task
+	// goroutine and run inline (the result is identical either way).
+	for i, ep := range r.Endpoints {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = r.WorstPath(ep)
+	}
+	return out, nil
 }
 
 // CriticalPath returns the worst path of the worst endpoint.

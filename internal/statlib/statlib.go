@@ -124,13 +124,23 @@ func Build(name string, instances []*liberty.Library) (*Library, error) {
 // table must have valid ascending axes, finite values, non-negative
 // mean delays and non-negative sigmas. It returns an empty string for a
 // healthy cell, else the quarantine reason.
+//
+// The four tables are visited in a fixed order (mean_rise, mean_fall,
+// sigma_rise, sigma_fall), so a cell with defects in more than one
+// table always reports the same reason — quarantine reports must stay
+// bit-identical run to run (the PR-1 determinism guarantee; a map
+// literal here made the reason depend on iteration order).
 func degenerateCell(c *Cell) string {
 	for _, p := range c.Pins {
 		for _, a := range p.Arcs {
-			for name, tb := range map[string]*lut.Table{
-				"mean_rise": a.MeanRise, "mean_fall": a.MeanFall,
-				"sigma_rise": a.SigmaRise, "sigma_fall": a.SigmaFall,
+			for _, nt := range []struct {
+				name string
+				tb   *lut.Table
+			}{
+				{"mean_rise", a.MeanRise}, {"mean_fall", a.MeanFall},
+				{"sigma_rise", a.SigmaRise}, {"sigma_fall", a.SigmaFall},
 			} {
+				name, tb := nt.name, nt.tb
 				if tb == nil {
 					continue
 				}

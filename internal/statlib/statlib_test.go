@@ -2,6 +2,7 @@ package statlib
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"stdcelltune/internal/liberty"
@@ -256,6 +257,46 @@ func TestFromLibertyRejectsNominal(t *testing.T) {
 	cat := stdcell.NewCatalogue(stdcell.Typical)
 	if _, err := FromLiberty(cat.Lib); err == nil {
 		t.Error("nominal library (no sigma tables) accepted as statistical")
+	}
+}
+
+// TestDegenerateCellReasonDeterministic: a cell with defects in several
+// of its four stat tables must always quarantine with the same reason.
+// The checker used to iterate a map literal of the tables, so the
+// reported reason was whichever defective table the runtime happened to
+// visit first — breaking the bit-identical-report guarantee under fault
+// injection.
+func TestDegenerateCellReasonDeterministic(t *testing.T) {
+	mk := func() *Cell {
+		mkTab := func(corrupt float64) *lut.Table {
+			tb := lut.New([]float64{1, 2}, []float64{1, 2})
+			tb.Set(1, 1, corrupt)
+			return tb
+		}
+		// Defects in all four tables: NaN means, negative sigmas.
+		return &Cell{
+			Name: "BAD_1",
+			Pins: []*Pin{{Name: "Y", Arcs: []*Arc{{
+				RelatedPin: "A",
+				MeanRise:   mkTab(math.NaN()),
+				MeanFall:   mkTab(math.NaN()),
+				SigmaRise:  mkTab(-1),
+				SigmaFall:  mkTab(-2),
+			}}}},
+		}
+	}
+	want := degenerateCell(mk())
+	if want == "" {
+		t.Fatal("multi-defect cell not flagged")
+	}
+	// The fixed visiting order puts mean_rise first.
+	if !strings.Contains(want, "mean_rise") {
+		t.Errorf("reason %q should name mean_rise (first table in fixed order)", want)
+	}
+	for i := 0; i < 100; i++ {
+		if got := degenerateCell(mk()); got != want {
+			t.Fatalf("run %d: reason %q differs from %q", i, got, want)
+		}
 	}
 }
 

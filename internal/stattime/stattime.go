@@ -9,11 +9,14 @@
 package stattime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"stdcelltune/internal/dist"
+	"stdcelltune/internal/robust"
 	"stdcelltune/internal/sta"
 	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stdcell"
@@ -90,21 +93,82 @@ func (d *DesignStats) SortByDepth() {
 // nominal STA delay with zero sigma and are tallied in Degraded; a cell
 // missing for any other reason is still a hard error.
 func Analyze(r *sta.Result, stat *statlib.Library, rho float64) (*DesignStats, error) {
-	ds := &DesignStats{Rho: rho, Degraded: make(map[string]int)}
-	var pathDists []dist.Normal
-	for _, path := range r.WorstPaths() {
+	return AnalyzeCtx(context.Background(), r, stat, rho)
+}
+
+// AnalyzeCtx is Analyze bound to a context. The per-path analysis fans
+// out over the robust worker pool: every path's distribution lands at
+// its path's index and the per-worker degradation tallies merge by
+// summation, so the result — path order, every distribution, the
+// design convolution and the Degraded counts — is identical to a
+// serial run. Repeated (cell, arc, load, slew) step lookups within the
+// call are interned, which collapses the bilinear interpolation work on
+// designs where many paths share cell instances. On a single-CPU
+// machine (robust.DefaultWorkers() == 1) the same loop runs inline —
+// the pool would cost goroutine churn and buy no parallelism.
+func AnalyzeCtx(ctx context.Context, r *sta.Result, stat *statlib.Library, rho float64) (*DesignStats, error) {
+	all, err := r.WorstPathsCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]sta.Path, 0, len(all))
+	for _, path := range all {
 		if len(path.Steps) == 0 {
 			continue // endpoint fed directly by a primary input
 		}
-		ps, err := pathDist(path, stat, rho, ds.Degraded)
+		paths = append(paths, path)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("stattime: design has no cell paths")
+	}
+	results := make([]PathStats, len(paths))
+	tallies := make([]map[string]int, len(paths))
+	if workers := robust.DefaultWorkers(); workers > 1 {
+		an := &analyzer{stat: stat, rho: rho, intern: &syncIntern{}}
+		err = robust.ForEach(ctx, workers, len(paths), func(_ context.Context, i int) error {
+			deg := make(map[string]int)
+			ps, err := an.pathDist(paths[i], deg)
+			if err != nil {
+				return err
+			}
+			results[i] = ps
+			if len(deg) > 0 {
+				tallies[i] = deg
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		ds.Paths = append(ds.Paths, ps)
-		pathDists = append(pathDists, ps.Dist)
+	} else {
+		// One worker means no parallelism to win: run the same loop
+		// inline, with an unsynchronized intern table. Identical results,
+		// none of the pool or sync.Map overhead.
+		an := &analyzer{stat: stat, rho: rho, intern: mapIntern{}}
+		deg := make(map[string]int) // one tally for the whole loop: merging is summation anyway
+		for i := range paths {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ps, err := an.pathDist(paths[i], deg)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = ps
+		}
+		if len(deg) > 0 {
+			tallies[0] = deg
+		}
 	}
-	if len(pathDists) == 0 {
-		return nil, fmt.Errorf("stattime: design has no cell paths")
+	ds := &DesignStats{Rho: rho, Degraded: make(map[string]int), Paths: results}
+	pathDists := make([]dist.Normal, len(results))
+	for i, ps := range results {
+		pathDists[i] = ps.Dist
+	}
+	for _, deg := range tallies {
+		for cell, n := range deg {
+			ds.Degraded[cell] += n
+		}
 	}
 	design, err := dist.ConvolveDesign(pathDists)
 	if err != nil {
@@ -128,18 +192,66 @@ func (d *DesignStats) DegradedSteps() int {
 // statistics interpolated from the statistical library at the step's
 // operating point, convolved along the path.
 func PathDist(path sta.Path, stat *statlib.Library, rho float64) (PathStats, error) {
-	return pathDist(path, stat, rho, nil)
+	an := &analyzer{stat: stat, rho: rho}
+	return an.pathDist(path, nil)
 }
 
-func pathDist(path sta.Path, stat *statlib.Library, rho float64, degraded map[string]int) (PathStats, error) {
+// analyzer carries the shared state of one Analyze call: the library,
+// the correlation, and (when non-nil) the intern table of resolved
+// step statistics, keyed by (cell, out pin, in pin, load, slew). A
+// given key always resolves to the same statistics, so sharing the
+// table across workers cannot change any result — only skip repeated
+// name resolution and bilinear interpolation.
+type analyzer struct {
+	stat   *statlib.Library
+	rho    float64
+	intern internTable // nil disables interning (exported PathDist)
+}
+
+type stepKey struct {
+	cell, out, from string
+	load, slew      float64
+}
+
+type stepStats struct {
+	n   dist.Normal
+	err error
+}
+
+// internTable memoizes resolved step statistics. The concurrent
+// analysis shares a syncIntern across workers; the serial path uses a
+// plain map and skips the synchronization entirely.
+type internTable interface {
+	load(stepKey) (stepStats, bool)
+	store(stepKey, stepStats)
+}
+
+type mapIntern map[stepKey]stepStats
+
+func (m mapIntern) load(k stepKey) (stepStats, bool) { s, ok := m[k]; return s, ok }
+func (m mapIntern) store(k stepKey, s stepStats)     { m[k] = s }
+
+type syncIntern struct{ m sync.Map }
+
+func (si *syncIntern) load(k stepKey) (stepStats, bool) {
+	v, ok := si.m.Load(k)
+	if !ok {
+		return stepStats{}, false
+	}
+	return v.(stepStats), true
+}
+
+func (si *syncIntern) store(k stepKey, s stepStats) { si.m.Store(k, s) }
+
+func (a *analyzer) pathDist(path sta.Path, degraded map[string]int) (PathStats, error) {
 	cells := make([]dist.Normal, 0, len(path.Steps))
 	for _, step := range path.Steps {
 		if step.Inst.Spec.Kind == stdcell.KindTie {
 			continue // tie cells have no timing arcs and no variation
 		}
-		n, err := StepStats(step, stat)
+		n, err := a.stepStats(step)
 		if err != nil {
-			if !stat.Quarantined(step.Inst.Spec.Name) {
+			if !a.stat.Quarantined(step.Inst.Spec.Name) {
 				return PathStats{}, err
 			}
 			// Quarantined cell: its statistics were degenerate, so take
@@ -155,11 +267,30 @@ func pathDist(path sta.Path, stat *statlib.Library, rho float64, degraded map[st
 	if len(cells) == 0 {
 		return PathStats{Path: path, Depth: len(path.Steps)}, nil
 	}
-	d, err := dist.ConvolvePathCorrelated(cells, rho)
+	d, err := dist.ConvolvePathCorrelated(cells, a.rho)
 	if err != nil {
 		return PathStats{}, err
 	}
 	return PathStats{Path: path, Dist: d, Depth: len(path.Steps)}, nil
+}
+
+// stepStats resolves one step through the intern table when one is
+// attached. NaN loads or slews never intern (NaN keys miss every map
+// probe), which is fine: they are pathological and rare by definition.
+func (a *analyzer) stepStats(step sta.PathStep) (dist.Normal, error) {
+	if a.intern == nil {
+		return StepStats(step, a.stat)
+	}
+	key := stepKey{
+		cell: step.Inst.Spec.Name, out: step.OutPin, from: step.FromPin,
+		load: step.Load, slew: step.Slew,
+	}
+	if s, ok := a.intern.load(key); ok {
+		return s.n, s.err
+	}
+	n, err := StepStats(step, a.stat)
+	a.intern.store(key, stepStats{n: n, err: err})
+	return n, err
 }
 
 // StepStats interpolates the statistical library for one path step.

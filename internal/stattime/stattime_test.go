@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"stdcelltune/internal/dist"
 	"stdcelltune/internal/netlist"
 	"stdcelltune/internal/sta"
 	"stdcelltune/internal/statlib"
@@ -304,6 +305,89 @@ func TestAnalyzeDegradesQuarantinedCell(t *testing.T) {
 	if _, err := Analyze(r, sl, 0); err == nil {
 		t.Error("unquarantined missing cell accepted")
 	}
+}
+
+// analyzeSerial reproduces the seed's sequential Analyze exactly: one
+// pathDist per worst path in endpoint order, no worker pool, no
+// interning. The concurrent AnalyzeCtx must match it bit for bit.
+func analyzeSerial(t *testing.T, r *sta.Result, stat *statlib.Library, rho float64) *DesignStats {
+	t.Helper()
+	ds := &DesignStats{Rho: rho, Degraded: make(map[string]int)}
+	var pathDists []dist.Normal
+	for _, path := range r.WorstPaths() {
+		if len(path.Steps) == 0 {
+			continue
+		}
+		an := &analyzer{stat: stat, rho: rho}
+		ps, err := an.pathDist(path, ds.Degraded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Paths = append(ds.Paths, ps)
+		pathDists = append(pathDists, ps.Dist)
+	}
+	design, err := dist.ConvolveDesign(pathDists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Design = design
+	return ds
+}
+
+// TestAnalyzeConcurrentMatchesSerial: the pooled, interned AnalyzeCtx
+// must reproduce the serial analysis exactly — same path order, every
+// distribution bit-identical, same design convolution, same Degraded
+// tallies — including when quarantined cells degrade mid-path.
+func TestAnalyzeConcurrentMatchesSerial(t *testing.T) {
+	c, _ := env(t)
+	libs := variation.Instances(c, variation.Config{N: 8, Seed: 11})
+	sl, err := statlib.Build("cmp", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := invChainNetlist(t, 9)
+	r, err := sta.Analyze(nl, sta.DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string) {
+		t.Helper()
+		want := analyzeSerial(t, r, sl, 0.25)
+		for run := 0; run < 5; run++ { // several runs: scheduling must not matter
+			got, err := Analyze(r, sl, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Paths) != len(want.Paths) {
+				t.Fatalf("%s: %d paths want %d", name, len(got.Paths), len(want.Paths))
+			}
+			for i := range got.Paths {
+				g, w := got.Paths[i], want.Paths[i]
+				if g.Path.Endpoint.Name != w.Path.Endpoint.Name || g.Depth != w.Depth {
+					t.Fatalf("%s: path %d is %s/%d want %s/%d (ordering)",
+						name, i, g.Path.Endpoint.Name, g.Depth, w.Path.Endpoint.Name, w.Depth)
+				}
+				if g.Dist != w.Dist {
+					t.Fatalf("%s: path %d dist %+v want %+v (bit-identical)", name, i, g.Dist, w.Dist)
+				}
+			}
+			if got.Design != want.Design {
+				t.Fatalf("%s: design %+v want %+v", name, got.Design, want.Design)
+			}
+			if len(got.Degraded) != len(want.Degraded) {
+				t.Fatalf("%s: degraded %v want %v", name, got.Degraded, want.Degraded)
+			}
+			for cell, n := range want.Degraded {
+				if got.Degraded[cell] != n {
+					t.Fatalf("%s: degraded[%s]=%d want %d", name, cell, got.Degraded[cell], n)
+				}
+			}
+		}
+	}
+	check("clean")
+	sl.Quarantine.Add("INV_2", "test: degenerate statistics")
+	delete(sl.Cells, "INV_2")
+	check("quarantined")
 }
 
 func TestYield(t *testing.T) {
