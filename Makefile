@@ -3,15 +3,15 @@
 
 GO ?= go
 
-# Benchmarks tracked in BENCH_PR2.json (see DESIGN.md, "Performance
+# Benchmarks tracked in BENCH_PR3.json (see DESIGN.md, "Performance
 # baseline & benchmark JSON").
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$
 BENCH_SCALE ?= small
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke clean
 
-ci: vet build race fuzz-short
+ci: vet build race fuzz-short obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,17 @@ bench-json:
 
 experiments-small:
 	$(GO) run ./cmd/experiments -small
+
+# End-to-end observability smoke: run the small experiment battery with
+# tracing and bench JSON on, then validate the three artifacts
+# (Chrome trace, run manifest, bench JSON) with cmd/obscheck.
+OBS_TRACE ?= /tmp/obs-trace.json
+OBS_BENCH ?= /tmp/obs-bench.json
+
+obs-smoke:
+	$(GO) run ./cmd/experiments -small -trace $(OBS_TRACE) -benchjson $(OBS_BENCH)
+	$(GO) run ./cmd/obscheck -trace $(OBS_TRACE) \
+		-manifest $(basename $(OBS_TRACE)).manifest.json -bench $(OBS_BENCH)
 
 clean:
 	$(GO) clean ./...

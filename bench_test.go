@@ -446,7 +446,7 @@ func BenchmarkAblationClusteringMode(b *testing.B) {
 // BenchmarkAnalyzeDesign times the statistical-timing hot path on its
 // own: one full stattime.Analyze over the baseline synthesis at the
 // relaxed clock (every worst path re-analyzed per iteration, no flow
-// cache in the loop). This is the headline number BENCH_PR2.json
+// cache in the loop). This is the headline number the benchmark JSON
 // tracks.
 func BenchmarkAnalyzeDesign(b *testing.B) {
 	f := flow(b)

@@ -9,8 +9,16 @@
 //	experiments -out results/
 //	experiments -seed 7         # reseed the Monte-Carlo characterization
 //	experiments -faultrate 0.05 # corrupt 5% of LUT entries (robustness demo)
-//	experiments -benchjson BENCH_PR2.json  # perf phase report + JSON
+//	experiments -benchjson BENCH_PR3.json  # perf phase report + JSON
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -trace trace.json          # Chrome trace-event JSON + run manifest
+//	experiments -debugaddr localhost:6060  # live expvar/pprof/obs endpoints
+//	experiments -loglevel debug            # pipeline slog output on stderr
+//
+// A run with -trace or -out also writes a run manifest
+// (stdcelltune-manifest/1 JSON: seeds, flags, fault config, toolchain,
+// wall time, failures) next to the trace file or into the -out
+// directory, so every set of results is self-describing.
 //
 // Ctrl-C cancels the run promptly (the flow context is honoured between
 // synthesis/tuning units). A failing experiment no longer aborts the
@@ -29,10 +37,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"stdcelltune/internal/exp"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/obs/debughttp"
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/robust"
 	"stdcelltune/internal/robust/faultinject"
@@ -50,7 +62,38 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "print the per-phase perf report and merge phase timings into this BENCH JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing) of the run, plus a <file>.manifest.json run manifest")
+	debugAddr := flag.String("debugaddr", "", "serve /debug/vars (expvar), /debug/pprof and /debug/obs on this address (e.g. localhost:6060)")
+	logLevel := flag.String("loglevel", "", "route pipeline slog output to stderr at this level (debug|info|warn|error; empty keeps logging off)")
 	flag.Parse()
+
+	if lvl, ok := obs.ParseLogLevel(*logLevel); ok {
+		obs.InitLog(os.Stderr, lvl)
+	} else if *logLevel != "" {
+		log.Fatalf("unknown -loglevel %q (want debug|info|warn|error)", *logLevel)
+	}
+
+	// Tracing and the debug server share the observation switches: the
+	// span tracer, the pool latency histograms and the LUT hint-hit
+	// counters all turn on together. None of this runs for the
+	// zero-flag pipeline, which stays byte-identical and clock-free.
+	var tracer *obs.Tracer
+	if *traceOut != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(nil)
+		obs.SetTimingEnabled(true)
+		lut.SetHintStatsEnabled(true)
+		obs.Default().GaugeFunc("lut.hint_hit_ratio", lut.HintHitRatio)
+	}
+	if *debugAddr != "" {
+		_, addr, err := debughttp.Serve(*debugAddr, debughttp.DebugState{
+			Tracer: tracer, Metrics: obs.Default(),
+			Extra: map[string]any{"args": os.Args[1:]},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug server on http://%s/debug/obs", addr)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -66,6 +109,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if tracer != nil {
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	cfg := exp.DefaultFlowConfig()
 	if *small {
@@ -197,6 +243,40 @@ func main() {
 		}
 	}
 	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, tracer.EventCount())
+	}
+	if *traceOut != "" || *out != "" {
+		m := obs.NewManifest()
+		m.Args = os.Args[1:]
+		m.Samples = cfg.Samples
+		m.Seed = cfg.Seed
+		m.Corner = cfg.Corner.Name()
+		m.Small = *small
+		m.FaultRate = cfg.Fault.Rate
+		m.FaultSeed = cfg.Fault.Seed
+		m.WallSeconds = time.Since(start).Seconds()
+		for _, e := range experiments {
+			if *only == "" || e.name == *only {
+				m.Experiments = append(m.Experiments, e.name)
+			}
+		}
+		m.Failed = failed
+		m.Quarantined = flow.Quarantine.Len()
+		m.TraceFile = *traceOut
+		m.BenchFile = *benchJSON
+		m.OutDir = *out
+		// The manifest lands next to what it describes: inside -out when
+		// results are being written, else alongside the trace file.
+		mpath := manifestPath(*out, *traceOut)
+		if err := m.Write(mpath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run manifest written to %s\n", mpath)
+	}
 	if *benchJSON != "" {
 		fmt.Printf("--- perf phases ---\n%s", flow.Perf.Report())
 		bf, err := perfstat.ReadBenchFile(*benchJSON)
@@ -226,4 +306,15 @@ func main() {
 		pprof.StopCPUProfile()
 		log.Fatalf("%d experiment(s) failed: %v", len(failed), failed)
 	}
+}
+
+// manifestPath places the run manifest inside the -out directory when
+// one is written, else next to the trace file (trace.json ->
+// trace.manifest.json).
+func manifestPath(outDir, traceFile string) string {
+	if outDir != "" {
+		return filepath.Join(outDir, "manifest.json")
+	}
+	base := strings.TrimSuffix(traceFile, filepath.Ext(traceFile))
+	return base + ".manifest.json"
 }

@@ -1,0 +1,151 @@
+// Command obscheck validates the observability artifacts one
+// cmd/experiments run produces: the Chrome trace-event JSON (-trace),
+// the run manifest (-manifest), and optionally the benchmark JSON
+// (-bench). It is the assertion half of `make obs-smoke`: the smoke
+// target runs the pipeline with tracing on, then obscheck fails the
+// build if the trace is not Chrome-loadable, the expected span
+// categories are missing, or the manifest does not parse.
+//
+// Usage:
+//
+//	obscheck -trace /tmp/trace.json -manifest /tmp/trace.manifest.json [-bench /tmp/b.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/perfstat"
+)
+
+// chromeTrace mirrors the exported subset of the trace-event format the
+// checks need.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obscheck: ")
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
+	manifestPath := flag.String("manifest", "", "run-manifest JSON to validate")
+	benchPath := flag.String("bench", "", "benchmark JSON (stdcelltune-bench/1) to validate (optional)")
+	flag.Parse()
+
+	failed := false
+	fail := func(format string, args ...any) {
+		log.Printf("FAIL: "+format, args...)
+		failed = true
+	}
+
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tr chromeTrace
+		if err := json.Unmarshal(data, &tr); err != nil {
+			log.Fatalf("%s: not valid trace JSON: %v", *tracePath, err)
+		}
+		spans := 0
+		cats := map[string]int{}
+		names := map[string]int{}
+		for _, e := range tr.TraceEvents {
+			if e.Ph != "X" {
+				continue
+			}
+			spans++
+			cats[e.Cat]++
+			names[e.Name]++
+			if e.TS < 0 || e.Dur < 0 {
+				fail("%s: span %q has negative ts/dur (%d/%d)", *tracePath, e.Name, e.TS, e.Dur)
+			}
+		}
+		if spans == 0 {
+			fail("%s: no complete spans", *tracePath)
+		}
+		// The flow phases every experiments run passes through, the
+		// pool batches under them, and at least one per-method tuning
+		// unit must all have left spans.
+		for _, want := range []string{"characterize", "statlib-fold", "rtlgen", "synth", "stattime"} {
+			if names[want] == 0 {
+				fail("%s: missing flow-phase span %q", *tracePath, want)
+			}
+		}
+		if cats["pool"] == 0 {
+			fail("%s: no pool batch spans", *tracePath)
+		}
+		if cats["tune"] == 0 {
+			tuned := false
+			for n := range names {
+				tuned = tuned || strings.HasPrefix(n, "tune ")
+			}
+			if !tuned {
+				fail("%s: no per-method tuning-unit spans", *tracePath)
+			}
+		}
+		fmt.Printf("obscheck: trace ok: %d spans, %d names, categories %v\n", spans, len(names), keys(cats))
+	}
+
+	if *manifestPath != "" {
+		m, err := obs.ReadManifest(*manifestPath)
+		if err != nil {
+			log.Fatalf("manifest invalid: %v", err)
+		}
+		if m.WallSeconds <= 0 {
+			fail("%s: wall_seconds %g not positive", *manifestPath, m.WallSeconds)
+		}
+		if len(m.Experiments) == 0 {
+			fail("%s: no experiments recorded", *manifestPath)
+		}
+		fmt.Printf("obscheck: manifest ok: %s, %d experiments, %d failed, %.1fs wall\n",
+			m.GoVersion, len(m.Experiments), len(m.Failed), m.WallSeconds)
+	}
+
+	if *benchPath != "" {
+		bf, err := perfstat.ReadBenchFile(*benchPath)
+		if err != nil {
+			log.Fatalf("bench JSON invalid: %v", err)
+		}
+		if bf.Schema != perfstat.Schema {
+			fail("%s: schema %q, want %q", *benchPath, bf.Schema, perfstat.Schema)
+		}
+		if len(bf.Phases) == 0 {
+			fail("%s: no phase timings recorded", *benchPath)
+		}
+		fmt.Printf("obscheck: bench JSON ok: %d benchmarks, %d phases\n", len(bf.Benchmarks), len(bf.Phases))
+	}
+
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest and/or -bench")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Small fixed sets; simple insertion sort keeps the output stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

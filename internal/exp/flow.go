@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"stdcelltune/internal/core"
+	"stdcelltune/internal/obs"
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/restrict"
 	"stdcelltune/internal/robust"
@@ -62,10 +63,13 @@ type Flow struct {
 	// Injected summarizes what fault injection corrupted, if enabled.
 	Injected faultinject.Report
 
-	// Perf accumulates per-phase wall-time and allocation counters
-	// across everything the flow runs (always non-nil). cmd/experiments
-	// renders it with -benchjson; it costs two ReadMemStats per unit of
-	// work, which is noise next to a synthesis or tuning run.
+	// Obs is the flow's observability bundle (always non-nil): the
+	// tracer pulled off the construction context (nil inside when
+	// tracing is off), the perfstat collector backing the phase
+	// timings, and the metrics registry. Perf aliases Obs.Perf for the
+	// established -benchjson path; both cost two ReadMemStats per unit
+	// of work, which is noise next to a synthesis or tuning run.
+	Obs  *obs.Run
 	Perf *perfstat.Collector
 
 	ctx      context.Context
@@ -90,32 +94,37 @@ func NewFlow(ctx context.Context, cfg FlowConfig) (*Flow, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	perf := perfstat.New()
+	run := obs.NewRun(obs.TracerFrom(ctx))
+	log := obs.Log()
 	cat := stdcell.NewCatalogue(cfg.Corner)
-	stopChar := perf.Start("characterize")
+	stopChar := run.Phase("characterize", "samples", cfg.Samples, "seed", cfg.Seed)
 	libs, err := variation.InstancesCtx(ctx, cat, variation.Config{N: cfg.Samples, Seed: cfg.Seed, CharNoise: 0.02})
 	stopChar()
 	if err != nil {
 		return nil, err
 	}
+	log.Debug("characterized", "samples", cfg.Samples, "seed", cfg.Seed)
 	injected := faultinject.Corrupt(libs, cfg.Fault)
-	stopFold := perf.Start("statlib-fold")
+	stopFold := run.Phase("statlib-fold", "instances", len(libs))
 	stat, err := statlib.Build("stat_"+cfg.Corner.Name(), libs)
 	stopFold()
 	if err != nil {
 		return nil, err
 	}
-	stopRTL := perf.Start("rtlgen")
+	log.Debug("statistical library folded", "cells", len(stat.Cells), "quarantined", stat.Quarantine.Len())
+	stopRTL := run.Phase("rtlgen")
 	mcu, err := rtlgen.Build(cfg.MCU)
 	stopRTL()
 	if err != nil {
 		return nil, err
 	}
+	log.Debug("mcu generated", "gates", mcu.Net.GateCount())
 	return &Flow{
 		Cfg: cfg, Cat: cat, Stat: stat, MCU: mcu,
 		Quarantine: stat.Quarantine,
 		Injected:   injected,
-		Perf:       perf,
+		Obs:        run,
+		Perf:       run.Perf,
 		ctx:        ctx,
 		synthRes:   make(map[string]*synth.Result),
 		statRes:    make(map[string]*stattime.DesignStats),
@@ -143,12 +152,18 @@ func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, 
 	if err := f.checkCtx(); err != nil {
 		return nil, nil, err
 	}
-	stop := f.Perf.Start("tune")
+	// The span name carries the tuning unit (method @ bound) so each
+	// unit is its own row in the trace; the perfstat phase stays the
+	// aggregate "tune" row of the bench JSON.
+	stopPerf := f.Perf.Start("tune")
+	span := f.Obs.Tracer.Start(fmt.Sprintf("tune %s @%g", m, bound), "tune", "method", m.String(), "bound", bound)
 	set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
-	stop()
+	span.End()
+	stopPerf()
 	if err != nil {
 		return nil, nil, err
 	}
+	obs.Log().Debug("tuned", "method", m.String(), "bound", bound, "windows", set.Len())
 	f.mu.Lock()
 	f.tuneRes[key] = &tuneEntry{set: set, rep: rep}
 	f.mu.Unlock()
@@ -181,12 +196,13 @@ func (f *Flow) synth(key string, clock float64, set *restrict.Set) (*synth.Resul
 	}
 	opts := synth.DefaultOptions(clock)
 	opts.Restrict = set
-	stop := f.Perf.Start("synth")
+	stop := f.Obs.Phase("synth", "key", key, "clock", clock)
 	res, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts)
 	stop()
 	if err != nil {
 		return nil, err
 	}
+	obs.Log().Debug("synthesized", "key", key, "met", res.Met, "area", res.Area())
 	f.mu.Lock()
 	f.synthRes[key] = res
 	f.mu.Unlock()
@@ -204,7 +220,7 @@ func (f *Flow) Stats(key string, res *synth.Result) (*stattime.DesignStats, erro
 	if err := f.checkCtx(); err != nil {
 		return nil, err
 	}
-	stop := f.Perf.Start("stattime")
+	stop := f.Obs.Phase("stattime", "key", key)
 	ds, err := stattime.AnalyzeCtx(f.ctx, res.Timing, f.Stat, 0)
 	stop()
 	if err != nil {
@@ -246,6 +262,11 @@ func (f *Flow) MinClock() (float64, error) {
 	if cached > 0 {
 		return cached, nil
 	}
+	// Trace span only (no perfstat phase): the binary search is made of
+	// Baseline calls whose synth windows already account the time; a
+	// minclock perf window on top would just double-count their wall.
+	span := f.Obs.Tracer.Start("minclock", "phase")
+	defer span.End()
 	lo, hi := 0.5, 16.0
 	// Ensure hi is feasible.
 	res, err := f.Baseline(hi)

@@ -1,10 +1,12 @@
 package exp
 
 import (
-	"fmt"
+	"log/slog"
+	"os"
 	"testing"
 
 	"stdcelltune/internal/core"
+	"stdcelltune/internal/obs"
 	"stdcelltune/internal/rtlgen"
 	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stattime"
@@ -15,11 +17,17 @@ import (
 
 // TestProbeHeadline is a scoping probe for the paper's headline result
 // (37% sigma reduction at 7% area increase). It is retained as a live
-// integration test of the full flow at one clock.
+// integration test of the full flow at one clock. Its progress lines go
+// through the obs logger: silent by default, visible under `go test -v`.
 func TestProbeHeadline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-flow probe")
 	}
+	if testing.Verbose() {
+		obs.InitLog(os.Stdout, slog.LevelDebug)
+		defer obs.SetLog(nil)
+	}
+	log := obs.Log()
 	cat := stdcell.NewCatalogue(stdcell.Typical)
 	libs := variation.Instances(cat, variation.DefaultConfig())
 	sl, err := statlib.Build("stat", libs)
@@ -36,7 +44,7 @@ func TestProbeHeadline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Printf("baseline clk=%.2f met=%v WNS=%.3f area=%.0f\n", clk, res.Met, res.Timing.WNS(), res.Area())
+		log.Debug("baseline", "clk", clk, "met", res.Met, "wns", res.Timing.WNS(), "area", res.Area())
 		if !res.Met {
 			continue
 		}
@@ -44,8 +52,8 @@ func TestProbeHeadline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Printf("  design sigma=%.4f mean=%.1f paths=%d maxdepth=%d\n",
-			ds.Design.Sigma, ds.Design.Mu, len(ds.Paths), ds.MaxDepth())
+		log.Debug("design", "sigma", ds.Design.Sigma, "mean", ds.Design.Mu,
+			"paths", len(ds.Paths), "maxdepth", ds.MaxDepth())
 		tuner := core.NewTuner(sl)
 		for _, bound := range core.SweepBounds(core.SigmaCeiling) {
 			set, rep, err := tuner.Tune(core.ParamsFor(core.SigmaCeiling, bound))
@@ -59,12 +67,13 @@ func TestProbeHeadline(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !rres.Met {
-				fmt.Printf("  ceiling %.3f: UNMET (WNS=%.3f, excluded=%d)\n", bound, rres.Timing.WNS(), rep.ExcludedPins())
+				log.Debug("ceiling unmet", "bound", bound, "wns", rres.Timing.WNS(), "excluded", rep.ExcludedPins())
 				for i, v := range rres.ViolationList() {
 					if i >= 6 {
 						break
 					}
-					fmt.Printf("    viol %s/%s %s %.4f > %.4f\n", v.Cell, v.Pin, v.Kind, v.Value, v.Limit)
+					log.Debug("violation", "cell", v.Cell, "pin", v.Pin, "kind", v.Kind,
+						"value", v.Value, "limit", v.Limit)
 				}
 				continue
 			}
@@ -76,9 +85,9 @@ func TestProbeHeadline(t *testing.T) {
 				BaselineSigma: ds.Design.Sigma, TunedSigma: rds.Design.Sigma,
 				BaselineArea: res.Area(), TunedArea: rres.Area(),
 			}
-			fmt.Printf("  ceiling %.3f: sigma %.4f (-%.0f%%) area %.0f (+%.1f%%) excl=%d\n",
-				bound, rds.Design.Sigma, 100*cmp.SigmaReduction(), rres.Area(),
-				100*cmp.AreaIncrease(), rep.ExcludedPins())
+			log.Debug("ceiling met", "bound", bound, "sigma", rds.Design.Sigma,
+				"sigma_reduction_pct", 100*cmp.SigmaReduction(), "area", rres.Area(),
+				"area_increase_pct", 100*cmp.AreaIncrease(), "excluded", rep.ExcludedPins())
 		}
 		break
 	}

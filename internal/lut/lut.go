@@ -137,6 +137,37 @@ func SameAxes(a, b *Table) bool {
 	return true
 }
 
+// Hint-statistics counters. Lookup is the hottest function in the whole
+// pipeline (~10 ns/op), so the observability layer cannot afford an
+// always-on record: the counters hide behind one atomic bool whose load
+// predicts perfectly when stats are off. Enabled by cmd binaries when
+// -trace/-debugaddr is set; the hit ratio is exported as the
+// lut.hint_hit_ratio gauge.
+var (
+	hintStatsOn atomic.Bool
+	hintHits    atomic.Int64
+	hintMisses  atomic.Int64
+)
+
+// SetHintStatsEnabled switches atomic-hint hit/miss counting on or off
+// process-wide.
+func SetHintStatsEnabled(on bool) { hintStatsOn.Store(on) }
+
+// HintStats returns the cumulative hint hits and misses counted while
+// enabled. A "hit" is a Lookup whose resolved (load, slew) segment pair
+// equals the memoized hint, i.e. both binary searches were skipped.
+func HintStats() (hits, misses int64) { return hintHits.Load(), hintMisses.Load() }
+
+// HintHitRatio returns hits/(hits+misses), or -1 before any counted
+// lookup — the value served as lut.hint_hit_ratio.
+func HintHitRatio() float64 {
+	h, m := HintStats()
+	if h+m == 0 {
+		return -1
+	}
+	return float64(h) / float64(h+m)
+}
+
 // segment locates i such that axis[i] <= x <= axis[i+1], clamping x to the
 // axis range. It returns the index and the normalized position within the
 // segment. Single-point axes return (0, 0); a NaN query yields a NaN
@@ -191,8 +222,16 @@ func (t *Table) Lookup(load, slew float64) float64 {
 	hint := t.seg.Load()
 	li, lf := segmentHint(t.Loads, load, int(uint32(hint>>32)))
 	sj, sf := segmentHint(t.Slews, slew, int(uint32(hint)))
+	// Stat counting hides inside the branch the hint logic already
+	// takes, so the disabled fast path pays one predictable load per
+	// arm and nothing new in the interpolation below.
 	if packed := uint64(uint32(li))<<32 | uint64(uint32(sj)); packed != hint {
 		t.seg.Store(packed)
+		if hintStatsOn.Load() {
+			hintMisses.Add(1)
+		}
+	} else if hintStatsOn.Load() {
+		hintHits.Add(1)
 	}
 	if len(t.Loads) == 1 && len(t.Slews) == 1 {
 		return t.at(0, 0)

@@ -1,0 +1,89 @@
+// Package debughttp serves the -debugaddr surface: expvar, pprof and
+// the live obs snapshot. It lives in its own package so that importing
+// the obs instrumentation primitives (which every pipeline package
+// does) never drags net/http into a binary that didn't ask for the
+// debug server.
+package debughttp
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"stdcelltune/internal/obs"
+)
+
+// DebugState is what the debug server needs from the running pipeline.
+// Tracer may be nil (the "current phase" list is then empty).
+type DebugState struct {
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+	// Extra is merged into the /debug/obs JSON (run identity, flags).
+	Extra map[string]any
+}
+
+// Serve binds addr and serves the debug surface in a background
+// goroutine:
+//
+//	/debug/vars          expvar (includes the "obs" metrics map)
+//	/debug/pprof/...     net/http/pprof profiles
+//	/debug/obs           JSON: current phase (open spans) + metric snapshot
+//
+// The registry is published to expvar as a side effect. The listener is
+// bound synchronously so the caller learns the real address (addr may
+// use port 0) and a bad address fails fast; the server itself runs
+// until the process exits.
+func Serve(addr string, st DebugState) (*http.Server, string, error) {
+	if st.Metrics == nil {
+		st.Metrics = obs.Default()
+	}
+	publishExpvar(st.Metrics)
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		snap := map[string]any{
+			"active_spans": st.Tracer.Active(),
+			"metrics":      st.Metrics.Snapshot(),
+			"time":         time.Now().Format(time.RFC3339),
+		}
+		for k, v := range st.Extra {
+			snap[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("stdcelltune debug server\n\n/debug/obs\n/debug/vars\n/debug/pprof/\n"))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// expvar.Publish panics on duplicate names, so the registry is exported
+// once per process regardless of how many servers are started.
+var publishOnce sync.Once
+
+func publishExpvar(r *obs.Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -1,0 +1,107 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"stdcelltune/internal/obs"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestServeDebugSurface(t *testing.T) {
+	reg := obs.Default()
+	reg.Counter("robust.quarantined_cells").Add(2)
+	reg.GaugeFunc("lut.hint_hit_ratio", func() float64 { return 0.5 })
+	tr := obs.NewTracer(nil)
+	span := tr.Start("synth", "phase")
+	defer span.End()
+
+	srv, addr, err := Serve("127.0.0.1:0", DebugState{
+		Tracer:  tr,
+		Metrics: reg,
+		Extra:   map[string]any{"args": []string{"-small"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// /debug/vars: expvar JSON with the "obs" map carrying our metrics.
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, "http://"+addr+"/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	obsVar, ok := vars["obs"]
+	if !ok {
+		t.Fatalf("expvar missing obs map; have %v", keys(vars))
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(obsVar, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["robust.quarantined_cells"] != 2.0 {
+		t.Errorf("quarantined_cells = %v", metrics["robust.quarantined_cells"])
+	}
+	if metrics["lut.hint_hit_ratio"] != 0.5 {
+		t.Errorf("hint_hit_ratio = %v", metrics["lut.hint_hit_ratio"])
+	}
+
+	// /debug/obs: live snapshot with the open span and the extras.
+	var snap struct {
+		ActiveSpans []obs.ActiveSpan `json:"active_spans"`
+		Metrics     map[string]any   `json:"metrics"`
+		Args        []string         `json:"args"`
+	}
+	if err := json.Unmarshal(get(t, "http://"+addr+"/debug/obs"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ActiveSpans) != 1 || snap.ActiveSpans[0].Name != "synth" {
+		t.Errorf("active spans %+v", snap.ActiveSpans)
+	}
+	if len(snap.Args) != 1 || snap.Args[0] != "-small" {
+		t.Errorf("extra args %+v", snap.Args)
+	}
+
+	// /debug/pprof/ index and the plain-text front page.
+	if body := get(t, "http://"+addr+"/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index missing profiles")
+	}
+	if body := get(t, "http://"+addr+"/"); !strings.Contains(string(body), "/debug/obs") {
+		t.Error("index page missing endpoint list")
+	}
+}
+
+func TestServeBadAddrFailsFast(t *testing.T) {
+	if _, _, err := Serve("127.0.0.1:-1", DebugState{}); err == nil {
+		t.Error("invalid address accepted")
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

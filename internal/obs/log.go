@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The obs logger is the single structured-logging chokepoint for the
+// pipeline's progress messages. It defaults to a discard handler so the
+// zero-flag run emits nothing (and pays one atomic pointer load plus an
+// Enabled check per call site); cmd binaries install a real handler via
+// InitLog when a log level is requested.
+
+var logPtr atomic.Pointer[slog.Logger]
+
+func init() { logPtr.Store(slog.New(discardHandler{})) }
+
+// Log returns the current obs logger. Never nil.
+func Log() *slog.Logger { return logPtr.Load() }
+
+// SetLog installs a logger; nil restores the discarding default.
+func SetLog(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	logPtr.Store(l)
+}
+
+// InitLog installs (and returns) a text-handler logger writing to w at
+// the given level — the shape cmd binaries want for a -loglevel flag.
+func InitLog(w io.Writer, level slog.Level) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	SetLog(l)
+	return l
+}
+
+// ParseLogLevel maps a flag string to a slog level; unknown strings
+// (including "") report ok=false, which callers treat as logging off.
+func ParseLogLevel(s string) (level slog.Level, ok bool) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
+
+// discardHandler drops everything at every level. Written out by hand
+// (rather than slog.DiscardHandler) so the module keeps building at its
+// declared go 1.22 language version.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

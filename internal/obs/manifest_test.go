@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	if m.Schema != ManifestSchema {
+		t.Errorf("schema %q", m.Schema)
+	}
+	if m.GoVersion != runtime.Version() || m.GOOS == "" || m.GOARCH == "" {
+		t.Errorf("toolchain fields: %+v", m)
+	}
+	if m.Created == "" {
+		t.Error("created timestamp missing")
+	}
+	m.Args = []string{"-small", "-trace", "t.json"}
+	m.Samples, m.Seed, m.Small = 40, 7, true
+	m.WallSeconds = 12.5
+	m.Experiments = []string{"fig3", "fig5"}
+	m.Quarantined = 2
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples != 40 || back.Seed != 7 || !back.Small || back.WallSeconds != 12.5 {
+		t.Errorf("round trip lost config: %+v", back)
+	}
+	if len(back.Experiments) != 2 || back.Quarantined != 2 {
+		t.Errorf("round trip lost outcome: %+v", back)
+	}
+}
+
+func TestReadManifestRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadManifest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadManifest(write("garbage.json", "{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	p := write("schema.json", `{"schema":"other/9","go_version":"go1.22"}`)
+	if _, err := ReadManifest(p); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema accepted (err=%v)", err)
+	}
+	p = write("nogo.json", `{"schema":"`+ManifestSchema+`"}`)
+	if _, err := ReadManifest(p); err == nil || !strings.Contains(err.Error(), "go_version") {
+		t.Errorf("missing go_version accepted (err=%v)", err)
+	}
+}

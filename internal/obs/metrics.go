@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a flat, dependency-free metrics namespace: counters
+// (monotonic int64), gauges (float64, settable), gauge funcs (computed
+// on read — ratios live here), and log2-bucketed duration histograms.
+// Get-or-create accessors make instrumentation sites declaration-free
+// and idempotent. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+var (
+	defaultRegistry     *Registry
+	defaultRegistryOnce sync.Once
+)
+
+// Default returns the process-wide registry every instrumented package
+// records into.
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a computed gauge evaluated at
+// snapshot time — the natural shape for ratios like lut.hint_hit_ratio.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	r.gaugeFuncs[name] = f
+	r.mu.Unlock()
+}
+
+// Histogram returns (creating on first use) the named duration
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a plain JSON-marshalable map:
+// counters and gauges by value, histograms as {count, sum_ms, p50_ms,
+// p90_ms, p99_ms}. Computed gauges are evaluated here; a NaN result is
+// reported as -1 so the snapshot stays valid JSON.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, f := range r.gaugeFuncs {
+		v := f()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = -1
+		}
+		out[name] = v
+	}
+	for name, h := range r.hists {
+		out[name] = h.Summary()
+	}
+	return out
+}
+
+// Names returns every metric name in sorted order.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the bucket count of Histogram: bucket i counts
+// observations with floor(log2(ns)) == i, covering 1 ns up to ~9.2 s in
+// the last bucket.
+const histBuckets = 64
+
+// Histogram accumulates durations into power-of-two nanosecond buckets.
+// Observe is lock-free (one atomic add per bucket); quantiles are
+// approximate (upper bucket bound), which is plenty for "where does the
+// time go" debugging.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	b := 0
+	for v := ns; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistSummary is the JSON rendering of a histogram.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Summary renders counts and approximate quantiles.
+func (h *Histogram) Summary() HistSummary {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSummary{Count: h.count.Load(), SumMS: float64(h.sumNS.Load()) / 1e6}
+	if total == 0 {
+		return s
+	}
+	q := func(p float64) float64 {
+		target := int64(math.Ceil(p * float64(total)))
+		seen := int64(0)
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				return math.Pow(2, float64(i+1)) / 1e6 // upper bucket bound, in ms
+			}
+		}
+		return math.Pow(2, histBuckets) / 1e6
+	}
+	s.P50MS, s.P90MS, s.P99MS = q(0.50), q(0.90), q(0.99)
+	return s
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("robust.pool_tasks")
+	c.Add(3)
+	if r.Counter("robust.pool_tasks") != c {
+		t.Error("Counter not idempotent")
+	}
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter %d want 5", got)
+	}
+
+	g := r.Gauge("queue.depth")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge %g want 2.5", got)
+	}
+
+	r.GaugeFunc("lut.hint_hit_ratio", func() float64 { return 0.75 })
+	snap := r.Snapshot()
+	if snap["robust.pool_tasks"] != int64(5) {
+		t.Errorf("snapshot counter = %v", snap["robust.pool_tasks"])
+	}
+	if snap["queue.depth"] != 2.5 {
+		t.Errorf("snapshot gauge = %v", snap["queue.depth"])
+	}
+	if snap["lut.hint_hit_ratio"] != 0.75 {
+		t.Errorf("snapshot gauge func = %v", snap["lut.hint_hit_ratio"])
+	}
+}
+
+// NaN/Inf from a computed gauge (e.g. a 0/0 hit ratio before any
+// lookups) must not poison the JSON snapshot.
+func TestSnapshotSanitizesNaN(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("nan", func() float64 { return math.NaN() })
+	r.GaugeFunc("inf", func() float64 { return math.Inf(1) })
+	snap := r.Snapshot()
+	if snap["nan"] != -1.0 || snap["inf"] != -1.0 {
+		t.Errorf("snapshot = %v, want NaN/Inf reported as -1", snap)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond) // ~2^20 ns bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond) // ~2^27 ns bucket
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Errorf("count %d want 100", s.Count)
+	}
+	if math.Abs(s.SumMS-(90+10*100)) > 1e-6 {
+		t.Errorf("sum %g ms want 1090", s.SumMS)
+	}
+	// Quantiles are upper bucket bounds: p50 lands in the 1 ms bucket
+	// (bound 2^20 ns ≈ 2.1 ms), p99 in the 100 ms bucket (bound 2^27 ns
+	// ≈ 268 ms, i.e. within [100, 537) ms).
+	if s.P50MS < 1 || s.P50MS > 5 {
+		t.Errorf("p50 %g ms outside [1,5]", s.P50MS)
+	}
+	if s.P99MS < 100 || s.P99MS > 537 {
+		t.Errorf("p99 %g ms outside [100,537]", s.P99MS)
+	}
+	if s.P50MS > s.P90MS || s.P90MS > s.P99MS {
+		t.Errorf("quantiles not monotone: %g %g %g", s.P50MS, s.P90MS, s.P99MS)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-time.Second)        // clamped to 0
+	h.Observe(0)
+	h.Observe(time.Hour)           // beyond the last bucket boundary
+	if h.Count() != 3 {
+		t.Errorf("count %d want 3", h.Count())
+	}
+	s := h.Summary()
+	if math.IsNaN(s.P99MS) || math.IsInf(s.P99MS, 0) {
+		t.Errorf("p99 %g not finite", s.P99MS)
+	}
+	if s.SumMS < 3_600_000-1 {
+		t.Errorf("sum %g lost the hour", s.SumMS)
+	}
+}
+
+func TestEmptyHistogramSummary(t *testing.T) {
+	s := (&Histogram{}).Summary()
+	if s.Count != 0 || s.P50MS != 0 || s.P99MS != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("names %v", names)
+	}
+}
+
+func TestDefaultRegistrySingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() not a singleton")
+	}
+}

@@ -1,0 +1,90 @@
+// Package obs is the flow-wide observability layer: a context-propagated
+// span tracer with Chrome trace-event export (trace.go), a dependency-free
+// metrics registry (metrics.go), level-gated structured logging on
+// log/slog (log.go), and the run manifest that makes every experiment
+// self-describing (manifest.go). The -debugaddr HTTP surface lives in
+// the obs/debughttp subpackage so that importing the instrumentation
+// primitives never pulls net/http into a binary.
+//
+// The design contract, shared by every instrumented package:
+//
+//   - Disabled is free. A nil *Tracer is a valid tracer whose Start
+//     compiles to a nil check; timing metrics are gated behind one
+//     atomic bool; the default logger discards. The zero-flag pipeline
+//     performs no clock reads on behalf of obs and stays bit-identical.
+//   - Clocks are injected. A Tracer owns an explicit clock function, so
+//     trace output is deterministic under test and the default pipeline
+//     never consults the wall clock through obs.
+//   - Propagation is by context. cmd binaries attach a tracer with
+//     WithTracer; exp.Flow, the robust pool and stattime pull it back
+//     out with TracerFrom and see nil (no-op) when tracing is off.
+//
+// Phase timing accumulation is backed by internal/perfstat: Run.Phase
+// opens the perfstat window and the trace span together, so the
+// BENCH JSON schema (stdcelltune-bench/1) and cmd/benchjson keep
+// working unchanged on top of the obs layer.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+
+	"stdcelltune/internal/perfstat"
+)
+
+type tracerKey struct{}
+
+// WithTracer attaches a tracer to the context. Attaching nil is allowed
+// and yields the same no-op behaviour as an unadorned context.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil (the no-op
+// tracer) when none is attached.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// timingEnabled gates the cheap-but-not-free observations (time.Now
+// calls around pool queue waits and task bodies). Off by default so the
+// zero-flag pipeline takes no clock reads for obs.
+var timingEnabled atomic.Bool
+
+// SetTimingEnabled switches the latency metrics (pool queue wait, task
+// duration histograms) on or off process-wide. cmd binaries enable it
+// together with -trace or -debugaddr.
+func SetTimingEnabled(on bool) { timingEnabled.Store(on) }
+
+// TimingEnabled reports whether latency metrics are being collected.
+func TimingEnabled() bool { return timingEnabled.Load() }
+
+// Run bundles the observability state of one pipeline run: the tracer
+// (nil when tracing is disabled), the perfstat collector the phase
+// timings accumulate into, and the metrics registry. exp.Flow owns one.
+type Run struct {
+	Tracer  *Tracer
+	Perf    *perfstat.Collector
+	Metrics *Registry
+}
+
+// NewRun builds a Run around the given tracer (nil for no tracing) with
+// a fresh perfstat collector and the process-default metrics registry.
+func NewRun(tr *Tracer) *Run {
+	return &Run{Tracer: tr, Perf: perfstat.New(), Metrics: Default()}
+}
+
+// Phase opens a named pipeline phase: a perfstat wall/alloc window and,
+// when tracing is on, a span carrying the given attributes. The
+// returned function closes both:
+//
+//	defer run.Phase("synth", "clock", clk)()
+func (r *Run) Phase(name string, args ...any) func() {
+	stopPerf := r.Perf.Start(name)
+	span := r.Tracer.Start(name, "phase", args...)
+	return func() {
+		span.End()
+		stopPerf()
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+// Run.Phase must open the perfstat window and the trace span together
+// and close both, so bench JSON and trace describe the same work.
+func TestRunPhase(t *testing.T) {
+	clk := newFakeClock()
+	run := NewRun(NewTracer(clk.Now))
+	stop := run.Phase("synth", "clock", 2.8)
+	clk.Advance(3 * time.Millisecond)
+	stop()
+
+	if n := run.Tracer.EventCount(); n != 1 {
+		t.Fatalf("%d trace events want 1", n)
+	}
+	ev := run.Tracer.events[0]
+	if ev.Name != "synth" || ev.Cat != "phase" || ev.Dur != 3000 {
+		t.Errorf("event %+v, want synth/phase with dur 3000µs", ev)
+	}
+	phases := run.Perf.Phases()
+	if len(phases) != 1 || phases[0].Name != "synth" || phases[0].Count != 1 {
+		t.Errorf("perfstat phases %+v", phases)
+	}
+}
+
+// With tracing off (nil tracer), Phase still accumulates perfstat so
+// -benchjson works without -trace.
+func TestRunPhaseNilTracer(t *testing.T) {
+	run := NewRun(nil)
+	run.Phase("fold")()
+	if got := run.Perf.Phases(); len(got) != 1 || got[0].Name != "fold" {
+		t.Errorf("perfstat phases %+v", got)
+	}
+	if run.Tracer.EventCount() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+}
+
+func TestTimingEnabledToggle(t *testing.T) {
+	if TimingEnabled() {
+		t.Fatal("timing enabled by default")
+	}
+	SetTimingEnabled(true)
+	if !TimingEnabled() {
+		t.Error("enable did not stick")
+	}
+	SetTimingEnabled(false)
+	if TimingEnabled() {
+		t.Error("disable did not stick")
+	}
+}
+
+func TestLogDefaultDiscardsAndInitInstalls(t *testing.T) {
+	defer SetLog(nil)
+	if Log() == nil {
+		t.Fatal("Log() nil")
+	}
+	if Log().Enabled(nil, slog.LevelError) {
+		t.Error("default logger not discarding")
+	}
+	var buf bytes.Buffer
+	InitLog(&buf, slog.LevelInfo)
+	Log().Debug("hidden")
+	Log().Info("shown", "k", "v")
+	out := buf.String()
+	if bytes.Contains(buf.Bytes(), []byte("hidden")) {
+		t.Errorf("debug leaked below level: %q", out)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("shown")) || !bytes.Contains(buf.Bytes(), []byte("k=v")) {
+		t.Errorf("info line missing attrs: %q", out)
+	}
+	SetLog(nil)
+	if Log().Enabled(nil, slog.LevelError) {
+		t.Error("SetLog(nil) did not restore discard")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]struct {
+		level slog.Level
+		ok    bool
+	}{
+		"debug": {slog.LevelDebug, true},
+		"info":  {slog.LevelInfo, true},
+		"warn":  {slog.LevelWarn, true},
+		"error": {slog.LevelError, true},
+		"":      {0, false},
+		"loud":  {0, false},
+	}
+	for s, want := range cases {
+		level, ok := ParseLogLevel(s)
+		if ok != want.ok || (ok && level != want.level) {
+			t.Errorf("ParseLogLevel(%q) = %v,%v want %v,%v", s, level, ok, want.level, want.ok)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and exports them as Chrome trace-event JSON
+// (load the file at chrome://tracing or https://ui.perfetto.dev). The
+// clock is injected at construction so tests produce byte-stable
+// traces; a nil *Tracer is the no-op tracer: Start returns a nil span
+// and costs one pointer check.
+//
+// Overlapping spans are assigned to "lanes" (Chrome thread ids): a span
+// takes the lowest lane that is free at its start and returns it at
+// End, so concurrent work renders as parallel rows instead of one
+// unreadable pile.
+type Tracer struct {
+	clock func() time.Time
+	start time.Time
+
+	mu     sync.Mutex
+	events []chromeEvent
+	lanes  []bool // lanes[i]: lane i+1 currently occupied
+	active map[*Span]struct{}
+}
+
+// Span is one open span. Methods on a nil span are no-ops, mirroring
+// the nil tracer.
+type Span struct {
+	tr   *Tracer
+	name string
+	cat  string
+	lane int
+	t0   time.Duration
+	args map[string]any
+}
+
+// NewTracer creates a tracer reading the given clock; nil means
+// time.Now. The first clock read anchors ts zero of the exported trace.
+func NewTracer(clock func() time.Time) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock, start: clock(), active: make(map[*Span]struct{})}
+}
+
+// Start opens a span with a name, a category (rendered as the Chrome
+// event category, e.g. "phase" or "pool"), and alternating key/value
+// attribute pairs. Safe for concurrent use; returns nil on a nil
+// tracer.
+func (t *Tracer) Start(name, cat string, args ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, cat: cat, t0: t.clock().Sub(t.start)}
+	if len(args) > 0 {
+		s.args = argMap(args)
+	}
+	t.mu.Lock()
+	s.lane = t.acquireLane()
+	t.active[s] = struct{}{}
+	t.mu.Unlock()
+	return s
+}
+
+// Set attaches (or overwrites) one attribute on an open span.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any, 1)
+	}
+	s.args[key] = v
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, emitting one complete ("ph":"X") trace event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	end := t.clock().Sub(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.releaseLane(s.lane)
+	delete(t.active, s)
+	t.events = append(t.events, chromeEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.t0.Microseconds(), Dur: (end - s.t0).Microseconds(),
+		PID: 1, TID: s.lane, Args: s.args,
+	})
+}
+
+// acquireLane returns the lowest free lane id (1-based). Caller holds mu.
+func (t *Tracer) acquireLane() int {
+	for i, used := range t.lanes {
+		if !used {
+			t.lanes[i] = true
+			return i + 1
+		}
+	}
+	t.lanes = append(t.lanes, true)
+	return len(t.lanes)
+}
+
+// releaseLane frees a lane id. Caller holds mu.
+func (t *Tracer) releaseLane(lane int) {
+	if lane >= 1 && lane <= len(t.lanes) {
+		t.lanes[lane-1] = false
+	}
+}
+
+// ActiveSpan is a snapshot of one span still open, for the debug
+// endpoint's "what is the pipeline doing right now".
+type ActiveSpan struct {
+	Name      string  `json:"name"`
+	Cat       string  `json:"cat"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Active returns the currently open spans, longest-running first.
+func (t *Tracer) Active() []ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := t.clock().Sub(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ActiveSpan, 0, len(t.active))
+	for s := range t.active {
+		out = append(out, ActiveSpan{Name: s.name, Cat: s.cat, ElapsedMS: float64((now - s.t0).Microseconds()) / 1e3})
+	}
+	// Longest elapsed first; ties broken by name so the order is stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].ElapsedMS > out[j-1].ElapsedMS ||
+			(out[j].ElapsedMS == out[j-1].ElapsedMS && out[j].Name < out[j-1].Name)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event with explicit duration; "M" = metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavour of the format; the top-level
+// keys beyond traceEvents are ignored by the viewer but make the file
+// self-describing.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes every ended span (spans still open are
+// skipped — End them first) as indented Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteChromeTrace on nil tracer")
+	}
+	t.mu.Lock()
+	events := make([]chromeEvent, 0, len(t.events)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "stdcelltune"},
+	})
+	events = append(events, t.events...)
+	t.mu.Unlock()
+	data, err := json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a file path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// EventCount returns the number of completed spans recorded so far.
+func (t *Tracer) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// argMap folds alternating key/value pairs into a map; a trailing
+// half-pair keeps the key with a nil value rather than panicking.
+func argMap(kv []any) map[string]any {
+	m := make(map[string]any, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		if i+1 < len(kv) {
+			m[k] = kv[i+1]
+		} else {
+			m[k] = nil
+		}
+	}
+	return m
+}

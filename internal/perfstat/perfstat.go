@@ -1,6 +1,6 @@
 // Package perfstat instruments the experiment pipeline with per-phase
 // wall-time and allocation counters and defines the benchmark JSON
-// schema (BENCH_PR2.json) the perf trajectory is tracked in. The
+// schema (BENCH_PR3.json) the perf trajectory is tracked in. The
 // collector is cheap enough to stay always-on in exp.Flow; the JSON
 // file is the artifact later scaling PRs are judged against.
 package perfstat
@@ -23,20 +23,32 @@ type Phase struct {
 	WallNS int64  `json:"wall_ns"` // total wall time
 	Allocs int64  `json:"allocs"`  // heap objects allocated during the phase
 	Bytes  int64  `json:"bytes"`   // heap bytes allocated during the phase
+
+	// AllocsApprox marks phases whose windows overlapped another open
+	// window at least once. runtime.ReadMemStats deltas are
+	// process-global, so concurrently open phases each absorb the
+	// other's allocations — the wall column stays exact, the alloc
+	// columns become an upper bound. Report() flags these rows.
+	AllocsApprox bool `json:"allocs_approx,omitempty"`
 }
 
 // WallSeconds returns the accumulated wall time in seconds.
 func (p Phase) WallSeconds() float64 { return float64(p.WallNS) / 1e9 }
 
 // Collector accumulates named phases. It is safe for concurrent use;
-// overlapping phases each get the full wall time of their own window,
-// and allocation deltas are process-wide (an overlapping phase's
-// allocations are attributed to both), so treat Allocs/Bytes as an
-// upper bound under concurrency.
+// overlapping phases each get the full wall time of their own window.
+// Allocation deltas are process-wide (runtime.ReadMemStats), so two
+// windows open at the same time double-count each other's allocations;
+// the collector detects exactly this and marks every window that ever
+// overlapped another as AllocsApprox, so Report() and the bench JSON
+// distinguish exact rows from upper bounds instead of silently mixing
+// them.
 type Collector struct {
 	mu     sync.Mutex
 	phases map[string]*Phase
 	order  []string
+	open   int   // windows currently open
+	opens  int64 // windows ever opened (overlap detection epoch)
 }
 
 // New returns an empty collector.
@@ -50,6 +62,12 @@ func New() *Collector {
 //
 //	defer c.Start("synth")()
 func (c *Collector) Start(name string) func() {
+	c.mu.Lock()
+	overlapAtStart := c.open > 0
+	c.open++
+	c.opens++
+	epoch := c.opens
+	c.mu.Unlock()
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
@@ -59,6 +77,10 @@ func (c *Collector) Start(name string) func() {
 		runtime.ReadMemStats(&m1)
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		c.open--
+		// The window overlapped if another was already open when it
+		// started, or any window opened before it closed.
+		overlapped := overlapAtStart || c.opens != epoch
 		p, ok := c.phases[name]
 		if !ok {
 			p = &Phase{Name: name}
@@ -69,6 +91,9 @@ func (c *Collector) Start(name string) func() {
 		p.WallNS += wall.Nanoseconds()
 		p.Allocs += int64(m1.Mallocs - m0.Mallocs)
 		p.Bytes += int64(m1.TotalAlloc - m0.TotalAlloc)
+		if overlapped {
+			p.AllocsApprox = true
+		}
 	}
 }
 
@@ -91,14 +116,22 @@ func (c *Collector) Report() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %7s %12s %14s %14s\n", "phase", "runs", "wall", "allocs", "bytes")
+	anyApprox := false
 	for _, p := range phases {
-		fmt.Fprintf(&b, "%-16s %7d %11.3fs %14d %14d\n",
-			p.Name, p.Count, p.WallSeconds(), p.Allocs, p.Bytes)
+		mark := " "
+		if p.AllocsApprox {
+			mark, anyApprox = "~", true
+		}
+		fmt.Fprintf(&b, "%-16s %7d %11.3fs %13d%s %13d%s\n",
+			p.Name, p.Count, p.WallSeconds(), p.Allocs, mark, p.Bytes, mark)
+	}
+	if anyApprox {
+		b.WriteString("~ alloc columns approximate: windows overlapped concurrent phases (ReadMemStats deltas are process-global)\n")
 	}
 	return b.String()
 }
 
-// Schema identifies the BENCH_PR2.json layout.
+// Schema identifies the benchmark JSON (BENCH_PR3.json) layout.
 const Schema = "stdcelltune-bench/1"
 
 // BenchResult is one benchmark's numbers, with the optional seed

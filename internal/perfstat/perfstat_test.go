@@ -55,6 +55,43 @@ func TestCollectorConcurrentUse(t *testing.T) {
 	}
 }
 
+// Sequential windows must stay exact; windows that overlap another open
+// window must be flagged AllocsApprox — ReadMemStats deltas are
+// process-global, so overlapping windows absorb each other's
+// allocations and their alloc columns are only an upper bound.
+func TestCollectorOverlapMarksAllocsApprox(t *testing.T) {
+	c := New()
+	c.Start("alone")()
+
+	stopOuter := c.Start("outer")
+	stopInner := c.Start("inner")
+	stopInner()
+	stopOuter()
+
+	// A window is also approximate when another opens before it closes,
+	// even though it was alone at start.
+	stopFirst := c.Start("first")
+	c.Start("late")()
+	stopFirst()
+
+	approx := map[string]bool{}
+	for _, p := range c.Phases() {
+		approx[p.Name] = p.AllocsApprox
+	}
+	if approx["alone"] {
+		t.Error("sequential window marked approximate")
+	}
+	for _, name := range []string{"outer", "inner", "first", "late"} {
+		if !approx[name] {
+			t.Errorf("%s overlapped but not marked approximate", name)
+		}
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "~ alloc columns approximate") {
+		t.Errorf("report missing approximation footnote:\n%s", rep)
+	}
+}
+
 func TestParseGoBench(t *testing.T) {
 	out := `goos: linux
 goarch: amd64
@@ -76,6 +113,43 @@ PASS
 	}
 	if math.Abs(got["BenchmarkLUTBilinearLookup"].NsPerOp-13.89) > 1e-9 {
 		t.Errorf("lookup ns = %g", got["BenchmarkLUTBilinearLookup"].NsPerOp)
+	}
+}
+
+// ParseGoBench must survive the ways real `go test -bench` output goes
+// wrong: truncated lines, non-numeric ops columns, and runs without
+// -benchmem (no B/op / allocs/op columns).
+func TestParseGoBenchEdgeCases(t *testing.T) {
+	out := `BenchmarkNoBenchmem-8   1000000       1234 ns/op
+BenchmarkTruncated-8
+BenchmarkShort-8   55
+BenchmarkBadNumber-8   1000   garbage ns/op
+Benchmark
+BenchmarkNoDash   500   42.5 ns/op
+not a benchmark line at all
+BenchmarkTrailingPair-8   10   99 ns/op   7
+`
+	got := ParseGoBench(out)
+	if r, ok := got["BenchmarkNoBenchmem"]; !ok || r.NsPerOp != 1234 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("no-benchmem line = %+v ok=%v, want ns only", r, ok)
+	}
+	if _, ok := got["BenchmarkTruncated"]; ok {
+		t.Error("truncated line produced a result")
+	}
+	if _, ok := got["BenchmarkShort"]; ok {
+		t.Error("line without ns/op produced a result")
+	}
+	if _, ok := got["BenchmarkBadNumber"]; ok {
+		t.Error("non-numeric ns column produced a result")
+	}
+	if r, ok := got["BenchmarkNoDash"]; !ok || r.NsPerOp != 42.5 {
+		t.Errorf("undashed name = %+v ok=%v", r, ok)
+	}
+	if r := got["BenchmarkTrailingPair"]; r.NsPerOp != 99 {
+		t.Errorf("trailing unpaired field corrupted parse: %+v", r)
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks want 3: %+v", len(got), got)
 	}
 }
 

@@ -4,6 +4,22 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
+
+	"stdcelltune/internal/obs"
+)
+
+// Pool metrics, recorded into the process-default obs registry. The
+// counters are one atomic add per event — cheap enough to stay always
+// on. The latency histograms need two clock reads per task, so they
+// only record while obs.TimingEnabled() (set by -trace/-debugaddr);
+// the zero-flag pipeline takes no clock reads here.
+var (
+	poolTasks     = obs.Default().Counter("robust.pool_tasks")
+	poolPanics    = obs.Default().Counter("robust.pool_panics")
+	poolRejected  = obs.Default().Counter("robust.pool_rejected") // submissions refused by cancellation
+	poolQueueWait = obs.Default().Histogram("robust.queue_wait")
+	poolTaskTime  = obs.Default().Histogram("robust.task_time")
 )
 
 // Group is a bounded worker pool tied to a context. Tasks submitted
@@ -14,11 +30,12 @@ import (
 // into a *PanicError; Wait returns every task error joined with
 // errors.Join.
 type Group struct {
-	ctx  context.Context
-	sem  chan struct{}
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	errs []error
+	ctx    context.Context
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	errs   []error
+	timing bool // snapshot of obs.TimingEnabled() at construction
 }
 
 // NewGroup creates a pool of the given width bound to ctx. A width
@@ -30,7 +47,7 @@ func NewGroup(ctx context.Context, workers int) *Group {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Group{ctx: ctx, sem: make(chan struct{}, workers)}
+	return &Group{ctx: ctx, sem: make(chan struct{}, workers), timing: obs.TimingEnabled()}
 }
 
 // Go submits one task. It blocks until a worker slot is free (bounding
@@ -38,17 +55,34 @@ func NewGroup(ctx context.Context, workers int) *Group {
 // running the task if the context is cancelled first. The task receives
 // the group context and should return promptly once it is done.
 func (g *Group) Go(fn func(ctx context.Context) error) bool {
+	var submitted time.Time
+	if g.timing {
+		submitted = time.Now()
+	}
 	select {
 	case <-g.ctx.Done():
+		poolRejected.Add(1)
 		g.record(g.ctx.Err())
 		return false
 	case g.sem <- struct{}{}:
 	}
+	if g.timing {
+		poolQueueWait.Observe(time.Since(submitted))
+	}
+	poolTasks.Add(1)
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
 		defer func() { <-g.sem }()
-		if err := Safe(func() error { return fn(g.ctx) }); err != nil {
+		var started time.Time
+		if g.timing {
+			started = time.Now()
+		}
+		err := Safe(func() error { return fn(g.ctx) })
+		if g.timing {
+			poolTaskTime.Observe(time.Since(started))
+		}
+		if err != nil {
 			g.record(err)
 		}
 	}()
@@ -58,6 +92,10 @@ func (g *Group) Go(fn func(ctx context.Context) error) bool {
 func (g *Group) record(err error) {
 	if err == nil {
 		return
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		poolPanics.Add(1)
 	}
 	g.mu.Lock()
 	// A cancelled context is recorded once, not once per unfinished
@@ -89,6 +127,19 @@ func (g *Group) Wait() error {
 // tasks drain before ForEach returns. The returned error joins every
 // task error (and the context error, once, if cancelled).
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	return ForEachNamed(ctx, "pool.batch", workers, n, fn)
+}
+
+// ForEachNamed is ForEach wrapped in a trace span carrying the batch
+// name, the task count and the pool width — one span per batch, not per
+// task, so a thousand-path analysis stays one readable row in the
+// trace. With no tracer on ctx the span is free (nil no-op).
+func ForEachNamed(ctx context.Context, name string, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := obs.TracerFrom(ctx).Start(name, "pool", "tasks", n, "workers", workers)
+	defer span.End()
 	g := NewGroup(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i

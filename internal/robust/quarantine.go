@@ -5,7 +5,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"stdcelltune/internal/obs"
 )
+
+// quarantinedItems counts every item quarantined anywhere in the
+// process (exported as robust.quarantined_cells — the pipeline only
+// quarantines library cells today).
+var quarantinedItems = obs.Default().Counter("robust.quarantined_cells")
 
 // DefaultQuarantineLimit is the fraction of quarantined items above
 // which a stage must fail hard instead of degrading: losing up to half
@@ -47,6 +54,8 @@ func (q *Quarantine) Add(name, reason string) {
 	}
 	q.names[name] = true
 	q.entries = append(q.entries, QuarantineEntry{Name: name, Reason: reason})
+	quarantinedItems.Add(1)
+	obs.Log().Warn("quarantined", "stage", q.Stage, "name", name, "reason", reason)
 }
 
 // Has reports whether the named item was quarantined.

@@ -6,7 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"stdcelltune/internal/obs"
 )
+
+// retryAttempts counts re-attempts (not first tries) across every
+// Retry call in the process, exported as robust.retries.
+var retryAttempts = obs.Default().Counter("robust.retries")
 
 // Policy configures Retry: up to MaxAttempts tries with exponential
 // backoff starting at BaseDelay, multiplied by Multiplier per attempt,
@@ -82,6 +88,8 @@ func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) er
 		if err := p.sleep(ctx, jittered(delay, p.Jitter)); err != nil {
 			return errors.Join(err, last)
 		}
+		retryAttempts.Add(1)
+		obs.Log().Debug("retrying", "attempt", attempt+1, "of", attempts, "err", last)
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if p.MaxDelay > 0 && delay > p.MaxDelay {
 			delay = p.MaxDelay

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"stdcelltune/internal/dist"
+	"stdcelltune/internal/obs"
 	"stdcelltune/internal/robust"
 	"stdcelltune/internal/sta"
 	"stdcelltune/internal/statlib"
@@ -121,11 +122,13 @@ func AnalyzeCtx(ctx context.Context, r *sta.Result, stat *statlib.Library, rho f
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("stattime: design has no cell paths")
 	}
+	span := obs.TracerFrom(ctx).Start("stattime.analyze", "analyze", "paths", len(paths))
+	defer span.End()
 	results := make([]PathStats, len(paths))
 	tallies := make([]map[string]int, len(paths))
 	if workers := robust.DefaultWorkers(); workers > 1 {
 		an := &analyzer{stat: stat, rho: rho, intern: &syncIntern{}}
-		err = robust.ForEach(ctx, workers, len(paths), func(_ context.Context, i int) error {
+		err = robust.ForEachNamed(ctx, "stattime.paths", workers, len(paths), func(_ context.Context, i int) error {
 			deg := make(map[string]int)
 			ps, err := an.pathDist(paths[i], deg)
 			if err != nil {

@@ -111,7 +111,7 @@ func Instances(cat *stdcell.Catalogue, cfg Config) []*liberty.Library {
 func InstancesCtx(ctx context.Context, cat *stdcell.Catalogue, cfg Config) ([]*liberty.Library, error) {
 	sm := NewSampler(cfg.Seed)
 	libs := make([]*liberty.Library, cfg.N)
-	err := robust.ForEach(ctx, robust.DefaultWorkers(), cfg.N, func(ctx context.Context, i int) error {
+	err := robust.ForEachNamed(ctx, "variation.instances", robust.DefaultWorkers(), cfg.N, func(ctx context.Context, i int) error {
 		libs[i] = Instance(cat, sm, i, cfg)
 		return nil
 	})
