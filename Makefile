@@ -3,10 +3,10 @@
 
 GO ?= go
 
-# Benchmarks tracked in BENCH_PR3.json (see DESIGN.md, "Performance
+# Benchmarks tracked in BENCH_PR4.json (see DESIGN.md, "Performance
 # baseline & benchmark JSON").
-BENCH_JSON ?= BENCH_PR3.json
-BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$|BenchmarkSynthesize$$|BenchmarkSynthesizeRestricted$$
 BENCH_SCALE ?= small
 
 .PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke clean
@@ -30,13 +30,15 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=30s ./internal/liberty
 
-# One short iteration over every fuzz target, so the NaN-lookup guard
-# and the parser cannot regress silently in CI.
+# One short iteration over every fuzz target, so the NaN-lookup guard,
+# the parser, and the incremental-STA equivalence contract cannot
+# regress silently in CI.
 fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzLookup -fuzztime=5s ./internal/lut
 	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=5s ./internal/liberty
+	$(GO) test -run=^$$ -fuzz=FuzzEngineEdits -fuzztime=5s ./internal/sta
 
-# Regenerate the current numbers in BENCH_PR2.json from the tracked
+# Regenerate the current numbers in $(BENCH_JSON) from the tracked
 # benchmarks (STC_BENCH=$(BENCH_SCALE) flow; seed baselines recorded in
 # the file are preserved). See DESIGN.md for the schema.
 bench-json:

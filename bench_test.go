@@ -22,6 +22,7 @@ import (
 	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stattime"
 	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/synth"
 	"stdcelltune/internal/variation"
 )
 
@@ -461,6 +462,48 @@ func BenchmarkAnalyzeDesign(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stattime.Analyze(res.Timing, f.Stat, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesize times one full map+optimize of the MCU at the
+// medium clock with no restrictions — the synthesis unit the experiment
+// sweeps pay ~94% of their wall time in (BENCH_PR4.json tracks it). The
+// flow cache is deliberately bypassed: every iteration maps and sizes
+// from scratch.
+func BenchmarkSynthesize(b *testing.B) {
+	f := flow(b)
+	clocks, err := f.Clocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, synth.DefaultOptions(clocks.Medium)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeRestricted is the restricted counterpart: the same
+// map+optimize under binding sigma-ceiling windows, which exercises the
+// legality-repair and repeater-insertion paths on top of sizing.
+func BenchmarkSynthesizeRestricted(b *testing.B) {
+	f := flow(b)
+	clocks, err := f.Clocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, _, err := f.Tune(core.SigmaCeiling, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := synth.DefaultOptions(clocks.Medium)
+		opts.Restrict = set
+		if _, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

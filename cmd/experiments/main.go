@@ -48,6 +48,7 @@ import (
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/robust"
 	"stdcelltune/internal/robust/faultinject"
+	"stdcelltune/internal/sta"
 )
 
 func main() {
@@ -83,6 +84,7 @@ func main() {
 		obs.SetTimingEnabled(true)
 		lut.SetHintStatsEnabled(true)
 		obs.Default().GaugeFunc("lut.hint_hit_ratio", lut.HintHitRatio)
+		obs.Default().GaugeFunc("sta.incremental_ratio", sta.IncrementalRatio)
 	}
 	if *debugAddr != "" {
 		_, addr, err := debughttp.Serve(*debugAddr, debughttp.DebugState{
@@ -269,6 +271,8 @@ func main() {
 		m.TraceFile = *traceOut
 		m.BenchFile = *benchJSON
 		m.OutDir = *out
+		m.Metrics = obs.Default().Snapshot()
+		m.SynthOutcomes = flow.SynthOutcomes()
 		// The manifest lands next to what it describes: inside -out when
 		// results are being written, else alongside the trace file.
 		mpath := manifestPath(*out, *traceOut)

@@ -110,8 +110,40 @@ func main() {
 		if len(m.Experiments) == 0 {
 			fail("%s: no experiments recorded", *manifestPath)
 		}
-		fmt.Printf("obscheck: manifest ok: %s, %d experiments, %d failed, %.1fs wall\n",
-			m.GoVersion, len(m.Experiments), len(m.Failed), m.WallSeconds)
+		// The incremental-STA counters must have landed in the metrics
+		// snapshot: any run with a synthesis phase performs at least one
+		// full analysis, and the dirty-cone histogram must agree with the
+		// incremental-update count.
+		metricNum := func(name string) (float64, bool) {
+			v, ok := m.Metrics[name].(float64)
+			return v, ok
+		}
+		full, okFull := metricNum("sta.full_analyses")
+		inc, okInc := metricNum("sta.incremental_updates")
+		switch {
+		case !okFull || !okInc:
+			fail("%s: metrics missing sta.full_analyses / sta.incremental_updates", *manifestPath)
+		case full < 1:
+			fail("%s: sta.full_analyses = %g, want >= 1", *manifestPath, full)
+		}
+		if cone, ok := m.Metrics["sta.dirty_cone"].(map[string]any); !ok {
+			fail("%s: metrics missing sta.dirty_cone histogram", *manifestPath)
+		} else if cnt, _ := cone["count"].(float64); okInc && cnt != inc {
+			fail("%s: sta.dirty_cone count %g != sta.incremental_updates %g", *manifestPath, cnt, inc)
+		}
+		if ratio, ok := metricNum("sta.incremental_ratio"); ok && (ratio < 0 || ratio > 1) {
+			fail("%s: sta.incremental_ratio %g outside [0,1]", *manifestPath, ratio)
+		}
+		if len(m.SynthOutcomes) == 0 {
+			fail("%s: no synth_outcomes recorded", *manifestPath)
+		}
+		for _, o := range m.SynthOutcomes {
+			if o.Key == "" || o.Iterations < 1 || o.FullAnalyses < 1 {
+				fail("%s: synth outcome %+v malformed (empty key, or no iterations/analyses)", *manifestPath, o)
+			}
+		}
+		fmt.Printf("obscheck: manifest ok: %s, %d experiments, %d failed, %d synth units, %.1fs wall\n",
+			m.GoVersion, len(m.Experiments), len(m.Failed), len(m.SynthOutcomes), m.WallSeconds)
 	}
 
 	if *benchPath != "" {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"stdcelltune/internal/core"
 	"stdcelltune/internal/report"
+	"stdcelltune/internal/robust"
 	"stdcelltune/internal/stattime"
 )
 
@@ -29,15 +31,26 @@ func (f *Flow) Fig8() (*Fig8Result, error) {
 	}
 	minClk := clocks.HighPerf
 	res := &Fig8Result{}
-	for _, mult := range []float64{1.0, 1.08, 1.25, 1.5, 1.8, 2.2, 2.8, 3.3, 4.15, 5.0} {
-		p := math.Round(minClk*mult*20) / 20
+	// Each period is an independent synthesis probe; the pool runs them
+	// concurrently and the index-addressed slices keep the sweep order
+	// (and thus the rendered series) identical to the serial loop.
+	mults := []float64{1.0, 1.08, 1.25, 1.5, 1.8, 2.2, 2.8, 3.3, 4.15, 5.0}
+	res.Periods = make([]float64, len(mults))
+	res.Areas = make([]float64, len(mults))
+	res.Met = make([]bool, len(mults))
+	err = robust.ForEachNamed(f.ctx, "fig8.sweep", poolWorkers(), len(mults), func(_ context.Context, i int) error {
+		p := math.Round(minClk*mults[i]*20) / 20
 		r, err := f.Baseline(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Periods = append(res.Periods, p)
-		res.Areas = append(res.Areas, r.Area())
-		res.Met = append(res.Met, r.Met)
+		res.Periods[i] = p
+		res.Areas[i] = r.Area()
+		res.Met[i] = r.Met
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Knee: the earliest period whose area is within 2% of the final
 	// (most relaxed) area.
@@ -224,10 +237,15 @@ func (f *Flow) Fig11() (*Fig11Result, error) {
 		return nil, err
 	}
 	res := &Fig11Result{Clock: clk}
-	for _, bound := range core.SweepBounds(core.SigmaCeiling) {
+	// Bound probes are independent (tune + synth + stats per bound, all
+	// single-flight cached); index-addressed points keep the sweep order.
+	bounds := core.SweepBounds(core.SigmaCeiling)
+	res.Points = make([]Fig11Point, len(bounds))
+	err = robust.ForEachNamed(f.ctx, "fig11.sweep", poolWorkers(), len(bounds), func(_ context.Context, i int) error {
+		bound := bounds[i]
 		sres, sds, err := f.TunedStats(core.SigmaCeiling, bound, clk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := Fig11Point{Bound: bound, Met: sres.Met}
 		if sres.Met {
@@ -238,7 +256,11 @@ func (f *Flow) Fig11() (*Fig11Result, error) {
 			pt.SigmaReduction = cmp.SigmaReduction()
 			pt.AreaIncrease = cmp.AreaIncrease()
 		}
-		res.Points = append(res.Points, pt)
+		res.Points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"stdcelltune/internal/core"
@@ -74,9 +75,10 @@ type Flow struct {
 
 	ctx      context.Context
 	mu       sync.Mutex
-	synthRes map[string]*synth.Result
-	statRes  map[string]*stattime.DesignStats
-	tuneRes  map[string]*tuneEntry
+	synthRes map[string]*call[*synth.Result]
+	statRes  map[string]*call[*stattime.DesignStats]
+	tuneRes  map[string]*call[*tuneEntry]
+	synthOut map[string]obs.SynthOutcome
 	minClock float64
 }
 
@@ -84,6 +86,33 @@ type tuneEntry struct {
 	set *restrict.Set
 	rep *core.Report
 }
+
+// call is a single-flight cache slot: the first caller computes under
+// the Once, every concurrent or later caller for the same key blocks on
+// (or reads) the same slot. This is what makes the parallel fan-out
+// deterministic — a unit of work runs exactly once no matter how many
+// pool workers ask for it, so results can't depend on scheduling.
+type call[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// flowCall returns the slot for key in m, creating it under mu if absent.
+func flowCall[T any](mu *sync.Mutex, m map[string]*call[T], key string) *call[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	c, ok := m[key]
+	if !ok {
+		c = &call[T]{}
+		m[key] = c
+	}
+	return c
+}
+
+// poolWorkers sizes the experiment fan-out pools; tests pin it to 1 to
+// prove serial/parallel result identity.
+var poolWorkers = robust.DefaultWorkers
 
 // NewFlow builds the shared artifacts: catalogue, Monte-Carlo instances
 // (generated in parallel on the worker pool), statistical library and
@@ -126,9 +155,10 @@ func NewFlow(ctx context.Context, cfg FlowConfig) (*Flow, error) {
 		Obs:        run,
 		Perf:       run.Perf,
 		ctx:        ctx,
-		synthRes:   make(map[string]*synth.Result),
-		statRes:    make(map[string]*stattime.DesignStats),
-		tuneRes:    make(map[string]*tuneEntry),
+		synthRes:   make(map[string]*call[*synth.Result]),
+		statRes:    make(map[string]*call[*stattime.DesignStats]),
+		tuneRes:    make(map[string]*call[*tuneEntry]),
+		synthOut:   make(map[string]obs.SynthOutcome),
 	}, nil
 }
 
@@ -140,34 +170,34 @@ func (f *Flow) Context() context.Context { return f.ctx }
 // a statistical analysis).
 func (f *Flow) checkCtx() error { return f.ctx.Err() }
 
-// Tune runs (and caches) a tuning method at a bound.
+// Tune runs (and caches, single-flight) a tuning method at a bound.
 func (f *Flow) Tune(m core.Method, bound float64) (*restrict.Set, *core.Report, error) {
 	key := fmt.Sprintf("%d/%g", m, bound)
-	f.mu.Lock()
-	e, ok := f.tuneRes[key]
-	f.mu.Unlock()
-	if ok {
-		return e.set, e.rep, nil
+	c := flowCall(&f.mu, f.tuneRes, key)
+	c.once.Do(func() {
+		if err := f.checkCtx(); err != nil {
+			c.err = err
+			return
+		}
+		// The span name carries the tuning unit (method @ bound) so each
+		// unit is its own row in the trace; the perfstat phase stays the
+		// aggregate "tune" row of the bench JSON.
+		stopPerf := f.Perf.Start("tune")
+		span := f.Obs.Tracer.Start(fmt.Sprintf("tune %s @%g", m, bound), "tune", "method", m.String(), "bound", bound)
+		set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
+		span.End()
+		stopPerf()
+		if err != nil {
+			c.err = err
+			return
+		}
+		obs.Log().Debug("tuned", "method", m.String(), "bound", bound, "windows", set.Len())
+		c.val = &tuneEntry{set: set, rep: rep}
+	})
+	if c.err != nil {
+		return nil, nil, c.err
 	}
-	if err := f.checkCtx(); err != nil {
-		return nil, nil, err
-	}
-	// The span name carries the tuning unit (method @ bound) so each
-	// unit is its own row in the trace; the perfstat phase stays the
-	// aggregate "tune" row of the bench JSON.
-	stopPerf := f.Perf.Start("tune")
-	span := f.Obs.Tracer.Start(fmt.Sprintf("tune %s @%g", m, bound), "tune", "method", m.String(), "bound", bound)
-	set, rep, err := core.NewTuner(f.Stat).Tune(core.ParamsFor(m, bound))
-	span.End()
-	stopPerf()
-	if err != nil {
-		return nil, nil, err
-	}
-	obs.Log().Debug("tuned", "method", m.String(), "bound", bound, "windows", set.Len())
-	f.mu.Lock()
-	f.tuneRes[key] = &tuneEntry{set: set, rep: rep}
-	f.mu.Unlock()
-	return set, rep, nil
+	return c.val.set, c.val.rep, nil
 }
 
 // Baseline synthesizes (cached) the MCU without restrictions.
@@ -185,51 +215,62 @@ func (f *Flow) Tuned(m core.Method, bound, clock float64) (*synth.Result, error)
 }
 
 func (f *Flow) synth(key string, clock float64, set *restrict.Set) (*synth.Result, error) {
-	f.mu.Lock()
-	res, ok := f.synthRes[key]
-	f.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	if err := f.checkCtx(); err != nil {
-		return nil, err
-	}
-	opts := synth.DefaultOptions(clock)
-	opts.Restrict = set
-	stop := f.Obs.Phase("synth", "key", key, "clock", clock)
-	res, err := synth.Synthesize("mcu", f.MCU.Net, f.Cat, opts)
-	stop()
-	if err != nil {
-		return nil, err
-	}
-	obs.Log().Debug("synthesized", "key", key, "met", res.Met, "area", res.Area())
-	f.mu.Lock()
-	f.synthRes[key] = res
-	f.mu.Unlock()
-	return res, nil
+	c := flowCall(&f.mu, f.synthRes, key)
+	c.once.Do(func() {
+		if err := f.checkCtx(); err != nil {
+			c.err = err
+			return
+		}
+		opts := synth.DefaultOptions(clock)
+		opts.Restrict = set
+		stop := f.Obs.Phase("synth", "key", key, "clock", clock)
+		res, err := synth.SynthesizeCtx(f.ctx, "mcu", f.MCU.Net, f.Cat, opts)
+		stop()
+		if err != nil {
+			c.err = err
+			return
+		}
+		obs.Log().Debug("synthesized", "key", key, "met", res.Met, "area", res.Area(),
+			"iterations", res.Iterations, "sta_full", res.FullAnalyses, "sta_incremental", res.IncrementalUpdates)
+		f.mu.Lock()
+		f.synthOut[key] = obs.SynthOutcome{
+			Key: key, Clock: clock, Met: res.Met, Area: res.Area(),
+			Iterations: res.Iterations, FullAnalyses: res.FullAnalyses,
+			IncrementalUpdates: res.IncrementalUpdates,
+		}
+		f.mu.Unlock()
+		c.val = res
+	})
+	return c.val, c.err
 }
 
-// Stats computes (cached) the statistical timing of a synthesis result.
+// SynthOutcomes lists what every cached synthesis unit did, sorted by
+// cache key — the manifest's synth_outcomes section.
+func (f *Flow) SynthOutcomes() []obs.SynthOutcome {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]obs.SynthOutcome, 0, len(f.synthOut))
+	for _, o := range f.synthOut {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Stats computes (cached, single-flight) the statistical timing of a
+// synthesis result.
 func (f *Flow) Stats(key string, res *synth.Result) (*stattime.DesignStats, error) {
-	f.mu.Lock()
-	ds, ok := f.statRes[key]
-	f.mu.Unlock()
-	if ok {
-		return ds, nil
-	}
-	if err := f.checkCtx(); err != nil {
-		return nil, err
-	}
-	stop := f.Obs.Phase("stattime", "key", key)
-	ds, err := stattime.AnalyzeCtx(f.ctx, res.Timing, f.Stat, 0)
-	stop()
-	if err != nil {
-		return nil, err
-	}
-	f.mu.Lock()
-	f.statRes[key] = ds
-	f.mu.Unlock()
-	return ds, nil
+	c := flowCall(&f.mu, f.statRes, key)
+	c.once.Do(func() {
+		if err := f.checkCtx(); err != nil {
+			c.err = err
+			return
+		}
+		stop := f.Obs.Phase("stattime", "key", key)
+		c.val, c.err = stattime.AnalyzeCtx(f.ctx, res.Timing, f.Stat, 0)
+		stop()
+	})
+	return c.val, c.err
 }
 
 // BaselineStats is a convenience joining Baseline and Stats.

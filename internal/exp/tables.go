@@ -155,7 +155,7 @@ func (f *Flow) Table3() (*Table3Result, error) {
 	// the flow context, and joins every cell error instead of dropping
 	// all but the first.
 	results := make([]MethodBest, len(cells))
-	err = robust.ForEach(f.ctx, robust.DefaultWorkers(), len(cells), func(_ context.Context, i int) error {
+	err = robust.ForEach(f.ctx, poolWorkers(), len(cells), func(_ context.Context, i int) error {
 		c := cells[i]
 		b, err := f.bestBound(c.m, c.clk)
 		if err != nil {

@@ -1,0 +1,107 @@
+package netlist
+
+import "stdcelltune/internal/stdcell"
+
+// Observer receives edit notifications from a netlist. The incremental
+// STA engine registers one to maintain a dirty frontier; a netlist with
+// no observers pays only a nil-slice length check per mutation.
+//
+// Notifications fire after the netlist state has changed, so an observer
+// always sees the post-edit connectivity.
+type Observer interface {
+	// OnResize fires when an instance swaps to a different drive
+	// strength. Resizes never change the DAG, only arc delays and the
+	// input capacitance presented to the instance's input nets.
+	OnResize(inst *Instance, from, to *stdcell.Spec)
+	// OnConnect fires when an instance input pin is (re)wired to a net;
+	// old is the previously connected net (nil on first connection).
+	OnConnect(inst *Instance, pin string, old, n *Net)
+	// OnDrive fires when an instance output pin becomes the driver of a
+	// net.
+	OnDrive(inst *Instance, pin string, n *Net)
+	// OnNewNet / OnNewInstance fire when the netlist grows.
+	OnNewNet(n *Net)
+	OnNewInstance(inst *Instance)
+	// OnSinksChanged fires when a net's primary-output sink membership
+	// changes (instance sinks are covered by OnConnect).
+	OnSinksChanged(n *Net)
+}
+
+// Observe registers an observer for subsequent edits.
+func (nl *Netlist) Observe(o Observer) {
+	nl.observers = append(nl.observers, o)
+}
+
+// Unobserve removes a previously registered observer.
+func (nl *Netlist) Unobserve(o Observer) {
+	for i, cur := range nl.observers {
+		if cur == o {
+			nl.observers = append(nl.observers[:i], nl.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (nl *Netlist) notifyResize(inst *Instance, from, to *stdcell.Spec) {
+	for _, o := range nl.observers {
+		o.OnResize(inst, from, to)
+	}
+}
+
+func (nl *Netlist) notifyConnect(inst *Instance, pin string, old, n *Net) {
+	for _, o := range nl.observers {
+		o.OnConnect(inst, pin, old, n)
+	}
+}
+
+func (nl *Netlist) notifyDrive(inst *Instance, pin string, n *Net) {
+	for _, o := range nl.observers {
+		o.OnDrive(inst, pin, n)
+	}
+}
+
+func (nl *Netlist) notifyNewNet(n *Net) {
+	for _, o := range nl.observers {
+		o.OnNewNet(n)
+	}
+}
+
+func (nl *Netlist) notifyNewInstance(inst *Instance) {
+	for _, o := range nl.observers {
+		o.OnNewInstance(inst)
+	}
+}
+
+func (nl *Netlist) notifySinksChanged(n *Net) {
+	for _, o := range nl.observers {
+		o.OnSinksChanged(n)
+	}
+}
+
+// bumpTopo invalidates the cached topological order. Only topology edits
+// (Connect, Drive, AddInstance) call it; resizes and primary-output
+// moves leave the instance DAG — and therefore the cache — intact.
+func (nl *Netlist) bumpTopo() {
+	nl.topoGen++
+	nl.topoOrder = nil
+	nl.topoIndex = nil
+}
+
+// TopoGen returns a generation counter that increments on every topology
+// edit. Two calls returning the same value bracket a window in which the
+// instance DAG (and any cached TopoOrder) was stable.
+func (nl *Netlist) TopoGen() uint64 { return nl.topoGen }
+
+// TopoIndexes returns, per instance ID, the instance's position in
+// TopoOrder() — the levelized schedule incremental timing propagates in.
+// Cached together with the order and invalidated only by topology edits.
+// The returned slice is shared with the cache; callers must not mutate
+// it.
+func (nl *Netlist) TopoIndexes() ([]int, error) {
+	if nl.topoIndex == nil {
+		if _, err := nl.TopoOrder(); err != nil {
+			return nil, err
+		}
+	}
+	return nl.topoIndex, nil
+}

@@ -21,6 +21,14 @@ type Netlist struct {
 
 	nextInst int
 	nextNet  int
+
+	// Edit journal: registered observers get notified after each
+	// mutation (see journal.go). The cached topological order is
+	// invalidated only by topology edits; resizes never change the DAG.
+	observers []Observer
+	topoGen   uint64
+	topoOrder []*Instance
+	topoIndex []int // per instance ID, position in topoOrder
 }
 
 // Instance is one placed cell.
@@ -64,6 +72,9 @@ func (nl *Netlist) AddNet(name string) *Net {
 	n := &Net{ID: nl.nextNet, Name: name}
 	nl.nextNet++
 	nl.Nets = append(nl.Nets, n)
+	if len(nl.observers) != 0 {
+		nl.notifyNewNet(n)
+	}
 	return n
 }
 
@@ -77,6 +88,9 @@ func (nl *Netlist) AddInput(name string) *Net {
 // MarkOutput registers the net as a primary output with the given name.
 func (nl *Netlist) MarkOutput(name string, n *Net) {
 	n.Sinks = append(n.Sinks, Sink{Inst: nil, Pin: name})
+	if len(nl.observers) != 0 {
+		nl.notifySinksChanged(n)
+	}
 }
 
 // AddInstance places a cell. Connections are made with Connect/Drive.
@@ -93,16 +107,25 @@ func (nl *Netlist) AddInstance(name string, spec *stdcell.Spec) *Instance {
 	}
 	nl.nextInst++
 	nl.Instances = append(nl.Instances, inst)
+	nl.bumpTopo()
+	if len(nl.observers) != 0 {
+		nl.notifyNewInstance(inst)
+	}
 	return inst
 }
 
 // Connect wires an instance input pin to a net.
 func (nl *Netlist) Connect(inst *Instance, pin string, n *Net) {
-	if old := inst.In[pin]; old != nil {
+	old := inst.In[pin]
+	if old != nil {
 		nl.removeSink(old, inst, pin)
 	}
 	inst.In[pin] = n
 	n.Sinks = append(n.Sinks, Sink{Inst: inst, Pin: pin})
+	nl.bumpTopo()
+	if len(nl.observers) != 0 {
+		nl.notifyConnect(inst, pin, old, n)
+	}
 }
 
 // Drive wires an instance output pin as the driver of a net.
@@ -110,6 +133,10 @@ func (nl *Netlist) Drive(inst *Instance, pin string, n *Net) {
 	inst.Out[pin] = n
 	n.Driver = inst
 	n.DrvPin = pin
+	nl.bumpTopo()
+	if len(nl.observers) != 0 {
+		nl.notifyDrive(inst, pin, n)
+	}
 }
 
 func (nl *Netlist) removeSink(n *Net, inst *Instance, pin string) {
@@ -127,7 +154,11 @@ func (nl *Netlist) Resize(inst *Instance, to *stdcell.Spec) error {
 	if to.Family != inst.Spec.Family {
 		return fmt.Errorf("netlist: resize %s across footprints %s -> %s", inst.Name, inst.Spec.Family, to.Family)
 	}
+	from := inst.Spec
 	inst.Spec = to
+	if len(nl.observers) != 0 {
+		nl.notifyResize(inst, from, to)
+	}
 	return nil
 }
 
@@ -142,6 +173,9 @@ func (nl *Netlist) InsertBuffer(n *Net, spec *stdcell.Spec, sinks []Sink) (*Inst
 			// Re-point a primary output.
 			nl.removeSinkPO(n, s.Pin)
 			out.Sinks = append(out.Sinks, Sink{Inst: nil, Pin: s.Pin})
+			if len(nl.observers) != 0 {
+				nl.notifySinksChanged(out)
+			}
 			continue
 		}
 		nl.Connect(s.Inst, s.Pin, out)
@@ -156,6 +190,9 @@ func (nl *Netlist) MoveSinks(from, to *Net, sinks []Sink) {
 		if s.Inst == nil {
 			nl.removeSinkPO(from, s.Pin)
 			to.Sinks = append(to.Sinks, Sink{Inst: nil, Pin: s.Pin})
+			if len(nl.observers) != 0 {
+				nl.notifySinksChanged(to)
+			}
 			continue
 		}
 		nl.Connect(s.Inst, s.Pin, to)
@@ -166,6 +203,9 @@ func (nl *Netlist) removeSinkPO(n *Net, name string) {
 	for i, s := range n.Sinks {
 		if s.Inst == nil && s.Pin == name {
 			n.Sinks = append(n.Sinks[:i], n.Sinks[i+1:]...)
+			if len(nl.observers) != 0 {
+				nl.notifySinksChanged(n)
+			}
 			return
 		}
 	}
@@ -291,7 +331,14 @@ func (nl *Netlist) Sequentials() []*Instance {
 // every instance appears after the drivers of its data inputs.
 // Sequential instances are sources (their outputs are cycle boundaries)
 // and are listed first. Returns an error on a combinational cycle.
+//
+// The order is cached and invalidated only by topology edits (Connect,
+// Drive, AddInstance); resizes reuse it untouched. The returned slice is
+// shared with the cache — callers must not mutate it.
 func (nl *Netlist) TopoOrder() ([]*Instance, error) {
+	if nl.topoOrder != nil {
+		return nl.topoOrder, nil
+	}
 	state := make([]int8, len(nl.Instances)) // 0 unvisited, 1 visiting, 2 done
 	order := make([]*Instance, 0, len(nl.Instances))
 	var visit func(inst *Instance) error
@@ -334,6 +381,11 @@ func (nl *Netlist) TopoOrder() ([]*Instance, error) {
 				return nil, err
 			}
 		}
+	}
+	nl.topoOrder = order
+	nl.topoIndex = make([]int, len(nl.Instances))
+	for i, inst := range order {
+		nl.topoIndex[inst.ID] = i
 	}
 	return order, nil
 }

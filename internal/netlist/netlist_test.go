@@ -419,3 +419,131 @@ func TestVerilogParserNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+// recObserver records every journal notification as a compact string.
+type recObserver struct{ events []string }
+
+func (r *recObserver) OnResize(inst *Instance, from, to *stdcell.Spec) {
+	r.events = append(r.events, "resize "+inst.Name+" "+from.Name+"->"+to.Name)
+}
+func (r *recObserver) OnConnect(inst *Instance, pin string, old, n *Net) {
+	o := "<nil>"
+	if old != nil {
+		o = old.Name
+	}
+	r.events = append(r.events, "connect "+inst.Name+"."+pin+" "+o+"->"+n.Name)
+}
+func (r *recObserver) OnDrive(inst *Instance, pin string, n *Net) {
+	r.events = append(r.events, "drive "+inst.Name+"."+pin+" "+n.Name)
+}
+func (r *recObserver) OnNewNet(n *Net)            { r.events = append(r.events, "newnet "+n.Name) }
+func (r *recObserver) OnNewInstance(inst *Instance) {
+	r.events = append(r.events, "newinst "+inst.Name)
+}
+func (r *recObserver) OnSinksChanged(n *Net) { r.events = append(r.events, "sinks "+n.Name) }
+
+func TestJournalNotifications(t *testing.T) {
+	nl := buildXorViaNandInv(t)
+	rec := &recObserver{}
+	nl.Observe(rec)
+
+	inv := nl.Instances[1]
+	if err := nl.Resize(inv, cat.Spec("INV_4")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 1 || rec.events[0] != "resize u_inv INV_1->INV_4" {
+		t.Fatalf("resize events %v", rec.events)
+	}
+
+	// InsertBuffer must journal the new instance/net, the drive, the
+	// moved sink's reconnection, and the PO move on the source net.
+	rec.events = nil
+	ny := nl.OutputNet("y")
+	var ffSink Sink
+	for _, s := range ny.Sinks {
+		if s.Inst != nil && s.Inst.Name == "u_ff" {
+			ffSink = s
+		}
+	}
+	nl.InsertBuffer(ny, cat.Spec("BUF_2"), []Sink{ffSink})
+	var hasNewInst, hasDrive, hasConnect bool
+	for _, e := range rec.events {
+		hasNewInst = hasNewInst || strings.HasPrefix(e, "newinst ")
+		hasDrive = hasDrive || strings.HasPrefix(e, "drive ")
+		hasConnect = hasConnect || strings.HasPrefix(e, "connect u_ff.D ")
+	}
+	if !hasNewInst || !hasDrive || !hasConnect {
+		t.Fatalf("buffer insertion journal incomplete: %v", rec.events)
+	}
+
+	// A detached observer hears nothing.
+	rec2 := &recObserver{}
+	nl.Observe(rec2)
+	nl.Unobserve(rec2)
+	before := len(rec.events)
+	if err := nl.Resize(inv, cat.Spec("INV_2")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.events) != 0 {
+		t.Errorf("unobserved recorder got %v", rec2.events)
+	}
+	if len(rec.events) != before+1 {
+		t.Errorf("active recorder missed the resize")
+	}
+}
+
+func TestTopoCacheInvalidation(t *testing.T) {
+	nl := buildXorViaNandInv(t)
+	gen := nl.TopoGen()
+	o1, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx1, err := nl.TopoIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range o1 {
+		if idx1[inst.ID] != i {
+			t.Fatalf("index[%s]=%d, want %d", inst.Name, idx1[inst.ID], i)
+		}
+	}
+
+	// Resizes keep the DAG: same generation, same cached slice.
+	if err := nl.Resize(nl.Instances[1], cat.Spec("INV_4")); err != nil {
+		t.Fatal(err)
+	}
+	if nl.TopoGen() != gen {
+		t.Error("resize bumped the topology generation")
+	}
+	o2, _ := nl.TopoOrder()
+	if &o1[0] != &o2[0] {
+		t.Error("resize invalidated the cached topo order")
+	}
+
+	// A topology edit bumps the generation and rebuilds the cache.
+	ny := nl.OutputNet("y")
+	var ffSink Sink
+	for _, s := range ny.Sinks {
+		if s.Inst != nil && s.Inst.Name == "u_ff" {
+			ffSink = s
+		}
+	}
+	nl.InsertBuffer(ny, cat.Spec("BUF_2"), []Sink{ffSink})
+	if nl.TopoGen() == gen {
+		t.Error("topology edit did not bump the generation")
+	}
+	o3, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o3) != len(o1)+1 {
+		t.Errorf("rebuilt order has %d instances, want %d", len(o3), len(o1)+1)
+	}
+	idx3, _ := nl.TopoIndexes()
+	for i, inst := range o3 {
+		if idx3[inst.ID] != i {
+			t.Fatalf("rebuilt index[%s]=%d, want %d", inst.Name, idx3[inst.ID], i)
+		}
+	}
+}

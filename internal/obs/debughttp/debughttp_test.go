@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"stdcelltune/internal/obs"
+	"stdcelltune/internal/sta"
 )
 
 func get(t *testing.T, url string) []byte {
@@ -33,6 +34,7 @@ func TestServeDebugSurface(t *testing.T) {
 	reg := obs.Default()
 	reg.Counter("robust.quarantined_cells").Add(2)
 	reg.GaugeFunc("lut.hint_hit_ratio", func() float64 { return 0.5 })
+	reg.GaugeFunc("sta.incremental_ratio", sta.IncrementalRatio)
 	tr := obs.NewTracer(nil)
 	span := tr.Start("synth", "phase")
 	defer span.End()
@@ -65,6 +67,11 @@ func TestServeDebugSurface(t *testing.T) {
 	}
 	if metrics["lut.hint_hit_ratio"] != 0.5 {
 		t.Errorf("hint_hit_ratio = %v", metrics["lut.hint_hit_ratio"])
+	}
+	// The incremental-STA ratio gauge must be served and in range —
+	// cmd/experiments registers it next to the LUT hint ratio.
+	if r, ok := metrics["sta.incremental_ratio"].(float64); !ok || r < 0 || r > 1 {
+		t.Errorf("sta.incremental_ratio = %v, want float64 in [0,1]", metrics["sta.incremental_ratio"])
 	}
 
 	// /debug/obs: live snapshot with the open span and the extras.

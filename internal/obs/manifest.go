@@ -50,6 +50,27 @@ type Manifest struct {
 	TraceFile string `json:"trace_file,omitempty"`
 	BenchFile string `json:"bench_file,omitempty"`
 	OutDir    string `json:"out_dir,omitempty"`
+
+	// Metrics is the registry snapshot at the end of the run (counters,
+	// gauges, histogram summaries) — the same shape Registry.Snapshot
+	// serves over the debug endpoint.
+	Metrics map[string]any `json:"metrics,omitempty"`
+
+	// SynthOutcomes records, per cached synthesis unit of the flow, what
+	// the optimizer did — iteration count and how much timing analysis
+	// the incremental engine avoided.
+	SynthOutcomes []SynthOutcome `json:"synth_outcomes,omitempty"`
+}
+
+// SynthOutcome is one flow synthesis unit in the manifest.
+type SynthOutcome struct {
+	Key                string  `json:"key"` // flow cache key (kind/params/clock)
+	Clock              float64 `json:"clock"`
+	Met                bool    `json:"met"`
+	Area               float64 `json:"area"`
+	Iterations         int     `json:"iterations"`
+	FullAnalyses       int     `json:"full_analyses"`
+	IncrementalUpdates int     `json:"incremental_updates"`
 }
 
 // NewManifest returns a manifest stamped with the schema, the current

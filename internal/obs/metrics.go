@@ -160,15 +160,22 @@ type Histogram struct {
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
+func (h *Histogram) Observe(d time.Duration) { h.ObserveN(d.Nanoseconds()) }
+
+// ObserveN records one unitless observation of magnitude n — e.g. the
+// dirty-cone size of an incremental timing update. Magnitudes share the
+// log2 bucket layout with durations; a unitless histogram's Summary
+// quantiles are then plain powers of two scaled by 1e-6 in the *MS
+// fields (the sta.dirty_cone consumer in cmd/obscheck only checks
+// counts, which are unit-free).
+func (h *Histogram) ObserveN(n int64) {
+	if n < 0 {
+		n = 0
 	}
 	h.count.Add(1)
-	h.sumNS.Add(ns)
+	h.sumNS.Add(n)
 	b := 0
-	for v := ns; v > 1 && b < histBuckets-1; v >>= 1 {
+	for v := n; v > 1 && b < histBuckets-1; v >>= 1 {
 		b++
 	}
 	h.buckets[b].Add(1)

@@ -1,0 +1,809 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime/debug"
+	"sort"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/stdcell"
+)
+
+// engineVerify, set via STA_VERIFY=1, makes every engine cross-check its
+// snapshots against a fresh full Analyze — the debug switch for hunting
+// any bit-identity violation in a real flow (slow: quadratic).
+var engineVerify = os.Getenv("STA_VERIFY") == "1"
+
+// Process-wide incremental-STA counters. Always-on (one atomic add per
+// analysis); the dirty-cone histogram records how many instances each
+// incremental update re-evaluated.
+var (
+	staFullAnalyses = obs.Default().Counter("sta.full_analyses")
+	staIncremental  = obs.Default().Counter("sta.incremental_updates")
+	staDirtyCone    = obs.Default().Histogram("sta.dirty_cone")
+)
+
+// FullAnalyses returns the process-wide count of full timing analyses
+// run by engines (incremental fallbacks included).
+func FullAnalyses() int64 { return staFullAnalyses.Value() }
+
+// IncrementalUpdates returns the process-wide count of incremental
+// (dirty-cone) timing updates.
+func IncrementalUpdates() int64 { return staIncremental.Value() }
+
+// IncrementalRatio returns incremental / (incremental + full) analyses
+// process-wide — the fraction of timing passes the engines served
+// without a whole-design propagation. NaN before any analysis ran (the
+// metrics snapshot renders NaN as -1).
+func IncrementalRatio() float64 {
+	inc := float64(staIncremental.Value())
+	full := float64(staFullAnalyses.Value())
+	if inc+full == 0 {
+		return 0 // not NaN: the gauge must stay JSON-marshalable
+	}
+	return inc / (inc + full)
+}
+
+// defaultFullFrac is the dirty-set fraction of the instance count above
+// which Analyze falls back to a full propagation: past that point the
+// cone bookkeeping costs more than sweeping every instance through the
+// (mostly cache-hitting) arc evaluations.
+const defaultFullFrac = 0.25
+
+// minFullThreshold keeps the fallback from triggering on tiny designs,
+// where even a whole-netlist dirty set is cheap to process as a cone.
+const minFullThreshold = 64
+
+// Engine is an incremental timing analyzer bound to one netlist. It
+// registers as a netlist.Observer, accumulates a dirty frontier from the
+// edit journal (resizes, rewires, inserted repeaters), and on Analyze
+// re-propagates only the affected fanout cone — or the whole design when
+// the dirty set crosses FullFrac. Every Analyze returns a snapshot
+// *Result bit-identical to what a fresh sta.Analyze over the current
+// netlist would produce.
+//
+// An Engine is not safe for concurrent use; each synthesis run owns one.
+type Engine struct {
+	nl  *netlist.Netlist
+	cfg Config
+
+	// Working state, per net ID.
+	load    []float64
+	arrival []float64
+	slew    []float64
+	fromPin []string
+	overCap []bool
+
+	// Per instance ID: resolved timing arcs plus a self-validating
+	// (load, slew) -> (delay, trans) cache per arc. Entries invalidate
+	// themselves by bitwise input comparison, so staleness after Rewind
+	// or resize-revert is harmless.
+	cells []*engCell
+	// cellsAlt keeps the previously displaced cell of each instance:
+	// accept/revert probing resizes A->B->A constantly, and the two-slot
+	// cache turns the rebuild-on-revert into a swap.
+	cellsAlt []*engCell
+
+	// Dirty frontier accumulated from journal notifications.
+	dirtyInst map[int]*netlist.Instance
+	dirtyLoad map[int]*netlist.Net
+
+	haveState bool    // arrays describe the current netlist
+	last      *Result // snapshot matching the arrays; nil while dirt is pending
+	// prev is the most recent snapshot taken from the arrays; when an
+	// incremental update turns out bitwise no-op (a healed revert), it is
+	// re-used instead of allocating an identical snapshot.
+	prev *Result
+
+	// Worklist scratch for runIncremental: queuedGen[id] == queueGen marks
+	// an instance as queued this round (O(1) reset by bumping the gen).
+	queuedGen []uint32
+	queueGen  uint32
+
+	// Endpoint skeleton cached per topology generation: the set and sorted
+	// order of endpoints only changes on topology edits, so snapshots just
+	// fill in values.
+	epRefs   []epRef
+	epGen    uint64
+	epRefsOK bool
+
+	// FullFrac overrides the full-analysis fallback threshold (fraction
+	// of the instance count); zero means defaultFullFrac.
+	FullFrac float64
+
+	fullCount int
+	incCount  int
+}
+
+type engCell struct {
+	spec *stdcell.Spec
+	pins []engPin
+}
+
+// epRef is one entry of the cached endpoint skeleton: everything about
+// an endpoint except the analyzed values (setup is re-read from the
+// instance spec at snapshot time — resizes change it without a
+// topology edit).
+type epRef struct {
+	name string
+	isFF bool
+	inst *netlist.Instance
+	net  *netlist.Net
+}
+
+// engPin caches the arcs of one output pin plus the resolved output and
+// input nets of its instance — string-keyed In/Out map lookups are the
+// hottest cost in cone re-evaluation, and pin-to-net wiring only changes
+// through Connect/Drive (which drop the cell from the cache). For
+// combinational cells the slices align with spec.Inputs; sequential
+// cells keep a single clock-arc slot.
+type engPin struct {
+	name string
+	out  *netlist.Net
+	ins  []*netlist.Net
+	arcs []*liberty.TimingArc
+	load []float64
+	slew []float64
+	d    []float64
+	tr   []float64
+	ok   []bool
+}
+
+// eval interpolates arc i at (load, slew), serving bitwise-matching
+// repeats from the cache. Mirrors evalArc exactly on a miss.
+func (p *engPin) eval(i int, arc *liberty.TimingArc, load, slew float64) (float64, float64) {
+	if p.ok[i] && p.load[i] == load && p.slew[i] == slew {
+		return p.d[i], p.tr[i]
+	}
+	d := math.Max(arc.CellRise.Lookup(load, slew), arc.CellFall.Lookup(load, slew))
+	tr := math.Max(arc.RiseTransition.Lookup(load, slew), arc.FallTransition.Lookup(load, slew))
+	p.ok[i], p.load[i], p.slew[i], p.d[i], p.tr[i] = true, load, slew, d, tr
+	return d, tr
+}
+
+// NewEngine binds an incremental engine to the netlist and starts
+// observing its edit journal. The first Analyze runs a full propagation;
+// call Close when done to detach the observer.
+func NewEngine(nl *netlist.Netlist, cfg Config) *Engine {
+	e := &Engine{
+		nl:        nl,
+		cfg:       cfg,
+		dirtyInst: make(map[int]*netlist.Instance),
+		dirtyLoad: make(map[int]*netlist.Net),
+	}
+	nl.Observe(e)
+	return e
+}
+
+// Close detaches the engine from the netlist's edit journal.
+func (e *Engine) Close() { e.nl.Unobserve(e) }
+
+// Counts returns how many full analyses and incremental updates this
+// engine has run.
+func (e *Engine) Counts() (full, incremental int) { return e.fullCount, e.incCount }
+
+// --- netlist.Observer ----------------------------------------------
+
+func (e *Engine) markInst(inst *netlist.Instance) {
+	e.dirtyInst[inst.ID] = inst
+	e.last = nil
+}
+
+func (e *Engine) markLoad(n *netlist.Net) {
+	e.dirtyLoad[n.ID] = n
+	e.last = nil
+}
+
+// OnResize re-evaluates the instance (its arcs changed) and the loads of
+// every connected net: input nets see a different input capacitance,
+// output nets a different max_capacitance limit.
+func (e *Engine) OnResize(inst *netlist.Instance, from, to *stdcell.Spec) {
+	e.markInst(inst)
+	for _, n := range inst.In {
+		e.markLoad(n)
+	}
+	for _, n := range inst.Out {
+		e.markLoad(n)
+	}
+}
+
+func (e *Engine) OnConnect(inst *netlist.Instance, pin string, old, n *netlist.Net) {
+	e.markInst(inst)
+	e.dropCell(inst)
+	if old != nil {
+		e.markLoad(old)
+	}
+	e.markLoad(n)
+}
+
+func (e *Engine) OnDrive(inst *netlist.Instance, pin string, n *netlist.Net) {
+	e.markInst(inst)
+	e.dropCell(inst)
+	e.markLoad(n)
+}
+
+// dropCell discards the cached arc/net resolution of an instance whose
+// pin-to-net wiring changed; cellFor rebuilds it on next touch.
+func (e *Engine) dropCell(inst *netlist.Instance) {
+	if inst.ID < len(e.cells) {
+		e.cells[inst.ID] = nil
+		e.cellsAlt[inst.ID] = nil
+	}
+}
+
+func (e *Engine) OnNewNet(n *netlist.Net) { e.markLoad(n) }
+
+func (e *Engine) OnNewInstance(inst *netlist.Instance) { e.markInst(inst) }
+
+// OnSinksChanged fires when a net's primary-output sink set changes —
+// which also changes the endpoint population, so the cached skeleton is
+// dropped (topology generation alone won't catch a bare MarkOutput).
+func (e *Engine) OnSinksChanged(n *netlist.Net) {
+	e.markLoad(n)
+	e.epRefsOK = false
+}
+
+// --- analysis ------------------------------------------------------
+
+// Analyze brings the timing state up to date with the netlist and
+// returns a snapshot. With no pending edits the previous snapshot is
+// returned as-is; a small dirty set is re-propagated as a cone from the
+// dirty frontier; a large one falls back to a full pass (which still
+// serves unchanged operating points from the arc cache).
+func (e *Engine) Analyze() (*Result, error) {
+	if e.haveState && e.last != nil {
+		return e.last, nil
+	}
+	order, err := e.nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e.ensureSizes()
+	full := !e.haveState
+	if !full {
+		threshold := int(e.fullFrac() * float64(len(e.nl.Instances)))
+		if threshold < minFullThreshold {
+			threshold = minFullThreshold
+		}
+		if len(e.dirtyInst)+len(e.dirtyLoad) > threshold {
+			full = true
+		}
+	}
+	reuse := false
+	if full {
+		e.runFull(order)
+		staFullAnalyses.Add(1)
+		e.fullCount++
+	} else {
+		cone, changed, err := e.runIncremental(order)
+		if err != nil {
+			return nil, err
+		}
+		staIncremental.Add(1)
+		staDirtyCone.ObserveN(int64(cone))
+		e.incCount++
+		// A bitwise no-op update (typically a healed revert) re-uses the
+		// previous snapshot instead of allocating an identical one.
+		reuse = !changed && e.prev != nil && e.prev.topoGen == e.nl.TopoGen()
+	}
+	clear(e.dirtyInst)
+	clear(e.dirtyLoad)
+	e.haveState = true
+	if reuse {
+		e.last = e.prev
+	} else {
+		e.last = e.snapshot()
+		e.prev = e.last
+	}
+	if engineVerify {
+		if err := e.verifySnapshot(e.last, full); err != nil {
+			if os.Getenv("STA_VERIFY_PANIC") == "1" {
+				os.Stderr.Write(debug.Stack())
+				panic(err)
+			}
+			return nil, err
+		}
+	}
+	return e.last, nil
+}
+
+// verifySnapshot compares a snapshot against a fresh full Analyze and
+// reports the first bitwise difference. Only active under STA_VERIFY=1.
+func (e *Engine) verifySnapshot(got *Result, wasFull bool) error {
+	want, err := Analyze(e.nl, e.cfg)
+	if err != nil {
+		return err
+	}
+	mode := "incremental"
+	if wasFull {
+		mode = "full"
+	}
+	for i := range want.Load {
+		if math.Float64bits(got.Load[i]) != math.Float64bits(want.Load[i]) {
+			detail := ""
+			for _, n := range e.nl.Nets {
+				if n.ID != i {
+					continue
+				}
+				drv := "<none>"
+				if n.Driver != nil {
+					drv = n.Driver.Name + ":" + n.Driver.Spec.Name
+				}
+				detail = fmt.Sprintf(" driver=%s sinks=[", drv)
+				for _, s := range n.Sinks {
+					if s.Inst == nil {
+						detail += fmt.Sprintf(" PO(%s)", s.Pin)
+						continue
+					}
+					detail += fmt.Sprintf(" %s:%s(cap %g)", s.Inst.Name, s.Inst.Spec.Name, s.Inst.Spec.InputCap())
+				}
+				detail += " ]"
+			}
+			return fmt.Errorf("sta verify (%s): Load[%d] = %v want %v%s", mode, i, got.Load[i], want.Load[i], detail)
+		}
+		if math.Float64bits(got.Arrival[i]) != math.Float64bits(want.Arrival[i]) {
+			return fmt.Errorf("sta verify (%s): Arrival[%d] = %v want %v", mode, i, got.Arrival[i], want.Arrival[i])
+		}
+		if math.Float64bits(got.Slew[i]) != math.Float64bits(want.Slew[i]) {
+			return fmt.Errorf("sta verify (%s): Slew[%d] = %v want %v", mode, i, got.Slew[i], want.Slew[i])
+		}
+		if got.fromPin[i] != want.fromPin[i] {
+			return fmt.Errorf("sta verify (%s): fromPin[%d] = %q want %q", mode, i, got.fromPin[i], want.fromPin[i])
+		}
+	}
+	if len(got.Endpoints) != len(want.Endpoints) {
+		return fmt.Errorf("sta verify (%s): %d endpoints want %d", mode, len(got.Endpoints), len(want.Endpoints))
+	}
+	for i := range want.Endpoints {
+		g, w := got.Endpoints[i], want.Endpoints[i]
+		if g.Name != w.Name || math.Float64bits(g.Slack) != math.Float64bits(w.Slack) {
+			return fmt.Errorf("sta verify (%s): endpoint %d = %+v want %+v", mode, i, g, w)
+		}
+	}
+	if len(got.MaxCapViolations) != len(want.MaxCapViolations) {
+		return fmt.Errorf("sta verify (%s): %d max-cap violations want %d", mode, len(got.MaxCapViolations), len(want.MaxCapViolations))
+	}
+	for i := range want.MaxCapViolations {
+		if got.MaxCapViolations[i] != want.MaxCapViolations[i] {
+			return fmt.Errorf("sta verify (%s): max-cap violation %d differs", mode, i)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) fullFrac() float64 {
+	if e.FullFrac > 0 {
+		return e.FullFrac
+	}
+	return defaultFullFrac
+}
+
+// ensureSizes grows the per-net arrays and the per-instance cell cache
+// to the current netlist extent.
+func (e *Engine) ensureSizes() {
+	nNets := 0
+	for _, n := range e.nl.Nets {
+		if n.ID >= nNets {
+			nNets = n.ID + 1
+		}
+	}
+	for len(e.load) < nNets {
+		e.load = append(e.load, 0)
+		e.arrival = append(e.arrival, 0)
+		e.slew = append(e.slew, 0)
+		e.fromPin = append(e.fromPin, "")
+		e.overCap = append(e.overCap, false)
+	}
+	for len(e.cells) < len(e.nl.Instances) {
+		e.cells = append(e.cells, nil)
+		e.cellsAlt = append(e.cellsAlt, nil)
+	}
+}
+
+// computeLoad mirrors Analyze's pass 1 for one net: the exact same sink
+// sum in sink order (float addition is not associative, so the order is
+// part of the bit-identity contract) plus the wire-load model, and the
+// max-capacitance check against the current driver spec. Reports whether
+// the stored load changed.
+func (e *Engine) computeLoad(n *netlist.Net) (loadChanged, overChanged bool) {
+	load := 0.0
+	for _, s := range n.Sinks {
+		if s.Inst == nil {
+			load += e.cfg.OutputLoad
+			continue
+		}
+		load += s.Inst.Spec.InputCap()
+	}
+	load += e.cfg.wireCap(n.ID, len(n.Sinks))
+	loadChanged = load != e.load[n.ID]
+	e.load[n.ID] = load
+	over := false
+	if n.Driver != nil {
+		if mc := n.Driver.Spec.MaxCap(); load > mc+1e-12 {
+			over = true
+		}
+	}
+	overChanged = over != e.overCap[n.ID]
+	e.overCap[n.ID] = over
+	return loadChanged, overChanged
+}
+
+func (e *Engine) cellFor(inst *netlist.Instance) *engCell {
+	c := e.cells[inst.ID]
+	if c == nil || c.spec != inst.Spec {
+		if alt := e.cellsAlt[inst.ID]; alt != nil && alt.spec == inst.Spec {
+			c, e.cellsAlt[inst.ID] = alt, c
+		} else {
+			e.cellsAlt[inst.ID] = c
+			c = e.buildCell(inst)
+		}
+		e.cells[inst.ID] = c
+	}
+	return c
+}
+
+func (e *Engine) buildCell(inst *netlist.Instance) *engCell {
+	spec := inst.Spec
+	c := &engCell{spec: spec}
+	cell := e.nl.Cat.Lib.Cell(spec.Name)
+	arcIn := func(p *liberty.Pin, related string) *liberty.TimingArc {
+		if p == nil {
+			return nil
+		}
+		for _, a := range p.Timing {
+			if a.RelatedPin == related {
+				return a
+			}
+		}
+		return nil
+	}
+	for _, outPin := range spec.Outputs {
+		var lp *liberty.Pin
+		if cell != nil {
+			lp = cell.Pin(outPin)
+		}
+		slots := len(spec.Inputs)
+		if spec.IsSequential() {
+			slots = 1
+		}
+		p := engPin{
+			name: outPin,
+			out:  inst.Out[outPin],
+			ins:  make([]*netlist.Net, slots),
+			arcs: make([]*liberty.TimingArc, slots),
+			load: make([]float64, slots),
+			slew: make([]float64, slots),
+			d:    make([]float64, slots),
+			tr:   make([]float64, slots),
+			ok:   make([]bool, slots),
+		}
+		if spec.IsSequential() {
+			p.arcs[0] = arcIn(lp, spec.Clock)
+		} else {
+			for i, in := range spec.Inputs {
+				p.arcs[i] = arcIn(lp, in)
+				p.ins[i] = inst.In[in]
+			}
+		}
+		c.pins = append(c.pins, p)
+	}
+	return c
+}
+
+// store updates a net's propagated values; returns whether anything
+// changed bitwise (NaN compares unequal, so faulted values always count
+// as changed — conservative, never wrong).
+func (e *Engine) store(id int, arrival, slew float64, from string) bool {
+	if e.arrival[id] == arrival && e.slew[id] == slew && e.fromPin[id] == from {
+		return false
+	}
+	e.arrival[id], e.slew[id], e.fromPin[id] = arrival, slew, from
+	return true
+}
+
+// evalInst re-evaluates one instance exactly as Analyze's pass 2 does:
+// sequential launch through the clock arc, combinational worst over the
+// spec's input order, arc-less outputs at time zero. Reports whether any
+// output net's (arrival, slew, fromPin) changed.
+func (e *Engine) evalInst(inst *netlist.Instance) bool {
+	cc := e.cellFor(inst)
+	changed := false
+	if inst.Spec.IsSequential() {
+		for pi := range cc.pins {
+			p := &cc.pins[pi]
+			out := p.out
+			if out == nil {
+				continue
+			}
+			arc := p.arcs[0]
+			if arc == nil {
+				continue
+			}
+			d, tr := p.eval(0, arc, e.load[out.ID], e.cfg.InputSlew)
+			if e.store(out.ID, d, tr, inst.Spec.Clock) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	for pi := range cc.pins {
+		p := &cc.pins[pi]
+		out := p.out
+		if out == nil {
+			continue
+		}
+		worst := math.Inf(-1)
+		worstSlew := 0.0
+		worstPin := ""
+		for i, in := range inst.Spec.Inputs {
+			inNet := p.ins[i]
+			if inNet == nil {
+				continue
+			}
+			arc := p.arcs[i]
+			if arc == nil {
+				continue
+			}
+			d, tr := p.eval(i, arc, e.load[out.ID], e.slew[inNet.ID])
+			a := e.arrival[inNet.ID] + d
+			if a > worst {
+				worst = a
+				worstSlew = tr
+				worstPin = in
+			}
+		}
+		if math.IsInf(worst, -1) {
+			worst, worstSlew = 0, e.cfg.InputSlew
+		}
+		if e.store(out.ID, worst, worstSlew, worstPin) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// runFull recomputes everything from scratch into the working arrays —
+// the same three passes as Analyze, with arc evaluations flowing through
+// the per-instance cache so repeated operating points stay cheap.
+func (e *Engine) runFull(order []*netlist.Instance) {
+	for i := range e.load {
+		e.load[i], e.arrival[i], e.slew[i] = 0, 0, 0
+		e.fromPin[i] = ""
+		e.overCap[i] = false
+	}
+	for _, n := range e.nl.Nets {
+		e.computeLoad(n)
+	}
+	for _, n := range e.nl.Nets {
+		if n.PrimaryIn {
+			e.arrival[n.ID] = 0
+			e.slew[n.ID] = e.cfg.InputSlew
+		}
+	}
+	for _, inst := range order {
+		e.evalInst(inst)
+	}
+}
+
+// runIncremental refreshes the loads of the dirty nets, then
+// re-propagates from the dirty instances in topological-position order,
+// following fanout only where a net's propagated values actually changed
+// bitwise — unchanged inputs reproduce bitwise-unchanged outputs, so the
+// cone is exactly the set of instances whose state can differ. Returns
+// the number of instances re-evaluated.
+func (e *Engine) runIncremental(order []*netlist.Instance) (cone int, changed bool, err error) {
+	idx, err := e.nl.TopoIndexes()
+	if err != nil {
+		return 0, false, err
+	}
+	for _, n := range e.dirtyLoad {
+		lc, oc := e.computeLoad(n)
+		if oc {
+			changed = true // max-cap violation set differs
+		}
+		if lc {
+			changed = true
+			if n.Driver != nil {
+				// The driver sees a different load; its delays change.
+				e.dirtyInst[n.Driver.ID] = n.Driver
+			}
+		}
+	}
+	for len(e.queuedGen) < len(e.nl.Instances) {
+		e.queuedGen = append(e.queuedGen, 0)
+	}
+	e.queueGen++
+	gen := e.queueGen
+	h := intHeap{}
+	push := func(inst *netlist.Instance) {
+		if e.queuedGen[inst.ID] != gen {
+			e.queuedGen[inst.ID] = gen
+			h.push(idx[inst.ID])
+		}
+	}
+	for _, inst := range e.dirtyInst {
+		// A resized flop changes its setup time — an endpoint-slack
+		// change no per-net array reflects.
+		if inst.Spec.IsSequential() {
+			changed = true
+		}
+		push(inst)
+	}
+	for len(h) > 0 {
+		inst := order[h.pop()]
+		cone++
+		if !e.evalInst(inst) {
+			continue
+		}
+		changed = true
+		cc := e.cells[inst.ID] // populated by evalInst's cellFor
+		for pi := range cc.pins {
+			out := cc.pins[pi].out
+			if out == nil {
+				continue
+			}
+			for _, s := range out.Sinks {
+				// Sequential sinks capture, they don't re-launch; the
+				// endpoint slacks are rebuilt from arrivals anyway.
+				if s.Inst != nil && !s.Inst.Spec.IsSequential() {
+					push(s.Inst)
+				}
+			}
+		}
+	}
+	return cone, changed, nil
+}
+
+// snapshot copies the working state into an immutable Result — the same
+// shape Analyze returns, with endpoints and max-cap violations rebuilt
+// in Analyze's exact order.
+func (e *Engine) snapshot() *Result {
+	r := &Result{
+		Cfg:     e.cfg,
+		Load:    append([]float64(nil), e.load...),
+		Arrival: append([]float64(nil), e.arrival...),
+		Slew:    append([]float64(nil), e.slew...),
+		fromPin: append([]string(nil), e.fromPin...),
+		nl:      e.nl,
+		eng:     e,
+		topoGen: e.nl.TopoGen(),
+	}
+	for _, n := range e.nl.Nets {
+		if e.overCap[n.ID] {
+			r.MaxCapViolations = append(r.MaxCapViolations, n)
+		}
+	}
+	required := e.cfg.ClockPeriod - e.cfg.Uncertainty
+	r.Endpoints = make([]Endpoint, 0, len(e.endpointRefs()))
+	for _, ref := range e.epRefs {
+		ep := Endpoint{
+			Name: ref.name, IsFF: ref.isFF, Inst: ref.inst, Net: ref.net,
+			Arrival: r.Arrival[ref.net.ID],
+		}
+		if ref.isFF {
+			ep.Slack = required - ref.inst.Spec.SetupTime(e.nl.Cat.Corner) - ep.Arrival
+		} else {
+			ep.Slack = required - ep.Arrival
+		}
+		r.Endpoints = append(r.Endpoints, ep)
+	}
+	return r
+}
+
+// endpointRefs returns the endpoint skeleton — the FF D pins and primary
+// outputs in Analyze's sorted order — rebuilding it only after topology
+// edits (resizes never add or remove endpoints).
+func (e *Engine) endpointRefs() []epRef {
+	if e.epRefsOK && e.epGen == e.nl.TopoGen() {
+		return e.epRefs
+	}
+	e.epRefs = e.epRefs[:0]
+	for _, inst := range e.nl.Instances {
+		if !inst.Spec.IsSequential() {
+			continue
+		}
+		d := inst.In["D"]
+		if d == nil {
+			continue
+		}
+		e.epRefs = append(e.epRefs, epRef{name: inst.Name, isFF: true, inst: inst, net: d})
+	}
+	for _, n := range e.nl.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				continue
+			}
+			e.epRefs = append(e.epRefs, epRef{name: s.Pin, net: n})
+		}
+	}
+	sort.Slice(e.epRefs, func(i, j int) bool { return e.epRefs[i].name < e.epRefs[j].name })
+	e.epGen = e.nl.TopoGen()
+	e.epRefsOK = true
+	return e.epRefs
+}
+
+// Rewind restores the engine's working state to a previously returned
+// snapshot and discards the pending dirty frontier. The caller must have
+// returned the netlist to the exact state the Result describes — the
+// revert path of a rejected downsize batch does precisely that — so no
+// re-analysis is needed. Topology edits since the snapshot (which
+// reverts cannot undo) make the rewind invalid.
+func (e *Engine) Rewind(r *Result) error {
+	if r.eng != e {
+		return fmt.Errorf("sta: rewind to a result from a different engine")
+	}
+	if r.topoGen != e.nl.TopoGen() {
+		return fmt.Errorf("sta: rewind across a topology edit")
+	}
+	e.ensureSizes()
+	if len(r.Load) != len(e.load) {
+		return fmt.Errorf("sta: rewind across a netlist growth (%d -> %d nets)", len(r.Load), len(e.load))
+	}
+	copy(e.load, r.Load)
+	copy(e.arrival, r.Arrival)
+	copy(e.slew, r.Slew)
+	copy(e.fromPin, r.fromPin)
+	for i := range e.overCap {
+		e.overCap[i] = false
+	}
+	for _, n := range r.MaxCapViolations {
+		e.overCap[n.ID] = true
+	}
+	clear(e.dirtyInst)
+	clear(e.dirtyLoad)
+	e.haveState = true
+	e.last = r
+	// The arrays now describe r exactly, so r is also the snapshot a
+	// bitwise no-op update may legally reuse; leaving an older prev in
+	// place would let a later no-change Analyze resurrect stale state.
+	e.prev = r
+	return nil
+}
+
+// intHeap is a plain min-heap of topo-order positions; small and
+// allocation-light compared to container/heap's interface calls.
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if a[parent] <= a[i] {
+			break
+		}
+		a[parent], a[i] = a[i], a[parent]
+		i = parent
+	}
+}
+
+func (h *intHeap) pop() int {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(a) && a[l] < a[small] {
+			small = l
+		}
+		if r < len(a) && a[r] < a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i], a[small] = a[small], a[i]
+		i = small
+	}
+	return top
+}

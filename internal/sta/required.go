@@ -10,12 +10,34 @@ import "math"
 //
 // The backward pass reuses the arc delays implied by the forward
 // solution (same loads and slews), which is the standard STA required-
-// time approximation.
+// time approximation. Results are memoized — a snapshot is immutable, so
+// the first caller pays and every later margin step reads the cache —
+// and Engine-produced snapshots serve the arc delays from the engine's
+// (load, slew)-validated cache instead of re-interpolating the LUTs.
 func (r *Result) RequiredTimes() []float64 {
+	r.reqOnce.Do(r.computeRequired)
+	return r.req
+}
+
+// NetSlacks returns required - arrival per net ID (positive = margin).
+// Nets with no downstream endpoint have +Inf slack.
+func (r *Result) NetSlacks() []float64 {
+	r.reqOnce.Do(r.computeRequired)
+	return r.slacks
+}
+
+func (r *Result) computeRequired() {
 	req := make([]float64, len(r.Arrival))
 	for i := range req {
 		req[i] = math.Inf(1)
 	}
+	defer func() {
+		r.req = req
+		r.slacks = make([]float64, len(req))
+		for i := range req {
+			r.slacks[i] = req[i] - r.Arrival[i]
+		}
+	}()
 	// Seed endpoints.
 	reqBase := r.Cfg.ClockPeriod - r.Cfg.Uncertainty
 	for _, ep := range r.Endpoints {
@@ -31,11 +53,45 @@ func (r *Result) RequiredTimes() []float64 {
 	// fanout instances.
 	order, err := r.nl.TopoOrder()
 	if err != nil {
-		return req
+		return
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		inst := order[i]
 		if inst.Spec.IsSequential() {
+			continue
+		}
+		if r.eng != nil {
+			// Engine path: arcs are pre-resolved and delay lookups hit
+			// the per-arc cache whenever the forward pass (or an earlier
+			// backward pass) already evaluated this operating point. The
+			// min-accumulation is order-independent, so iterating
+			// spec.Outputs instead of the Out map changes nothing.
+			cc := r.eng.cellFor(inst)
+			for pi := range cc.pins {
+				p := &cc.pins[pi]
+				out := p.out
+				if out == nil {
+					continue
+				}
+				ro := req[out.ID]
+				if math.IsInf(ro, 1) {
+					continue
+				}
+				for ai := range inst.Spec.Inputs {
+					inNet := p.ins[ai]
+					if inNet == nil {
+						continue
+					}
+					arc := p.arcs[ai]
+					if arc == nil {
+						continue
+					}
+					d, _ := p.eval(ai, arc, r.Load[out.ID], r.Slew[inNet.ID])
+					if lim := ro - d; lim < req[inNet.ID] {
+						req[inNet.ID] = lim
+					}
+				}
+			}
 			continue
 		}
 		for pin, out := range inst.Out {
@@ -59,16 +115,4 @@ func (r *Result) RequiredTimes() []float64 {
 			}
 		}
 	}
-	return req
-}
-
-// NetSlacks returns required - arrival per net ID (positive = margin).
-// Nets with no downstream endpoint have +Inf slack.
-func (r *Result) NetSlacks() []float64 {
-	req := r.RequiredTimes()
-	out := make([]float64, len(req))
-	for i := range req {
-		out[i] = req[i] - r.Arrival[i]
-	}
-	return out
 }

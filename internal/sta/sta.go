@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/netlist"
@@ -78,6 +79,20 @@ type Result struct {
 	MaxCapViolations []*netlist.Net
 
 	nl *netlist.Netlist
+
+	// eng links a snapshot produced by an Engine back to its arc cache
+	// (nil for plain Analyze results); topoGen records the netlist
+	// topology generation the snapshot was taken at, so Engine.Rewind can
+	// reject a rewind across a topology edit.
+	eng     *Engine
+	topoGen uint64
+
+	// The backward pass is memoized: synthesis asks for NetSlacks once
+	// per margin step against the same Result, and required times never
+	// change for an immutable snapshot.
+	reqOnce sync.Once
+	req     []float64
+	slacks  []float64
 }
 
 // Endpoint is a timing check location: a flip-flop D pin or a primary
@@ -399,6 +414,7 @@ func (r *Result) CriticalPath() (Path, error) {
 type OperatingPoint struct {
 	Inst    *netlist.Instance
 	OutPin  string
+	OutIdx  int // index of OutPin in Inst.Spec.Outputs
 	Load    float64
 	WorstIn float64 // worst input slew across connected input pins
 }
@@ -407,7 +423,19 @@ type OperatingPoint struct {
 // sequential instance output — the data the restriction-legality checks
 // and the Fig. 7 style occupancy analyses consume.
 func (r *Result) OperatingPoints() []OperatingPoint {
-	var out []OperatingPoint
+	out := make([]OperatingPoint, 0, len(r.nl.Instances))
+	r.EachOperatingPoint(func(op OperatingPoint) {
+		out = append(out, op)
+	})
+	return out
+}
+
+// EachOperatingPoint streams the operating points without materializing
+// the slice — the per-iteration legality scan runs over every instance
+// on every snapshot, so the allocation matters. Output pins visit in
+// spec order (the slice form previously used map order, which was
+// nondeterministic; no caller depended on it).
+func (r *Result) EachOperatingPoint(fn func(OperatingPoint)) {
 	for _, inst := range r.nl.Instances {
 		worstIn := r.Cfg.InputSlew
 		for _, pin := range inst.Spec.Inputs {
@@ -415,11 +443,14 @@ func (r *Result) OperatingPoints() []OperatingPoint {
 				worstIn = r.Slew[n.ID]
 			}
 		}
-		for pin, n := range inst.Out {
-			out = append(out, OperatingPoint{
-				Inst: inst, OutPin: pin, Load: r.Load[n.ID], WorstIn: worstIn,
+		for oi, pin := range inst.Spec.Outputs {
+			n := inst.Out[pin]
+			if n == nil {
+				continue
+			}
+			fn(OperatingPoint{
+				Inst: inst, OutPin: pin, OutIdx: oi, Load: r.Load[n.ID], WorstIn: worstIn,
 			})
 		}
 	}
-	return out
 }

@@ -1,11 +1,13 @@
 package synth
 
 import (
+	"context"
 	"math"
 
 	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/logic"
 	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/obs"
 	"stdcelltune/internal/restrict"
 	"stdcelltune/internal/sta"
 	"stdcelltune/internal/stdcell"
@@ -45,6 +47,13 @@ type Result struct {
 	Buffered   int // repeater pairs inserted
 	Upsized    int
 	Downsized  int
+
+	// Timing-analysis accounting for this run: how many whole-design
+	// propagations the incremental engine ran versus dirty-cone updates.
+	// Surfaced in exp.Flow's manifest outcomes so the perf trajectory is
+	// auditable from artifacts alone.
+	FullAnalyses       int
+	IncrementalUpdates int
 }
 
 // Area returns the total cell area of the synthesized design.
@@ -87,38 +96,89 @@ type optimizer struct {
 	cat  *stdcell.Catalogue
 	opts Options
 	res  *Result
+	eng  *sta.Engine
+
+	// limits memoizes (loadLimit, slewLimit) per spec output pin — the
+	// legality scan hits every instance on every snapshot, and the
+	// restriction-window lookup behind loadLimit/slewLimit concatenates
+	// a map key per call.
+	limits map[*stdcell.Spec][]limitPair
+}
+
+// limitPair is the cached legality bound of one output pin.
+type limitPair struct{ load, slew float64 }
+
+func (o *optimizer) limitsFor(spec *stdcell.Spec) []limitPair {
+	if l, ok := o.limits[spec]; ok {
+		return l
+	}
+	l := make([]limitPair, len(spec.Outputs))
+	for i, pin := range spec.Outputs {
+		l[i] = limitPair{load: o.loadLimit(spec, pin), slew: o.slewLimit(spec, pin)}
+	}
+	if o.limits == nil {
+		o.limits = make(map[*stdcell.Spec][]limitPair)
+	}
+	o.limits[spec] = l
+	return l
 }
 
 // Optimize sizes, legalizes and area-recovers an already mapped netlist
 // in place.
 func Optimize(nl *netlist.Netlist, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), nl, opts)
+}
+
+// OptimizeCtx is Optimize with a context carrying the observability
+// tracer: when tracing is on, every sizing iteration becomes a span, so
+// the trace shows where the optimization loop spends its time.
+func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	o := &optimizer{nl: nl, cat: nl.Cat, opts: opts, res: &Result{Netlist: nl, Opts: opts}}
-	if err := o.run(); err != nil {
+	o.eng = sta.NewEngine(nl, opts.STA)
+	defer o.eng.Close()
+	if err := o.run(ctx); err != nil {
 		return nil, err
 	}
+	o.res.FullAnalyses, o.res.IncrementalUpdates = o.eng.Counts()
 	return o.res, nil
 }
 
-func (o *optimizer) run() error {
+func (o *optimizer) run(ctx context.Context) error {
+	tr := obs.TracerFrom(ctx)
 	var r *sta.Result
 	var err error
 	stuck := 0
 	lastWNS := math.Inf(-1)
 	for iter := 0; iter < o.opts.MaxIter; iter++ {
 		o.res.Iterations = iter + 1
-		r, err = sta.Analyze(o.nl, o.opts.STA)
+		var span *obs.Span
+		if tr != nil {
+			span = tr.Start("size-iter", "synth-iter", "iter", iter+1)
+		}
+		r, err = o.eng.Analyze()
 		if err != nil {
+			span.End()
 			return err
 		}
 		fixes := o.fixLegality(r)
+		if span != nil {
+			span.Set("wns", r.WNS())
+			span.Set("fixes", fixes)
+		}
 		if fixes > 0 {
+			span.End()
 			continue
 		}
 		if r.WNS() >= 0 {
+			span.End()
 			break
 		}
 		moves := o.timingStep(r)
+		if span != nil {
+			span.Set("moves", moves)
+		}
+		span.End()
 		if moves == 0 {
 			break // nothing more to do; timing unmet
 		}
@@ -134,12 +194,17 @@ func (o *optimizer) run() error {
 		lastWNS = r.WNS()
 	}
 	// Area recovery only when timing has margin.
-	r, err = sta.Analyze(o.nl, o.opts.STA)
+	r, err = o.eng.Analyze()
 	if err != nil {
 		return err
 	}
 	if r.WNS() >= 0 && o.legal(r) == 0 {
+		var span *obs.Span
+		if tr != nil {
+			span = tr.Start("area-recovery", "synth-iter")
+		}
 		r, err = o.areaRecovery(r)
+		span.End()
 		if err != nil {
 			return err
 		}
@@ -166,14 +231,15 @@ func (o *optimizer) slewLimit(spec *stdcell.Spec, pin string) float64 {
 // slew over window).
 func (o *optimizer) legal(r *sta.Result) int {
 	n := 0
-	for _, op := range r.OperatingPoints() {
-		if op.Load > o.loadLimit(op.Inst.Spec, op.OutPin)+1e-12 {
+	r.EachOperatingPoint(func(op sta.OperatingPoint) {
+		lim := o.limitsFor(op.Inst.Spec)[op.OutIdx]
+		if op.Load > lim.load+1e-12 {
 			n++
 		}
-		if op.WorstIn > o.slewLimit(op.Inst.Spec, op.OutPin)+1e-12 {
+		if op.WorstIn > lim.slew+1e-12 {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -440,6 +506,14 @@ func (o *optimizer) windowAllowsSlew(cand *stdcell.Spec, pin string, r *sta.Resu
 // so a heavily oversized solution shrinks step by step.
 func (o *optimizer) areaRecovery(r *sta.Result) (*sta.Result, error) {
 	margins := []float64{0.5, 0.3, 0.2, 0.12, 0.08, 0.05, 0.03, 0.02, 0.01}
+	// rExact tracks whether r is known to describe the netlist exactly.
+	// It turns false when a bisection round accepts one half and reverts
+	// the other: a multi-output instance collected once per driven net
+	// can straddle the halves, and reverting the rejected half clobbers
+	// its accepted duplicate, leaving r slightly stale (the pre-engine
+	// code had the same semantics and healed at the next full analysis).
+	// The engine may only Rewind to exact snapshots.
+	rExact := true
 	for pass := 0; pass < 6; pass++ {
 		changed := false
 		for _, frac := range margins {
@@ -448,13 +522,14 @@ func (o *optimizer) areaRecovery(r *sta.Result) (*sta.Result, error) {
 			if len(batch) == 0 {
 				continue
 			}
-			nr, accepted, err := o.tryBatch(r, batch)
+			nr, accepted, exact, err := o.tryBatch(r, batch, rExact)
 			if err != nil {
 				return nil, err
 			}
 			if accepted > 0 {
 				o.res.Downsized += accepted
 				r = nr
+				rExact = exact
 				changed = true
 			}
 		}
@@ -547,8 +622,16 @@ func evalArcDelay(arc *liberty.TimingArc, load, slew float64) (float64, float64)
 
 // tryBatch applies a downsize batch; if the result breaks timing or
 // legality it reverts and retries each half once (a single bisection
-// level), returning the accepted move count and the current STA.
-func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove) (*sta.Result, int, error) {
+// level), returning the accepted move count and the current STA. rExact
+// says whether r exactly describes the netlist; only then can a revert
+// be followed by an engine Rewind to r (zero cost) — otherwise the
+// revert's dirty marks are left pending and the next Analyze resolves
+// them incrementally. The returned exact flag reports the same property
+// for the returned Result: it turns false when an accepted half is
+// followed by a rejected one, whose revert may clobber a duplicate
+// move of a multi-output instance straddling the halves (matching the
+// pre-engine semantics, which healed at the next fresh analysis).
+func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove, rExact bool) (*sta.Result, int, bool, error) {
 	apply := func(moves []sizeMove) error {
 		for _, mv := range moves {
 			if err := o.nl.Resize(mv.inst, mv.to); err != nil {
@@ -566,55 +649,77 @@ func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove) (*sta.Result, int,
 		return nil
 	}
 	if err := apply(batch); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	nr, err := sta.Analyze(o.nl, o.opts.STA)
+	nr, err := o.eng.Analyze()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if nr.WNS() >= 0 && o.legal(nr) == 0 {
-		return nr, len(batch), nil
+		return nr, len(batch), true, nil
 	}
 	if err := revert(batch); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
+	}
+	if rExact {
+		if err := o.eng.Rewind(r); err != nil {
+			return nil, 0, false, err
+		}
 	}
 	if len(batch) < 2 {
-		nr, err := sta.Analyze(o.nl, o.opts.STA)
-		return nr, 0, err
+		return r, 0, rExact, nil
 	}
 	accepted := 0
 	cur := r
+	curExact := rExact
 	for _, half := range [][]sizeMove{batch[:len(batch)/2], batch[len(batch)/2:]} {
 		if err := apply(half); err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
-		nr, err := sta.Analyze(o.nl, o.opts.STA)
+		nr, err := o.eng.Analyze()
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		if nr.WNS() >= 0 && o.legal(nr) == 0 {
 			accepted += len(half)
 			cur = nr
+			curExact = true
 			continue
 		}
 		if err := revert(half); err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
+		}
+		if accepted == 0 {
+			// Nothing accepted yet: the revert provably restored cur's
+			// exact state, so the rewind (when cur is exact) is sound.
+			if curExact {
+				if err := o.eng.Rewind(cur); err != nil {
+					return nil, 0, false, err
+				}
+			}
+		} else {
+			// The rejected half may share a multi-output instance with
+			// the accepted one; its revert clobbers that duplicate, so
+			// cur no longer exactly describes the netlist.
+			curExact = false
 		}
 	}
-	if accepted == 0 {
-		nr, err := sta.Analyze(o.nl, o.opts.STA)
-		return nr, 0, err
-	}
-	return cur, accepted, nil
+	return cur, accepted, curExact, nil
 }
 
 // Synthesize maps the logic network onto the catalogue and optimizes it
 // against the options — the full front-end flow of the paper's
 // experiments.
 func Synthesize(name string, src *logic.Network, cat *stdcell.Catalogue, opts Options) (*Result, error) {
+	return SynthesizeCtx(context.Background(), name, src, cat, opts)
+}
+
+// SynthesizeCtx is Synthesize with a context carrying the observability
+// tracer for per-iteration optimization spans.
+func SynthesizeCtx(ctx context.Context, name string, src *logic.Network, cat *stdcell.Catalogue, opts Options) (*Result, error) {
 	nl, err := Map(name, src, cat)
 	if err != nil {
 		return nil, err
 	}
-	return Optimize(nl, opts)
+	return OptimizeCtx(ctx, nl, opts)
 }
