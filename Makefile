@@ -9,9 +9,9 @@ BENCH_JSON ?= BENCH_PR4.json
 BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$|BenchmarkSynthesize$$|BenchmarkSynthesizeRestricted$$
 BENCH_SCALE ?= small
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke serve-smoke clean
 
-ci: vet build race fuzz-short obs-smoke
+ci: vet build race fuzz-short obs-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,13 @@ obs-smoke:
 	$(GO) run ./cmd/experiments -small -trace $(OBS_TRACE) -benchjson $(OBS_BENCH)
 	$(GO) run ./cmd/obscheck -trace $(OBS_TRACE) \
 		-manifest $(basename $(OBS_TRACE)).manifest.json -bench $(OBS_BENCH)
+
+# End-to-end service smoke: boot the stcd daemon on an ephemeral port,
+# run the scaled-down pipeline cold and warm, assert the cache-hit and
+# byte-identity contract, validate the API documents with cmd/obscheck,
+# and check graceful SIGTERM drain. See scripts/serve_smoke.sh.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -254,6 +254,7 @@ func main() {
 	if *traceOut != "" || *out != "" {
 		m := obs.NewManifest()
 		m.Args = os.Args[1:]
+		m.SpecDigest = cfg.Digest()
 		m.Samples = cfg.Samples
 		m.Seed = cfg.Seed
 		m.Corner = cfg.Corner.Name()

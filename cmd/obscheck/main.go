@@ -1,14 +1,16 @@
-// Command obscheck validates the observability artifacts one
-// cmd/experiments run produces: the Chrome trace-event JSON (-trace),
-// the run manifest (-manifest), and optionally the benchmark JSON
-// (-bench). It is the assertion half of `make obs-smoke`: the smoke
-// target runs the pipeline with tracing on, then obscheck fails the
-// build if the trace is not Chrome-loadable, the expected span
-// categories are missing, or the manifest does not parse.
+// Command obscheck validates the machine-readable artifacts the flow
+// produces: the Chrome trace-event JSON (-trace), the run manifest
+// (-manifest), the benchmark JSON (-bench), and the tuning daemon's API
+// documents (-apijob, -apiartifacts). It is the assertion half of
+// `make obs-smoke` and `make serve-smoke`: the smoke targets run the
+// pipeline (batch or served), then obscheck fails the build if an
+// artifact does not parse, misses expected content, or violates its
+// versioned schema.
 //
 // Usage:
 //
 //	obscheck -trace /tmp/trace.json -manifest /tmp/trace.manifest.json [-bench /tmp/b.json]
+//	obscheck -apijob /tmp/job.json -apiartifacts /tmp/index.json
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/perfstat"
+	"stdcelltune/internal/service"
 )
 
 // chromeTrace mirrors the exported subset of the trace-event format the
@@ -42,6 +45,8 @@ func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	manifestPath := flag.String("manifest", "", "run-manifest JSON to validate")
 	benchPath := flag.String("bench", "", "benchmark JSON (stdcelltune-bench/1) to validate (optional)")
+	apiJobPath := flag.String("apijob", "", "stcd job document (stdcelltune-job/1) to validate")
+	apiArtifactsPath := flag.String("apiartifacts", "", "stcd artifact index JSON to validate")
 	flag.Parse()
 
 	failed := false
@@ -160,8 +165,84 @@ func main() {
 		fmt.Printf("obscheck: bench JSON ok: %d benchmarks, %d phases\n", len(bf.Benchmarks), len(bf.Phases))
 	}
 
-	if *tracePath == "" && *manifestPath == "" && *benchPath == "" {
-		log.Fatal("nothing to check: pass -trace, -manifest and/or -bench")
+	if *apiJobPath != "" {
+		data, err := os.ReadFile(*apiJobPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var j service.JobView
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&j); err != nil {
+			log.Fatalf("%s: not a job document: %v", *apiJobPath, err)
+		}
+		if j.Schema != service.SchemaJob {
+			fail("%s: schema %q, want %q", *apiJobPath, j.Schema, service.SchemaJob)
+		}
+		if j.ID == "" {
+			fail("%s: empty job id", *apiJobPath)
+		}
+		if !strings.HasPrefix(j.Digest, "sha256:") || len(j.Digest) != len("sha256:")+64 {
+			fail("%s: malformed spec digest %q", *apiJobPath, j.Digest)
+		}
+		if err := j.Spec.Validate(); err != nil {
+			fail("%s: embedded spec invalid: %v", *apiJobPath, err)
+		}
+		if got := j.Spec.Digest(); got != j.Digest {
+			fail("%s: digest %s does not match embedded spec (%s)", *apiJobPath, j.Digest, got)
+		}
+		if j.Status != service.StatusDone {
+			fail("%s: status %q, want done", *apiJobPath, j.Status)
+		}
+		if j.Outcome != "hit" && j.Outcome != "miss" && j.Outcome != "shared" {
+			fail("%s: cache outcome %q", *apiJobPath, j.Outcome)
+		}
+		have := map[string]bool{}
+		for _, a := range j.Artifacts {
+			have[a.Name] = true
+			if len(a.SHA256) != 64 || a.Size <= 0 {
+				fail("%s: artifact %s malformed (sha %q, size %d)", *apiJobPath, a.Name, a.SHA256, a.Size)
+			}
+		}
+		for _, want := range []string{
+			service.ArtifactSpec, service.ArtifactStatLib, service.ArtifactWindows,
+			service.ArtifactTuning, service.ArtifactSynthesis, service.ArtifactVariation,
+		} {
+			if !have[want] {
+				fail("%s: missing artifact %s", *apiJobPath, want)
+			}
+		}
+		fmt.Printf("obscheck: job ok: %s %s outcome=%s, %d artifacts\n", j.ID, j.Status, j.Outcome, len(j.Artifacts))
+	}
+
+	if *apiArtifactsPath != "" {
+		data, err := os.ReadFile(*apiArtifactsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var idx struct {
+			Digest    string                 `json:"digest"`
+			Artifacts []service.ArtifactView `json:"artifacts"`
+		}
+		if err := json.Unmarshal(data, &idx); err != nil {
+			log.Fatalf("%s: not an artifact index: %v", *apiArtifactsPath, err)
+		}
+		if !strings.HasPrefix(idx.Digest, "sha256:") {
+			fail("%s: malformed digest %q", *apiArtifactsPath, idx.Digest)
+		}
+		if len(idx.Artifacts) == 0 {
+			fail("%s: empty artifact index", *apiArtifactsPath)
+		}
+		for _, a := range idx.Artifacts {
+			if a.Name == "" || len(a.SHA256) != 64 || a.Size <= 0 {
+				fail("%s: artifact %+v malformed", *apiArtifactsPath, a)
+			}
+		}
+		fmt.Printf("obscheck: artifact index ok: %s, %d artifacts\n", idx.Digest, len(idx.Artifacts))
+	}
+
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob and/or -apiartifacts")
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,136 @@
+// Command stcd is the standard-cell tuning daemon: the paper's full
+// pipeline (characterize -> tune -> restrict -> synthesize -> analyze
+// variation) served on demand as asynchronous HTTP/JSON jobs.
+//
+//	stcd -addr :8372 -cachedir /var/cache/stcd
+//
+// Requests are stdcelltune-api/1 specs; identical specs share one
+// content-addressed cache entry, so a warm request returns the cold
+// run's bytes without recomputing (see internal/service and
+// internal/service/cache). SIGINT/SIGTERM drains gracefully: new
+// submissions get 503 while in-flight jobs finish, bounded by
+// -draintimeout.
+//
+// Flags:
+//
+//	-addr         listen address (default 127.0.0.1:8372; use :0 for an ephemeral port)
+//	-addrfile     write the bound address to this file once listening (smoke harnesses)
+//	-cachedir     persist the artifact cache here; empty = memory only
+//	-workers      concurrent pipeline executions (default 1; the pipeline itself parallelizes)
+//	-queue        queued-job backlog bound (default 16)
+//	-draintimeout graceful-shutdown bound (default 60s)
+//	-debugaddr    also serve expvar/pprof/obs debug surface on this address
+//	-log          log level: debug, info, warn, error (default info)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/obs/debughttp"
+	"stdcelltune/internal/service"
+	"stdcelltune/internal/service/cache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (:0 for ephemeral)")
+	addrFile := flag.String("addrfile", "", "write bound address to this file once listening")
+	cacheDir := flag.String("cachedir", "", "persist artifact cache in this directory")
+	workers := flag.Int("workers", 1, "concurrent pipeline executions")
+	queueDepth := flag.Int("queue", 16, "job queue depth")
+	drainTimeout := flag.Duration("draintimeout", 60*time.Second, "graceful shutdown bound")
+	debugAddr := flag.String("debugaddr", "", "serve expvar/pprof/obs debug surface on this address")
+	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	level, ok := obs.ParseLogLevel(*logLevel)
+	if !ok {
+		return fmt.Errorf("unknown -log level %q", *logLevel)
+	}
+	log := obs.InitLog(os.Stderr, level)
+
+	store, err := cache.New(*cacheDir)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if *cacheDir != "" {
+		log.Info("cache rehydrated", "dir", *cacheDir, "entries", store.Len())
+	}
+
+	mgr := service.NewManager(store, service.ManagerOptions{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Trace:      true,
+	})
+
+	if *debugAddr != "" {
+		_, bound, err := debughttp.Serve(*debugAddr, debughttp.DebugState{
+			Metrics: obs.Default(),
+			Extra:   map[string]any{"binary": "stcd", "schema": service.SchemaSpec},
+		})
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		log.Info("debug surface up", "addr", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("addrfile: %w", err)
+		}
+	}
+	srv := &http.Server{Handler: service.Handler(mgr)}
+	log.Info("stcd listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queueDepth)
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Info("draining", "timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job queue first so in-flight jobs finish, then close the
+	// HTTP server; during the drain new submissions are answered 503.
+	drainErr := mgr.Drain(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+	}
+	if drainErr != nil {
+		log.Warn("drain incomplete, jobs cancelled", "err", drainErr)
+	} else {
+		log.Info("drained cleanly")
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package stdcelltune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"stdcelltune/internal/robust"
+)
+
+// Typed sentinel errors of the facade. Service layers (cmd/stcd,
+// internal/service) map these to transport status codes with errors.Is
+// instead of string matching, so the error text stays free to carry
+// human-readable detail.
+var (
+	// ErrQuarantined reports that too large a fraction of the library was
+	// quarantined for the requested operation to produce a meaningful
+	// result (see robust.DefaultQuarantineLimit). It aliases the
+	// internal sentinel every quarantine check wraps, so it matches
+	// failures from characterization, tuning, and statistical analysis
+	// alike.
+	ErrQuarantined = robust.ErrQuarantineLimit
+
+	// ErrWindowInfeasible reports that a tuning window set forbids every
+	// operating point of every pin — synthesis under it cannot succeed.
+	ErrWindowInfeasible = errors.New("stdcelltune: tuning windows leave no feasible operating region")
+
+	// ErrCancelled reports that the operation was abandoned because its
+	// context was cancelled or timed out. Facade *Ctx functions translate
+	// context.Canceled / context.DeadlineExceeded into this sentinel
+	// (the original cause stays in the message).
+	ErrCancelled = errors.New("stdcelltune: cancelled")
+)
+
+// wrapCancel rewrites context cancellation into ErrCancelled so callers
+// need exactly one errors.Is test regardless of which pipeline layer
+// noticed the cancellation first. Other errors pass through untouched.
+func wrapCancel(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	return err
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// Every pipeline stage takes a context: cancelling it aborts the
+	// stage promptly with stdcelltune.ErrCancelled. A plain Background
+	// context means "run to completion".
+	ctx := context.Background()
 
 	// 1. The 304-cell library at the typical corner (TT, 1.1V, 25C).
 	cat := stdcelltune.NewCatalogue(stdcelltune.Typical)
@@ -20,7 +25,8 @@ func main() {
 
 	// 2. Monte-Carlo characterization: 50 library instances with local
 	// variation folded into a statistical library (mean + sigma LUTs).
-	stat, err := stdcelltune.Characterize(cat, 50, 1)
+	stat, err := stdcelltune.CharacterizeCtx(ctx, cat,
+		stdcelltune.CharacterizeOptions{Instances: 50, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +35,8 @@ func main() {
 
 	// 3. Tune: restrict every cell's LUT to the region where its delay
 	// sigma stays below a 0.02 ns ceiling.
-	windows, rep, err := stdcelltune.Tune(stat, stdcelltune.SigmaCeiling, 0.02)
+	windows, rep, err := stdcelltune.TuneCtx(ctx, stat,
+		stdcelltune.TuneOptions{Method: stdcelltune.SigmaCeiling, Bound: 0.02})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,11 +51,13 @@ func main() {
 
 	// 5. Synthesize baseline and restricted designs at 5 ns.
 	const clock = 5.0
-	base, err := stdcelltune.Synthesize(mcu, cat, clock, nil)
+	base, err := stdcelltune.SynthesizeCtx(ctx, mcu, cat,
+		stdcelltune.SynthesizeOptions{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuned, err := stdcelltune.Synthesize(mcu, cat, clock, windows)
+	tuned, err := stdcelltune.SynthesizeCtx(ctx, mcu, cat,
+		stdcelltune.SynthesizeOptions{Clock: clock, Windows: windows})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,11 +65,11 @@ func main() {
 	fmt.Printf("tuned:    met=%v area=%.0f um2 (%d cells)\n", tuned.Met, tuned.Area(), len(tuned.Netlist.Instances))
 
 	// 6. Statistical timing: the design sigma before and after tuning.
-	bs, err := stdcelltune.AnalyzeVariation(base, stat)
+	bs, err := stdcelltune.AnalyzeVariationCtx(ctx, base, stat, stdcelltune.AnalyzeVariationOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts, err := stdcelltune.AnalyzeVariation(tuned, stat)
+	ts, err := stdcelltune.AnalyzeVariationCtx(ctx, tuned, stat, stdcelltune.AnalyzeVariationOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+// Package digest computes canonical, drift-free content hashes of
+// request and configuration specs. The artifact cache of the service
+// daemon, the run manifest, and the experiment flow all key on these
+// digests, so two constraints drive the encoding:
+//
+//   - Field ordering is fixed by the call site, not by reflection or
+//     map iteration: a spec's Digest method appends its fields in one
+//     hard-coded order, so the hash can never depend on Go runtime
+//     behaviour.
+//   - Floats are encoded in hexadecimal ('x' format), which round-trips
+//     the exact bit pattern. Decimal formatting ("%g", "%v") is banned
+//     here: its shortest-representation rules have changed across Go
+//     releases and would silently re-key every cached artifact.
+//
+// Every value is written as "key=<len>:<value>\n" with the value
+// length-prefixed, so no concatenation of fields can collide with a
+// different field split ("ab"+"c" vs "a"+"bc").
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"strconv"
+)
+
+// Canonical accumulates key/value fields into a SHA-256 hash. The zero
+// value is unusable; construct with New so every digest is domain
+// separated.
+type Canonical struct {
+	h hash.Hash
+}
+
+// New starts a canonical digest for the given domain (e.g.
+// "stdcelltune-api/1"). Different domains can never collide, even over
+// identical field sequences.
+func New(domain string) *Canonical {
+	c := &Canonical{h: sha256.New()}
+	c.write("domain", domain)
+	return c
+}
+
+func (c *Canonical) write(key, val string) {
+	// key=<len>:<value>\n — the length prefix makes the framing
+	// unambiguous for values containing '=' or '\n'.
+	fmt.Fprintf(c.h, "%s=%d:%s\n", key, len(val), val)
+}
+
+// Str appends a string field.
+func (c *Canonical) Str(key, val string) { c.write(key, val) }
+
+// Int appends an integer field.
+func (c *Canonical) Int(key string, v int64) { c.write(key, strconv.FormatInt(v, 10)) }
+
+// Bool appends a boolean field.
+func (c *Canonical) Bool(key string, v bool) { c.write(key, strconv.FormatBool(v)) }
+
+// Float appends a float64 field using the exact hexadecimal
+// representation, immune to decimal-formatting drift. NaN and the
+// infinities encode to their strconv spellings, which are stable.
+func (c *Canonical) Float(key string, v float64) {
+	c.write(key, strconv.FormatFloat(v, 'x', -1, 64))
+}
+
+// Sum finalizes the digest as "sha256:<hex>". The Canonical must not be
+// written to afterwards.
+func (c *Canonical) Sum() string {
+	return "sha256:" + hex.EncodeToString(c.h.Sum(nil))
+}
+
+// Bytes hashes a raw artifact body, for content addressing of stored
+// blobs (plain hex, no prefix — it names file content, not a spec).
+func Bytes(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}

@@ -1,0 +1,31 @@
+package exp
+
+import "stdcelltune/internal/digest"
+
+// flowConfigDomain versions the FlowConfig digest layout. Bump it when
+// a field is added or re-ordered below, so stale cache entries keyed on
+// the old layout can never be confused with new ones.
+const flowConfigDomain = "stdcelltune-flowconfig/1"
+
+// Digest returns the canonical content hash of the flow configuration:
+// a stable function of every field that influences pipeline output, in
+// fixed order, with floats encoded exactly (no decimal-formatting
+// drift). The service artifact cache and the run manifest share this
+// key, so a manifest's spec_digest can be looked up directly in a warm
+// daemon cache.
+func (c FlowConfig) Digest() string {
+	d := digest.New(flowConfigDomain)
+	d.Int("samples", int64(c.Samples))
+	d.Int("seed", c.Seed)
+	d.Int("mcu.width", int64(c.MCU.Width))
+	d.Int("mcu.registers", int64(c.MCU.Registers))
+	d.Int("mcu.mulwidth", int64(c.MCU.MulWidth))
+	d.Int("mcu.timers", int64(c.MCU.Timers))
+	d.Str("corner", c.Corner.Name())
+	d.Float("fault.rate", c.Fault.Rate)
+	d.Int("fault.seed", c.Fault.Seed)
+	for _, m := range c.Fault.Modes {
+		d.Int("fault.mode", int64(m))
+	}
+	return d.Sum()
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/robust/faultinject"
+)
+
+// TestFlowConfigDigestStability pins the digest of the two canonical
+// configurations. These values key the service artifact cache; a drift
+// here silently invalidates every warm cache, so changing them requires
+// bumping the digest domain version deliberately.
+func TestFlowConfigDigestStability(t *testing.T) {
+	got := DefaultFlowConfig().Digest()
+	const wantDefault = "sha256:acf4f04e70838f279a968080f27ad908ec8992a855fe6f5245a4f25568ed49da"
+	if got != wantDefault {
+		t.Errorf("DefaultFlowConfig digest drifted:\n got %s\nwant %s", got, wantDefault)
+	}
+	gotSmall := SmallFlowConfig().Digest()
+	const wantSmall = "sha256:4ab0bf1e273aadfcb62139aa9520665a51d76cbe93a21ba9c88fba998291d7be"
+	if gotSmall != wantSmall {
+		t.Errorf("SmallFlowConfig digest drifted:\n got %s\nwant %s", gotSmall, wantSmall)
+	}
+}
+
+func TestFlowConfigDigestSensitivity(t *testing.T) {
+	base := DefaultFlowConfig()
+	mut := []func(*FlowConfig){
+		func(c *FlowConfig) { c.Samples++ },
+		func(c *FlowConfig) { c.Seed++ },
+		func(c *FlowConfig) { c.MCU.Width++ },
+		func(c *FlowConfig) { c.Corner = c.Corner + 1 },
+		func(c *FlowConfig) { c.Fault.Rate = 0.01 },
+		func(c *FlowConfig) { c.Fault.Modes = []faultinject.Mode{faultinject.NaNEntry} },
+	}
+	seen := map[string]bool{base.Digest(): true}
+	for i, m := range mut {
+		c := base
+		m(&c)
+		d := c.Digest()
+		if seen[d] {
+			t.Errorf("mutation %d did not change the digest", i)
+		}
+		seen[d] = true
+	}
+}
+
+// TestFlowConfigDigestConcurrent proves the digest is safe and stable
+// under concurrent computation (the daemon hashes specs on every
+// request).
+func TestFlowConfigDigestConcurrent(t *testing.T) {
+	cfg := DefaultFlowConfig()
+	want := cfg.Digest()
+	var wg sync.WaitGroup
+	out := make([]string, 16)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = cfg.Digest()
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range out {
+		if d != want {
+			t.Fatalf("goroutine %d: digest %s != %s", i, d, want)
+		}
+	}
+}

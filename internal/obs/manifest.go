@@ -32,6 +32,12 @@ type Manifest struct {
 	// Invocation.
 	Args []string `json:"args"`
 
+	// SpecDigest is the canonical content hash of the flow configuration
+	// (exp.FlowConfig.Digest / the service request-spec digest): the same
+	// key the tuning daemon's artifact cache uses, so results written by
+	// a batch run can be located in — or compared against — a warm cache.
+	SpecDigest string `json:"spec_digest,omitempty"`
+
 	// Sampling / flow configuration.
 	Samples   int     `json:"samples"`
 	Seed      int64   `json:"seed"`

@@ -27,6 +27,32 @@ type Tracer struct {
 	events []chromeEvent
 	lanes  []bool // lanes[i]: lane i+1 currently occupied
 	active map[*Span]struct{}
+	sink   func(SpanEvent)
+}
+
+// SpanEvent is one completed span as delivered to an event sink: the
+// live-streaming mirror of the Chrome trace event the tracer records.
+// The service daemon forwards these over SSE as job progress.
+type SpanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   int64          `json:"ts_us"`  // start, µs since tracer epoch
+	Dur  int64          `json:"dur_us"` // duration, µs
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// SetSink registers a callback receiving every span as it ends, in End
+// order. The sink runs outside the tracer lock but on the ending span's
+// goroutine, so it must be cheap and non-blocking (buffer and return).
+// A nil fn removes the sink. Streaming does not replace recording: sunk
+// spans still appear in the exported Chrome trace.
+func (t *Tracer) SetSink(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
 }
 
 // Span is one open span. Methods on a nil span are no-ops, mirroring
@@ -89,7 +115,6 @@ func (s *Span) End() {
 	t := s.tr
 	end := t.clock().Sub(t.start)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.releaseLane(s.lane)
 	delete(t.active, s)
 	t.events = append(t.events, chromeEvent{
@@ -97,6 +122,13 @@ func (s *Span) End() {
 		TS: s.t0.Microseconds(), Dur: (end - s.t0).Microseconds(),
 		PID: 1, TID: s.lane, Args: s.args,
 	})
+	sink := t.sink
+	t.mu.Unlock()
+	// The sink is invoked outside the lock so a slow consumer cannot
+	// stall concurrent Start/End calls.
+	if sink != nil {
+		sink(SpanEvent{Name: s.name, Cat: s.cat, TS: s.t0.Microseconds(), Dur: (end - s.t0).Microseconds(), Args: s.args})
+	}
 }
 
 // acquireLane returns the lowest free lane id (1-based). Caller holds mu.

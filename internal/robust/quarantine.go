@@ -1,6 +1,7 @@
 package robust
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,12 @@ var quarantinedItems = obs.Default().Counter("robust.quarantined_cells")
 // the library thins the result, losing more means the inputs themselves
 // are broken.
 const DefaultQuarantineLimit = 0.5
+
+// ErrQuarantineLimit is the sentinel wrapped by every Check failure, so
+// callers (the facade, the service daemon's HTTP error mapping) can
+// classify "too much of the input was degenerate" with errors.Is
+// instead of string matching.
+var ErrQuarantineLimit = errors.New("robust: quarantine limit exceeded")
 
 // QuarantineEntry records one skipped item and why it was skipped.
 type QuarantineEntry struct {
@@ -106,8 +113,8 @@ func (q *Quarantine) Check(limit float64) error {
 		return nil
 	}
 	if f := q.Fraction(); f > limit {
-		return fmt.Errorf("robust: %s quarantined %d of %d items (%.0f%% > %.0f%% limit)",
-			q.Stage, q.Len(), q.Total, 100*f, 100*limit)
+		return fmt.Errorf("%w: %s quarantined %d of %d items (%.0f%% > %.0f%% limit)",
+			ErrQuarantineLimit, q.Stage, q.Len(), q.Total, 100*f, 100*limit)
 	}
 	return nil
 }

@@ -1,0 +1,320 @@
+// Package cache is the content-addressed artifact store behind the
+// tuning service: results of the paper pipeline keyed by the canonical
+// digest of the request spec that produced them (see internal/digest).
+//
+// Two properties carry the daemon's latency story:
+//
+//   - Content addressing. An entry's key is a pure function of the
+//     request spec, and every stored artifact carries its own SHA-256,
+//     so a warm hit returns the exact bytes of the original cold run —
+//     byte-identical responses are a cache invariant, not an
+//     aspiration.
+//   - Single-flight deduplication. Concurrent requests for the same
+//     digest share one computation: the first caller computes (on the
+//     robust pool, via the pipeline), every concurrent caller blocks on
+//     the same in-flight slot, and nobody recomputes.
+//
+// The store is in-memory first with optional directory persistence, so
+// a daemon restart can rehydrate its cache from disk.
+package cache
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"stdcelltune/internal/digest"
+	"stdcelltune/internal/obs"
+)
+
+// Cache metrics, recorded into the process-default obs registry: the
+// daemon's debug surface and the run manifest pick them up from there.
+var (
+	cacheHits   = obs.Default().Counter("service.cache_hits")
+	cacheMisses = obs.Default().Counter("service.cache_misses")
+	cacheShared = obs.Default().Counter("service.cache_shared") // waiters that attached to an in-flight computation
+)
+
+// Artifact is one stored blob: a named output of the pipeline plus its
+// content hash.
+type Artifact struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Size   int    `json:"size_bytes"`
+
+	data []byte
+}
+
+// Bytes returns the artifact body. Callers must not mutate it.
+func (a *Artifact) Bytes() []byte { return a.data }
+
+// Entry is the full artifact set of one request digest.
+type Entry struct {
+	Digest    string
+	Artifacts []*Artifact // sorted by name
+}
+
+// Artifact returns the named artifact, or nil.
+func (e *Entry) Artifact(name string) *Artifact {
+	for _, a := range e.Artifacts {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Store is the content-addressed artifact store. Safe for concurrent
+// use.
+type Store struct {
+	dir string // "" = memory only
+
+	mu       sync.Mutex
+	entries  map[string]*Entry
+	inflight map[string]*flight
+}
+
+// New creates a store. A non-empty dir enables persistence: entries are
+// written under dir/<digest-hex>/ and existing entries are rehydrated
+// immediately.
+func New(dir string) (*Store, error) {
+	s := &Store{dir: dir, entries: make(map[string]*Entry), inflight: make(map[string]*flight)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.load(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of cached entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Lookup returns the cached entry for a digest without computing,
+// recording a hit when present. It does not wait for in-flight
+// computations.
+func (s *Store) Lookup(dig string) (*Entry, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[dig]
+	s.mu.Unlock()
+	if ok {
+		cacheHits.Add(1)
+	}
+	return e, ok
+}
+
+// GetOrCompute returns the entry for dig, computing it at most once
+// across all concurrent callers. The outcome string is "hit" (entry was
+// already cached), "miss" (this call computed it), or "shared" (another
+// in-flight call computed it while we waited).
+//
+// compute runs under the first caller's context; a waiter whose own ctx
+// is cancelled stops waiting and returns its context error (the
+// computation itself continues for the benefit of the other callers).
+func (s *Store) GetOrCompute(ctx context.Context, dig string, compute func(context.Context) (map[string][]byte, error)) (*Entry, string, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[dig]; ok {
+		s.mu.Unlock()
+		cacheHits.Add(1)
+		return e, "hit", nil
+	}
+	if fl, ok := s.inflight[dig]; ok {
+		s.mu.Unlock()
+		cacheShared.Add(1)
+		select {
+		case <-fl.done:
+			return fl.entry, "shared", fl.err
+		case <-ctx.Done():
+			return nil, "shared", ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[dig] = fl
+	s.mu.Unlock()
+
+	cacheMisses.Add(1)
+	blobs, err := compute(ctx)
+	var entry *Entry
+	if err == nil {
+		entry, err = s.seal(dig, blobs)
+	}
+	fl.entry, fl.err = entry, err
+
+	s.mu.Lock()
+	if err == nil {
+		s.entries[dig] = entry
+	}
+	delete(s.inflight, dig)
+	s.mu.Unlock()
+	close(fl.done)
+	return entry, "miss", err
+}
+
+// Put stores a computed artifact set directly (the rehydration and test
+// entry point). Existing entries for the digest are replaced.
+func (s *Store) Put(dig string, blobs map[string][]byte) (*Entry, error) {
+	e, err := s.seal(dig, blobs)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.entries[dig] = e
+	s.mu.Unlock()
+	return e, nil
+}
+
+// seal freezes a blob map into an Entry (sorted, content-hashed) and
+// persists it when a directory is configured.
+func (s *Store) seal(dig string, blobs map[string][]byte) (*Entry, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("cache: empty artifact set for %s", dig)
+	}
+	e := &Entry{Digest: dig}
+	names := make([]string, 0, len(blobs))
+	for name := range blobs {
+		if !validName(name) {
+			return nil, fmt.Errorf("cache: invalid artifact name %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data := blobs[name]
+		e.Artifacts = append(e.Artifacts, &Artifact{
+			Name: name, SHA256: digest.Bytes(data), Size: len(data), data: data,
+		})
+	}
+	if s.dir != "" {
+		if err := s.persist(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// validName keeps artifact names path-safe for both persistence and the
+// HTTP surface: a single flat component, no separators or dot-dot.
+func validName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\\x00")
+}
+
+// entryDirName maps a spec digest ("sha256:<hex>") to a directory name.
+func entryDirName(dig string) string {
+	return strings.ReplaceAll(dig, ":", "_")
+}
+
+// index is the persisted entry manifest (dir/<digest>/index.json).
+type index struct {
+	Digest    string      `json:"digest"`
+	Artifacts []*Artifact `json:"artifacts"`
+}
+
+func (s *Store) persist(e *Entry) error {
+	dir := filepath.Join(s.dir, entryDirName(e.Digest))
+	tmp := dir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	for _, a := range e.Artifacts {
+		if err := os.WriteFile(filepath.Join(tmp, a.Name), a.data, 0o644); err != nil {
+			return err
+		}
+	}
+	idx, err := json.MarshalIndent(index{Digest: e.Digest, Artifacts: e.Artifacts}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "index.json"), append(idx, '\n'), 0o644); err != nil {
+		return err
+	}
+	// Rename-into-place makes a crashed write invisible to load.
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir)
+}
+
+// load rehydrates every persisted entry. A directory whose index or
+// blobs are unreadable or whose content hash no longer matches is
+// skipped (and logged), never fatal: a corrupt cache entry costs a
+// recomputation, not the daemon.
+func (s *Store) load() error {
+	dirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	log := obs.Log()
+	for _, d := range dirs {
+		if !d.IsDir() || strings.HasSuffix(d.Name(), ".tmp") {
+			continue
+		}
+		dir := filepath.Join(s.dir, d.Name())
+		data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+		if err != nil {
+			log.Warn("cache: skipping entry without index", "dir", dir, "err", err)
+			continue
+		}
+		var idx index
+		if err := json.Unmarshal(data, &idx); err != nil {
+			log.Warn("cache: skipping entry with bad index", "dir", dir, "err", err)
+			continue
+		}
+		e := &Entry{Digest: idx.Digest}
+		ok := idx.Digest != ""
+		for _, a := range idx.Artifacts {
+			if !validName(a.Name) {
+				ok = false
+				break
+			}
+			body, err := os.ReadFile(filepath.Join(dir, a.Name))
+			if err != nil || digest.Bytes(body) != a.SHA256 {
+				ok = false
+				break
+			}
+			e.Artifacts = append(e.Artifacts, &Artifact{Name: a.Name, SHA256: a.SHA256, Size: len(body), data: body})
+		}
+		if !ok || len(e.Artifacts) == 0 {
+			log.Warn("cache: skipping corrupt entry", "dir", dir)
+			continue
+		}
+		s.entries[e.Digest] = e
+	}
+	return nil
+}
+
+// Digests lists the cached digests, sorted.
+func (s *Store) Digests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for d := range s.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

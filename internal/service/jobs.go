@@ -1,0 +1,399 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/service/cache"
+)
+
+// SchemaJob is the versioned job-document schema identifier.
+const SchemaJob = "stdcelltune-job/1"
+
+// Manager lifecycle errors; the HTTP layer maps both to 503.
+var (
+	ErrDraining  = errors.New("service: draining, not accepting jobs")
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// Job states.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Manager metrics, in the process-default registry next to the cache's.
+var (
+	jobsSubmitted = obs.Default().Counter("service.jobs_submitted")
+	jobsDone      = obs.Default().Counter("service.jobs_done")
+	jobsFailed    = obs.Default().Counter("service.jobs_failed")
+	jobsCancelled = obs.Default().Counter("service.jobs_cancelled")
+	jobTime       = obs.Default().Histogram("service.job_time")
+)
+
+// Job is one queued or executed pipeline request. All mutable state is
+// guarded by mu; View snapshots it for the HTTP layer.
+type Job struct {
+	ID     string
+	Spec   Spec   // normalized
+	Digest string // Spec.Digest(), the cache key
+
+	runCtx context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	outcome  string // cache outcome: "hit", "miss" or "shared"
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	entry    *cache.Entry
+	events   []obs.SpanEvent
+	subs     map[chan obs.SpanEvent]struct{}
+}
+
+// Err returns the job's terminal error, or nil.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Entry returns the job's sealed artifact entry once done, else nil.
+func (j *Job) Entry() *cache.Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entry
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: immediately when still queued, via context
+// cancellation when running.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.finish(StatusCancelled, "", nil, context.Canceled)
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state. Caller holds mu. Idempotent
+// so a queued-cancel and the worker's own observation cannot double
+// close.
+func (j *Job) finish(st Status, outcome string, entry *cache.Entry, err error) {
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
+		return
+	}
+	j.status, j.outcome, j.entry, j.err = st, outcome, entry, err
+	j.finished = time.Now()
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	switch st {
+	case StatusDone:
+		jobsDone.Add(1)
+	case StatusFailed:
+		jobsFailed.Add(1)
+	case StatusCancelled:
+		jobsCancelled.Add(1)
+	}
+	if !j.started.IsZero() {
+		jobTime.Observe(j.finished.Sub(j.started))
+	}
+}
+
+// publish appends a span event to the job's history and fans it out to
+// subscribers. A slow subscriber loses events rather than stalling the
+// pipeline (its catch-up is the replay on resubscribe).
+func (j *Job) publish(ev obs.SpanEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns the events so far plus a channel of future events.
+// The channel closes when the job finishes; unsub releases it earlier.
+func (j *Job) Subscribe() (replay []obs.SpanEvent, ch <-chan obs.SpanEvent, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]obs.SpanEvent(nil), j.events...)
+	c := make(chan obs.SpanEvent, 64)
+	if j.subs == nil { // terminal: deliver replay only, already closed stream
+		close(c)
+		return replay, c, func() {}
+	}
+	j.subs[c] = struct{}{}
+	return replay, c, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[c]; ok {
+			delete(j.subs, c)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// ArtifactView is the wire form of one cached artifact.
+type ArtifactView struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Size   int    `json:"size_bytes"`
+}
+
+// JobView is the wire form of a job: the stdcelltune-job/1 document.
+type JobView struct {
+	Schema    string         `json:"schema"`
+	ID        string         `json:"id"`
+	Digest    string         `json:"digest"`
+	Spec      Spec           `json:"spec"`
+	Status    Status         `json:"status"`
+	Outcome   string         `json:"cache_outcome,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	HTTPCode  int            `json:"error_status,omitempty"`
+	Created   time.Time      `json:"created"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Artifacts []ArtifactView `json:"artifacts,omitempty"`
+	Events    int            `json:"events"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		Schema: SchemaJob, ID: j.ID, Digest: j.Digest, Spec: j.Spec,
+		Status: j.status, Outcome: j.outcome, Created: j.created,
+		Events: len(j.events),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+		v.HTTPCode = HTTPStatus(j.err)
+	}
+	if j.entry != nil {
+		for _, a := range j.entry.Artifacts {
+			v.Artifacts = append(v.Artifacts, ArtifactView{Name: a.Name, SHA256: a.SHA256, Size: a.Size})
+		}
+	}
+	return v
+}
+
+// ManagerOptions configures a Manager. The zero value is a sane daemon:
+// one worker (the pipeline itself parallelizes on the robust pool), a
+// 16-deep queue, the real pipeline as the compute function.
+type ManagerOptions struct {
+	// Workers is the number of concurrent pipeline executions; 0 means 1.
+	Workers int
+	// QueueDepth bounds the submitted-but-not-running backlog; 0 means 16.
+	QueueDepth int
+	// Run overrides the pipeline (tests inject fakes); nil means Run.
+	Run func(context.Context, Spec) (map[string][]byte, error)
+	// Trace enables per-job tracers whose span events feed the job's
+	// SSE stream.
+	Trace bool
+}
+
+// Manager owns the job queue and the artifact cache. One per daemon.
+type Manager struct {
+	store *cache.Store
+	opts  ManagerOptions
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	queue    chan *Job
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+}
+
+// NewManager builds and starts a manager over the given cache store.
+func NewManager(store *cache.Store, opts ManagerOptions) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.Run == nil {
+		opts.Run = Run
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		store:   store,
+		opts:    opts,
+		baseCtx: ctx, baseStop: stop,
+		queue: make(chan *Job, opts.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	obs.Default().GaugeFunc("service.queue_depth", func() float64 { return float64(len(m.queue)) })
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Store exposes the artifact cache (the HTTP artifact endpoints read it).
+func (m *Manager) Store() *cache.Store { return m.store }
+
+// Submit validates and enqueues a spec. The returned job is already
+// registered and observable; its terminal state arrives asynchronously.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	norm := spec.Normalized()
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%d", m.seq)
+	jobCtx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID: id, Spec: norm, Digest: norm.Digest(),
+		cancel: cancel, done: make(chan struct{}),
+		status: StatusQueued, created: time.Now(),
+		subs: make(map[chan obs.SpanEvent]struct{}),
+	}
+	j.runCtx = jobCtx
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	jobsSubmitted.Add(1)
+	return j, nil
+}
+
+// Job returns a registered job by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all registered jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Drain stops accepting new jobs, cancels nothing, and waits for the
+// in-flight and queued jobs to finish or for ctx to expire — the
+// SIGTERM half of graceful shutdown. On ctx expiry the remaining jobs
+// are cancelled hard.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.queue)
+	}
+	finished := make(chan struct{})
+	go func() { m.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		m.baseStop() // hard-cancel stragglers, then wait for them
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue, executing one job at a time through the
+// content-addressed cache's single-flight front.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.execute(j)
+	}
+}
+
+func (m *Manager) execute(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := j.runCtx
+	if m.opts.Trace {
+		tr := obs.NewTracer(time.Now)
+		tr.SetSink(j.publish)
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	entry, outcome, err := m.store.GetOrCompute(ctx, j.Digest, func(ctx context.Context) (map[string][]byte, error) {
+		return m.opts.Run(ctx, j.Spec)
+	})
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.finish(StatusDone, outcome, entry, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StatusCancelled, outcome, nil, err)
+	default:
+		j.finish(StatusFailed, outcome, nil, err)
+	}
+}
+
+// Digests returns the cached digests sorted — the artifact listing.
+func (m *Manager) Digests() []string {
+	d := m.store.Digests()
+	sort.Strings(d)
+	return d
+}

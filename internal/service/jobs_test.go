@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stdcelltune"
+	"stdcelltune/internal/obs"
+	"stdcelltune/internal/service/cache"
+)
+
+func newTestManager(t *testing.T, opts ManagerOptions) *Manager {
+	t.Helper()
+	store, err := cache.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(store, opts)
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+func fakeBlobs(spec Spec) map[string][]byte {
+	return map[string][]byte{"result.json": []byte(fmt.Sprintf("{%q}\n", spec.Digest()))}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) { return fakeBlobs(s), nil },
+	})
+	j, err := m.Submit(Spec{Design: "mcu-small", Instances: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	v := j.View()
+	if v.Status != StatusDone || v.Outcome != "miss" {
+		t.Fatalf("status %s outcome %q, want done/miss", v.Status, v.Outcome)
+	}
+	if v.Schema != SchemaJob || v.Digest != j.Spec.Digest() {
+		t.Fatalf("view schema %q digest %q", v.Schema, v.Digest)
+	}
+	if len(v.Artifacts) != 1 || v.Artifacts[0].Name != "result.json" {
+		t.Fatalf("artifacts %+v", v.Artifacts)
+	}
+	if v.Started == nil || v.Finished == nil {
+		t.Fatal("timestamps missing on terminal job")
+	}
+}
+
+// TestDuplicateJobsSingleFlight is the daemon half of the cache
+// acceptance story: concurrent identical submissions compute once, and
+// a later identical submission is a counted cache hit.
+func TestDuplicateJobsSingleFlight(t *testing.T) {
+	var computes atomic.Int64
+	release := make(chan struct{})
+	m := newTestManager(t, ManagerOptions{
+		Workers: 4,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			computes.Add(1)
+			<-release
+			return fakeBlobs(s), nil
+		},
+	})
+	spec := Spec{Design: "mcu-small", Instances: 4}
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// Release once at least one worker reached the compute; the others
+	// either share its flight or land as cache hits after it seals.
+	for computes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("pipeline ran %d times for 4 identical jobs, want 1", got)
+	}
+	misses := 0
+	for _, j := range jobs {
+		v := j.View()
+		if v.Status != StatusDone {
+			t.Fatalf("job %s status %s: %s", j.ID, v.Status, v.Error)
+		}
+		if v.Outcome == "miss" {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses across duplicates, want 1", misses)
+	}
+	hitsBefore := obs.Default().Counter("service.cache_hits").Value()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if v := j.View(); v.Outcome != "hit" {
+		t.Fatalf("warm job outcome %q, want hit", v.Outcome)
+	}
+	if got := obs.Default().Counter("service.cache_hits").Value(); got != hitsBefore+1 {
+		t.Fatalf("cache-hit counter %d -> %d, want +1", hitsBefore, got)
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) { return fakeBlobs(s), nil },
+	})
+	if _, err := m.Submit(Spec{Corner: "nominal"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("want ErrBadSpec, got %v", err)
+	}
+}
+
+func TestDrainRejectsAndFinishes(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+	m := newTestManager(t, ManagerOptions{
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			startOnce.Do(func() { close(started) })
+			<-release
+			return fakeBlobs(s), nil
+		},
+	})
+	j, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	drained := make(chan error, 1)
+	go func() { drained <- m.Drain(context.Background()) }()
+	// Submissions during the drain are refused with the 503 sentinel.
+	for {
+		_, err := m.Submit(Spec{Seed: 2})
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected submit error during drain: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitDone(t, j)
+	if v := j.View(); v.Status != StatusDone {
+		t.Fatalf("in-flight job after drain: %s (%s)", v.Status, v.Error)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		Run: func(ctx context.Context, s Spec) (map[string][]byte, error) {
+			<-ctx.Done() // a job that only ends by cancellation
+			return nil, ctx.Err()
+		},
+	})
+	j, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: %v, want deadline exceeded", err)
+	}
+	waitDone(t, j)
+	if v := j.View(); v.Status != StatusCancelled {
+		t.Fatalf("straggler status %s, want cancelled", v.Status)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	m := newTestManager(t, ManagerOptions{
+		Run: func(ctx context.Context, s Spec) (map[string][]byte, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	j, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel()
+	waitDone(t, j)
+	v := j.View()
+	if v.Status != StatusCancelled {
+		t.Fatalf("status %s, want cancelled", v.Status)
+	}
+	if v.HTTPCode != StatusClientClosedRequest {
+		t.Fatalf("error_status %d, want 499", v.HTTPCode)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, ManagerOptions{
+		Workers: 1,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			<-release
+			return fakeBlobs(s), nil
+		},
+	})
+	// Occupy the single worker, then cancel a job stuck in the queue.
+	if _, err := m.Submit(Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Spec{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	waitDone(t, queued)
+	if v := queued.View(); v.Status != StatusCancelled {
+		t.Fatalf("queued-cancel status %s", v.Status)
+	}
+}
+
+// TestJobEvents: in Trace mode the pipeline's spans reach subscribers
+// live and replay after the fact.
+func TestJobEvents(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		Trace: true,
+		Run: func(ctx context.Context, s Spec) (map[string][]byte, error) {
+			tr := obs.TracerFrom(ctx)
+			tr.Start("stage-one", "service").End()
+			tr.Start("stage-two", "service").End()
+			return fakeBlobs(s), nil
+		},
+	})
+	j, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	replay, ch, unsub := j.Subscribe()
+	defer unsub()
+	if len(replay) != 2 || replay[0].Name != "stage-one" || replay[1].Name != "stage-two" {
+		t.Fatalf("replay %+v, want stage-one,stage-two", replay)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("terminal job's event channel not closed")
+	}
+}
+
+// TestErrorStatusMapping pins the errors.Is -> HTTP table. These codes
+// are API surface: clients branch on them, so the mapping is a contract.
+func TestErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{fmt.Errorf("%w: corner", ErrBadSpec), 400},
+		{ErrDraining, 503},
+		{ErrQueueFull, 503},
+		{fmt.Errorf("tune: %w", stdcelltune.ErrWindowInfeasible), 409},
+		{fmt.Errorf("characterize: %w", stdcelltune.ErrQuarantined), 422},
+		{fmt.Errorf("synthesize: %w", stdcelltune.ErrCancelled), 499},
+		{context.Canceled, 499},
+		{context.DeadlineExceeded, 499},
+		{errors.New("disk on fire"), 500},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// Failed jobs carry the mapped status in their view.
+	m := newTestManager(t, ManagerOptions{
+		Run: func(context.Context, Spec) (map[string][]byte, error) {
+			return nil, fmt.Errorf("tune: %w", stdcelltune.ErrWindowInfeasible)
+		},
+	})
+	j, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	v := j.View()
+	if v.Status != StatusFailed || v.HTTPCode != 409 {
+		t.Fatalf("failed job: status %s code %d, want failed/409", v.Status, v.HTTPCode)
+	}
+}

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"stdcelltune"
+	"stdcelltune/internal/obs"
+)
+
+// Artifact names produced by one pipeline run. Every run yields exactly
+// this set; the cache seals them content-addressed, so a warm request
+// replays the cold run's bytes exactly.
+const (
+	ArtifactSpec      = "spec.json"          // normalized request + digest
+	ArtifactStatLib   = "statlib.lib"        // statistical library, Liberty text
+	ArtifactWindows   = "windows.json"       // tuned per-pin operating windows
+	ArtifactTuning    = "tuning_report.json" // thresholds and per-pin restriction report
+	ArtifactSynthesis = "synthesis.json"     // restricted synthesis outcome
+	ArtifactVariation = "variation.json"     // statistical timing of the result
+)
+
+// Versioned artifact schema identifiers.
+const (
+	SchemaWindows   = "stdcelltune-windows/1"
+	SchemaTuning    = "stdcelltune-tuning/1"
+	SchemaSynthesis = "stdcelltune-synth/1"
+	SchemaVariation = "stdcelltune-variation/1"
+)
+
+// Run executes the full paper pipeline for a spec and returns the
+// artifact set. It is the compute function behind the cache: pure in
+// the spec (the pipeline is deterministic per spec digest), cancellable
+// through ctx, and instrumented with service-category spans so a job's
+// SSE stream shows stage progress.
+//
+// Errors propagate the facade's typed sentinels: ErrCancelled,
+// ErrQuarantined and ErrWindowInfeasible all survive to the HTTP
+// mapping via errors.Is.
+func Run(ctx context.Context, spec Spec) (map[string][]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.Normalized()
+	tr := obs.TracerFrom(ctx)
+
+	corner, _ := cornerFromSlug(spec.Corner)
+	cat := stdcelltune.NewCatalogue(corner)
+
+	span := tr.Start("characterize", "service", "instances", spec.Instances, "seed", spec.Seed)
+	stat, err := stdcelltune.CharacterizeCtx(ctx, cat, stdcelltune.CharacterizeOptions{
+		Instances: spec.Instances, Seed: spec.Seed,
+	})
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("characterize: %w", err)
+	}
+
+	method, _ := methodFromSlug(spec.Method)
+	span = tr.Start("tune", "service", "method", spec.Method, "bound", spec.Bound)
+	win, rep, err := stdcelltune.TuneCtx(ctx, stat, stdcelltune.TuneOptions{Method: method, Bound: spec.Bound})
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+
+	cfg, _ := designConfig(spec.Design)
+	span = tr.Start("synthesize", "service", "design", spec.Design, "clock_ns", spec.ClockNS)
+	design, err := stdcelltune.NewMCUWith(cfg)
+	if err != nil {
+		span.End()
+		return nil, fmt.Errorf("rtlgen: %w", err)
+	}
+	res, err := stdcelltune.SynthesizeCtx(ctx, design, cat, stdcelltune.SynthesizeOptions{
+		Clock: spec.ClockNS, Windows: win, Name: spec.Design,
+	})
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("synthesize: %w", err)
+	}
+
+	span = tr.Start("analyze-variation", "service", "rho", spec.Rho)
+	ds, err := stdcelltune.AnalyzeVariationCtx(ctx, res, stat, stdcelltune.AnalyzeVariationOptions{Rho: spec.Rho})
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("analyze variation: %w", err)
+	}
+
+	return encodeArtifacts(spec, stat, win, rep, res, ds)
+}
+
+// windowsDoc is the ArtifactWindows JSON shape.
+type windowsDoc struct {
+	Schema  string      `json:"schema"`
+	Name    string      `json:"name"`
+	Windows []windowRow `json:"windows"`
+}
+
+type windowRow struct {
+	Cell    string  `json:"cell"`
+	Pin     string  `json:"pin"`
+	MinLoad float64 `json:"min_load_pf"`
+	MaxLoad float64 `json:"max_load_pf"`
+	MinSlew float64 `json:"min_slew_ns"`
+	MaxSlew float64 `json:"max_slew_ns"`
+}
+
+// tuningDoc is the ArtifactTuning JSON shape.
+type tuningDoc struct {
+	Schema       string   `json:"schema"`
+	Method       string   `json:"method"`
+	Bound        float64  `json:"bound"`
+	Clusters     int      `json:"clusters"`
+	Pins         int      `json:"pins"`
+	ExcludedPins int      `json:"excluded_pins"`
+	MeanRetained float64  `json:"mean_retained"`
+	PinReports   []pinRow `json:"pin_reports"`
+}
+
+type pinRow struct {
+	Cell     string  `json:"cell"`
+	Pin      string  `json:"pin"`
+	Retained float64 `json:"retained"`
+	Excluded bool    `json:"excluded,omitempty"`
+}
+
+// synthDoc is the ArtifactSynthesis JSON shape.
+type synthDoc struct {
+	Schema             string  `json:"schema"`
+	Design             string  `json:"design"`
+	ClockNS            float64 `json:"clock_ns"`
+	Met                bool    `json:"met"`
+	Area               float64 `json:"area_um2"`
+	WNS                float64 `json:"wns_ns"`
+	TNS                float64 `json:"tns_ns"`
+	Iterations         int     `json:"iterations"`
+	Buffered           int     `json:"buffered"`
+	Upsized            int     `json:"upsized"`
+	Downsized          int     `json:"downsized"`
+	FullAnalyses       int     `json:"full_analyses"`
+	IncrementalUpdates int     `json:"incremental_updates"`
+}
+
+// variationDoc is the ArtifactVariation JSON shape.
+type variationDoc struct {
+	Schema            string         `json:"schema"`
+	Rho               float64        `json:"rho"`
+	DesignMu          float64        `json:"design_mu_ns"`
+	DesignSigma       float64        `json:"design_sigma_ns"`
+	Variability       float64        `json:"variability"`
+	WorstMeanPlus3Sig float64        `json:"worst_mu_plus_3sigma_ns"`
+	Paths             int            `json:"paths"`
+	MaxDepth          int            `json:"max_depth"`
+	DegradedCells     map[string]int `json:"degraded_cells,omitempty"`
+}
+
+// encodeArtifacts renders the pipeline outputs into the artifact set.
+// Every encoder is deterministic: fixed field order, sorted slices, and
+// Go's stable float formatting, so the cache's byte-identity invariant
+// holds across runs.
+func encodeArtifacts(spec Spec, stat *stdcelltune.StatisticalLibrary, win *stdcelltune.Windows,
+	rep *stdcelltune.TuningReport, res *stdcelltune.SynthesisResult, ds *stdcelltune.DesignStats) (map[string][]byte, error) {
+
+	out := make(map[string][]byte, 6)
+	put := func(name string, v any) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode %s: %w", name, err)
+		}
+		out[name] = append(data, '\n')
+		return nil
+	}
+
+	specDoc := struct {
+		Spec
+		Digest string `json:"digest"`
+	}{spec.Normalized(), spec.Digest()}
+	if err := put(ArtifactSpec, specDoc); err != nil {
+		return nil, err
+	}
+
+	libText, err := stdcelltune.WriteLiberty(stat.ToLiberty())
+	if err != nil {
+		return nil, fmt.Errorf("encode %s: %w", ArtifactStatLib, err)
+	}
+	out[ArtifactStatLib] = []byte(libText)
+
+	wd := windowsDoc{Schema: SchemaWindows, Name: win.Name}
+	for _, k := range win.Keys() {
+		cell, pin, _ := strings.Cut(k, "/")
+		w, _ := win.Window(cell, pin)
+		wd.Windows = append(wd.Windows, windowRow{
+			Cell: cell, Pin: pin,
+			MinLoad: w.MinLoad, MaxLoad: w.MaxLoad,
+			MinSlew: w.MinSlew, MaxSlew: w.MaxSlew,
+		})
+	}
+	if err := put(ArtifactWindows, wd); err != nil {
+		return nil, err
+	}
+
+	td := tuningDoc{
+		Schema:       SchemaTuning,
+		Method:       spec.Method,
+		Bound:        spec.Bound,
+		Clusters:     len(rep.Clusters),
+		Pins:         len(rep.Pins),
+		ExcludedPins: rep.ExcludedPins(),
+	}
+	for _, p := range rep.Pins {
+		td.MeanRetained += p.Retained
+		td.PinReports = append(td.PinReports, pinRow{Cell: p.Cell, Pin: p.Pin, Retained: p.Retained, Excluded: p.Excluded})
+	}
+	if len(rep.Pins) > 0 {
+		td.MeanRetained /= float64(len(rep.Pins))
+	}
+	sort.Slice(td.PinReports, func(i, j int) bool {
+		a, b := td.PinReports[i], td.PinReports[j]
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		return a.Pin < b.Pin
+	})
+	if err := put(ArtifactTuning, td); err != nil {
+		return nil, err
+	}
+
+	sd := synthDoc{
+		Schema:             SchemaSynthesis,
+		Design:             spec.Design,
+		ClockNS:            spec.ClockNS,
+		Met:                res.Met,
+		Area:               res.Area(),
+		WNS:                res.Timing.WNS(),
+		TNS:                res.Timing.TNS(),
+		Iterations:         res.Iterations,
+		Buffered:           res.Buffered,
+		Upsized:            res.Upsized,
+		Downsized:          res.Downsized,
+		FullAnalyses:       res.FullAnalyses,
+		IncrementalUpdates: res.IncrementalUpdates,
+	}
+	if err := put(ArtifactSynthesis, sd); err != nil {
+		return nil, err
+	}
+
+	maxDepth := 0
+	for _, p := range ds.Paths {
+		if p.Depth > maxDepth {
+			maxDepth = p.Depth
+		}
+	}
+	vd := variationDoc{
+		Schema:            SchemaVariation,
+		Rho:               ds.Rho,
+		DesignMu:          ds.Design.Mu,
+		DesignSigma:       ds.Design.Sigma,
+		Variability:       ds.Design.Variability(),
+		WorstMeanPlus3Sig: ds.WorstMeanPlus3Sigma(),
+		Paths:             len(ds.Paths),
+		MaxDepth:          maxDepth,
+		DegradedCells:     ds.Degraded,
+	}
+	if err := put(ArtifactVariation, vd); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"stdcelltune"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a
+// request abandoned by cancellation; net/http has no constant for it.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps a pipeline or service error to an HTTP status via
+// errors.Is over the typed sentinels. This single function is the whole
+// error contract of the API: the facade promises the sentinels survive
+// wrapping, and the daemon promises these mappings.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, stdcelltune.ErrWindowInfeasible):
+		return http.StatusConflict // 409: the spec is well-formed but self-contradictory
+	case errors.Is(err, stdcelltune.ErrQuarantined):
+		return http.StatusUnprocessableEntity // 422: inputs degenerate beyond the quarantine limit
+	case errors.Is(err, stdcelltune.ErrCancelled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return StatusClientClosedRequest // 499
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// Handler builds the daemon's HTTP surface over a manager:
+//
+//	POST   /v1/jobs                 submit a Spec, 202 + job document
+//	GET    /v1/jobs                 list jobs
+//	GET    /v1/jobs/{id}            job document
+//	DELETE /v1/jobs/{id}            cancel, 202 + job document
+//	GET    /v1/jobs/{id}/events     SSE stream of pipeline span events
+//	GET    /v1/artifacts            list cached digests
+//	GET    /v1/artifacts/{digest}   artifact index of one cache entry
+//	GET    /v1/artifacts/{digest}/{name}  artifact bytes
+//	GET    /healthz                 liveness + queue snapshot
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrBadSpec, err))
+			return
+		}
+		j, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		views := make([]JobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
+			return
+		}
+		j.Cancel()
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
+			return
+		}
+		serveEvents(w, r, j)
+	})
+
+	mux.HandleFunc("GET /v1/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"digests": m.Digests()})
+	})
+
+	mux.HandleFunc("GET /v1/artifacts/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := m.Store().Lookup(r.PathValue("digest"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such artifact set", Status: http.StatusNotFound})
+			return
+		}
+		views := make([]ArtifactView, len(e.Artifacts))
+		for i, a := range e.Artifacts {
+			views[i] = ArtifactView{Name: a.Name, SHA256: a.SHA256, Size: a.Size}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"digest": e.Digest, "artifacts": views})
+	})
+
+	mux.HandleFunc("GET /v1/artifacts/{digest}/{name}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := m.Store().Lookup(r.PathValue("digest"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such artifact set", Status: http.StatusNotFound})
+			return
+		}
+		a := e.Artifact(r.PathValue("name"))
+		if a == nil {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such artifact", Status: http.StatusNotFound})
+			return
+		}
+		if strings.HasSuffix(a.Name, ".json") {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		w.Header().Set("X-Content-SHA256", a.SHA256)
+		w.Write(a.Bytes())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":      true,
+			"schema":  SchemaSpec,
+			"jobs":    len(m.Jobs()),
+			"cached":  m.Store().Len(),
+			"methods": MethodSlugs(),
+		})
+	})
+
+	return mux
+}
+
+// serveEvents streams a job's span events as Server-Sent Events:
+// replayed history first, then live events, then one "done" event
+// carrying the terminal job document.
+func serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorDoc{Error: "streaming unsupported", Status: http.StatusNotImplemented})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, unsub := j.Subscribe()
+	defer unsub()
+	send := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	for _, ev := range replay {
+		send("span", ev)
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				send("done", j.View())
+				return
+			}
+			send("span", ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := HTTPStatus(err)
+	writeJSON(w, status, errorDoc{Error: err.Error(), Status: status})
+}

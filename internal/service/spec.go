@@ -1,0 +1,227 @@
+// Package service is the tuning-as-a-service layer behind cmd/stcd: a
+// long-running daemon that exposes the paper's full pipeline
+// (characterize -> tune -> restrict -> synthesize -> analyze variation)
+// as asynchronous jobs over HTTP/JSON.
+//
+// The package is deliberately a consumer of the public stdcelltune
+// facade, not of the internal pipeline packages: everything the daemon
+// can do, a library user can do with the same ctx-first calls, and the
+// service's cancellation and error mapping ride entirely on the
+// facade's typed sentinels (ErrCancelled, ErrQuarantined,
+// ErrWindowInfeasible).
+//
+// Three pieces:
+//
+//   - Spec (this file): the versioned request schema stdcelltune-api/1,
+//     its validation, normalization, and canonical content digest. The
+//     digest keys the artifact cache, so "same request" is a pure
+//     function of the spec — not of arrival time or encoding quirks.
+//   - Manager (jobs.go): a bounded job queue with per-job cancellation,
+//     single-flight artifact computation through the content-addressed
+//     cache, per-job span streams, and graceful drain for SIGTERM.
+//   - Handler (server.go): the /v1 HTTP surface plus the errors.Is ->
+//     HTTP status mapping.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"stdcelltune"
+	"stdcelltune/internal/digest"
+	"stdcelltune/internal/rtlgen"
+	"stdcelltune/internal/stdcell"
+)
+
+// SchemaSpec is the versioned request schema identifier.
+const SchemaSpec = "stdcelltune-api/1"
+
+// ErrBadSpec marks request-validation failures; the HTTP layer maps it
+// to 400.
+var ErrBadSpec = errors.New("service: invalid request spec")
+
+// Spec is one tuning-service request: a full pipeline run described by
+// value. The zero value of every field means "the paper's default", so
+// `{}` is a valid request reproducing the headline experiment
+// (sigma-ceiling 0.02 on the 20k-gate MCU at the typical corner).
+type Spec struct {
+	// Schema is the request schema version. Empty means SchemaSpec;
+	// anything else must match it exactly.
+	Schema string `json:"schema,omitempty"`
+	// Corner is the characterization corner: "typical", "fast" or
+	// "slow". Empty means "typical".
+	Corner string `json:"corner,omitempty"`
+	// Design selects the evaluation workload: "mcu" (the paper's
+	// 20k-gate microcontroller) or "mcu-small" (the scaled-down
+	// variant used by quick runs). Empty means "mcu".
+	Design string `json:"design,omitempty"`
+	// Instances is the Monte-Carlo instance count; 0 means the paper's
+	// 50.
+	Instances int `json:"instances,omitempty"`
+	// Seed is the variation sampler seed; 0 means the paper's 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Method is the tuning method slug (see MethodSlugs); empty means
+	// "sigma-ceiling".
+	Method string `json:"method,omitempty"`
+	// Bound is the swept constraint value of the method; 0 means the
+	// method's headline value from the paper's Table 2 sweep.
+	Bound float64 `json:"bound,omitempty"`
+	// ClockNS is the synthesis clock period in ns; 0 means 5.0.
+	ClockNS float64 `json:"clock_ns,omitempty"`
+	// Rho is the path correlation of the variation analysis; 0 is the
+	// paper's local-variation assumption.
+	Rho float64 `json:"rho,omitempty"`
+}
+
+// methodSlugs maps the wire slugs to tuning methods, in paper order.
+var methodSlugs = []struct {
+	slug string
+	m    stdcelltune.Method
+}{
+	{"cell-strength-load-slope", stdcelltune.CellStrengthLoadSlope},
+	{"cell-strength-slew-slope", stdcelltune.CellStrengthSlewSlope},
+	{"cell-load-slope", stdcelltune.CellLoadSlope},
+	{"cell-slew-slope", stdcelltune.CellSlewSlope},
+	{"sigma-ceiling", stdcelltune.SigmaCeiling},
+}
+
+// MethodSlugs lists the accepted method slugs in paper order.
+func MethodSlugs() []string {
+	out := make([]string, len(methodSlugs))
+	for i, e := range methodSlugs {
+		out[i] = e.slug
+	}
+	return out
+}
+
+// MethodSlug returns the wire slug of a tuning method.
+func MethodSlug(m stdcelltune.Method) string {
+	for _, e := range methodSlugs {
+		if e.m == m {
+			return e.slug
+		}
+	}
+	return "unknown"
+}
+
+func methodFromSlug(slug string) (stdcelltune.Method, bool) {
+	for _, e := range methodSlugs {
+		if e.slug == slug {
+			return e.m, true
+		}
+	}
+	return 0, false
+}
+
+func cornerFromSlug(slug string) (stdcell.Corner, bool) {
+	switch slug {
+	case "typical":
+		return stdcell.Typical, true
+	case "fast":
+		return stdcell.Fast, true
+	case "slow":
+		return stdcell.Slow, true
+	}
+	return 0, false
+}
+
+// headlineBound is the paper's headline sweep value of a method: the
+// bound used when a spec leaves it zero.
+func headlineBound(m stdcelltune.Method) float64 {
+	if m == stdcelltune.SigmaCeiling {
+		return 0.02
+	}
+	return 0.03
+}
+
+// Normalized returns the spec with every defaulted field filled in.
+// Digest and the pipeline both operate on the normalized form, so a
+// request written `{}` and one spelling out the defaults share a cache
+// entry.
+func (s Spec) Normalized() Spec {
+	s.Schema = SchemaSpec
+	if s.Corner == "" {
+		s.Corner = "typical"
+	}
+	if s.Design == "" {
+		s.Design = "mcu"
+	}
+	if s.Instances == 0 {
+		s.Instances = 50
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Method == "" {
+		s.Method = MethodSlug(stdcelltune.SigmaCeiling)
+	}
+	if s.Bound == 0 {
+		if m, ok := methodFromSlug(s.Method); ok {
+			s.Bound = headlineBound(m)
+		}
+	}
+	if s.ClockNS == 0 {
+		s.ClockNS = 5.0
+	}
+	return s
+}
+
+// Validate checks the spec. Every failure wraps ErrBadSpec.
+func (s Spec) Validate() error {
+	if s.Schema != "" && s.Schema != SchemaSpec {
+		return fmt.Errorf("%w: schema %q, want %q", ErrBadSpec, s.Schema, SchemaSpec)
+	}
+	n := s.Normalized()
+	if _, ok := cornerFromSlug(n.Corner); !ok {
+		return fmt.Errorf("%w: corner %q (want typical, fast or slow)", ErrBadSpec, n.Corner)
+	}
+	if n.Design != "mcu" && n.Design != "mcu-small" {
+		return fmt.Errorf("%w: design %q (want mcu or mcu-small)", ErrBadSpec, n.Design)
+	}
+	if _, ok := methodFromSlug(n.Method); !ok {
+		return fmt.Errorf("%w: method %q (want one of %v)", ErrBadSpec, n.Method, MethodSlugs())
+	}
+	if n.Instances < 2 {
+		return fmt.Errorf("%w: instances %d (want >= 2 for sigma estimation)", ErrBadSpec, n.Instances)
+	}
+	if n.Bound < 0 {
+		return fmt.Errorf("%w: bound %g must not be negative", ErrBadSpec, n.Bound)
+	}
+	if n.ClockNS <= 0 {
+		return fmt.Errorf("%w: clock_ns %g must be positive", ErrBadSpec, n.ClockNS)
+	}
+	if n.Rho < 0 || n.Rho > 1 {
+		return fmt.Errorf("%w: rho %g outside [0,1]", ErrBadSpec, n.Rho)
+	}
+	return nil
+}
+
+// Digest returns the canonical content digest of the spec: the cache
+// key. Two specs digest equally iff their normalized forms are
+// field-for-field identical; the framing (domain separation, length
+// prefixes, hex-exact floats) lives in internal/digest and is shared
+// with exp.FlowConfig.Digest.
+func (s Spec) Digest() string {
+	n := s.Normalized()
+	c := digest.New(SchemaSpec)
+	c.Str("corner", n.Corner)
+	c.Str("design", n.Design)
+	c.Int("instances", int64(n.Instances))
+	c.Int("seed", n.Seed)
+	c.Str("method", n.Method)
+	c.Float("bound", n.Bound)
+	c.Float("clock_ns", n.ClockNS)
+	c.Float("rho", n.Rho)
+	return c.Sum()
+}
+
+// designConfig maps the design slug to an rtlgen configuration.
+func designConfig(slug string) (rtlgen.Config, bool) {
+	switch slug {
+	case "mcu":
+		return rtlgen.DefaultConfig(), true
+	case "mcu-small":
+		return rtlgen.SmallConfig(), true
+	}
+	return rtlgen.Config{}, false
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSpecDigestGolden pins the canonical digest of the default request.
+// This hash is the cache key of the headline experiment; if it moves,
+// every persisted cache entry is orphaned, so a change here must be a
+// deliberate schema bump (SchemaSpec), never an accident.
+func TestSpecDigestGolden(t *testing.T) {
+	const want = "sha256:3a4b749878a8516bedd1623b3d4af46da28da83bedcd89f12cb853f7ee4b9221"
+	if got := (Spec{}).Digest(); got != want {
+		t.Fatalf("default spec digest drifted:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestSpecNormalizationSharesDigest proves `{}` and the spelled-out
+// defaults are the same request: one cache entry, not two.
+func TestSpecNormalizationSharesDigest(t *testing.T) {
+	explicit := Spec{
+		Schema: SchemaSpec, Corner: "typical", Design: "mcu",
+		Instances: 50, Seed: 1, Method: "sigma-ceiling",
+		Bound: 0.02, ClockNS: 5.0,
+	}
+	if got, want := explicit.Digest(), (Spec{}).Digest(); got != want {
+		t.Fatalf("explicit defaults digest %s != zero-spec digest %s", got, want)
+	}
+}
+
+// TestSpecDigestSensitivity: every semantic field must perturb the
+// digest — a field the digest ignores would alias distinct requests
+// onto one cache entry.
+func TestSpecDigestSensitivity(t *testing.T) {
+	base := Spec{}.Digest()
+	variants := map[string]Spec{
+		"corner":    {Corner: "fast"},
+		"design":    {Design: "mcu-small"},
+		"instances": {Instances: 10},
+		"seed":      {Seed: 7},
+		"method":    {Method: "cell-load-slope"},
+		"bound":     {Bound: 0.01},
+		"clock":     {ClockNS: 6.5},
+		"rho":       {Rho: 0.3},
+	}
+	seen := map[string]string{base: "default"}
+	for name, s := range variants {
+		d := s.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("variant %q collides with %q: %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Schema: SchemaSpec},
+		{Corner: "slow", Design: "mcu-small", Method: "cell-slew-slope", Bound: 0.05},
+		{Instances: 2, Seed: -3, Rho: 1},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("good[%d] rejected: %v", i, err)
+		}
+	}
+	bad := []Spec{
+		{Schema: "stdcelltune-api/0"},
+		{Corner: "nominal"},
+		{Design: "cpu"},
+		{Method: "sigma ceiling"}, // the display name is not the slug
+		{Instances: 1},
+		{Bound: -0.01},
+		{ClockNS: -1},
+		{Rho: 1.5},
+	}
+	for i, s := range bad {
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, s)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("bad[%d]: error does not wrap ErrBadSpec: %v", i, err)
+		}
+	}
+}
+
+// TestMethodSlugsRoundTrip: every paper method has a slug and the slug
+// maps back to it.
+func TestMethodSlugsRoundTrip(t *testing.T) {
+	slugs := MethodSlugs()
+	if len(slugs) != 5 {
+		t.Fatalf("want 5 method slugs, got %v", slugs)
+	}
+	for _, slug := range slugs {
+		if strings.ContainsAny(slug, " /") {
+			t.Errorf("slug %q is not URL-safe", slug)
+		}
+		m, ok := methodFromSlug(slug)
+		if !ok {
+			t.Fatalf("slug %q does not map back", slug)
+		}
+		if got := MethodSlug(m); got != slug {
+			t.Errorf("round trip %q -> %v -> %q", slug, m, got)
+		}
+	}
+}

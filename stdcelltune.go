@@ -5,20 +5,34 @@
 // the variation-robust part of the library and reducing a design's
 // sensitivity to local (intra-die) process variation.
 //
-// The package is a facade over the full flow:
+// The package is a facade over the full flow. Every stage takes a
+// context (cancellation aborts promptly; the returned error matches
+// ErrCancelled) and an Options struct whose zero value reproduces the
+// paper's defaults:
 //
-//	cat := stdcelltune.NewCatalogue(stdcelltune.Typical)        // 304-cell 40nm-class library
-//	stat, _ := stdcelltune.Characterize(cat, 50, 1)             // Monte-Carlo statistical library
-//	win, rep, _ := stdcelltune.Tune(stat, stdcelltune.SigmaCeiling, 0.02)
-//	mcu, _ := stdcelltune.NewMCU()                              // 20k-gate evaluation design
-//	base, _ := stdcelltune.Synthesize(mcu, cat, 5.0, nil)       // baseline
-//	tuned, _ := stdcelltune.Synthesize(mcu, cat, 5.0, win)      // restricted
-//	bs, _ := stdcelltune.AnalyzeVariation(base, stat)
-//	ts, _ := stdcelltune.AnalyzeVariation(tuned, stat)
+//	ctx := context.Background()
+//	cat := stdcelltune.NewCatalogue(stdcelltune.Typical) // 304-cell 40nm-class library
+//	stat, _ := stdcelltune.CharacterizeCtx(ctx, cat,     // Monte-Carlo statistical library
+//		stdcelltune.CharacterizeOptions{Instances: 50, Seed: 1})
+//	win, rep, _ := stdcelltune.TuneCtx(ctx, stat,
+//		stdcelltune.TuneOptions{Method: stdcelltune.SigmaCeiling, Bound: 0.02})
+//	mcu, _ := stdcelltune.NewMCU()                       // 20k-gate evaluation design
+//	base, _ := stdcelltune.SynthesizeCtx(ctx, mcu, cat,  // baseline
+//		stdcelltune.SynthesizeOptions{Clock: 5.0})
+//	tuned, _ := stdcelltune.SynthesizeCtx(ctx, mcu, cat, // restricted
+//		stdcelltune.SynthesizeOptions{Clock: 5.0, Windows: win})
+//	bs, _ := stdcelltune.AnalyzeVariationCtx(ctx, base, stat, stdcelltune.AnalyzeVariationOptions{})
+//	ts, _ := stdcelltune.AnalyzeVariationCtx(ctx, tuned, stat, stdcelltune.AnalyzeVariationOptions{})
 //	// ts.Design.Sigma < bs.Design.Sigma at a modest area cost.
 //
+// Failures carry typed sentinels — ErrQuarantined, ErrWindowInfeasible,
+// ErrCancelled — so service layers map them with errors.Is. The
+// positional entrypoints (Characterize, Tune, Synthesize,
+// AnalyzeVariation) remain as deprecated wrappers.
+//
 // Every table and figure of the paper regenerates through Experiments
-// (see the root bench_test.go and cmd/experiments).
+// (see the root bench_test.go and cmd/experiments); the same pipeline
+// is served on demand by the cmd/stcd daemon (internal/service).
 package stdcelltune
 
 import (
@@ -35,7 +49,6 @@ import (
 	"stdcelltune/internal/stattime"
 	"stdcelltune/internal/stdcell"
 	"stdcelltune/internal/synth"
-	"stdcelltune/internal/variation"
 )
 
 // Corner is a process/voltage/temperature corner.
@@ -71,9 +84,12 @@ type StatisticalLibrary = statlib.Library
 // Characterize runs the Monte-Carlo characterization (n library
 // instances under local variation) and folds them into the statistical
 // library. The paper uses n = 50.
+//
+// Deprecated: use CharacterizeCtx, which adds cancellation and a
+// self-describing options struct. This wrapper is bit-identical to
+// CharacterizeCtx(context.Background(), cat, CharacterizeOptions{Instances: n, Seed: seed}).
 func Characterize(cat *Catalogue, n int, seed int64) (*StatisticalLibrary, error) {
-	libs := variation.Instances(cat, variation.Config{N: n, Seed: seed, CharNoise: 0.02})
-	return statlib.Build("stat_"+cat.Corner.Name(), libs)
+	return CharacterizeCtx(context.Background(), cat, CharacterizeOptions{Instances: n, Seed: seed})
 }
 
 // Method is one of the paper's five tuning methods.
@@ -104,6 +120,11 @@ type TuningReport = core.Report
 
 // Tune runs a tuning method at the given constraint bound against the
 // statistical library.
+//
+// Deprecated: use TuneCtx. Unlike TuneCtx this wrapper does not reject
+// an all-excluded window set with ErrWindowInfeasible, preserving the
+// historical contract for existing sweep drivers that probe infeasible
+// bounds deliberately.
 func Tune(stat *StatisticalLibrary, m Method, bound float64) (*Windows, *TuningReport, error) {
 	return core.NewTuner(stat).Tune(core.ParamsFor(m, bound))
 }
@@ -139,10 +160,12 @@ type SynthesisResult = synth.Result
 
 // Synthesize maps the design onto the catalogue and sizes it against a
 // clock period (ns). windows may be nil for an unrestricted baseline.
+//
+// Deprecated: use SynthesizeCtx, which adds cancellation and room for
+// non-default iteration budgets. This wrapper is bit-identical to
+// SynthesizeCtx(context.Background(), d, cat, SynthesizeOptions{Clock: clock, Windows: windows}).
 func Synthesize(d *Design, cat *Catalogue, clock float64, windows *Windows) (*SynthesisResult, error) {
-	opts := synth.DefaultOptions(clock)
-	opts.Restrict = windows
-	return synth.Synthesize("design", d, cat, opts)
+	return SynthesizeCtx(context.Background(), d, cat, SynthesizeOptions{Clock: clock, Windows: windows})
 }
 
 // DesignStats is the statistical timing of a synthesized design: per
@@ -152,8 +175,11 @@ type DesignStats = stattime.DesignStats
 // AnalyzeVariation computes the local-variation statistics of a
 // synthesis result against the statistical library (correlation rho=0,
 // the paper's assumption).
+//
+// Deprecated: use AnalyzeVariationCtx. This wrapper is bit-identical to
+// AnalyzeVariationCtx(context.Background(), res, stat, AnalyzeVariationOptions{}).
 func AnalyzeVariation(res *SynthesisResult, stat *StatisticalLibrary) (*DesignStats, error) {
-	return stattime.Analyze(res.Timing, stat, 0)
+	return AnalyzeVariationCtx(context.Background(), res, stat, AnalyzeVariationOptions{})
 }
 
 // Compare summarizes tuned-versus-baseline sigma and area.
