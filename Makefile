@@ -9,9 +9,9 @@ BENCH_JSON ?= BENCH_PR4.json
 BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$|BenchmarkSynthesize$$|BenchmarkSynthesizeRestricted$$
 BENCH_SCALE ?= small
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke serve-smoke clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke serve-smoke crash-smoke clean
 
-ci: vet build race fuzz-short obs-smoke serve-smoke
+ci: vet build race fuzz-short obs-smoke serve-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,12 +31,13 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=30s ./internal/liberty
 
 # One short iteration over every fuzz target, so the NaN-lookup guard,
-# the parser, and the incremental-STA equivalence contract cannot
-# regress silently in CI.
+# the parser, the incremental-STA equivalence contract, and the journal's
+# torn-tail recovery cannot regress silently in CI.
 fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzLookup -fuzztime=5s ./internal/lut
 	$(GO) test -run=^$$ -fuzz=FuzzParseLiberty -fuzztime=5s ./internal/liberty
 	$(GO) test -run=^$$ -fuzz=FuzzEngineEdits -fuzztime=5s ./internal/sta
+	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=5s ./internal/service/journal
 
 # Regenerate the current numbers in $(BENCH_JSON) from the tracked
 # benchmarks (STC_BENCH=$(BENCH_SCALE) flow; seed baselines recorded in
@@ -65,6 +66,14 @@ obs-smoke:
 # and check graceful SIGTERM drain. See scripts/serve_smoke.sh.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# Crash-safety smoke: run stcd into a chaos-armed crash (exit 137 with a
+# torn journal tail), restart over the same statedir/cachedir, and prove
+# the job recovers as a warm cache hit with byte-identical artifacts,
+# admission control answers 429, and the journal validates via
+# obscheck -journal. See scripts/serve_crash_smoke.sh.
+crash-smoke:
+	GO="$(GO)" sh scripts/serve_crash_smoke.sh
 
 clean:
 	$(GO) clean ./...

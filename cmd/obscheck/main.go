@@ -1,8 +1,9 @@
 // Command obscheck validates the machine-readable artifacts the flow
 // produces: the Chrome trace-event JSON (-trace), the run manifest
-// (-manifest), the benchmark JSON (-bench), and the tuning daemon's API
-// documents (-apijob, -apiartifacts). It is the assertion half of
-// `make obs-smoke` and `make serve-smoke`: the smoke targets run the
+// (-manifest), the benchmark JSON (-bench), the tuning daemon's API
+// documents (-apijob, -apiartifacts), and the daemon's durable job
+// journal (-journal). It is the assertion half of `make obs-smoke`,
+// `make serve-smoke` and `make crash-smoke`: the smoke targets run the
 // pipeline (batch or served), then obscheck fails the build if an
 // artifact does not parse, misses expected content, or violates its
 // versioned schema.
@@ -11,6 +12,7 @@
 //
 //	obscheck -trace /tmp/trace.json -manifest /tmp/trace.manifest.json [-bench /tmp/b.json]
 //	obscheck -apijob /tmp/job.json -apiartifacts /tmp/index.json
+//	obscheck -journal /var/lib/stcd/jobs.wal
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/service"
+	"stdcelltune/internal/service/journal"
 )
 
 // chromeTrace mirrors the exported subset of the trace-event format the
@@ -47,6 +50,7 @@ func main() {
 	benchPath := flag.String("bench", "", "benchmark JSON (stdcelltune-bench/1) to validate (optional)")
 	apiJobPath := flag.String("apijob", "", "stcd job document (stdcelltune-job/1) to validate")
 	apiArtifactsPath := flag.String("apiartifacts", "", "stcd artifact index JSON to validate")
+	journalPath := flag.String("journal", "", "stcd job journal (stdcelltune-journal/1) to validate")
 	flag.Parse()
 
 	failed := false
@@ -241,8 +245,59 @@ func main() {
 		fmt.Printf("obscheck: artifact index ok: %s, %d artifacts\n", idx.Digest, len(idx.Artifacts))
 	}
 
-	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" {
-		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob and/or -apiartifacts")
+	if *journalPath != "" {
+		data, err := os.ReadFile(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, valid, rerr := journal.Replay(data)
+		if len(data) > 0 && valid == 0 {
+			fail("%s: no valid records in a %d-byte journal: %v", *journalPath, len(data), rerr)
+		} else if rerr != nil {
+			// A torn tail is what crashes leave behind; recovery truncates
+			// it. Report, but pass.
+			log.Printf("warn: %s: torn tail after %d valid bytes (%d dangling): %v",
+				*journalPath, valid, int64(len(data))-valid, rerr)
+		}
+		var lastSeq uint64
+		seen := map[string]journal.State{}
+		for i, r := range recs {
+			if r.Schema != journal.Schema {
+				fail("%s: record %d schema %q, want %q", *journalPath, i, r.Schema, journal.Schema)
+			}
+			if r.Seq <= lastSeq {
+				fail("%s: record %d seq %d not strictly increasing (prev %d)", *journalPath, i, r.Seq, lastSeq)
+			}
+			lastSeq = r.Seq
+			if !r.State.Valid() {
+				fail("%s: record %d (%s) has unknown state %q", *journalPath, i, r.Job, r.State)
+			}
+			if r.Job == "" {
+				fail("%s: record %d has no job id", *journalPath, i)
+			}
+			prev, ok := seen[r.Job]
+			switch {
+			case !ok && r.State != journal.StateAccepted:
+				fail("%s: job %s first appears as %q, want accepted first", *journalPath, r.Job, r.State)
+			case ok && prev.Terminal():
+				fail("%s: job %s transitions %q -> %q after a terminal state", *journalPath, r.Job, prev, r.State)
+			case r.State == journal.StateAccepted && len(r.Spec) == 0:
+				fail("%s: job %s accepted without a spec", *journalPath, r.Job)
+			}
+			seen[r.Job] = r.State
+		}
+		terminal := 0
+		for _, st := range seen {
+			if st.Terminal() {
+				terminal++
+			}
+		}
+		fmt.Printf("obscheck: journal ok: %d records, %d jobs (%d terminal, %d pending), %d valid bytes\n",
+			len(recs), len(seen), terminal, len(journal.Pending(recs)), valid)
+	}
+
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts and/or -journal")
 	}
 	if failed {
 		os.Exit(1)

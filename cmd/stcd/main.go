@@ -2,25 +2,37 @@
 // pipeline (characterize -> tune -> restrict -> synthesize -> analyze
 // variation) served on demand as asynchronous HTTP/JSON jobs.
 //
-//	stcd -addr :8372 -cachedir /var/cache/stcd
+//	stcd -addr :8372 -cachedir /var/cache/stcd -statedir /var/lib/stcd
 //
 // Requests are stdcelltune-api/1 specs; identical specs share one
 // content-addressed cache entry, so a warm request returns the cold
 // run's bytes without recomputing (see internal/service and
-// internal/service/cache). SIGINT/SIGTERM drains gracefully: new
-// submissions get 503 while in-flight jobs finish, bounded by
+// internal/service/cache). With -statedir every job state transition is
+// journaled (stdcelltune-journal/1, fsynced on accept and terminal
+// states), so a crash — SIGKILL, OOM, power — loses no accepted job: on
+// restart the journal replays, pending jobs re-enqueue, and warm specs
+// replay their cached bytes exactly. SIGINT/SIGTERM drains gracefully:
+// new submissions get 503 while in-flight jobs finish, bounded by
 // -draintimeout.
 //
 // Flags:
 //
-//	-addr         listen address (default 127.0.0.1:8372; use :0 for an ephemeral port)
-//	-addrfile     write the bound address to this file once listening (smoke harnesses)
-//	-cachedir     persist the artifact cache here; empty = memory only
-//	-workers      concurrent pipeline executions (default 1; the pipeline itself parallelizes)
-//	-queue        queued-job backlog bound (default 16)
-//	-draintimeout graceful-shutdown bound (default 60s)
-//	-debugaddr    also serve expvar/pprof/obs debug surface on this address
-//	-log          log level: debug, info, warn, error (default info)
+//	-addr           listen address (default 127.0.0.1:8372; use :0 for an ephemeral port)
+//	-addrfile       write the bound address to this file once listening (smoke harnesses)
+//	-cachedir       persist the artifact cache here; empty = memory only
+//	-statedir       durable job journal + shutdown manifest here; empty = no crash safety
+//	-workers        concurrent pipeline executions (default 1; the pipeline itself parallelizes)
+//	-queue          queued-job backlog bound (default 16)
+//	-maxrps         global submission rate limit, jobs/sec (0 = unlimited; rejections are 429 + Retry-After)
+//	-burst          rate-limiter burst size (0 = ceil(maxrps))
+//	-tenantquota    max concurrently active jobs per tenant / X-API-Key (0 = unlimited; 429 on excess)
+//	-breakerk       trip a spec digest after K consecutive panic/quarantine failures (0 = breaker off)
+//	-breakercooldown how long a tripped digest stays open before one probe (default 30s)
+//	-draintimeout   graceful-shutdown bound (default 60s)
+//	-chaos          fault-injection spec, e.g. 'journal.done.write=torn' (crash harness; see internal/service/chaos)
+//	-chaosseed      deterministic seed for -chaos decisions
+//	-debugaddr      also serve expvar/pprof/obs debug surface on this address
+//	-log            log level: debug, info, warn, error (default info)
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -39,6 +52,8 @@ import (
 	"stdcelltune/internal/obs/debughttp"
 	"stdcelltune/internal/service"
 	"stdcelltune/internal/service/cache"
+	"stdcelltune/internal/service/chaos"
+	"stdcelltune/internal/service/journal"
 )
 
 func main() {
@@ -52,9 +67,17 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8372", "listen address (:0 for ephemeral)")
 	addrFile := flag.String("addrfile", "", "write bound address to this file once listening")
 	cacheDir := flag.String("cachedir", "", "persist artifact cache in this directory")
+	stateDir := flag.String("statedir", "", "durable job journal + shutdown manifest directory")
 	workers := flag.Int("workers", 1, "concurrent pipeline executions")
 	queueDepth := flag.Int("queue", 16, "job queue depth")
+	maxRPS := flag.Float64("maxrps", 0, "global submission rate limit, jobs/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "rate-limiter burst (0 = ceil(maxrps))")
+	tenantQuota := flag.Int("tenantquota", 0, "max concurrently active jobs per tenant (0 = unlimited)")
+	breakerK := flag.Int("breakerk", 3, "trip a spec digest after K consecutive panic/quarantine failures (0 = off)")
+	breakerCooldown := flag.Duration("breakercooldown", 30*time.Second, "tripped-digest cooldown before one probe")
 	drainTimeout := flag.Duration("draintimeout", 60*time.Second, "graceful shutdown bound")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec (point=kind[:after][:dur], comma-separated)")
+	chaosSeed := flag.Int64("chaosseed", 1, "seed for -chaos decisions")
 	debugAddr := flag.String("debugaddr", "", "serve expvar/pprof/obs debug surface on this address")
 	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -65,19 +88,53 @@ func run() error {
 	}
 	log := obs.InitLog(os.Stderr, level)
 
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec, *chaosSeed)
+		if err != nil {
+			return err
+		}
+		inj.ExitOnCrash = true // a firing crash point kills the real process, like SIGKILL between two syscalls
+		chaos.Activate(inj)
+		log.Warn("chaos armed", "spec", *chaosSpec, "seed", *chaosSeed)
+	}
+
 	store, err := cache.New(*cacheDir)
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
 	if *cacheDir != "" {
-		log.Info("cache rehydrated", "dir", *cacheDir, "entries", store.Len())
+		log.Info("cache rehydrated", "dir", *cacheDir, "entries", store.Len(),
+			"corrupt_dropped", obs.Default().Counter("cache.corrupt_dropped").Value())
+	}
+
+	var jnl *journal.Journal
+	var replayed []journal.Record
+	if *stateDir != "" {
+		jnl, replayed, err = journal.Open(*stateDir)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer jnl.Close()
+		log.Info("journal replayed", "path", jnl.Path(), "records", len(replayed),
+			"pending", len(journal.Pending(replayed)),
+			"torn_tails", obs.Default().Counter("journal.torn_tail_truncated").Value())
 	}
 
 	mgr := service.NewManager(store, service.ManagerOptions{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Trace:      true,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		Trace:           true,
+		Journal:         jnl,
+		Recovered:       replayed,
+		MaxRPS:          *maxRPS,
+		Burst:           *burst,
+		TenantQuota:     *tenantQuota,
+		BreakerK:        *breakerK,
+		BreakerCooldown: *breakerCooldown,
 	})
+	if n := mgr.Recovered(); n > 0 {
+		log.Info("recovered jobs re-enqueued", "jobs", n)
+	}
 
 	if *debugAddr != "" {
 		_, bound, err := debughttp.Serve(*debugAddr, debughttp.DebugState{
@@ -100,7 +157,8 @@ func run() error {
 		}
 	}
 	srv := &http.Server{Handler: service.Handler(mgr)}
-	log.Info("stcd listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queueDepth)
+	log.Info("stcd listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queueDepth,
+		"maxrps", *maxRPS, "tenantquota", *tenantQuota, "breakerk", *breakerK)
 
 	errc := make(chan error, 1)
 	go func() {
@@ -132,5 +190,36 @@ func run() error {
 	} else {
 		log.Info("drained cleanly")
 	}
+	if *stateDir != "" {
+		writeManifest(*stateDir, mgr, drainErr == nil)
+	}
 	return nil
+}
+
+// writeManifest records the daemon lifetime's recovery/admission totals
+// beside the journal. Best-effort: failing to write provenance must not
+// turn a clean drain into a dirty exit.
+func writeManifest(stateDir string, mgr *service.Manager, drainClean bool) {
+	reg := obs.Default()
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	m := obs.NewManifest()
+	m.Args = os.Args
+	m.Metrics = reg.Snapshot()
+	m.Service = &obs.ServiceOutcome{
+		JobsSubmitted:          counter("service.jobs_submitted"),
+		JobsRecovered:          int64(mgr.Recovered()),
+		JournalRecordsReplayed: counter("journal.records_replayed"),
+		TornTailsTruncated:     counter("journal.torn_tail_truncated"),
+		RateLimited:            counter("service.admit_rate_limited"),
+		QuotaRejected:          counter("service.admit_quota_rejected"),
+		BreakerTrips:           counter("service.breaker_trips"),
+		CorruptCacheDropped:    counter("cache.corrupt_dropped"),
+		DrainClean:             drainClean,
+	}
+	path := filepath.Join(stateDir, "stcd.manifest.json")
+	if err := m.Write(path); err != nil {
+		obs.Log().Warn("manifest write failed", "path", path, "err", err)
+	} else {
+		obs.Log().Info("manifest written", "path", path)
+	}
 }

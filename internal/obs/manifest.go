@@ -66,6 +66,26 @@ type Manifest struct {
 	// the optimizer did — iteration count and how much timing analysis
 	// the incremental engine avoided.
 	SynthOutcomes []SynthOutcome `json:"synth_outcomes,omitempty"`
+
+	// Service summarizes a tuning-daemon run: cmd/stcd writes one of
+	// these beside its journal on clean shutdown, so a restart (or an
+	// operator) can see what the previous life recovered, refused, and
+	// tripped.
+	Service *ServiceOutcome `json:"service,omitempty"`
+}
+
+// ServiceOutcome is the daemon half of the manifest: recovery,
+// admission and breaker totals for one stcd process lifetime.
+type ServiceOutcome struct {
+	JobsSubmitted          int64 `json:"jobs_submitted"`
+	JobsRecovered          int64 `json:"jobs_recovered"`
+	JournalRecordsReplayed int64 `json:"journal_records_replayed"`
+	TornTailsTruncated     int64 `json:"torn_tails_truncated"`
+	RateLimited            int64 `json:"rate_limited"`
+	QuotaRejected          int64 `json:"quota_rejected"`
+	BreakerTrips           int64 `json:"breaker_trips"`
+	CorruptCacheDropped    int64 `json:"corrupt_cache_dropped"`
+	DrainClean             bool  `json:"drain_clean"`
 }
 
 // SynthOutcome is one flow synthesis unit in the manifest.

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission errors. The HTTP layer maps the first two to 429 (with a
+// Retry-After header when the error carries one) and the breaker to 503
+// — the spec is well-formed, the service is just refusing to burn pool
+// time on it right now.
+var (
+	ErrRateLimited = errors.New("service: rate limited")
+	ErrTenantQuota = errors.New("service: tenant concurrent-job quota exceeded")
+	ErrCircuitOpen = errors.New("service: circuit open for spec digest")
+)
+
+// ErrJobPanic marks a pipeline panic caught by the manager; the breaker
+// counts it as a poison signal alongside quarantine failures.
+var ErrJobPanic = errors.New("service: job panicked")
+
+// retryAfterError decorates an admission error with the earliest time a
+// retry could succeed. errors.Is still sees the wrapped sentinel; the
+// HTTP layer turns After into a Retry-After header.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.err, e.after.Round(time.Millisecond))
+}
+
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+func withRetryAfter(err error, after time.Duration) error {
+	if after < time.Millisecond {
+		after = time.Millisecond
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfter extracts the retry hint from an admission error, if any.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
+// tokenBucket is the global submission rate limiter: rate tokens/sec
+// refill up to burst; each accepted submission takes one. Zero rate
+// means unlimited. The clock is injected so tests are wall-time free.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst <= 0 {
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// breaker is the per-spec-digest circuit breaker: k consecutive poison
+// failures (panic or quarantine) trip the digest open for cooldown;
+// after cooling, exactly one probe is admitted (half-open) — its
+// success closes the circuit, its failure re-trips it. Healthy digests
+// carry no state at all.
+type breaker struct {
+	k        int
+	cooldown time.Duration
+	now      func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time // zero while closed/counting
+	probing   bool      // one half-open probe is in flight
+}
+
+func newBreaker(k int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{k: k, cooldown: cooldown, now: now, states: make(map[string]*breakerState)}
+}
+
+// allow decides whether a submission for dig may enter the pool.
+func (b *breaker) allow(dig string) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.k <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, exists := b.states[dig]
+	if !exists || st.openUntil.IsZero() {
+		return true, 0
+	}
+	now := b.now()
+	if now.Before(st.openUntil) {
+		return false, st.openUntil.Sub(now)
+	}
+	if st.probing {
+		// A probe is already in flight; hold further traffic until it
+		// settles.
+		return false, b.cooldown
+	}
+	st.probing = true
+	return true, 0
+}
+
+// success clears the digest's failure history (and closes a half-open
+// circuit).
+func (b *breaker) success(dig string) {
+	if b == nil || b.k <= 0 {
+		return
+	}
+	b.mu.Lock()
+	delete(b.states, dig)
+	b.mu.Unlock()
+}
+
+// failure records a poison failure; it reports whether this one tripped
+// (or re-tripped) the circuit.
+func (b *breaker) failure(dig string) (tripped bool) {
+	if b == nil || b.k <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[dig]
+	if st == nil {
+		st = &breakerState{}
+		b.states[dig] = st
+	}
+	st.fails++
+	probeFailed := st.probing
+	st.probing = false
+	if st.fails >= b.k || probeFailed {
+		st.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// settle releases a half-open probe without a verdict (the probe job
+// was cancelled, or never made it into the queue), so the circuit can
+// admit the next probe after its cooldown.
+func (b *breaker) settle(dig string) {
+	if b == nil || b.k <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if st := b.states[dig]; st != nil {
+		st.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// openCount reports how many digests are currently tripped open — a
+// health-surface number.
+func (b *breaker) openCount() int {
+	if b == nil || b.k <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, st := range b.states {
+		if !st.openUntil.IsZero() && now.Before(st.openUntil) {
+			n++
+		}
+	}
+	return n
+}

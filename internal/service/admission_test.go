@@ -1,0 +1,399 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stdcelltune"
+)
+
+// fakeClock is an injectable clock the admission tests advance by hand:
+// no admission behavior here depends on wall time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestTokenBucket(t *testing.T) {
+	clk := newFakeClock()
+	b := newTokenBucket(2, 0, clk.now) // 2 rps, burst = ceil(rate) = 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("burst token %d refused", i+1)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter %s, want (0, 500ms] at 2 rps", retry)
+	}
+	// Refill exactly one token's worth and it admits exactly one.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("token not refilled after 1/rate elapsed")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("refill granted more than rate*dt tokens")
+	}
+	// Idle time never accumulates past burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("post-idle token %d refused", i+1)
+		}
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+
+	// Zero rate = unlimited; nil bucket = unlimited.
+	unlimited := newTokenBucket(0, 0, clk.now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := unlimited.take(); !ok {
+			t.Fatal("zero-rate bucket limited")
+		}
+	}
+	var nilB *tokenBucket
+	if ok, _ := nilB.take(); !ok {
+		t.Fatal("nil bucket limited")
+	}
+}
+
+func TestBreakerTripProbeClose(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 10*time.Second, clk.now)
+	const dig = "sha256:feed"
+
+	// Two poison failures: still closed.
+	for i := 0; i < 2; i++ {
+		if tripped := b.failure(dig); tripped {
+			t.Fatalf("tripped after %d failures with k=3", i+1)
+		}
+		if ok, _ := b.allow(dig); !ok {
+			t.Fatal("closed breaker refused traffic")
+		}
+	}
+	// Third failure trips it.
+	if !b.failure(dig) {
+		t.Fatal("third failure did not trip")
+	}
+	if b.openCount() != 1 {
+		t.Fatalf("openCount %d, want 1", b.openCount())
+	}
+	ok, retry := b.allow(dig)
+	if ok || retry <= 0 || retry > 10*time.Second {
+		t.Fatalf("open breaker: ok=%v retry=%s", ok, retry)
+	}
+	// Other digests are unaffected.
+	if ok, _ := b.allow("sha256:beef"); !ok {
+		t.Fatal("breaker leaked across digests")
+	}
+
+	// After cooldown: exactly one probe, concurrent traffic still held.
+	clk.advance(11 * time.Second)
+	if ok, _ := b.allow(dig); !ok {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if ok, _ := b.allow(dig); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe succeeds: circuit closes, history gone.
+	b.success(dig)
+	if ok, _ := b.allow(dig); !ok {
+		t.Fatal("closed-after-probe breaker refused traffic")
+	}
+	if b.openCount() != 0 {
+		t.Fatalf("openCount %d after close", b.openCount())
+	}
+	// A single new failure does not trip a freshly closed circuit.
+	if b.failure(dig) {
+		t.Fatal("breaker kept stale failure count after success")
+	}
+}
+
+func TestBreakerProbeFailureRetrips(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, 5*time.Second, clk.now)
+	const dig = "sha256:feed"
+	b.failure(dig)
+	b.failure(dig) // trip
+	clk.advance(6 * time.Second)
+	if ok, _ := b.allow(dig); !ok {
+		t.Fatal("probe refused")
+	}
+	// The probe fails: one failure re-trips immediately.
+	if !b.failure(dig) {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if ok, _ := b.allow(dig); ok {
+		t.Fatal("re-tripped breaker admitted traffic")
+	}
+	// settle releases a probe without a verdict.
+	clk.advance(6 * time.Second)
+	if ok, _ := b.allow(dig); !ok {
+		t.Fatal("second probe refused")
+	}
+	b.settle(dig)
+	if ok, _ := b.allow(dig); !ok {
+		t.Fatal("settled probe blocked the next one")
+	}
+
+	var nilBrk *breaker
+	if ok, _ := nilBrk.allow(dig); !ok {
+		t.Fatal("nil breaker limited")
+	}
+	nilBrk.success(dig)
+	nilBrk.settle(dig)
+	if nilBrk.failure(dig) {
+		t.Fatal("nil breaker tripped")
+	}
+}
+
+func TestRetryAfterWrapper(t *testing.T) {
+	err := withRetryAfter(ErrRateLimited, 1500*time.Millisecond)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal("wrapper hides the sentinel")
+	}
+	d, ok := RetryAfter(err)
+	if !ok || d != 1500*time.Millisecond {
+		t.Fatalf("RetryAfter = %s, %v", d, ok)
+	}
+	if _, ok := RetryAfter(ErrQueueFull); ok {
+		t.Fatal("plain error reported a retry hint")
+	}
+	// Sub-millisecond hints round up so Retry-After is never zero.
+	if d, _ := RetryAfter(withRetryAfter(ErrRateLimited, 0)); d < time.Millisecond {
+		t.Fatalf("zero hint not floored: %s", d)
+	}
+}
+
+// TestSubmitRateLimited drives the limiter through Manager.Submit: the
+// burst is admitted, the next submission is refused with ErrRateLimited
+// and a retry hint, and refill admits again.
+func TestSubmitRateLimited(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestManager(t, ManagerOptions{
+		MaxRPS: 1, Burst: 2, Now: clk.now,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) { return fakeBlobs(s), nil },
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(Spec{Seed: int64(i + 1)}, ""); err != nil {
+			t.Fatalf("burst submit %d: %v", i+1, err)
+		}
+	}
+	_, err := m.Submit(Spec{Seed: 3}, "")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-rate submit: %v, want ErrRateLimited", err)
+	}
+	if _, ok := RetryAfter(err); !ok {
+		t.Fatal("rate-limit rejection carries no retry hint")
+	}
+	clk.advance(time.Second)
+	if _, err := m.Submit(Spec{Seed: 4}, ""); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+}
+
+// TestSubmitTenantQuota: a tenant at its concurrent-job cap gets 429;
+// other tenants are unaffected; finishing a job frees the slot.
+func TestSubmitTenantQuota(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, ManagerOptions{
+		Workers: 2, TenantQuota: 1,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			<-release
+			return fakeBlobs(s), nil
+		},
+	})
+	j1, err := m.Submit(Spec{Seed: 1}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Submit(Spec{Seed: 2}, "alice")
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("second concurrent job for alice: %v, want ErrTenantQuota", err)
+	}
+	if _, err := m.Submit(Spec{Seed: 3}, "bob"); err != nil {
+		t.Fatalf("bob blocked by alice's quota: %v", err)
+	}
+	close(release)
+	waitDone(t, j1)
+	// Slot freed: alice may submit again.
+	if _, err := m.Submit(Spec{Seed: 4}, "alice"); err != nil {
+		t.Fatalf("post-completion submit for alice: %v", err)
+	}
+}
+
+// TestBreakerThroughManager: K consecutive panics for one digest trip
+// its circuit; submissions for it get ErrCircuitOpen while other specs
+// pass; after cooldown a successful probe closes it.
+func TestBreakerThroughManager(t *testing.T) {
+	clk := newFakeClock()
+	poison := true
+	m := newTestManager(t, ManagerOptions{
+		BreakerK: 2, BreakerCooldown: 10 * time.Second, Now: clk.now,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			if poison && s.Seed == 13 {
+				panic("pipeline bug")
+			}
+			return fakeBlobs(s), nil
+		},
+	})
+	bad := Spec{Seed: 13}
+	for i := 0; i < 2; i++ {
+		j, err := m.Submit(bad, "")
+		if err != nil {
+			t.Fatalf("poison submit %d refused early: %v", i+1, err)
+		}
+		waitDone(t, j)
+		v := j.View()
+		if v.Status != StatusFailed || !strings.Contains(v.Error, "panicked") {
+			t.Fatalf("poison job %d: %s %q", i+1, v.Status, v.Error)
+		}
+	}
+	if m.BreakerOpen() != 1 {
+		t.Fatalf("BreakerOpen %d, want 1", m.BreakerOpen())
+	}
+	_, err := m.Submit(bad, "")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("tripped digest admitted: %v", err)
+	}
+	// A different spec sails through.
+	ok, err := m.Submit(Spec{Seed: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ok)
+
+	// Cooldown passes, the bug is "fixed", the probe closes the circuit.
+	clk.advance(11 * time.Second)
+	poison = false
+	probe, err := m.Submit(bad, "")
+	if err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	waitDone(t, probe)
+	if v := probe.View(); v.Status != StatusDone {
+		t.Fatalf("probe: %s %q", v.Status, v.Error)
+	}
+	if m.BreakerOpen() != 0 {
+		t.Fatalf("BreakerOpen %d after successful probe", m.BreakerOpen())
+	}
+	if _, err := m.Submit(bad, ""); err != nil {
+		t.Fatalf("closed circuit still refusing: %v", err)
+	}
+}
+
+// TestQuarantineTripsBreaker: ErrQuarantined counts as poison just like
+// a panic.
+func TestQuarantineTripsBreaker(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		BreakerK: 1,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			return nil, fmt.Errorf("characterize: %w", stdcelltune.ErrQuarantined)
+		},
+	})
+	j, err := m.Submit(Spec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if _, err := m.Submit(Spec{}, ""); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("quarantine did not trip breaker: %v", err)
+	}
+}
+
+// TestOrdinaryFailureDoesNotTrip: infeasible-window failures are the
+// spec's own fault, not poison; the breaker must ignore them.
+func TestOrdinaryFailureDoesNotTrip(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{
+		BreakerK: 1,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			return nil, fmt.Errorf("tune: %w", stdcelltune.ErrWindowInfeasible)
+		},
+	})
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit(Spec{}, "")
+		if err != nil {
+			t.Fatalf("ordinary failure tripped breaker on attempt %d: %v", i+1, err)
+		}
+		waitDone(t, j)
+	}
+	if m.BreakerOpen() != 0 {
+		t.Fatalf("BreakerOpen %d for non-poison failures", m.BreakerOpen())
+	}
+}
+
+// TestAdmissionHTTP: the HTTP surface of admission — 429 with a
+// Retry-After header on rate limit and tenant quota, tenant taken from
+// X-API-Key.
+func TestAdmissionHTTP(t *testing.T) {
+	clk := newFakeClock()
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, ManagerOptions{
+		MaxRPS: 100, Burst: 1, TenantQuota: 1, Now: clk.now, Workers: 2,
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) {
+			<-release
+			return fakeBlobs(s), nil
+		},
+	})
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	post := func(spec Spec, key string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Burst of 1: first accepted, second rate-limited.
+	r1 := post(Spec{Seed: 1}, "alice")
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", r1.StatusCode)
+	}
+	r2 := post(Spec{Seed: 2}, "bob")
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit: %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// Refill, then hit alice's tenant quota (her seed-1 job still runs).
+	clk.advance(time.Second)
+	r3 := post(Spec{Seed: 3}, "alice")
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota submit: %d, want 429", r3.StatusCode)
+	}
+	clk.advance(time.Second)
+	r4 := post(Spec{Seed: 4}, "bob")
+	defer r4.Body.Close()
+	if r4.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob's submit: %d", r4.StatusCode)
+	}
+}

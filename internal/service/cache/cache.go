@@ -30,6 +30,7 @@ import (
 
 	"stdcelltune/internal/digest"
 	"stdcelltune/internal/obs"
+	"stdcelltune/internal/service/chaos"
 )
 
 // Cache metrics, recorded into the process-default obs registry: the
@@ -38,6 +39,12 @@ var (
 	cacheHits   = obs.Default().Counter("service.cache_hits")
 	cacheMisses = obs.Default().Counter("service.cache_misses")
 	cacheShared = obs.Default().Counter("service.cache_shared") // waiters that attached to an in-flight computation
+
+	// corruptDropped counts persisted entries rehydration refused to
+	// serve — missing/bad index, unreadable blob, or content-hash
+	// mismatch. Nonzero after a restart means the cache directory took
+	// damage; the entries cost a recomputation each, never wrong bytes.
+	corruptDropped = obs.Default().Counter("cache.corrupt_dropped")
 )
 
 // Artifact is one stored blob: a named output of the pipeline plus its
@@ -231,7 +238,17 @@ type index struct {
 	Artifacts []*Artifact `json:"artifacts"`
 }
 
+// persist writes an entry's blobs and index to a temp directory and
+// renames it into place — the commit point. The chaos points
+// "cache.persist.pre-write", "cache.persist.write" (between blobs) and
+// "cache.persist.pre-rename" instrument the moments a crash can leave a
+// partial .tmp directory, which load ignores by construction.
 func (s *Store) persist(e *Entry) error {
+	if d := chaos.At("cache.persist.pre-write"); d.Crash {
+		return chaos.ErrCrash
+	} else if d.Err != nil {
+		return d.Err
+	}
 	dir := filepath.Join(s.dir, entryDirName(e.Digest))
 	tmp := dir + ".tmp"
 	if err := os.RemoveAll(tmp); err != nil {
@@ -244,6 +261,11 @@ func (s *Store) persist(e *Entry) error {
 		if err := os.WriteFile(filepath.Join(tmp, a.Name), a.data, 0o644); err != nil {
 			return err
 		}
+		if d := chaos.At("cache.persist.write"); d.Crash {
+			return chaos.ErrCrash // crash mid-artifact-write: .tmp left behind, invisible to load
+		} else if d.Err != nil {
+			return d.Err
+		}
 	}
 	idx, err := json.MarshalIndent(index{Digest: e.Digest, Artifacts: e.Artifacts}, "", "  ")
 	if err != nil {
@@ -251,6 +273,9 @@ func (s *Store) persist(e *Entry) error {
 	}
 	if err := os.WriteFile(filepath.Join(tmp, "index.json"), append(idx, '\n'), 0o644); err != nil {
 		return err
+	}
+	if d := chaos.At("cache.persist.pre-rename"); d.Crash {
+		return chaos.ErrCrash
 	}
 	// Rename-into-place makes a crashed write invisible to load.
 	if err := os.RemoveAll(dir); err != nil {
@@ -276,11 +301,13 @@ func (s *Store) load() error {
 		dir := filepath.Join(s.dir, d.Name())
 		data, err := os.ReadFile(filepath.Join(dir, "index.json"))
 		if err != nil {
+			corruptDropped.Add(1)
 			log.Warn("cache: skipping entry without index", "dir", dir, "err", err)
 			continue
 		}
 		var idx index
 		if err := json.Unmarshal(data, &idx); err != nil {
+			corruptDropped.Add(1)
 			log.Warn("cache: skipping entry with bad index", "dir", dir, "err", err)
 			continue
 		}
@@ -299,6 +326,7 @@ func (s *Store) load() error {
 			e.Artifacts = append(e.Artifacts, &Artifact{Name: a.Name, SHA256: a.SHA256, Size: len(body), data: body})
 		}
 		if !ok || len(e.Artifacts) == 0 {
+			corruptDropped.Add(1)
 			log.Warn("cache: skipping corrupt entry", "dir", dir)
 			continue
 		}

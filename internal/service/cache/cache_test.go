@@ -244,3 +244,54 @@ func TestWaiterCancellation(t *testing.T) {
 	}
 	close(release)
 }
+
+// TestCorruptEntryDroppedAndCounted: entries whose on-disk bytes rot are
+// silently skipped at load — but never silently for the operator: each
+// drop increments cache.corrupt_dropped and the healthy entries survive.
+func TestCorruptEntryDroppedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("sha256:good", blobs("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("sha256:rot", blobs("rot")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("sha256:noindex", blobs("gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one blob (hash mismatch) and delete another entry's index.
+	rotBlob := filepath.Join(dir, entryDirName("sha256:rot"), "a.json")
+	if err := os.WriteFile(rotBlob, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, entryDirName("sha256:noindex"), "index.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default().Counter("cache.corrupt_dropped").Value()
+	s2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default().Counter("cache.corrupt_dropped").Value(); got != before+2 {
+		t.Fatalf("corrupt_dropped %d -> %d, want +2", before, got)
+	}
+	if _, ok := s2.Lookup("sha256:rot"); ok {
+		t.Fatal("tampered entry served from cache")
+	}
+	if _, ok := s2.Lookup("sha256:noindex"); ok {
+		t.Fatal("index-less entry served from cache")
+	}
+	e, ok := s2.Lookup("sha256:good")
+	if !ok {
+		t.Fatal("healthy entry lost while dropping corrupt neighbors")
+	}
+	if string(e.Artifact("a.json").Bytes()) != "keep" {
+		t.Fatal("healthy entry's bytes changed")
+	}
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAtWithoutInjectorIsZero(t *testing.T) {
+	if d := At("anything"); d.Crash || d.Torn || d.Err != nil {
+		t.Fatalf("no injector armed but At returned %+v", d)
+	}
+}
+
+func TestCrashPlanFiresOnceThenDead(t *testing.T) {
+	in := New(1)
+	in.Arm("p.write", Crash, 1) // fire on the second pass
+
+	if d := in.at("p.write"); d.Crash {
+		t.Fatal("crash fired a pass early")
+	}
+	d := in.at("p.write")
+	if !d.Crash {
+		t.Fatal("crash plan did not fire on its scheduled pass")
+	}
+	if !in.Dead() {
+		t.Fatal("injector alive after crash")
+	}
+	// Death is total: every point now crashes, not just the armed one.
+	if d := in.at("other.point"); !d.Crash {
+		t.Fatal("unrelated point survived a dead injector")
+	}
+	if fired := in.Fired(); len(fired) != 1 || fired[0] != "p.write" {
+		t.Fatalf("fired log %v", fired)
+	}
+}
+
+func TestTornDecisionIsSeededAndFatal(t *testing.T) {
+	fracs := make([]float64, 2)
+	for i := range fracs {
+		in := New(99)
+		in.Arm("p.write", Torn, 0)
+		d := in.at("p.write")
+		if !d.Torn || d.Frac < 0 || d.Frac >= 1 {
+			t.Fatalf("torn decision %+v", d)
+		}
+		if !in.Dead() {
+			t.Fatal("torn write did not kill the injector")
+		}
+		fracs[i] = d.Frac
+	}
+	if fracs[0] != fracs[1] {
+		t.Fatalf("same seed gave different torn fractions: %v vs %v", fracs[0], fracs[1])
+	}
+}
+
+func TestErrAndSleepKeepProcessAlive(t *testing.T) {
+	boom := errors.New("disk hiccup")
+	in := New(1)
+	in.ArmErr("p.sync", 0, boom)
+	in.ArmSleep("p.read", 0, time.Millisecond)
+
+	if d := in.at("p.sync"); !errors.Is(d.Err, boom) {
+		t.Fatalf("err plan returned %+v", d)
+	}
+	if d := in.at("p.read"); d.Crash || d.Err != nil {
+		t.Fatalf("sleep plan altered control flow: %+v", d)
+	}
+	if in.Dead() {
+		t.Fatal("transient faults killed the injector")
+	}
+	// Plans are one-shot.
+	if d := in.at("p.sync"); d.Err != nil {
+		t.Fatal("err plan fired twice")
+	}
+}
+
+func TestActivateRestore(t *testing.T) {
+	in := New(1)
+	in.Arm("p", Crash, 0)
+	restore := Activate(in)
+	if d := At("p"); !d.Crash {
+		t.Fatal("active injector not consulted")
+	}
+	if err := Crashed(); !errors.Is(err, ErrCrash) {
+		t.Fatalf("Crashed() = %v", err)
+	}
+	restore()
+	if d := At("p"); d.Crash {
+		t.Fatal("restore did not deactivate the injector")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("journal.done.write=torn,cache.persist.write=crash:2,journal.accepted.pre-sync=sleep:0:1ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// torn on first pass of journal.done.write
+	if d := in.at("journal.done.write"); !d.Torn {
+		t.Fatalf("parsed torn plan: %+v", d)
+	}
+
+	in2, _ := Parse("cache.persist.write=crash:2", 7)
+	for i := 0; i < 2; i++ {
+		if d := in2.at("cache.persist.write"); d.Crash {
+			t.Fatalf("crash:2 fired on pass %d", i+1)
+		}
+	}
+	if d := in2.at("cache.persist.write"); !d.Crash {
+		t.Fatal("crash:2 did not fire on the third pass")
+	}
+
+	for _, bad := range []string{"nokind", "p=warp", "p=crash:x", "p=crash:1:extra", "p=sleep:0:fast"} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// Empty entries are tolerated.
+	if in, err := Parse(" , ", 1); err != nil || len(in.plans) != 0 {
+		t.Fatalf("blank spec: %v, %d plans", err, len(in.plans))
+	}
+}

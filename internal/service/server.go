@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"stdcelltune"
 )
@@ -25,7 +27,9 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrBadSpec):
 		return http.StatusBadRequest // 400
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrRateLimited), errors.Is(err, ErrTenantQuota):
+		return http.StatusTooManyRequests // 429, Retry-After when the error carries one
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull), errors.Is(err, ErrCircuitOpen):
 		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, stdcelltune.ErrWindowInfeasible):
 		return http.StatusConflict // 409: the spec is well-formed but self-contradictory
@@ -68,7 +72,7 @@ func Handler(m *Manager) http.Handler {
 			writeError(w, fmt.Errorf("%w: %v", ErrBadSpec, err))
 			return
 		}
-		j, err := m.Submit(spec)
+		j, err := m.Submit(spec, r.Header.Get("X-API-Key"))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -152,11 +156,14 @@ func Handler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":      true,
-			"schema":  SchemaSpec,
-			"jobs":    len(m.Jobs()),
-			"cached":  m.Store().Len(),
-			"methods": MethodSlugs(),
+			"ok":           true,
+			"schema":       SchemaSpec,
+			"jobs":         len(m.Jobs()),
+			"cached":       m.Store().Len(),
+			"methods":      MethodSlugs(),
+			"recovered":    m.Recovered(),
+			"breaker_open": m.BreakerOpen(),
+			"draining":     m.Draining(),
 		})
 	})
 
@@ -213,5 +220,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := HTTPStatus(err)
+	if after, ok := RetryAfter(err); ok {
+		// Whole seconds per RFC 9110; round up so "retry after 10ms"
+		// doesn't become "retry immediately".
+		secs := int(after / time.Second)
+		if after%time.Second != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, status, errorDoc{Error: err.Error(), Status: status})
 }

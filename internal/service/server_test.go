@@ -43,28 +43,29 @@ func postJob(t *testing.T, ts *httptest.Server, spec Spec) JobView {
 	return v
 }
 
-func awaitJob(t *testing.T, ts *httptest.Server, id string) JobView {
+// awaitJob waits for the job's Done channel — readiness is an event,
+// not a poll — then fetches the terminal document once over HTTP.
+func awaitJob(t *testing.T, ts *httptest.Server, m *Manager, id string) JobView {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var v JobView
-		err = json.NewDecoder(resp.Body).Decode(&v)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		switch v.Status {
-		case StatusDone, StatusFailed, StatusCancelled:
-			return v
-		}
-		time.Sleep(10 * time.Millisecond)
+	j, ok := m.Job(id)
+	if !ok {
+		t.Fatalf("job %s not registered", id)
 	}
-	t.Fatalf("job %s did not finish", id)
-	return JobView{}
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second): // backstop only; never paces the test
+		t.Fatalf("job %s did not finish", id)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 func getBytes(t *testing.T, url string) []byte {
@@ -108,7 +109,7 @@ func TestServerRoundTrip(t *testing.T) {
 	if cold.Status != StatusQueued && cold.Status != StatusRunning {
 		t.Fatalf("fresh job status %s", cold.Status)
 	}
-	done := awaitJob(t, ts, cold.ID)
+	done := awaitJob(t, ts, m, cold.ID)
 	if done.Status != StatusDone {
 		t.Fatalf("cold job failed: %s (%d)", done.Error, done.HTTPCode)
 	}
@@ -131,7 +132,7 @@ func TestServerRoundTrip(t *testing.T) {
 	// robust pool task counter is the witness that nothing recomputed.
 	poolTasks := obs.Default().Counter("robust.pool_tasks").Value()
 	hits := obs.Default().Counter("service.cache_hits").Value()
-	warm := awaitJob(t, ts, postJob(t, ts, smallSpec).ID)
+	warm := awaitJob(t, ts, m, postJob(t, ts, smallSpec).ID)
 	if warm.Status != StatusDone || warm.Outcome != "hit" {
 		t.Fatalf("warm job: status %s outcome %q, want done/hit", warm.Status, warm.Outcome)
 	}

@@ -1,0 +1,164 @@
+#!/bin/sh
+# serve_crash_smoke.sh — kill-9-and-recover end-to-end proof of the
+# daemon's crash-safety contract. Three acts:
+#
+#   1. Reference: a clean daemon computes the spec once; its artifact
+#      hashes are the ground truth.
+#   2. Crash: a fresh daemon runs with the chaos harness armed
+#      (-chaos journal.done.write=torn): the accepted record is fsynced,
+#      the pipeline runs, the artifacts persist — and the process dies
+#      with exit 137 mid-way through writing the job's terminal journal
+#      record, leaving a torn tail. Deterministic, no race against an
+#      external kill.
+#   3. Recover: the same statedir/cachedir boot a chaos-free daemon. It
+#      must truncate the torn tail, re-enqueue the journaled job under
+#      its original id, serve it as a warm cache hit (no recompute), and
+#      produce byte-identical artifacts to the reference run. Admission
+#      control is spot-checked (429 + Retry-After past the rate limit),
+#      the journal validates via obscheck -journal, and a clean SIGTERM
+#      leaves a manifest recording jobs_recovered=1.
+#
+# Usage: scripts/serve_crash_smoke.sh [workdir]  (defaults to mktemp)
+set -eu
+
+GO=${GO:-go}
+DIR=${1:-$(mktemp -d /tmp/crash-smoke.XXXXXX)}
+mkdir -p "$DIR"
+SPEC='{"design":"mcu-small","instances":3,"seed":1,"method":"sigma-ceiling","bound":0.02,"clock_ns":6}'
+
+say() { echo "crash-smoke: $*"; }
+die() {
+    say "FAIL: $*"
+    for f in "$DIR"/*.log; do [ -f "$f" ] && sed "s|^|crash-smoke:   $(basename "$f"): |" "$f" >&2; done
+    exit 1
+}
+
+$GO build -o "$DIR/stcd" ./cmd/stcd
+$GO build -o "$DIR/obscheck" ./cmd/obscheck
+
+# wait_addr <addrfile> <pid>: block until the daemon writes its address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && die "stcd did not write $1"
+        kill -0 "$2" 2>/dev/null || die "stcd (pid $2) exited before listening"
+        sleep 0.1
+    done
+    echo "http://$(tr -d '[:space:]' <"$1")"
+}
+
+# wait_job <base> <id> <outfile>: poll until the job is terminal.
+wait_job() {
+    i=0
+    while :; do
+        curl -fsS "$1/v1/jobs/$2" >"$3" || die "GET /v1/jobs/$2 failed"
+        case $(sed -n 's/.*"status": "\([^"]*\)".*/\1/p' "$3") in
+        done) return 0 ;;
+        failed | cancelled) die "job $2 did not succeed: $(cat "$3")" ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && die "job $2 did not finish"
+        sleep 0.1
+    done
+}
+
+outcome() { sed -n 's/.*"cache_outcome": "\([^"]*\)".*/\1/p' "$1"; }
+digest() { sed -n 's/.*"digest": "\([^"]*\)".*/\1/p' "$1" | head -1; }
+windows_sha() { tr -d ' \n' <"$1" | sed -n 's/.*"name":"windows.json","sha256":"\([0-9a-f]*\)".*/\1/p'; }
+
+# --- Act 1: reference run, clean daemon, ground-truth bytes. ---
+"$DIR/stcd" -addr 127.0.0.1:0 -addrfile "$DIR/ref.addr" \
+    -cachedir "$DIR/refcache" -statedir "$DIR/refstate" >"$DIR/ref.log" 2>&1 &
+REF_PID=$!
+trap 'kill "$REF_PID" 2>/dev/null || true' EXIT
+BASE=$(wait_addr "$DIR/ref.addr" "$REF_PID")
+REF_ID=$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$REF_ID" ] || die "reference submission returned no id"
+wait_job "$BASE" "$REF_ID" "$DIR/ref-job.json"
+REF_DIG=$(digest "$DIR/ref-job.json")
+curl -fsS "$BASE/v1/artifacts/$REF_DIG" >"$DIR/ref-index.json"
+REF_SHA=$(windows_sha "$DIR/ref-index.json")
+[ -n "$REF_SHA" ] || die "reference run produced no windows.json hash"
+kill -TERM "$REF_PID" && wait "$REF_PID" 2>/dev/null || true
+say "reference run done: $REF_DIG windows.json=$REF_SHA"
+
+# --- Act 2: the crash. Chaos tears the terminal journal write. ---
+"$DIR/stcd" -addr 127.0.0.1:0 -addrfile "$DIR/crash.addr" \
+    -cachedir "$DIR/cache" -statedir "$DIR/state" \
+    -chaos 'journal.done.write=torn' -chaosseed 7 >"$DIR/crash.log" 2>&1 &
+CRASH_PID=$!
+trap 'kill "$CRASH_PID" 2>/dev/null || true' EXIT
+BASE=$(wait_addr "$DIR/crash.addr" "$CRASH_PID")
+JOB_ID=$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$JOB_ID" ] || die "crash-run submission returned no id"
+say "job $JOB_ID accepted (journaled); waiting for the armed crash"
+
+i=0
+while kill -0 "$CRASH_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && die "chaos crash never fired"
+    sleep 0.1
+done
+set +e
+wait "$CRASH_PID" 2>/dev/null
+CRASH_RC=$?
+set -e
+[ "$CRASH_RC" -eq 137 ] || die "crashed daemon exited $CRASH_RC, want 137"
+[ -s "$DIR/state/jobs.wal" ] || die "no journal survived the crash"
+say "daemon died with exit 137, journal left behind"
+
+# The torn journal must still validate: warn on the tail, pass overall.
+"$DIR/obscheck" -journal "$DIR/state/jobs.wal" || die "obscheck rejected the post-crash journal"
+
+# --- Act 3: recovery. Same dirs, no chaos. ---
+"$DIR/stcd" -addr 127.0.0.1:0 -addrfile "$DIR/rec.addr" \
+    -cachedir "$DIR/cache" -statedir "$DIR/state" \
+    -maxrps 1 -burst 1 >"$DIR/rec.log" 2>&1 &
+REC_PID=$!
+trap 'kill "$REC_PID" 2>/dev/null || true' EXIT
+BASE=$(wait_addr "$DIR/rec.addr" "$REC_PID")
+
+grep -q "recovered jobs re-enqueued" "$DIR/rec.log" || die "recovery daemon re-enqueued nothing"
+curl -fsS "$BASE/healthz" >"$DIR/healthz.json"
+grep -q '"recovered": 1' "$DIR/healthz.json" || die "healthz does not report 1 recovered job: $(cat "$DIR/healthz.json")"
+
+# The recovered job keeps its original id and must finish as a warm
+# cache hit: the artifacts persisted before the crash, so no recompute.
+wait_job "$BASE" "$JOB_ID" "$DIR/rec-job.json"
+[ "$(outcome "$DIR/rec-job.json")" = "hit" ] || die "recovered job outcome $(outcome "$DIR/rec-job.json"), want hit (warm replay)"
+REC_DIG=$(digest "$DIR/rec-job.json")
+[ "$REC_DIG" = "$REF_DIG" ] || die "recovered digest $REC_DIG != reference $REF_DIG"
+curl -fsS "$BASE/v1/artifacts/$REC_DIG" >"$DIR/rec-index.json"
+REC_SHA=$(windows_sha "$DIR/rec-index.json")
+[ "$REC_SHA" = "$REF_SHA" ] || die "recovered windows.json hash $REC_SHA != reference $REF_SHA (bytes diverged across crash)"
+say "job $JOB_ID recovered: warm hit, bytes identical to reference"
+
+# Admission spot check: the second submission inside the same 1 rps
+# budget is refused 429 with a Retry-After hint.
+RATE_SPEC='{"design":"mcu-small","instances":3,"seed":2,"method":"sigma-ceiling","bound":0.02,"clock_ns":6}'
+curl -fsS -X POST -d "$RATE_SPEC" "$BASE/v1/jobs" >/dev/null || die "first rate-budget submission refused"
+HTTP_CODE=$(curl -s -o "$DIR/429.json" -w '%{http_code}' -D "$DIR/429.headers" -X POST -d "$RATE_SPEC" "$BASE/v1/jobs")
+[ "$HTTP_CODE" = "429" ] || die "over-rate submission got $HTTP_CODE, want 429"
+grep -qi '^retry-after:' "$DIR/429.headers" || die "429 carried no Retry-After header"
+say "admission control live: 429 + Retry-After past the rate limit"
+
+# Clean shutdown: drain, manifest beside the journal, valid final WAL.
+kill -TERM "$REC_PID"
+i=0
+while kill -0 "$REC_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "recovery daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+trap - EXIT
+wait "$REC_PID" 2>/dev/null && :
+RC=$?
+[ "$RC" -eq 0 ] || die "recovery daemon exited $RC after SIGTERM"
+grep -q "drained cleanly" "$DIR/rec.log" || die "no clean-drain log line"
+"$DIR/obscheck" -journal "$DIR/state/jobs.wal" || die "obscheck rejected the final journal"
+[ -s "$DIR/state/stcd.manifest.json" ] || die "no shutdown manifest written"
+grep -q '"jobs_recovered": 1' "$DIR/state/stcd.manifest.json" || die "manifest does not record jobs_recovered=1"
+grep -q '"drain_clean": true' "$DIR/state/stcd.manifest.json" || die "manifest does not record a clean drain"
+
+say "OK (workdir $DIR)"
