@@ -3,15 +3,18 @@
 
 GO ?= go
 
-# Benchmarks tracked in BENCH_PR4.json (see DESIGN.md, "Performance
+# Benchmarks tracked in BENCH_PR7.json (see DESIGN.md, "Performance
 # baseline & benchmark JSON").
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_PAT  ?= BenchmarkFig3Bilinear$$|BenchmarkFig6LargestRectangle$$|BenchmarkAnalyzeDesign$$|BenchmarkLUTBilinearLookup$$|BenchmarkSynthesize$$|BenchmarkSynthesizeRestricted$$
 BENCH_SCALE ?= small
+# Allocation-regression gate: bench-check fails any tracked benchmark
+# whose allocs_per_op exceeds ALLOC_RATIO x its recorded baseline.
+ALLOC_RATIO ?= 1.10
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json experiments-small obs-smoke serve-smoke crash-smoke clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke clean
 
-ci: vet build race fuzz-short obs-smoke serve-smoke crash-smoke
+ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +48,11 @@ fuzz-short:
 bench-json:
 	STC_BENCH=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# Validate the tracked benchmark JSON (schema + phases) and fail on
+# allocs_per_op regressions beyond ALLOC_RATIO x baseline.
+bench-check:
+	$(GO) run ./cmd/obscheck -bench $(BENCH_JSON) -allocratio $(ALLOC_RATIO)
 
 experiments-small:
 	$(GO) run ./cmd/experiments -small

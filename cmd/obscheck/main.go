@@ -11,6 +11,7 @@
 // Usage:
 //
 //	obscheck -trace /tmp/trace.json -manifest /tmp/trace.manifest.json [-bench /tmp/b.json]
+//	obscheck -bench BENCH_PR7.json -allocratio 1.1   # fail allocs_per_op regressions vs baseline
 //	obscheck -apijob /tmp/job.json -apiartifacts /tmp/index.json
 //	obscheck -journal /var/lib/stcd/jobs.wal
 package main
@@ -48,6 +49,7 @@ func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	manifestPath := flag.String("manifest", "", "run-manifest JSON to validate")
 	benchPath := flag.String("bench", "", "benchmark JSON (stdcelltune-bench/1) to validate (optional)")
+	allocRatio := flag.Float64("allocratio", 0, "with -bench: fail any benchmark whose allocs_per_op exceeds this ratio times its recorded baseline_allocs_per_op (0 disables)")
 	apiJobPath := flag.String("apijob", "", "stcd job document (stdcelltune-job/1) to validate")
 	apiArtifactsPath := flag.String("apiartifacts", "", "stcd artifact index JSON to validate")
 	journalPath := flag.String("journal", "", "stcd job journal (stdcelltune-journal/1) to validate")
@@ -165,6 +167,29 @@ func main() {
 		}
 		if len(bf.Phases) == 0 {
 			fail("%s: no phase timings recorded", *benchPath)
+		}
+		if *allocRatio > 0 {
+			// Allocation-regression gate: allocs/op is deterministic enough
+			// that drifting past ratio x the recorded seed baseline means a
+			// real discipline regression, not noise. Benchmarks without a
+			// baseline (or alloc-free ones) are exempt.
+			gated, over := 0, 0
+			for _, name := range bf.Names() {
+				r := bf.Benchmarks[name]
+				if r.BaselineAllocsPerOp <= 0 || r.AllocsPerOp <= 0 {
+					continue
+				}
+				gated++
+				if limit := *allocRatio * r.BaselineAllocsPerOp; r.AllocsPerOp > limit {
+					over++
+					fail("%s: %s allocs_per_op %.0f exceeds %.2fx baseline %.0f (limit %.0f)",
+						*benchPath, name, r.AllocsPerOp, *allocRatio, r.BaselineAllocsPerOp, limit)
+				}
+			}
+			if over == 0 {
+				fmt.Printf("obscheck: alloc gate ok: %d/%d benchmarks within %.2fx of baseline\n",
+					gated, len(bf.Benchmarks), *allocRatio)
+			}
 		}
 		fmt.Printf("obscheck: bench JSON ok: %d benchmarks, %d phases\n", len(bf.Benchmarks), len(bf.Phases))
 	}

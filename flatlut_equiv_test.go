@@ -16,7 +16,9 @@ import (
 
 	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/lut"
+	"stdcelltune/internal/statlib"
 	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
 )
 
 // seedSegment is the seed's segment() verbatim (pre NaN-guard; the
@@ -161,6 +163,69 @@ func TestFlatLookupBitIdenticalAcrossLibrary(t *testing.T) {
 		}
 	})
 	t.Logf("compared %d query points bit-for-bit", queries)
+}
+
+// TestStatlibSlabBitIdenticalAcrossLibrary: the statistical library's
+// slab-carved structure-of-arrays tables must answer Lookup bit-for-bit
+// like the PR 6 representation (one heap-allocated table per arc on the
+// per-row seed code path). Every Mean/Sigma table of every folded cell
+// is shadow-copied into a struct literal and queried across the full
+// regime grid — grid points, midpoints, skewed interior points, out of
+// range, infinities — cold and with a warm hint.
+func TestStatlibSlabBitIdenticalAcrossLibrary(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	libs := variation.Instances(cat, variation.Config{N: 8, Seed: 1, CharNoise: 0.02})
+	stat, err := statlib.Build("slab-equiv", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, queries := 0, 0
+	for _, name := range stat.CellOrder {
+		cell := stat.Cell(name)
+		if cell == nil {
+			continue // quarantined
+		}
+		for _, pin := range cell.Pins {
+			for _, arc := range pin.Arcs {
+				for _, nt := range []struct {
+					kind string
+					tb   *lut.Table
+				}{
+					{"mean_rise", arc.MeanRise},
+					{"mean_fall", arc.MeanFall},
+					{"sigma_rise", arc.SigmaRise},
+					{"sigma_fall", arc.SigmaFall},
+				} {
+					if nt.tb == nil {
+						continue
+					}
+					if !nt.tb.Contiguous() {
+						t.Fatalf("%s %s %s: table not slab-backed", name, pin.Name, nt.kind)
+					}
+					ref := shadow(nt.tb)
+					for _, l := range queryPoints(nt.tb.Loads) {
+						for _, s := range queryPoints(nt.tb.Slews) {
+							want := seedLookup(ref, l, s)
+							for pass := 0; pass < 2; pass++ {
+								got := nt.tb.Lookup(l, s)
+								if math.Float64bits(got) != math.Float64bits(want) {
+									t.Fatalf("%s %s %s Lookup(%g,%g) pass %d = %x want %x (%g vs %g)",
+										name, pin.Name, nt.kind, l, s, pass,
+										math.Float64bits(got), math.Float64bits(want), got, want)
+								}
+							}
+							queries++
+						}
+					}
+					tables++
+				}
+			}
+		}
+	}
+	if tables == 0 {
+		t.Fatal("statistical library walk visited no tables")
+	}
+	t.Logf("compared %d tables, %d query points bit-for-bit", tables, queries)
 }
 
 // TestFlatMaxEquivalentAndThresholdAcrossLibrary folds and thresholds

@@ -42,7 +42,16 @@ func Variance(xs []float64) float64 {
 // StdDev returns the unbiased sample standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// MeanStdDev returns both moments in one pass over the data.
+// MeanStdDev returns the sample mean and the unbiased sample standard
+// deviation, computed with the classic two-pass formulas: mean first,
+// then the sum of squared deviations from it. The accumulation order is
+// slice order in both passes. That order is a contract: the statistical
+// library fold (statlib) streams the exact same two passes without a
+// buffer, and the pipeline's bit-identity guarantee depends on the sums
+// associating identically. The two-pass form is numerically safe on
+// near-constant samples (large mean, tiny sigma) where the textbook
+// one-pass E[x²]−mean² formula cancels catastrophically; see the
+// Welford accumulator for the single-pass streaming alternative.
 func MeanStdDev(xs []float64) (mean, sigma float64) {
 	return Mean(xs), StdDev(xs)
 }

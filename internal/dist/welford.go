@@ -1,0 +1,87 @@
+package dist
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator implementing
+// Welford's online algorithm with the Chan et al. parallel merge. It
+// consumes one sample at a time in O(1) memory, so folds over N≫50
+// Monte-Carlo instances never materialize an N-length buffer, and
+// shards accumulated on different workers combine exactly like one
+// sequential stream (up to float rounding).
+//
+// Float contract (documented because the statistical library's
+// bit-identity guarantee depends on knowing it precisely):
+//
+//   - Add maintains mean and the centered second moment M2 via
+//     d := x − mean; mean += d/n; M2 += d·(x − mean). Both are free of
+//     the catastrophic cancellation that the one-pass E[x²]−mean²
+//     formula suffers on near-constant data: relative error stays
+//     O(n·eps) in the variance regardless of the mean's magnitude.
+//   - The results are NOT bitwise-identical to the two-pass
+//     Mean/StdDev formulas: the division-per-sample rounding differs
+//     from summing first and dividing once. Agreement is to a few ulps
+//     of relative error. Consumers pinned to the recorded two-pass
+//     numbers (statlib.Build, the zero-flag pipeline) therefore keep
+//     the two-pass accumulation order and stream it without a buffer;
+//     Welford is for single-pass consumers — streamed characterization
+//     (statlib.BuildStream) and future sharded folds — whose outputs
+//     are tolerance-, not bit-, specified.
+//   - Variance is the unbiased (N−1) estimator, matching Variance;
+//     fewer than two samples report zero variance, matching the
+//     package's slice-based functions.
+//   - NaN or ±Inf samples poison the accumulator (mean and M2 become
+//     non-finite), exactly as they would a slice sum; callers that
+//     filter bad samples must do so before Add.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al.), as if
+// this accumulator had also consumed every sample o consumed.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	// w.n updates last: the mean update above needs the pre-merge count.
+	w.n = n
+}
+
+// N returns the number of samples folded in.
+func (w Welford) N() int64 { return w.n }
+
+// Mean returns the running sample mean (0 before any sample).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased (N−1) sample variance; fewer than two
+// samples have zero variance, matching Variance on slices.
+func (w Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Normal fits a Normal to the accumulated samples, the streaming
+// counterpart of Estimate.
+func (w Welford) Normal() Normal { return Normal{Mu: w.Mean(), Sigma: w.StdDev()} }

@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveOnePass is the textbook E[x²]−mean² variance formula — the
+// numerically unsafe single-pass alternative the package deliberately
+// does not use. It exists here only to demonstrate the failure mode the
+// regression inputs below provoke.
+func naiveOnePass(xs []float64) (mean, sigma float64) {
+	n := float64(len(xs))
+	var s, sq float64
+	for _, x := range xs {
+		s += x
+		sq += x * x
+	}
+	mean = s / n
+	v := (sq - n*mean*mean) / (n - 1)
+	return mean, math.Sqrt(v)
+}
+
+// cancellationSamples builds the catastrophic-cancellation regression
+// input: 50 samples (the characterization default) with a huge mean and
+// a tiny spread, the shape of a delay entry measured in femtoseconds
+// with picosecond-scale mismatch.
+func cancellationSamples() []float64 {
+	// mean/spread = 1e9: far past where E[x²]−mean² cancels (x² needs
+	// ~18 extra digits), while x−mean still resolves the offsets to
+	// ~1e-7 relative, so the stable algorithms stay accurate.
+	const mean, spread = 1e6, 1e-3
+	xs := make([]float64, 50)
+	for i := range xs {
+		// Deterministic, symmetric offsets in [-spread, +spread].
+		xs[i] = mean + spread*(float64(i%11)-5)/5
+	}
+	return xs
+}
+
+func TestMeanStdDevCancellationProne(t *testing.T) {
+	xs := cancellationSamples()
+
+	// Exact sigma of the offset pattern, computed at small scale where
+	// float64 has plenty of headroom.
+	small := make([]float64, len(xs))
+	for i, x := range xs {
+		small[i] = x - 1e6
+	}
+	wantMean, want := MeanStdDev(small)
+	wantMean += 1e6
+	if want <= 0 {
+		t.Fatalf("degenerate reference sigma %g", want)
+	}
+
+	m, s := MeanStdDev(xs)
+	if math.Abs(m-wantMean) > 1e-12*wantMean {
+		t.Errorf("two-pass mean = %v, want %v", m, wantMean)
+	}
+	if rel := math.Abs(s-want) / want; rel > 1e-9 {
+		t.Errorf("two-pass sigma = %v, want %v (rel err %g)", s, want, rel)
+	}
+
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if rel := math.Abs(w.StdDev()-want) / want; rel > 1e-6 {
+		t.Errorf("welford sigma = %v, want %v (rel err %g)", w.StdDev(), want, rel)
+	}
+	if rel := math.Abs(w.Mean()-m) / m; rel > 1e-12 {
+		t.Errorf("welford mean = %v, two-pass mean = %v", w.Mean(), m)
+	}
+
+	// The one-pass formula must actually fail on this input — otherwise
+	// the regression test isn't exercising the cancellation regime.
+	if _, naive := naiveOnePass(xs); math.Abs(naive-want)/want < 0.5 {
+		t.Errorf("naive one-pass sigma %v unexpectedly close to %v; inputs no longer cancellation-prone", naive, want)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	cases := [][]float64{
+		{1, 2, 3, 4, 5},
+		{0.125, 0.125, 0.125},
+		{3.5},
+		{},
+		{-2, 7, 0.001, 1e6, -42.5, 3.25},
+	}
+	for _, xs := range cases {
+		m, s := MeanStdDev(xs)
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		if w.N() != int64(len(xs)) {
+			t.Fatalf("N = %d, want %d", w.N(), len(xs))
+		}
+		if math.Abs(w.Mean()-m) > 1e-12*(1+math.Abs(m)) {
+			t.Errorf("%v: mean %v want %v", xs, w.Mean(), m)
+		}
+		if math.Abs(w.StdDev()-s) > 1e-12*(1+s) {
+			t.Errorf("%v: sigma %v want %v", xs, w.StdDev(), s)
+		}
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := cancellationSamples()
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Every split point, including the degenerate empty shards.
+	for cut := 0; cut <= len(xs); cut++ {
+		var a, b Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: N %d want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-6*whole.Mean() {
+			t.Errorf("cut %d: mean %v want %v", cut, a.Mean(), whole.Mean())
+		}
+		if rel := math.Abs(a.StdDev()-whole.StdDev()) / whole.StdDev(); rel > 1e-6 {
+			t.Errorf("cut %d: sigma %v want %v", cut, a.StdDev(), whole.StdDev())
+		}
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 || w.Mean() != 0 {
+		t.Errorf("empty accumulator: got mean %v sigma %v", w.Mean(), w.StdDev())
+	}
+	w.Add(7)
+	if w.Variance() != 0 {
+		t.Errorf("single sample variance = %v, want 0", w.Variance())
+	}
+	if w.Mean() != 7 {
+		t.Errorf("single sample mean = %v, want 7", w.Mean())
+	}
+	n := w.Normal()
+	if n.Mu != 7 || n.Sigma != 0 {
+		t.Errorf("Normal() = %+v", n)
+	}
+}

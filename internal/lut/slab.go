@@ -1,0 +1,99 @@
+package lut
+
+// Slab carves the value grids of many tables out of large contiguous
+// float64 chunks — the structure-of-arrays backing the statistical
+// library uses so a whole library's mean/sigma tables live in a few
+// allocations instead of four per arc. Within one chunk, consecutively
+// created tables are laid out back to back in creation order, which is
+// also the order a library fold writes them in; lookups that walk a
+// cell's tables therefore stay in a handful of cache lines.
+//
+// A Slab only ever hands out memory; carved tables stay valid for the
+// slab's whole lifetime (chunks are never recycled or moved). It is not
+// safe for concurrent use — builders own their slab until publication,
+// after which the tables are read-only like any other Table.
+type Slab struct {
+	cur    []float64 // unused tail of the active chunk
+	chunk  int       // preferred chunk size, floats
+	chunks int
+	tables int
+	floats int
+}
+
+// defaultSlabChunk is the fallback chunk size (floats) when a slab is
+// created without a size hint: 64k floats = 512 KiB per chunk.
+const defaultSlabChunk = 64 * 1024
+
+// NewSlab returns a slab tuned to hold about hint floats. A builder
+// that pre-computes its total table volume gets everything in one
+// chunk; underestimates simply grow extra chunks.
+func NewSlab(hint int) *Slab {
+	s := &Slab{chunk: defaultSlabChunk}
+	if hint > 0 {
+		s.chunk = hint
+	}
+	return s
+}
+
+// alloc carves n floats off the active chunk, growing by a fresh chunk
+// when the tail runs short. The returned slice has full capacity n, so
+// appends by a confused caller can never bleed into a neighbor table.
+func (s *Slab) alloc(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(s.cur) < n {
+		size := s.chunk
+		if size < n {
+			size = n
+		}
+		s.cur = make([]float64, size)
+		s.chunks++
+	}
+	b := s.cur[:n:n]
+	s.cur = s.cur[n:]
+	s.floats += n
+	return b
+}
+
+// Stats reports how many tables and floats the slab has carved and how
+// many backing chunks that took — the contiguity invariant tests pin.
+func (s *Slab) Stats() (tables, floats, chunks int) {
+	return s.tables, s.floats, s.chunks
+}
+
+// NewIn allocates a zero-valued table over the given axes with its
+// value grid carved from the slab. A nil slab degrades to New, so
+// builders can thread an optional slab without branching. The axes are
+// copied, exactly as New copies them.
+func NewIn(s *Slab, loads, slews []float64) *Table {
+	if s == nil {
+		return New(loads, slews)
+	}
+	t := &Table{
+		Loads:  append([]float64(nil), loads...),
+		Slews:  append([]float64(nil), slews...),
+		Values: make([][]float64, len(loads)),
+		flat:   s.alloc(len(loads) * len(slews)),
+		stride: len(slews),
+	}
+	for i := range t.Values {
+		t.Values[i] = t.flat[i*t.stride : (i+1)*t.stride : (i+1)*t.stride]
+	}
+	s.tables++
+	return t
+}
+
+// CloneIn deep-copies the table with the copy's values carved from the
+// slab; CloneIn(nil) is Clone.
+func (t *Table) CloneIn(s *Slab) *Table {
+	c := NewIn(s, t.Loads, t.Slews)
+	for i := range t.Values {
+		copy(c.Values[i], t.Values[i])
+	}
+	return c
+}
+
+// Contiguous reports whether the table's value grid is one contiguous
+// backing array (built via New/NewIn rather than assembled by hand).
+func (t *Table) Contiguous() bool { return t.flat != nil || len(t.Loads)*len(t.Slews) == 0 }

@@ -1,0 +1,104 @@
+package lut
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+func TestSlabCarvesContiguously(t *testing.T) {
+	loads := []float64{0.001, 0.002, 0.004}
+	slews := []float64{0.01, 0.02}
+	s := NewSlab(4 * len(loads) * len(slews))
+	var tabs []*Table
+	for k := 0; k < 4; k++ {
+		tb := NewIn(s, loads, slews)
+		for i := range tb.Values {
+			for j := range tb.Values[i] {
+				tb.Values[i][j] = float64(k*100 + i*10 + j)
+			}
+		}
+		tabs = append(tabs, tb)
+	}
+	tables, floats, chunks := s.Stats()
+	if tables != 4 || floats != 4*6 || chunks != 1 {
+		t.Fatalf("Stats() = (%d, %d, %d), want (4, 24, 1)", tables, floats, chunks)
+	}
+	// Adjacent tables must be back to back in one backing array: the
+	// next table's first element sits exactly one element past the
+	// previous table's last.
+	for k := 0; k+1 < len(tabs); k++ {
+		a, b := tabs[k].flat, tabs[k+1].flat
+		end := uintptr(unsafe.Pointer(&a[len(a)-1])) + unsafe.Sizeof(a[0])
+		if end != uintptr(unsafe.Pointer(&b[0])) {
+			t.Fatalf("tables %d and %d not adjacent in the slab", k, k+1)
+		}
+	}
+	// Writes through Values and reads through At/Lookup stay coherent.
+	for k, tb := range tabs {
+		if got := tb.At(1, 1); got != float64(k*100+11) {
+			t.Errorf("table %d At(1,1) = %v, want %d", k, got, k*100+11)
+		}
+		if err := tb.Validate(); err != nil {
+			t.Errorf("table %d: %v", k, err)
+		}
+		if !tb.Contiguous() {
+			t.Errorf("table %d not contiguous", k)
+		}
+	}
+}
+
+func TestSlabGrowsAndOversizedAlloc(t *testing.T) {
+	s := NewSlab(4) // tiny chunks force growth
+	small := NewIn(s, []float64{1, 2}, []float64{1, 2})
+	big := NewIn(s, []float64{1, 2, 3, 4}, []float64{1, 2, 3})
+	if small == nil || big == nil {
+		t.Fatal("nil table from slab")
+	}
+	tables, floats, chunks := s.Stats()
+	if tables != 2 || floats != 4+12 {
+		t.Fatalf("Stats() = (%d, %d, %d)", tables, floats, chunks)
+	}
+	if chunks < 2 {
+		t.Fatalf("expected chunk growth, got %d chunks", chunks)
+	}
+	// Appending to a row must never bleed into a neighbor (full-cap views).
+	row := big.Values[0]
+	if cap(row) != len(row) {
+		t.Fatalf("row capacity %d exceeds length %d", cap(row), len(row))
+	}
+}
+
+func TestNewInNilSlabAndCloneIn(t *testing.T) {
+	loads := []float64{0.001, 0.004}
+	slews := []float64{0.01, 0.05, 0.2}
+	tb := NewIn(nil, loads, slews)
+	for i := range tb.Values {
+		for j := range tb.Values[i] {
+			tb.Values[i][j] = math.Sqrt(float64(i+1) * float64(j+1))
+		}
+	}
+	s := NewSlab(0)
+	cp := tb.CloneIn(s)
+	if !SameAxes(tb, cp) {
+		t.Fatal("CloneIn changed axes")
+	}
+	for i := range tb.Values {
+		for j := range tb.Values[i] {
+			if tb.Values[i][j] != cp.Values[i][j] {
+				t.Fatalf("CloneIn value [%d][%d] differs", i, j)
+			}
+		}
+	}
+	cp.Values[0][0] = -1
+	if tb.Values[0][0] == -1 {
+		t.Fatal("CloneIn aliases the source")
+	}
+	if n := tb.CloneIn(nil); n.At(0, 0) != tb.At(0, 0) {
+		t.Fatal("CloneIn(nil) broken")
+	}
+	// Lookup parity between slab-backed and plain tables.
+	if a, b := tb.Lookup(0.002, 0.07), cp.Lookup(0.002, 0.07); a != b {
+		t.Fatalf("Lookup differs: %v vs %v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ package netlist
 
 import (
 	"fmt"
+	"strconv"
 
 	"stdcelltune/internal/stdcell"
 )
@@ -67,7 +68,7 @@ func New(name string, cat *stdcell.Catalogue) *Netlist {
 // AddNet creates a floating net.
 func (nl *Netlist) AddNet(name string) *Net {
 	if name == "" {
-		name = fmt.Sprintf("n%d", nl.nextNet)
+		name = "n" + strconv.Itoa(nl.nextNet)
 	}
 	n := &Net{ID: nl.nextNet, Name: name}
 	nl.nextNet++
@@ -96,7 +97,7 @@ func (nl *Netlist) MarkOutput(name string, n *Net) {
 // AddInstance places a cell. Connections are made with Connect/Drive.
 func (nl *Netlist) AddInstance(name string, spec *stdcell.Spec) *Instance {
 	if name == "" {
-		name = fmt.Sprintf("u%d", nl.nextInst)
+		name = "u" + strconv.Itoa(nl.nextInst)
 	}
 	inst := &Instance{
 		ID:   nl.nextInst,

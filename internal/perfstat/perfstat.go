@@ -61,6 +61,12 @@ func New() *Collector {
 // phase:
 //
 //	defer c.Start("synth")()
+//
+// The closer is idempotent: calls after the first are no-ops. Without
+// that guard a double-closed window (a `defer stop()` paired with an
+// explicit stop() on an early-return path) would drive the open-window
+// count negative and every later overlap would silently go unflagged —
+// alloc columns reported exact when they are upper bounds.
 func (c *Collector) Start(name string) func() {
 	c.mu.Lock()
 	overlapAtStart := c.open > 0
@@ -71,12 +77,17 @@ func (c *Collector) Start(name string) func() {
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
+	closed := false
 	return func() {
 		wall := time.Since(t0)
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		if closed {
+			return
+		}
+		closed = true
 		c.open--
 		// The window overlapped if another was already open when it
 		// started, or any window opened before it closed.

@@ -92,6 +92,40 @@ func TestCollectorOverlapMarksAllocsApprox(t *testing.T) {
 	}
 }
 
+// A double-closed window must not corrupt the open-window count. Before
+// the closer was idempotent, the second call drove c.open negative, and
+// every later overlap was silently reported exact — the regression this
+// test pins: after a double close, a genuinely nested pair must still
+// both be flagged, and the double-closed phase must count one run.
+func TestCollectorDoubleCloseKeepsOverlapDetection(t *testing.T) {
+	c := New()
+	stop := c.Start("twice")
+	stop()
+	stop() // early-return path also closed it
+
+	stopOuter := c.Start("outer")
+	c.Start("inner")()
+	stopOuter()
+
+	approx := map[string]bool{}
+	counts := map[string]int64{}
+	for _, p := range c.Phases() {
+		approx[p.Name] = p.AllocsApprox
+		counts[p.Name] = p.Count
+	}
+	if counts["twice"] != 1 {
+		t.Errorf("double-closed phase counted %d runs, want 1", counts["twice"])
+	}
+	if approx["twice"] {
+		t.Error("sequential double-closed window marked approximate")
+	}
+	for _, name := range []string{"outer", "inner"} {
+		if !approx[name] {
+			t.Errorf("%s overlapped after a double close but was not marked approximate", name)
+		}
+	}
+}
+
 func TestParseGoBench(t *testing.T) {
 	out := `goos: linux
 goarch: amd64

@@ -75,6 +75,23 @@ func (q *Quarantine) Has(name string) bool {
 	return q.names[name]
 }
 
+// Reason returns why the named item was quarantined, or "" if it
+// wasn't. Duplicate Adds keep the first reason, so this is the reason
+// the stage recorded when it first dropped the item.
+func (q *Quarantine) Reason(name string) string {
+	if q == nil {
+		return ""
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range q.entries {
+		if e.Name == name {
+			return e.Reason
+		}
+	}
+	return ""
+}
+
 // Len returns the number of quarantined items.
 func (q *Quarantine) Len() int {
 	if q == nil {

@@ -81,12 +81,14 @@ type Engine struct {
 	// Per instance ID: resolved timing arcs plus a self-validating
 	// (load, slew) -> (delay, trans) cache per arc. Entries invalidate
 	// themselves by bitwise input comparison, so staleness after Rewind
-	// or resize-revert is harmless.
-	cells []*engCell
-	// cellsAlt keeps the previously displaced cell of each instance:
-	// accept/revert probing resizes A->B->A constantly, and the two-slot
-	// cache turns the rebuild-on-revert into a swap.
-	cellsAlt []*engCell
+	// or resize-revert is harmless. Each entry keeps two value-cache
+	// generations (cur/alt): accept/revert probing resizes A->B->A
+	// constantly, and the second slot turns the rebuild-on-revert into a
+	// pointer swap. The slice holds values, and every slice a cell needs
+	// is carved from the engine's arena — steady-state retargeting
+	// allocates nothing.
+	cells []engCell
+	arena engArena
 
 	// Dirty frontier accumulated from journal notifications.
 	dirtyInst map[int]*netlist.Instance
@@ -100,9 +102,16 @@ type Engine struct {
 	prev *Result
 
 	// Worklist scratch for runIncremental: queuedGen[id] == queueGen marks
-	// an instance as queued this round (O(1) reset by bumping the gen).
+	// an instance as queued this round (O(1) reset by bumping the gen);
+	// heap is the dirty-frontier min-heap's backing array, reused across
+	// rounds so cone updates never allocate.
 	queuedGen []uint32
 	queueGen  uint32
+	heap      intHeap
+
+	// free holds snapshots returned through Recycle; the next snapshot
+	// reuses their slices instead of allocating. Never holds last/prev.
+	free []*Result
 
 	// Endpoint skeleton cached per topology generation: the set and sorted
 	// order of endpoints only changes on topology edits, so snapshots just
@@ -119,9 +128,86 @@ type Engine struct {
 	incCount  int
 }
 
-type engCell struct {
-	spec *stdcell.Spec
+// engArena carves the small fixed-size slices every engine cell needs
+// (pin slots, wiring, value caches) out of large chunks, so building or
+// re-targeting thousands of cells costs a handful of allocations per
+// chunk instead of seven per cell. Carved slices are abandoned, never
+// freed — a dropped cell's slices die with the chunk once nothing else
+// references it, and the engine's working set is bounded by the netlist.
+type engArena struct {
 	pins []engPin
+	nets []*netlist.Net
+	f64  []float64
+	bs   []bool
+}
+
+const (
+	arenaPinChunk = 1 << 9
+	arenaNetChunk = 1 << 11
+	arenaF64Chunk = 1 << 13
+	arenaBChunk   = 1 << 11
+)
+
+func (a *engArena) carvePins(n int) []engPin {
+	if len(a.pins) < n {
+		size := arenaPinChunk
+		if size < n {
+			size = n
+		}
+		a.pins = make([]engPin, size)
+	}
+	b := a.pins[:n:n]
+	a.pins = a.pins[n:]
+	return b
+}
+
+func (a *engArena) carveNets(n int) []*netlist.Net {
+	if len(a.nets) < n {
+		size := arenaNetChunk
+		if size < n {
+			size = n
+		}
+		a.nets = make([]*netlist.Net, size)
+	}
+	b := a.nets[:n:n]
+	a.nets = a.nets[n:]
+	return b
+}
+
+func (a *engArena) carveF64(n int) []float64 {
+	if len(a.f64) < n {
+		size := arenaF64Chunk
+		if size < n {
+			size = n
+		}
+		a.f64 = make([]float64, size)
+	}
+	b := a.f64[:n:n]
+	a.f64 = a.f64[n:]
+	return b
+}
+
+func (a *engArena) carveBools(n int) []bool {
+	if len(a.bs) < n {
+		size := arenaBChunk
+		if size < n {
+			size = n
+		}
+		a.bs = make([]bool, size)
+	}
+	b := a.bs[:n:n]
+	a.bs = a.bs[n:]
+	return b
+}
+
+// engCell is one instance's cached arc resolution. spec is the cell the
+// cur value caches describe; altSpec the previously displaced cell the
+// alt caches describe (nil until the first retarget). A zero engCell
+// means "not built yet".
+type engCell struct {
+	spec    *stdcell.Spec
+	altSpec *stdcell.Spec
+	pins    []engPin
 }
 
 // epRef is one entry of the cached endpoint skeleton: everything about
@@ -135,16 +221,11 @@ type epRef struct {
 	net  *netlist.Net
 }
 
-// engPin caches the arcs of one output pin plus the resolved output and
-// input nets of its instance — string-keyed In/Out map lookups are the
-// hottest cost in cone re-evaluation, and pin-to-net wiring only changes
-// through Connect/Drive (which drop the cell from the cache). For
-// combinational cells the slices align with spec.Inputs; sequential
-// cells keep a single clock-arc slot.
-type engPin struct {
-	name string
-	out  *netlist.Net
-	ins  []*netlist.Net
+// pinVals is one spec-generation of an output pin's cache: the resolved
+// timing arcs (a read-only slice shared via the catalogue's arc cache)
+// and the self-validating (load, slew) -> (delay, trans) value cache,
+// one slot per arc.
+type pinVals struct {
 	arcs []*liberty.TimingArc
 	load []float64
 	slew []float64
@@ -153,15 +234,31 @@ type engPin struct {
 	ok   []bool
 }
 
+// engPin caches the arcs of one output pin plus the resolved output and
+// input nets of its instance — string-keyed In/Out map lookups are the
+// hottest cost in cone re-evaluation, and pin-to-net wiring only changes
+// through Connect/Drive (which drop the cell from the cache). For
+// combinational cells the slots align with spec.Inputs; sequential cells
+// keep a single clock-arc slot. cur describes engCell.spec, alt the
+// displaced engCell.altSpec; a revert resize swaps them back with both
+// value caches still warm.
+type engPin struct {
+	name     string
+	out      *netlist.Net
+	ins      []*netlist.Net
+	cur, alt pinVals
+}
+
 // eval interpolates arc i at (load, slew), serving bitwise-matching
 // repeats from the cache. Mirrors evalArc exactly on a miss.
 func (p *engPin) eval(i int, arc *liberty.TimingArc, load, slew float64) (float64, float64) {
-	if p.ok[i] && p.load[i] == load && p.slew[i] == slew {
-		return p.d[i], p.tr[i]
+	v := &p.cur
+	if v.ok[i] && v.load[i] == load && v.slew[i] == slew {
+		return v.d[i], v.tr[i]
 	}
 	d := math.Max(arc.CellRise.Lookup(load, slew), arc.CellFall.Lookup(load, slew))
 	tr := math.Max(arc.RiseTransition.Lookup(load, slew), arc.FallTransition.Lookup(load, slew))
-	p.ok[i], p.load[i], p.slew[i], p.d[i], p.tr[i] = true, load, slew, d, tr
+	v.ok[i], v.load[i], v.slew[i], v.d[i], v.tr[i] = true, load, slew, d, tr
 	return d, tr
 }
 
@@ -230,8 +327,7 @@ func (e *Engine) OnDrive(inst *netlist.Instance, pin string, n *netlist.Net) {
 // pin-to-net wiring changed; cellFor rebuilds it on next touch.
 func (e *Engine) dropCell(inst *netlist.Instance) {
 	if inst.ID < len(e.cells) {
-		e.cells[inst.ID] = nil
-		e.cellsAlt[inst.ID] = nil
+		e.cells[inst.ID] = engCell{}
 	}
 }
 
@@ -399,8 +495,7 @@ func (e *Engine) ensureSizes() {
 		e.overCap = append(e.overCap, false)
 	}
 	for len(e.cells) < len(e.nl.Instances) {
-		e.cells = append(e.cells, nil)
-		e.cellsAlt = append(e.cellsAlt, nil)
+		e.cells = append(e.cells, engCell{})
 	}
 }
 
@@ -433,65 +528,137 @@ func (e *Engine) computeLoad(n *netlist.Net) (loadChanged, overChanged bool) {
 }
 
 func (e *Engine) cellFor(inst *netlist.Instance) *engCell {
-	c := e.cells[inst.ID]
-	if c == nil || c.spec != inst.Spec {
-		if alt := e.cellsAlt[inst.ID]; alt != nil && alt.spec == inst.Spec {
-			c, e.cellsAlt[inst.ID] = alt, c
-		} else {
-			e.cellsAlt[inst.ID] = c
-			c = e.buildCell(inst)
-		}
-		e.cells[inst.ID] = c
+	c := &e.cells[inst.ID]
+	switch {
+	case c.spec == inst.Spec:
+	case c.spec == nil:
+		e.buildCell(c, inst)
+	default:
+		e.retarget(c, inst)
 	}
 	return c
 }
 
-func (e *Engine) buildCell(inst *netlist.Instance) *engCell {
+// specSlots is the number of arc/value slots an output pin needs: one
+// per data input, or a single clock-arc slot for sequential cells.
+func specSlots(spec *stdcell.Spec) int {
+	if spec.IsSequential() {
+		return 1
+	}
+	return len(spec.Inputs)
+}
+
+// ensureVals makes v hold exactly slots cold cache entries, reusing the
+// existing backing when it is large enough.
+func (e *Engine) ensureVals(v *pinVals, slots int) {
+	if cap(v.load) < slots {
+		v.load = e.arena.carveF64(slots)
+		v.slew = e.arena.carveF64(slots)
+		v.d = e.arena.carveF64(slots)
+		v.tr = e.arena.carveF64(slots)
+		v.ok = e.arena.carveBools(slots)
+		for i := range v.ok {
+			v.ok[i] = false
+		}
+		return
+	}
+	v.load = v.load[:slots]
+	v.slew = v.slew[:slots]
+	v.d = v.d[:slots]
+	v.tr = v.tr[:slots]
+	v.ok = v.ok[:slots]
+	for i := range v.ok {
+		v.ok[i] = false
+	}
+}
+
+// wire resolves the pin-to-net wiring of pin pi for the given spec from
+// the instance's string-keyed maps — the only place the maps are
+// consulted; evaluation reads the resolved slices.
+func (e *Engine) wire(p *engPin, inst *netlist.Instance, spec *stdcell.Spec, pi int) {
+	p.name = spec.Outputs[pi]
+	p.out = inst.Out[p.name]
+	slots := specSlots(spec)
+	if cap(p.ins) < slots {
+		p.ins = e.arena.carveNets(slots)
+	} else {
+		p.ins = p.ins[:slots]
+	}
+	if spec.IsSequential() {
+		p.ins[0] = nil
+		return
+	}
+	for i, in := range spec.Inputs {
+		p.ins[i] = inst.In[in]
+	}
+}
+
+// buildCell resolves an instance's cell from scratch into c. This runs
+// once per instance (and after wiring edits); resizes go through
+// retarget and reuse everything built here.
+func (e *Engine) buildCell(c *engCell, inst *netlist.Instance) {
 	spec := inst.Spec
-	c := &engCell{spec: spec}
-	cell := e.nl.Cat.Lib.Cell(spec.Name)
-	arcIn := func(p *liberty.Pin, related string) *liberty.TimingArc {
-		if p == nil {
-			return nil
-		}
-		for _, a := range p.Timing {
-			if a.RelatedPin == related {
-				return a
-			}
-		}
-		return nil
+	arcs := e.nl.Cat.TimingArcs(spec)
+	slots := specSlots(spec)
+	c.spec = spec
+	c.altSpec = nil
+	c.pins = e.arena.carvePins(len(spec.Outputs))
+	for pi := range c.pins {
+		p := &c.pins[pi]
+		e.wire(p, inst, spec, pi)
+		p.cur.arcs = arcs[pi]
+		e.ensureVals(&p.cur, slots)
 	}
-	for _, outPin := range spec.Outputs {
-		var lp *liberty.Pin
-		if cell != nil {
-			lp = cell.Pin(outPin)
-		}
-		slots := len(spec.Inputs)
-		if spec.IsSequential() {
-			slots = 1
-		}
-		p := engPin{
-			name: outPin,
-			out:  inst.Out[outPin],
-			ins:  make([]*netlist.Net, slots),
-			arcs: make([]*liberty.TimingArc, slots),
-			load: make([]float64, slots),
-			slew: make([]float64, slots),
-			d:    make([]float64, slots),
-			tr:   make([]float64, slots),
-			ok:   make([]bool, slots),
-		}
-		if spec.IsSequential() {
-			p.arcs[0] = arcIn(lp, spec.Clock)
-		} else {
-			for i, in := range spec.Inputs {
-				p.arcs[i] = arcIn(lp, in)
-				p.ins[i] = inst.In[in]
-			}
-		}
-		c.pins = append(c.pins, p)
+}
+
+// eqStrings reports element-wise equality; same-family specs share
+// their pin-name slices, so this is almost always a len+pointer check.
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return c
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// retarget repoints a built cell at the instance's new spec without
+// allocating. The common resize ping-pong (probe B, revert to A) swaps
+// the cur/alt value caches, keeping both generations warm; any other
+// transition evicts the alt slot in place with fresh arcs from the
+// catalogue cache. Wiring is re-resolved only when the new spec's pin
+// names actually differ — same-family resizes share them.
+func (e *Engine) retarget(c *engCell, inst *netlist.Instance) {
+	spec := inst.Spec
+	if len(spec.Outputs) != len(c.pins) {
+		// Different output structure: rebuild outright (never happens for
+		// in-family resizes; cheap and correct if it ever does).
+		e.buildCell(c, inst)
+		return
+	}
+	rewire := !eqStrings(spec.Inputs, c.spec.Inputs) || !eqStrings(spec.Outputs, c.spec.Outputs) ||
+		spec.IsSequential() != c.spec.IsSequential()
+	swap := c.altSpec == spec
+	var arcs [][]*liberty.TimingArc
+	if !swap {
+		arcs = e.nl.Cat.TimingArcs(spec)
+	}
+	slots := specSlots(spec)
+	for pi := range c.pins {
+		p := &c.pins[pi]
+		p.cur, p.alt = p.alt, p.cur
+		if !swap {
+			p.cur.arcs = arcs[pi]
+			e.ensureVals(&p.cur, slots)
+		}
+		if rewire {
+			e.wire(p, inst, spec, pi)
+		}
+	}
+	c.spec, c.altSpec = spec, c.spec
 }
 
 // store updates a net's propagated values; returns whether anything
@@ -519,7 +686,7 @@ func (e *Engine) evalInst(inst *netlist.Instance) bool {
 			if out == nil {
 				continue
 			}
-			arc := p.arcs[0]
+			arc := p.cur.arcs[0]
 			if arc == nil {
 				continue
 			}
@@ -544,7 +711,7 @@ func (e *Engine) evalInst(inst *netlist.Instance) bool {
 			if inNet == nil {
 				continue
 			}
-			arc := p.arcs[i]
+			arc := p.cur.arcs[i]
 			if arc == nil {
 				continue
 			}
@@ -618,7 +785,8 @@ func (e *Engine) runIncremental(order []*netlist.Instance) (cone int, changed bo
 	}
 	e.queueGen++
 	gen := e.queueGen
-	h := intHeap{}
+	h := e.heap[:0]
+	defer func() { e.heap = h }()
 	push := func(inst *netlist.Instance) {
 		if e.queuedGen[inst.ID] != gen {
 			e.queuedGen[inst.ID] = gen
@@ -640,7 +808,7 @@ func (e *Engine) runIncremental(order []*netlist.Instance) (cone int, changed bo
 			continue
 		}
 		changed = true
-		cc := e.cells[inst.ID] // populated by evalInst's cellFor
+		cc := &e.cells[inst.ID] // populated by evalInst's cellFor
 		for pi := range cc.pins {
 			out := cc.pins[pi].out
 			if out == nil {
@@ -658,28 +826,64 @@ func (e *Engine) runIncremental(order []*netlist.Instance) (cone int, changed bo
 	return cone, changed, nil
 }
 
+// Recycle returns a snapshot this engine produced to its free pool, so
+// the next snapshot reuses its slices instead of allocating fresh ones.
+// Callers recycle only snapshots they know are dead — a probe result
+// rejected and reverted away, never published outside the optimizer
+// loop. The engine's current snapshot (last), results of other engines,
+// and double-recycles are all ignored, so a conservative caller can
+// never corrupt live state. Recycling the no-op-reuse candidate (prev,
+// with edits pending) vacates that slot first: the caller vouches the
+// snapshot is dead, which costs at most one avoidable re-snapshot if
+// the pending edits turn out to be a bitwise no-op.
+func (e *Engine) Recycle(r *Result) {
+	if r == nil || r.eng != e || r.pooled || r == e.last {
+		return
+	}
+	if r == e.prev {
+		e.prev = nil
+	}
+	r.pooled = true
+	e.free = append(e.free, r)
+}
+
 // snapshot copies the working state into an immutable Result — the same
 // shape Analyze returns, with endpoints and max-cap violations rebuilt
-// in Analyze's exact order.
+// in Analyze's exact order. Recycled snapshots are reused when the pool
+// has one; a Result is bitwise-identical either way.
 func (e *Engine) snapshot() *Result {
-	r := &Result{
-		Cfg:     e.cfg,
-		Load:    append([]float64(nil), e.load...),
-		Arrival: append([]float64(nil), e.arrival...),
-		Slew:    append([]float64(nil), e.slew...),
-		fromPin: append([]string(nil), e.fromPin...),
-		nl:      e.nl,
-		eng:     e,
-		topoGen: e.nl.TopoGen(),
+	var r *Result
+	if n := len(e.free); n > 0 {
+		r = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		r.pooled = false
+		r.reqDone = false
+	} else {
+		r = &Result{}
 	}
+	r.Cfg = e.cfg
+	r.Load = append(r.Load[:0], e.load...)
+	r.Arrival = append(r.Arrival[:0], e.arrival...)
+	r.Slew = append(r.Slew[:0], e.slew...)
+	r.fromPin = append(r.fromPin[:0], e.fromPin...)
+	r.nl = e.nl
+	r.eng = e
+	r.topoGen = e.nl.TopoGen()
+	r.MaxCapViolations = r.MaxCapViolations[:0]
 	for _, n := range e.nl.Nets {
 		if e.overCap[n.ID] {
 			r.MaxCapViolations = append(r.MaxCapViolations, n)
 		}
 	}
 	required := e.cfg.ClockPeriod - e.cfg.Uncertainty
-	r.Endpoints = make([]Endpoint, 0, len(e.endpointRefs()))
-	for _, ref := range e.epRefs {
+	refs := e.endpointRefs()
+	if cap(r.Endpoints) < len(refs) {
+		r.Endpoints = make([]Endpoint, 0, len(refs))
+	} else {
+		r.Endpoints = r.Endpoints[:0]
+	}
+	for _, ref := range refs {
 		ep := Endpoint{
 			Name: ref.name, IsFF: ref.isFF, Inst: ref.inst, Net: ref.net,
 			Arrival: r.Arrival[ref.net.ID],

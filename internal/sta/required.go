@@ -15,25 +15,43 @@ import "math"
 // and Engine-produced snapshots serve the arc delays from the engine's
 // (load, slew)-validated cache instead of re-interpolating the LUTs.
 func (r *Result) RequiredTimes() []float64 {
-	r.reqOnce.Do(r.computeRequired)
+	r.requireComputed()
 	return r.req
 }
 
 // NetSlacks returns required - arrival per net ID (positive = margin).
 // Nets with no downstream endpoint have +Inf slack.
 func (r *Result) NetSlacks() []float64 {
-	r.reqOnce.Do(r.computeRequired)
+	r.requireComputed()
 	return r.slacks
 }
 
+func (r *Result) requireComputed() {
+	r.reqMu.Lock()
+	defer r.reqMu.Unlock()
+	if !r.reqDone {
+		r.computeRequired()
+		r.reqDone = true
+	}
+}
+
+// grownF64 returns a length-n float64 slice, reusing buf's backing when
+// it is large enough — pooled snapshots keep their req/slacks arrays.
+func grownF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 func (r *Result) computeRequired() {
-	req := make([]float64, len(r.Arrival))
+	req := grownF64(r.req, len(r.Arrival))
 	for i := range req {
 		req[i] = math.Inf(1)
 	}
 	defer func() {
 		r.req = req
-		r.slacks = make([]float64, len(req))
+		r.slacks = grownF64(r.slacks, len(req))
 		for i := range req {
 			r.slacks[i] = req[i] - r.Arrival[i]
 		}
@@ -82,7 +100,7 @@ func (r *Result) computeRequired() {
 					if inNet == nil {
 						continue
 					}
-					arc := p.arcs[ai]
+					arc := p.cur.arcs[ai]
 					if arc == nil {
 						continue
 					}

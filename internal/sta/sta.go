@@ -89,10 +89,17 @@ type Result struct {
 
 	// The backward pass is memoized: synthesis asks for NetSlacks once
 	// per margin step against the same Result, and required times never
-	// change for an immutable snapshot.
-	reqOnce sync.Once
+	// change for an immutable snapshot. A mutex+flag rather than
+	// sync.Once so a pooled snapshot can reset the memo on reuse (the
+	// req/slacks backing arrays are then recycled too).
+	reqMu   sync.Mutex
+	reqDone bool
 	req     []float64
 	slacks  []float64
+
+	// pooled marks a snapshot sitting in its engine's Recycle pool,
+	// guarding against double-recycle.
+	pooled bool
 }
 
 // Endpoint is a timing check location: a flip-flop D pin or a primary
@@ -435,8 +442,39 @@ func (r *Result) OperatingPoints() []OperatingPoint {
 // on every snapshot, so the allocation matters. Output pins visit in
 // spec order (the slice form previously used map order, which was
 // nondeterministic; no caller depended on it).
+//
+// When the Result is an engine's current snapshot, the scan reads the
+// engine's resolved pin-to-net wiring instead of the instances'
+// string-keyed In/Out maps — the map lookups used to dominate the
+// legality scan's profile. The values are identical either way; the
+// map path remains for plain Analyze results and stale snapshots.
 func (r *Result) EachOperatingPoint(fn func(OperatingPoint)) {
+	eng := r.eng
+	fast := eng != nil && eng.last == r && eng.haveState
 	for _, inst := range r.nl.Instances {
+		if fast && !inst.Spec.IsSequential() {
+			cc := eng.cellFor(inst)
+			if len(cc.pins) > 0 {
+				// All pins of an instance share the same input wiring;
+				// worst input slew comes from any pin's resolved slots.
+				worstIn := r.Cfg.InputSlew
+				for _, n := range cc.pins[0].ins {
+					if n != nil && r.Slew[n.ID] > worstIn {
+						worstIn = r.Slew[n.ID]
+					}
+				}
+				for oi := range cc.pins {
+					p := &cc.pins[oi]
+					if p.out == nil {
+						continue
+					}
+					fn(OperatingPoint{
+						Inst: inst, OutPin: p.name, OutIdx: oi, Load: r.Load[p.out.ID], WorstIn: worstIn,
+					})
+				}
+			}
+			continue
+		}
 		worstIn := r.Cfg.InputSlew
 		for _, pin := range inst.Spec.Inputs {
 			if n := inst.In[pin]; n != nil && r.Slew[n.ID] > worstIn {

@@ -1,9 +1,11 @@
 package statlib
 
 import (
-	"errors"
+	"fmt"
 
 	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/robust"
 )
 
 // ToLiberty serializes the statistical library in LVF style: the mean
@@ -65,9 +67,59 @@ func relatedPins(c *Cell) []string {
 	return out
 }
 
+// loadSlabHint sizes the slab for FromLiberty: all four tables of every
+// timing arc get re-backed, so the hint is their summed dimensions.
+func loadSlabHint(lib *liberty.Library) int {
+	dims := func(t *lut.Table) int {
+		if t == nil {
+			return 0
+		}
+		return len(t.Loads) * len(t.Slews)
+	}
+	total := 0
+	for _, c := range lib.Cells {
+		for _, p := range c.Pins {
+			if p.Direction != liberty.Output {
+				continue
+			}
+			for _, a := range p.Timing {
+				total += dims(a.CellRise) + dims(a.CellFall) + dims(a.SigmaRise) + dims(a.SigmaFall)
+			}
+		}
+	}
+	return total
+}
+
+// cloneIn is a nil-tolerant Table.CloneIn, for mean tables an arc may
+// legitimately lack.
+func cloneIn(t *lut.Table, s *lut.Slab) *lut.Table {
+	if t == nil {
+		return nil
+	}
+	return t.CloneIn(s)
+}
+
 // FromLiberty rebuilds a statistical library from its LVF serialization.
+//
+// A cell with an arc missing its sigma tables — a hand-edited file, a
+// serializer that dropped the ocv_sigma groups, or a nominal library
+// mistaken for a statistical one — is quarantined with a reason naming
+// the pin and arc, not silently dropped and not a hard failure: partial
+// damage degrades exactly like a degenerate cell in Build does. The
+// load fails only when more than robust.DefaultQuarantineLimit of the
+// cells are damaged, which is also what rejects a fully nominal library
+// (every cell quarantined).
+//
+// The returned library's tables are deep copies carved from a fresh
+// contiguous slab, so it never aliases the parsed input: callers may
+// mutate or drop the *liberty.Library afterwards.
 func FromLiberty(lib *liberty.Library) (*Library, error) {
-	sl := &Library{Name: lib.Name, Cells: make(map[string]*Cell)}
+	sl := &Library{
+		Name: lib.Name, Cells: make(map[string]*Cell),
+		Quarantine: robust.NewQuarantine("statlib"),
+		slab:       lut.NewSlab(loadSlabHint(lib)),
+	}
+	sl.Quarantine.Total = len(lib.Cells)
 	for _, lc := range lib.Cells {
 		c := &Cell{
 			Name:          lc.Name,
@@ -75,6 +127,8 @@ func FromLiberty(lib *liberty.Library) (*Library, error) {
 			DriveStrength: lc.DriveStrength,
 			Footprint:     lc.Footprint,
 		}
+		quarantined := false
+	pins:
 		for _, lp := range lc.Pins {
 			if lp.Direction != liberty.Output || len(lp.Timing) == 0 {
 				continue
@@ -82,20 +136,29 @@ func FromLiberty(lib *liberty.Library) (*Library, error) {
 			p := &Pin{Name: lp.Name, MaxCap: lp.MaxCap}
 			for _, la := range lp.Timing {
 				if la.SigmaRise == nil || la.SigmaFall == nil {
-					return nil, errors.New("statlib: arc without sigma tables is not a statistical library")
+					sl.Quarantine.Add(lc.Name, fmt.Sprintf(
+						"pin %s arc %s: no sigma tables (not statistical data)", lp.Name, la.RelatedPin))
+					quarantined = true
+					break pins
 				}
 				p.Arcs = append(p.Arcs, &Arc{
 					RelatedPin: la.RelatedPin,
-					MeanRise:   la.CellRise,
-					MeanFall:   la.CellFall,
-					SigmaRise:  la.SigmaRise,
-					SigmaFall:  la.SigmaFall,
+					MeanRise:   cloneIn(la.CellRise, sl.slab),
+					MeanFall:   cloneIn(la.CellFall, sl.slab),
+					SigmaRise:  la.SigmaRise.CloneIn(sl.slab),
+					SigmaFall:  la.SigmaFall.CloneIn(sl.slab),
 				})
 			}
 			c.Pins = append(c.Pins, p)
 		}
+		if quarantined {
+			continue
+		}
 		sl.Cells[c.Name] = c
 		sl.CellOrder = append(sl.CellOrder, c.Name)
+	}
+	if err := sl.Quarantine.Check(robust.DefaultQuarantineLimit); err != nil {
+		return nil, err
 	}
 	return sl, nil
 }

@@ -1,0 +1,77 @@
+package statlib
+
+import (
+	"strings"
+	"testing"
+
+	"stdcelltune/internal/liberty"
+)
+
+// TestFromLibertyQuarantinesSigmalessArc: one damaged cell (an arc with
+// its ocv_sigma groups stripped) must land in quarantine with a reason
+// naming the pin and arc, while every other cell loads normally. The
+// old loader hard-failed the whole file, losing 303 good cells with no
+// trace of which arc was at fault.
+func TestFromLibertyQuarantinesSigmalessArc(t *testing.T) {
+	_, sl := buildSmall(t, 5)
+	lib := sl.ToLiberty()
+
+	victim := lib.Cell("ND2_4")
+	if victim == nil {
+		t.Fatal("ND2_4 missing from serialization")
+	}
+	var pin, rel string
+	for _, p := range victim.Pins {
+		if p.Direction == liberty.Output && len(p.Timing) > 0 {
+			p.Timing[0].SigmaRise = nil
+			p.Timing[0].SigmaFall = nil
+			pin, rel = p.Name, p.Timing[0].RelatedPin
+			break
+		}
+	}
+	if pin == "" {
+		t.Fatal("no timed output pin on ND2_4")
+	}
+
+	back, err := FromLiberty(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Quarantined("ND2_4") {
+		t.Fatal("damaged cell not quarantined")
+	}
+	if back.Cell("ND2_4") != nil {
+		t.Fatal("damaged cell loaded despite quarantine")
+	}
+	reason := back.Quarantine.Reason("ND2_4")
+	if !strings.Contains(reason, pin) || !strings.Contains(reason, rel) {
+		t.Errorf("reason %q does not name pin %s / arc %s", reason, pin, rel)
+	}
+	if want := len(sl.Cells) - 1; len(back.Cells) != want {
+		t.Fatalf("loaded %d cells, want %d", len(back.Cells), want)
+	}
+	if back.Quarantine.Total != len(sl.Cells) {
+		t.Errorf("Total = %d, want %d", back.Quarantine.Total, len(sl.Cells))
+	}
+}
+
+// TestFromLibertyDoesNotAliasInput: the loaded library must survive the
+// parsed input being mutated — its tables are slab-backed deep copies.
+func TestFromLibertyDoesNotAliasInput(t *testing.T) {
+	_, sl := buildSmall(t, 5)
+	lib := sl.ToLiberty()
+	back, err := FromLiberty(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lib.Cell("INV_4").Pins[0].Timing[0]
+	got := back.Cell("INV_4").Pins[0].Arcs[0]
+	before := got.SigmaRise.Values[0][0]
+	src.SigmaRise.Values[0][0] = before + 1e9
+	if got.SigmaRise.Values[0][0] != before {
+		t.Fatal("loaded library aliases the parsed input tables")
+	}
+	if !got.SigmaRise.Contiguous() || !got.MeanRise.Contiguous() {
+		t.Error("loaded tables not slab-backed")
+	}
+}

@@ -33,6 +33,13 @@ type Library struct {
 	// tuner leaves quarantined cells unrestricted and statistical timing
 	// falls back to their nominal STA delay with zero sigma.
 	Quarantine *robust.Quarantine
+
+	// slab is the contiguous structure-of-arrays backing every table of
+	// the library is carved from (nil for hand-assembled libraries): one
+	// float64 slab per library, with the per-arc Mean/Sigma tables as
+	// views into it in fold order, so a whole cell's statistics sit in
+	// adjacent memory. Tables stay valid for the library's lifetime.
+	slab *lut.Slab
 }
 
 // Quarantined reports whether Build skipped the named cell.
@@ -85,10 +92,11 @@ func Build(name string, instances []*liberty.Library) (*Library, error) {
 	sl := &Library{
 		Name: name, Samples: len(instances), Cells: make(map[string]*Cell),
 		Quarantine: robust.NewQuarantine("statlib"),
+		slab:       lut.NewSlab(foldSlabHint(ref)),
 	}
 	sl.Quarantine.Total = len(ref.Cells)
+	cells := make([]*liberty.Cell, len(instances))
 	for _, refCell := range ref.Cells {
-		cells := make([]*liberty.Cell, len(instances))
 		quarantined := false
 		for i, inst := range instances {
 			c := inst.Cell(refCell.Name)
@@ -102,7 +110,7 @@ func Build(name string, instances []*liberty.Library) (*Library, error) {
 		if quarantined {
 			continue
 		}
-		sc, err := buildCell(cells)
+		sc, err := buildCell(cells, sl.slab)
 		if err != nil {
 			sl.Quarantine.Add(refCell.Name, err.Error())
 			continue
@@ -167,7 +175,32 @@ func degenerateCell(c *Cell) string {
 	return ""
 }
 
-func buildCell(cells []*liberty.Cell) (*Cell, error) {
+// foldSlabHint pre-computes the float volume of the folded library —
+// two stat tables (mean, sigma) per source rise and fall table — so the
+// structure-of-arrays slab lands in one chunk. Quarantined cells make
+// the hint a slight overestimate, which only leaves slab tail unused.
+func foldSlabHint(ref *liberty.Library) int {
+	dims := func(t *lut.Table) int {
+		if t == nil {
+			return 0
+		}
+		return len(t.Loads) * len(t.Slews)
+	}
+	total := 0
+	for _, c := range ref.Cells {
+		for _, p := range c.Pins {
+			if p.Direction != liberty.Output {
+				continue
+			}
+			for _, a := range p.Timing {
+				total += 2 * (dims(a.CellRise) + dims(a.CellFall))
+			}
+		}
+	}
+	return total
+}
+
+func buildCell(cells []*liberty.Cell, slab *lut.Slab) (*Cell, error) {
 	ref := cells[0]
 	sc := &Cell{
 		Name:          ref.Name,
@@ -209,11 +242,11 @@ func buildCell(cells []*liberty.Cell) (*Cell, error) {
 				rises[i] = arc.CellRise
 				falls[i] = arc.CellFall
 			}
-			mr, sr, err := foldTables(rises)
+			mr, sr, err := foldTables(slab, rises)
 			if err != nil {
 				return nil, err
 			}
-			mf, sf, err := foldTables(falls)
+			mf, sf, err := foldTables(slab, falls)
 			if err != nil {
 				return nil, err
 			}
@@ -228,16 +261,29 @@ func buildCell(cells []*liberty.Cell) (*Cell, error) {
 	return sc, nil
 }
 
+// usableSample reports whether one instance's table entry may enter
+// the fold: non-finite and negative samples (a characterizer that
+// failed to converge or mis-measured on one instance — a real delay is
+// never below zero) are dropped per entry rather than poisoning it.
+func usableSample(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
 // foldTables computes per-entry mean and sigma across the instance
-// tables. This is the innermost step of Fig. 2: one entry is extracted
-// from the N libraries into a temporary table of size N, whose mean and
-// standard deviation are stored at the same position.
+// tables. This is the innermost step of Fig. 2: per (load, slew) entry,
+// the values across the N libraries are reduced to their mean and
+// unbiased standard deviation, stored at the same position of two
+// slab-backed tables.
 //
-// Non-finite and negative samples (a characterizer that failed to
-// converge or mis-measured on one instance — a real delay is never
-// below zero) are dropped per entry rather than poisoning the fold; an
-// entry needs at least two usable samples to have statistics at all.
-func foldTables(tables []*lut.Table) (mean, sigma *lut.Table, err error) {
+// The reduction streams the exact two-pass accumulation dist.MeanStdDev
+// performs on a buffer — sum in instance order, divide once, then sum
+// the squared deviations in the same order — without materializing the
+// N-length buffer, so the fold is O(1) in N and still bitwise-identical
+// to the buffered form (the pipeline's recorded outputs depend on the
+// two-pass association order; see dist.Welford for why the single-pass
+// streaming accumulator is not used here). An entry needs at least two
+// usable samples (see usableSample) to have statistics at all.
+func foldTables(slab *lut.Slab, tables []*lut.Table) (mean, sigma *lut.Table, err error) {
 	ref := tables[0]
 	if ref == nil {
 		return nil, nil, nil
@@ -247,24 +293,31 @@ func foldTables(tables []*lut.Table) (mean, sigma *lut.Table, err error) {
 			return nil, nil, errors.New("statlib: instance tables have mismatched axes")
 		}
 	}
-	mean = lut.New(ref.Loads, ref.Slews)
-	sigma = lut.New(ref.Loads, ref.Slews)
-	tmp := make([]float64, 0, len(tables))
+	mean = lut.NewIn(slab, ref.Loads, ref.Slews)
+	sigma = lut.NewIn(slab, ref.Loads, ref.Slews)
 	for i := range ref.Loads {
 		for j := range ref.Slews {
-			tmp = tmp[:0]
+			sum, n := 0.0, 0
 			for _, t := range tables {
-				if v := t.Values[i][j]; !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
-					tmp = append(tmp, v)
+				if v := t.Values[i][j]; usableSample(v) {
+					sum += v
+					n++
 				}
 			}
-			if len(tmp) < 2 {
+			if n < 2 {
 				return nil, nil, fmt.Errorf("statlib: entry [%d][%d] has %d usable samples of %d, need 2",
-					i, j, len(tmp), len(tables))
+					i, j, n, len(tables))
 			}
-			m, s := dist.MeanStdDev(tmp)
+			m := sum / float64(n)
+			sq := 0.0
+			for _, t := range tables {
+				if v := t.Values[i][j]; usableSample(v) {
+					d := v - m
+					sq += d * d
+				}
+			}
 			mean.Values[i][j] = m
-			sigma.Values[i][j] = s
+			sigma.Values[i][j] = math.Sqrt(sq / float64(n-1))
 		}
 	}
 	return mean, sigma, nil

@@ -303,7 +303,7 @@ func TestDegenerateCellReasonDeterministic(t *testing.T) {
 func TestFoldTablesMismatchedAxes(t *testing.T) {
 	a := lut.New([]float64{1, 2}, []float64{1, 2})
 	b := lut.New([]float64{1, 3}, []float64{1, 2})
-	if _, _, err := foldTables([]*lut.Table{a, b}); err == nil {
+	if _, _, err := foldTables(nil, []*lut.Table{a, b}); err == nil {
 		t.Error("mismatched axes accepted")
 	}
 }

@@ -1,0 +1,260 @@
+package statlib
+
+import (
+	"errors"
+	"fmt"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/robust"
+)
+
+// streamArc accumulates one timing arc's per-entry statistics across
+// the instance stream: one Welford accumulator per (load, slew) entry,
+// flattened row-major, for each of the rise and fall tables.
+type streamArc struct {
+	relatedPin       string
+	riseRef, fallRef *lut.Table // axes reference from instance 0; nil = untabulated edge
+	rise, fall       []dist.Welford
+}
+
+type streamPin struct {
+	name   string
+	maxCap float64
+	arcs   []*streamArc
+}
+
+// streamCell is one cell's in-flight accumulation. A quarantined cell
+// keeps its entry (so later instances skip it cheaply) but drops its
+// accumulators.
+type streamCell struct {
+	ref  *liberty.Cell // instance-0 cell, the structural reference
+	pins []*streamPin
+	bad  bool
+}
+
+// BuildStream folds N Monte-Carlo library instances into a statistical
+// library without ever holding more than one instance in memory: gen(i)
+// produces instance i on demand (parse a .lib, run a characterizer, …),
+// its entries are folded into streaming Welford accumulators, and the
+// instance is released before the next is produced. Memory is O(library
+// size), independent of N — Build, by contrast, needs all N instances
+// materialized at once.
+//
+// The trade: BuildStream uses the single-pass Welford recurrence, whose
+// results agree with Build's two-pass fold only to a few ulps (see the
+// dist.Welford float contract), not bitwise. Flows pinned to recorded
+// outputs keep Build; BuildStream is for tolerance-specified flows where
+// N is large enough that materializing every instance is the bottleneck.
+//
+// Structure checking and quarantine behavior mirror Build: instance 0
+// fixes the cell/pin/arc structure, any instance disagreeing with it
+// quarantines the cell (not the build), and the build fails hard only
+// past robust.DefaultQuarantineLimit. gen errors are fatal — a missing
+// instance leaves every accumulator short one sample, which would skew
+// all statistics rather than one cell's.
+func BuildStream(name string, n int, gen func(i int) (*liberty.Library, error)) (*Library, error) {
+	if n < 2 {
+		return nil, errors.New("statlib: need at least two instances")
+	}
+	ref, err := gen(0)
+	if err != nil {
+		return nil, fmt.Errorf("statlib: instance 0: %w", err)
+	}
+	sl := &Library{
+		Name: name, Samples: n, Cells: make(map[string]*Cell),
+		Quarantine: robust.NewQuarantine("statlib"),
+		slab:       lut.NewSlab(foldSlabHint(ref)),
+	}
+	sl.Quarantine.Total = len(ref.Cells)
+
+	// Instance 0 seeds the accumulators and the structural reference.
+	acc := make([]*streamCell, 0, len(ref.Cells))
+	for _, refCell := range ref.Cells {
+		sc := &streamCell{ref: refCell}
+		sc.init()
+		acc = append(acc, sc)
+	}
+
+	// Remaining instances are produced, folded, and released one at a
+	// time; the loop body never retains inst.
+	for i := 1; i < n; i++ {
+		inst, err := gen(i)
+		if err != nil {
+			return nil, fmt.Errorf("statlib: instance %d: %w", i, err)
+		}
+		for _, sc := range acc {
+			if sc.bad {
+				continue
+			}
+			if err := sc.fold(inst, i); err != nil {
+				sl.Quarantine.Add(sc.ref.Name, err.Error())
+				sc.quarantine()
+			}
+		}
+	}
+
+	for _, sc := range acc {
+		if sc.bad {
+			continue
+		}
+		cell, err := sc.materialize(sl.slab, n)
+		if err != nil {
+			sl.Quarantine.Add(sc.ref.Name, err.Error())
+			continue
+		}
+		if reason := degenerateCell(cell); reason != "" {
+			sl.Quarantine.Add(sc.ref.Name, reason)
+			continue
+		}
+		sl.Cells[cell.Name] = cell
+		sl.CellOrder = append(sl.CellOrder, cell.Name)
+	}
+	if err := sl.Quarantine.Check(robust.DefaultQuarantineLimit); err != nil {
+		return nil, err
+	}
+	return sl, nil
+}
+
+// init builds the accumulator grids from the reference cell and folds
+// the reference's own samples in.
+func (sc *streamCell) init() {
+	for _, refPin := range sc.ref.Pins {
+		if refPin.Direction != liberty.Output || len(refPin.Timing) == 0 {
+			continue
+		}
+		sp := &streamPin{name: refPin.Name, maxCap: refPin.MaxCap}
+		for _, arc := range refPin.Timing {
+			sa := &streamArc{relatedPin: arc.RelatedPin}
+			if t := arc.CellRise; t != nil {
+				sa.riseRef = t
+				sa.rise = make([]dist.Welford, len(t.Loads)*len(t.Slews))
+				foldGrid(sa.rise, t)
+			}
+			if t := arc.CellFall; t != nil {
+				sa.fallRef = t
+				sa.fall = make([]dist.Welford, len(t.Loads)*len(t.Slews))
+				foldGrid(sa.fall, t)
+			}
+			sp.arcs = append(sp.arcs, sa)
+		}
+		sc.pins = append(sc.pins, sp)
+	}
+}
+
+// fold adds instance i's samples for this cell, enforcing the same
+// structural agreement Build enforces.
+func (sc *streamCell) fold(inst *liberty.Library, i int) error {
+	c := inst.Cell(sc.ref.Name)
+	if c == nil {
+		return fmt.Errorf("missing from instance %d", i)
+	}
+	ap := 0 // index into sc.pins, which holds only timed output pins
+	for pi, refPin := range sc.ref.Pins {
+		if refPin.Direction != liberty.Output {
+			continue
+		}
+		// Same structural agreement Build enforces, including on
+		// arc-less output pins (see buildCell for why).
+		if pi >= len(c.Pins) || c.Pins[pi].Name != refPin.Name {
+			return fmt.Errorf("pin structure mismatch in instance %d", i)
+		}
+		if got, want := len(c.Pins[pi].Timing), len(refPin.Timing); got != want {
+			return fmt.Errorf("pin %s has %d arcs in instance %d, want %d", refPin.Name, got, i, want)
+		}
+		if len(refPin.Timing) == 0 {
+			continue
+		}
+		sp := sc.pins[ap]
+		ap++
+		for ai, arc := range c.Pins[pi].Timing {
+			sa := sp.arcs[ai]
+			if arc.RelatedPin != sa.relatedPin {
+				return fmt.Errorf("pin %s arc %d related to %s in instance %d, want %s",
+					refPin.Name, ai, arc.RelatedPin, i, sa.relatedPin)
+			}
+			for _, e := range []struct {
+				ref *lut.Table
+				t   *lut.Table
+				w   []dist.Welford
+			}{{sa.riseRef, arc.CellRise, sa.rise}, {sa.fallRef, arc.CellFall, sa.fall}} {
+				if e.ref == nil {
+					continue
+				}
+				if e.t == nil || !lut.SameAxes(e.ref, e.t) {
+					return fmt.Errorf("pin %s arc %s: instance %d tables have mismatched axes",
+						refPin.Name, sa.relatedPin, i)
+				}
+				foldGrid(e.w, e.t)
+			}
+		}
+	}
+	return nil
+}
+
+// foldGrid streams one instance table into the flat accumulator grid,
+// dropping unusable samples exactly as foldTables does.
+func foldGrid(w []dist.Welford, t *lut.Table) {
+	cols := len(t.Slews)
+	for i := range t.Values {
+		row := t.Values[i]
+		for j, v := range row {
+			if usableSample(v) {
+				w[i*cols+j].Add(v)
+			}
+		}
+	}
+}
+
+// materialize turns the accumulators into slab-backed mean/sigma tables.
+func (sc *streamCell) materialize(slab *lut.Slab, n int) (*Cell, error) {
+	cell := &Cell{
+		Name:          sc.ref.Name,
+		Area:          sc.ref.Area,
+		DriveStrength: sc.ref.DriveStrength,
+		Footprint:     sc.ref.Footprint,
+	}
+	for _, sp := range sc.pins {
+		p := &Pin{Name: sp.name, MaxCap: sp.maxCap}
+		for _, sa := range sp.arcs {
+			a := &Arc{RelatedPin: sa.relatedPin}
+			var err error
+			if a.MeanRise, a.SigmaRise, err = gridTables(slab, sa.riseRef, sa.rise, n); err != nil {
+				return nil, err
+			}
+			if a.MeanFall, a.SigmaFall, err = gridTables(slab, sa.fallRef, sa.fall, n); err != nil {
+				return nil, err
+			}
+			p.Arcs = append(p.Arcs, a)
+		}
+		cell.Pins = append(cell.Pins, p)
+	}
+	return cell, nil
+}
+
+func gridTables(slab *lut.Slab, ref *lut.Table, w []dist.Welford, n int) (mean, sigma *lut.Table, err error) {
+	if ref == nil {
+		return nil, nil, nil
+	}
+	mean = lut.NewIn(slab, ref.Loads, ref.Slews)
+	sigma = lut.NewIn(slab, ref.Loads, ref.Slews)
+	cols := len(ref.Slews)
+	for i := range mean.Values {
+		for j := range mean.Values[i] {
+			acc := w[i*cols+j]
+			if acc.N() < 2 {
+				return nil, nil, fmt.Errorf("statlib: entry [%d][%d] has %d usable samples of %d, need 2",
+					i, j, acc.N(), n)
+			}
+			mean.Values[i][j] = acc.Mean()
+			sigma.Values[i][j] = acc.StdDev()
+		}
+	}
+	return mean, sigma, nil
+}
+
+func (sc *streamCell) quarantine() {
+	sc.bad = true
+	sc.pins = nil
+}

@@ -1,0 +1,189 @@
+package statlib
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+// TestBuildStreamMatchesBuild: the streaming Welford fold must agree
+// with the buffered two-pass fold to tight relative tolerance (not
+// bitwise — see the dist.Welford contract) on every entry of every
+// table, and must request each instance exactly once, in order.
+func TestBuildStreamMatchesBuild(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 20
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 1, CharNoise: 0.02})
+	want, err := Build("stat", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	got, err := BuildStream("stat", n, func(i int) (*liberty.Library, error) {
+		if i != calls {
+			t.Fatalf("gen(%d) out of order, expected gen(%d)", i, calls)
+		}
+		calls++
+		return libs[i], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != n {
+		t.Fatalf("gen called %d times, want %d", calls, n)
+	}
+
+	if got.Samples != want.Samples || len(got.Cells) != len(want.Cells) {
+		t.Fatalf("structure: %d cells/%d samples, want %d/%d",
+			len(got.Cells), got.Samples, len(want.Cells), want.Samples)
+	}
+	if len(got.CellOrder) != len(want.CellOrder) {
+		t.Fatalf("cell order %d want %d", len(got.CellOrder), len(want.CellOrder))
+	}
+	for i := range want.CellOrder {
+		if got.CellOrder[i] != want.CellOrder[i] {
+			t.Fatalf("cell order [%d] = %s, want %s", i, got.CellOrder[i], want.CellOrder[i])
+		}
+	}
+	for _, name := range want.CellOrder {
+		wc, gc := want.Cell(name), got.Cell(name)
+		if len(gc.Pins) != len(wc.Pins) {
+			t.Fatalf("%s: %d pins want %d", name, len(gc.Pins), len(wc.Pins))
+		}
+		for pi, wp := range wc.Pins {
+			gp := gc.Pins[pi]
+			for ai, wa := range wp.Arcs {
+				ga := gp.Arcs[ai]
+				for _, pair := range []struct {
+					label string
+					w, g  *lut.Table
+				}{
+					{"mean_rise", wa.MeanRise, ga.MeanRise},
+					{"mean_fall", wa.MeanFall, ga.MeanFall},
+					{"sigma_rise", wa.SigmaRise, ga.SigmaRise},
+					{"sigma_fall", wa.SigmaFall, ga.SigmaFall},
+				} {
+					for i := range pair.w.Values {
+						for j, w := range pair.w.Values[i] {
+							g := pair.g.Values[i][j]
+							if rel := math.Abs(g-w) / (math.Abs(w) + 1e-30); rel > 1e-9 {
+								t.Fatalf("%s/%s arc %s %s[%d][%d]: stream %g vs build %g (rel %g)",
+									name, wp.Name, wa.RelatedPin, pair.label, i, j, g, w, rel)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildStreamQuarantineParity: a cell that one instance lacks is
+// quarantined by both folds, with the rest of the library intact.
+func TestBuildStreamQuarantineParity(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 4
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 7, CharNoise: 0.02})
+	// Break one cell in instance 2: drop an arc from its first timed
+	// output pin, so the structural check trips in both folds.
+	var victim string
+damage:
+	for _, c := range libs[2].Cells {
+		for _, p := range c.Pins {
+			if p.Direction == liberty.Output && len(p.Timing) > 0 {
+				p.Timing = p.Timing[:len(p.Timing)-1]
+				victim = c.Name
+				break damage
+			}
+		}
+	}
+	if victim == "" {
+		t.Fatal("no timed cell to damage")
+	}
+	damaged := libs
+
+	want, err := Build("stat", damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildStream("stat", n, func(i int) (*liberty.Library, error) {
+		return damaged[i], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sl := range []*Library{want, got} {
+		if !sl.Quarantined(victim) {
+			t.Fatalf("%s not quarantined", victim)
+		}
+		if sl.Cell(victim) != nil {
+			t.Fatalf("%s present despite quarantine", victim)
+		}
+	}
+	if w, g := len(want.Cells), len(got.Cells); w != g {
+		t.Fatalf("cell count diverged: build %d, stream %d", w, g)
+	}
+}
+
+// TestBuildStreamGenError: a generator failure is fatal (a missing
+// instance would skew every accumulator), wrapped with the index.
+func TestBuildStreamGenError(t *testing.T) {
+	boom := fmt.Errorf("characterizer crashed")
+	_, err := BuildStream("stat", 3, func(i int) (*liberty.Library, error) {
+		if i == 1 {
+			return nil, boom
+		}
+		cat := stdcell.NewCatalogue(stdcell.Typical)
+		return variation.Instances(cat, variation.Config{N: 1, Seed: 1, CharNoise: 0.02})[0], nil
+	})
+	if err == nil {
+		t.Fatal("gen error swallowed")
+	}
+	if want := "statlib: instance 1: characterizer crashed"; err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+// TestBuildSlabBacking pins the tentpole invariant: every table of a
+// built library is a view into the library's contiguous slab, and the
+// pre-computed size hint lands the whole fold in a single chunk.
+func TestBuildSlabBacking(t *testing.T) {
+	_, sl := buildSmall(t, 5)
+	if sl.slab == nil {
+		t.Fatal("built library has no slab")
+	}
+	tables, floats, chunks := sl.slab.Stats()
+	if chunks != 1 {
+		t.Errorf("slab spilled into %d chunks (hint under-estimated)", chunks)
+	}
+	if tables == 0 || floats == 0 {
+		t.Fatalf("slab carved nothing: %d tables, %d floats", tables, floats)
+	}
+	wantTables, wantFloats := 0, 0
+	for _, c := range sl.Cells {
+		for _, p := range c.Pins {
+			for _, a := range p.Arcs {
+				for _, tb := range []*lut.Table{a.MeanRise, a.MeanFall, a.SigmaRise, a.SigmaFall} {
+					if tb == nil {
+						continue
+					}
+					if !tb.Contiguous() {
+						t.Fatalf("%s/%s: non-contiguous table", c.Name, p.Name)
+					}
+					wantTables++
+					wantFloats += len(tb.Loads) * len(tb.Slews)
+				}
+			}
+		}
+	}
+	if tables != wantTables || floats != wantFloats {
+		t.Errorf("slab stats (%d tables, %d floats) != library volume (%d, %d)",
+			tables, floats, wantTables, wantFloats)
+	}
+}

@@ -147,7 +147,7 @@ func AnalyzeCtx(ctx context.Context, r *sta.Result, stat *statlib.Library, rho f
 		// One worker means no parallelism to win: run the same loop
 		// inline, with an unsynchronized intern table. Identical results,
 		// none of the pool or sync.Map overhead.
-		an := &analyzer{stat: stat, rho: rho, intern: mapIntern{}}
+		an := &analyzer{stat: stat, rho: rho, intern: mapIntern{}, scratch: make([]dist.Normal, 0, 64)}
 		deg := make(map[string]int) // one tally for the whole loop: merging is summation anyway
 		for i := range paths {
 			if err := ctx.Err(); err != nil {
@@ -209,6 +209,12 @@ type analyzer struct {
 	stat   *statlib.Library
 	rho    float64
 	intern internTable // nil disables interning (exported PathDist)
+
+	// scratch, when non-nil, is the per-path step buffer reused across
+	// pathDist calls. Only the serial analysis sets it: the concurrent
+	// fan-out shares one analyzer across workers, where a shared buffer
+	// would race, so those calls allocate per path as before.
+	scratch []dist.Normal
 }
 
 type stepKey struct {
@@ -247,7 +253,13 @@ func (si *syncIntern) load(k stepKey) (stepStats, bool) {
 func (si *syncIntern) store(k stepKey, s stepStats) { si.m.Store(k, s) }
 
 func (a *analyzer) pathDist(path sta.Path, degraded map[string]int) (PathStats, error) {
-	cells := make([]dist.Normal, 0, len(path.Steps))
+	var cells []dist.Normal
+	if a.scratch != nil {
+		cells = a.scratch[:0]
+		defer func() { a.scratch = cells[:0] }()
+	} else {
+		cells = make([]dist.Normal, 0, len(path.Steps))
+	}
 	for _, step := range path.Steps {
 		if step.Inst.Spec.Kind == stdcell.KindTie {
 			continue // tie cells have no timing arcs and no variation

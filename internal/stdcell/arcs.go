@@ -1,0 +1,78 @@
+package stdcell
+
+import (
+	"sync"
+
+	"stdcelltune/internal/liberty"
+)
+
+// arcCache resolves, once per spec, the Liberty timing arcs the timing
+// engines evaluate: per output pin of the spec, one arc slot per data
+// input (or a single clock-arc slot for sequential cells), in the
+// spec's pin order. Specs are immutable after catalogue construction
+// and the catalogue's Liberty view never changes, so the resolution is
+// computed once and shared — including across concurrently running
+// engines, which is why the map is lock-protected.
+type arcCache struct {
+	mu sync.RWMutex
+	m  map[*Spec][][]*liberty.TimingArc
+}
+
+// TimingArcs returns the resolved timing arcs of the spec, indexed
+// [output pin][input slot]. Combinational specs have one slot per entry
+// of spec.Inputs (nil where the library has no such arc); sequential
+// specs have a single clock-arc slot. The returned slices are shared
+// and must be treated as read-only.
+func (c *Catalogue) TimingArcs(spec *Spec) [][]*liberty.TimingArc {
+	c.arcs.mu.RLock()
+	arcs, ok := c.arcs.m[spec]
+	c.arcs.mu.RUnlock()
+	if ok {
+		return arcs
+	}
+	arcs = c.resolveArcs(spec)
+	c.arcs.mu.Lock()
+	if c.arcs.m == nil {
+		c.arcs.m = make(map[*Spec][][]*liberty.TimingArc)
+	}
+	// A racing resolver computed the identical value; either wins.
+	if prior, ok := c.arcs.m[spec]; ok {
+		arcs = prior
+	} else {
+		c.arcs.m[spec] = arcs
+	}
+	c.arcs.mu.Unlock()
+	return arcs
+}
+
+func (c *Catalogue) resolveArcs(spec *Spec) [][]*liberty.TimingArc {
+	arcIn := func(p *liberty.Pin, related string) *liberty.TimingArc {
+		if p == nil {
+			return nil
+		}
+		for _, a := range p.Timing {
+			if a.RelatedPin == related {
+				return a
+			}
+		}
+		return nil
+	}
+	cell := c.Lib.Cell(spec.Name)
+	out := make([][]*liberty.TimingArc, len(spec.Outputs))
+	for pi, outPin := range spec.Outputs {
+		var lp *liberty.Pin
+		if cell != nil {
+			lp = cell.Pin(outPin)
+		}
+		if spec.IsSequential() {
+			out[pi] = []*liberty.TimingArc{arcIn(lp, spec.Clock)}
+			continue
+		}
+		slots := make([]*liberty.TimingArc, len(spec.Inputs))
+		for i, in := range spec.Inputs {
+			slots[i] = arcIn(lp, in)
+		}
+		out[pi] = slots
+	}
+	return out
+}

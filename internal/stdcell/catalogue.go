@@ -165,6 +165,10 @@ type Catalogue struct {
 	// ByDrive groups combinational cells by drive strength (the paper's
 	// strength-clustering axis, Fig. 5).
 	ByDrive map[int][]*Spec
+
+	// arcs lazily caches per-spec Liberty arc resolution for the timing
+	// engines; see TimingArcs.
+	arcs arcCache
 }
 
 // NewCatalogue builds the nominal 304-cell library characterized at the

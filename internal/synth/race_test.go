@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"stdcelltune/internal/rtlgen"
+)
+
+// Concurrent synthesis runs share the catalogue (and its RWMutex-guarded
+// timing-arc cache) but nothing else: every run owns its engine, and the
+// engine's pooled buffers — snapshot free list, pin-value arenas, heap
+// scratch — must never leak between units. Under -race this test fails
+// on any cross-engine sharing; in any mode it fails if concurrency
+// perturbs the (deterministic) result.
+func TestConcurrentSynthesisSharesNoEngineBuffers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis too heavy for -short")
+	}
+	build := func() *rtlgen.MCU {
+		m, err := rtlgen.Build(rtlgen.SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref, err := Synthesize("mcu", build().Net, cat, DefaultOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	nets := make([]*rtlgen.MCU, workers)
+	for i := range nets {
+		nets[i] = build() // netlists are per-unit; only the catalogue is shared
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Synthesize("mcu", nets[i].Net, cat, DefaultOptions(6))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		r := results[i]
+		if math.Float64bits(r.Timing.WNS()) != math.Float64bits(ref.Timing.WNS()) {
+			t.Errorf("worker %d WNS %g differs from serial reference %g", i, r.Timing.WNS(), ref.Timing.WNS())
+		}
+		if got, want := r.Area(), ref.Area(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("worker %d area %g differs from serial reference %g", i, got, want)
+		}
+		if r.Met != ref.Met || r.Iterations != ref.Iterations || r.Downsized != ref.Downsized {
+			t.Errorf("worker %d (met=%v iter=%d down=%d) differs from reference (met=%v iter=%d down=%d)",
+				i, r.Met, r.Iterations, r.Downsized, ref.Met, ref.Iterations, ref.Downsized)
+		}
+		// Worker snapshots must be backed by the worker's own engine:
+		// per-net arrays of distinct runs may be equal in value but must
+		// be distinct storage.
+		for j := 0; j < i; j++ {
+			if sameBacking(r.Timing.Arrival, results[j].Timing.Arrival) {
+				t.Errorf("workers %d and %d share snapshot backing arrays", i, j)
+			}
+		}
+	}
+}
+
+func sameBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}

@@ -103,6 +103,11 @@ type optimizer struct {
 	// restriction-window lookup behind loadLimit/slewLimit concatenates
 	// a map key per call.
 	limits map[*stdcell.Spec][]limitPair
+
+	// batchScratch backs collectDownsizes' move list, reused across the
+	// ~50 margin-ladder calls per recovery pass. Only one batch is alive
+	// at a time: tryBatch consumes it fully before the next collection.
+	batchScratch []sizeMove
 }
 
 // limitPair is the cached legality bound of one output pin.
@@ -146,7 +151,7 @@ func OptimizeCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Resul
 
 func (o *optimizer) run(ctx context.Context) error {
 	tr := obs.TracerFrom(ctx)
-	var r *sta.Result
+	var r, prevR *sta.Result
 	var err error
 	stuck := 0
 	lastWNS := math.Inf(-1)
@@ -161,6 +166,13 @@ func (o *optimizer) run(ctx context.Context) error {
 			span.End()
 			return err
 		}
+		// The previous iteration's snapshot is dead once a new one
+		// replaces it; Recycle's guards keep the engine's own live
+		// snapshots out of the pool.
+		if prevR != nil && prevR != r {
+			o.eng.Recycle(prevR)
+		}
+		prevR = r
 		fixes := o.fixLegality(r)
 		if span != nil {
 			span.Set("wns", r.WNS())
@@ -528,6 +540,9 @@ func (o *optimizer) areaRecovery(r *sta.Result) (*sta.Result, error) {
 			}
 			if accepted > 0 {
 				o.res.Downsized += accepted
+				if nr != r {
+					o.eng.Recycle(r) // superseded by the accepted snapshot
+				}
 				r = nr
 				rExact = exact
 				changed = true
@@ -551,7 +566,8 @@ type sizeMove struct {
 // comfortably inside that slack.
 func (o *optimizer) collectDownsizes(r *sta.Result, margin float64) []sizeMove {
 	slacks := r.NetSlacks()
-	var batch []sizeMove
+	batch := o.batchScratch[:0]
+	defer func() { o.batchScratch = batch }()
 	for _, n := range o.nl.Nets {
 		if n.Driver == nil || n.ID >= len(slacks) {
 			continue
@@ -666,6 +682,10 @@ func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove, rExact bool) (*sta
 			return nil, 0, false, err
 		}
 	}
+	// The rejected probe snapshot is dead either way: the edits are
+	// reverted (and rewound when r was exact) and nothing escaped with
+	// it. Its slices back the next snapshot.
+	o.eng.Recycle(nr)
 	if len(batch) < 2 {
 		return r, 0, rExact, nil
 	}
@@ -682,6 +702,9 @@ func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove, rExact bool) (*sta
 		}
 		if nr.WNS() >= 0 && o.legal(nr) == 0 {
 			accepted += len(half)
+			if cur != r {
+				o.eng.Recycle(cur) // superseded first-half snapshot
+			}
 			cur = nr
 			curExact = true
 			continue
@@ -703,6 +726,8 @@ func (o *optimizer) tryBatch(r *sta.Result, batch []sizeMove, rExact bool) (*sta
 			// cur no longer exactly describes the netlist.
 			curExact = false
 		}
+		// The rejected half's probe snapshot is dead in every branch.
+		o.eng.Recycle(nr)
 	}
 	return cur, accepted, curExact, nil
 }
