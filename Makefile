@@ -12,9 +12,9 @@ BENCH_SCALE ?= small
 # whose allocs_per_op exceeds ALLOC_RATIO x its recorded baseline.
 ALLOC_RATIO ?= 1.10
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke load-smoke clean
 
-ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke
+ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,14 @@ serve-smoke:
 # obscheck -journal. See scripts/serve_crash_smoke.sh.
 crash-smoke:
 	GO="$(GO)" sh scripts/serve_crash_smoke.sh
+
+# Serving-tier observability smoke: boot stcd on an ephemeral port,
+# drive a small open-loop warm/cold mix with cmd/stcload, then validate
+# the stdcelltune-load/1 report (obscheck -loadreport) and the /metrics
+# Prometheus exposition's per-route RED series (obscheck -metrics).
+# See scripts/load_smoke.sh.
+load-smoke:
+	GO="$(GO)" sh scripts/load_smoke.sh
 
 clean:
 	$(GO) clean ./...

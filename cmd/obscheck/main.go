@@ -1,12 +1,13 @@
 // Command obscheck validates the machine-readable artifacts the flow
 // produces: the Chrome trace-event JSON (-trace), the run manifest
 // (-manifest), the benchmark JSON (-bench), the tuning daemon's API
-// documents (-apijob, -apiartifacts), and the daemon's durable job
-// journal (-journal). It is the assertion half of `make obs-smoke`,
-// `make serve-smoke` and `make crash-smoke`: the smoke targets run the
-// pipeline (batch or served), then obscheck fails the build if an
-// artifact does not parse, misses expected content, or violates its
-// versioned schema.
+// documents (-apijob, -apiartifacts), the daemon's durable job
+// journal (-journal), the stcload latency report (-loadreport) and a
+// scraped Prometheus exposition (-metrics). It is the assertion half of
+// `make obs-smoke`, `make serve-smoke`, `make crash-smoke` and `make
+// load-smoke`: the smoke targets run the pipeline (batch or served),
+// then obscheck fails the build if an artifact does not parse, misses
+// expected content, or violates its versioned schema.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	obscheck -bench BENCH_PR7.json -allocratio 1.1   # fail allocs_per_op regressions vs baseline
 //	obscheck -apijob /tmp/job.json -apiartifacts /tmp/index.json
 //	obscheck -journal /var/lib/stcd/jobs.wal
+//	obscheck -loadreport LOAD_PR8.json -metrics /tmp/metrics.prom
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"stdcelltune/internal/loadreport"
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/service"
@@ -53,6 +56,8 @@ func main() {
 	apiJobPath := flag.String("apijob", "", "stcd job document (stdcelltune-job/1) to validate")
 	apiArtifactsPath := flag.String("apiartifacts", "", "stcd artifact index JSON to validate")
 	journalPath := flag.String("journal", "", "stcd job journal (stdcelltune-journal/1) to validate")
+	loadPath := flag.String("loadreport", "", "stcload latency report (stdcelltune-load/1) to validate")
+	metricsPath := flag.String("metrics", "", "Prometheus text exposition scrape to validate (expects stcd's RED series)")
 	flag.Parse()
 
 	failed := false
@@ -321,8 +326,68 @@ func main() {
 			len(recs), len(seen), terminal, len(journal.Pending(recs)), valid)
 	}
 
-	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" {
-		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts and/or -journal")
+	if *loadPath != "" {
+		rep, err := loadreport.Read(*loadPath)
+		if err != nil {
+			log.Fatalf("load report invalid: %v", err)
+		}
+		// Read already ran Validate (schema, non-zero warm and cold sample
+		// counts, accounting, monotone percentiles); what's left is the
+		// cross-population sanity CI cares about.
+		if rep.Warm.P50MS > rep.Cold.P99MS {
+			fail("%s: warm p50 %.2fms above cold p99 %.2fms — cache hits slower than misses?",
+				*loadPath, rep.Warm.P50MS, rep.Cold.P99MS)
+		}
+		fmt.Printf("obscheck: load report ok: %s %d req @ %.1f rps, warm p50 %.1fms, cold p99 %.1fms\n",
+			rep.Mode, rep.Requests, rep.ThroughputRPS, rep.Warm.P50MS, rep.Cold.P99MS)
+	}
+
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples, types, perr := obs.ParsePrometheusText(f)
+		f.Close()
+		if perr != nil {
+			log.Fatalf("%s: not Prometheus text format: %v", *metricsPath, perr)
+		}
+		if types["http_requests_total"] != "counter" {
+			fail("%s: http_requests_total not declared a counter (types: %v)", *metricsPath, types)
+		}
+		if types["http_request_duration_seconds"] != "histogram" {
+			fail("%s: http_request_duration_seconds not declared a histogram", *metricsPath)
+		}
+		routes := map[string]bool{}
+		var infBuckets, inFlight int
+		for _, s := range samples {
+			if s.Name == "http_requests_total" {
+				routes[s.Labels["route"]] = true
+			}
+			if s.Name == "http_request_duration_seconds_bucket" && s.Labels["le"] == "+Inf" {
+				infBuckets++
+			}
+			if s.Name == "http_in_flight_requests" {
+				inFlight++
+			}
+		}
+		for _, want := range []string{"POST /v1/jobs", "GET /v1/jobs/{id}"} {
+			if !routes[want] {
+				fail("%s: no http_requests_total series for route %q (have %v)", *metricsPath, want, routes)
+			}
+		}
+		if infBuckets == 0 {
+			fail("%s: no +Inf latency buckets", *metricsPath)
+		}
+		if inFlight == 0 {
+			fail("%s: no http_in_flight_requests series", *metricsPath)
+		}
+		fmt.Printf("obscheck: metrics ok: %d samples, %d routes, %d latency families\n",
+			len(samples), len(routes), infBuckets)
+	}
+
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" && *loadPath == "" && *metricsPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts, -journal, -loadreport and/or -metrics")
 	}
 	if failed {
 		os.Exit(1)

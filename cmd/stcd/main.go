@@ -31,8 +31,13 @@
 //	-draintimeout   graceful-shutdown bound (default 60s)
 //	-chaos          fault-injection spec, e.g. 'journal.done.write=torn' (crash harness; see internal/service/chaos)
 //	-chaosseed      deterministic seed for -chaos decisions
-//	-debugaddr      also serve expvar/pprof/obs debug surface on this address
+//	-debugaddr      also serve expvar/pprof/obs debug surface + /metrics on this address
+//	-profiledir     write cpu.pprof (whole lifetime) and heap.pprof (at shutdown) here
 //	-log            log level: debug, info, warn, error (default info)
+//
+// GET /metrics on the main address serves the Prometheus text
+// exposition (format 0.0.4) of the process registry, including the
+// per-route RED series the instrument middleware records.
 package main
 
 import (
@@ -45,6 +50,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -79,6 +86,7 @@ func run() error {
 	chaosSpec := flag.String("chaos", "", "fault-injection spec (point=kind[:after][:dur], comma-separated)")
 	chaosSeed := flag.Int64("chaosseed", 1, "seed for -chaos decisions")
 	debugAddr := flag.String("debugaddr", "", "serve expvar/pprof/obs debug surface on this address")
+	profileDir := flag.String("profiledir", "", "write cpu.pprof (lifetime) and heap.pprof (at shutdown) into this directory")
 	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -87,6 +95,15 @@ func run() error {
 		return fmt.Errorf("unknown -log level %q", *logLevel)
 	}
 	log := obs.InitLog(os.Stderr, level)
+
+	if *profileDir != "" {
+		stop, err := startProfiles(*profileDir)
+		if err != nil {
+			return fmt.Errorf("profiledir: %w", err)
+		}
+		defer stop()
+		log.Info("profiling enabled", "dir", *profileDir)
+	}
 
 	if *chaosSpec != "" {
 		inj, err := chaos.Parse(*chaosSpec, *chaosSeed)
@@ -194,6 +211,38 @@ func run() error {
 		writeManifest(*stateDir, mgr, drainErr == nil)
 	}
 	return nil
+}
+
+// startProfiles begins a lifetime CPU profile in dir; the returned stop
+// ends it and snapshots the heap profile — called on the graceful
+// shutdown path, so a drained daemon leaves both files behind for
+// `go tool pprof`.
+func startProfiles(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		heapF, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			obs.Log().Warn("heap profile create failed", "err", err)
+			return
+		}
+		runtime.GC() // up-to-date allocation stats in the snapshot
+		if err := pprof.Lookup("heap").WriteTo(heapF, 0); err != nil {
+			obs.Log().Warn("heap profile write failed", "err", err)
+		}
+		heapF.Close()
+	}, nil
 }
 
 // writeManifest records the daemon lifetime's recovery/admission totals

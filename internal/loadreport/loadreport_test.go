@@ -1,0 +1,79 @@
+package loadreport
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goodReport() *Report {
+	return &Report{
+		Schema: Schema, Target: "http://127.0.0.1:1", Mode: "open",
+		RPS: 5, Concurrency: 2, DurationSec: 10, ColdFrac: 0.3,
+		Requests: 50, Succeeded: 45, Failed: 1,
+		Rejected:      map[string]int64{"429": 3, "503": 1},
+		ThroughputRPS: 4.5,
+		Overall:       LatencyStats{Count: 45, MeanMS: 20, P50MS: 5, P90MS: 40, P99MS: 80, P999MS: 90, MaxMS: 95},
+		Warm:          LatencyStats{Count: 30, MeanMS: 2, P50MS: 1, P90MS: 3, P99MS: 5, P999MS: 6, MaxMS: 7},
+		Cold:          LatencyStats{Count: 15, MeanMS: 60, P50MS: 50, P90MS: 70, P99MS: 85, P999MS: 90, MaxMS: 95},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := goodReport().Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "stdcelltune-load/0" }, "schema"},
+		{"bad mode", func(r *Report) { r.Mode = "sideways" }, "mode"},
+		{"no target", func(r *Report) { r.Target = "" }, "target"},
+		{"zero duration", func(r *Report) { r.DurationSec = 0 }, "duration"},
+		{"coldfrac range", func(r *Report) { r.ColdFrac = 1.5 }, "cold_fraction"},
+		{"zero requests", func(r *Report) { r.Requests = 0 }, "requests"},
+		{"accounting", func(r *Report) { r.Failed = 2 }, "!="},
+		{"no successes", func(r *Report) { r.Succeeded = 0; r.Failed = 46 }, "succeeded"},
+		{"zero throughput", func(r *Report) { r.ThroughputRPS = 0 }, "throughput"},
+		{"no warm", func(r *Report) { r.Warm.Count = 0; r.Overall.Count = 15 }, "warm"},
+		{"no cold", func(r *Report) { r.Cold.Count = 0; r.Overall.Count = 30 }, "cold"},
+		{"count split", func(r *Report) { r.Overall.Count = 44 }, "overall count"},
+		{"percentile inversion", func(r *Report) { r.Cold.P99MS = 1 }, "monotone"},
+		{"max below p999", func(r *Report) { r.Warm.MaxMS = 0.1 }, "max"},
+	}
+	for _, tc := range cases {
+		r := goodReport()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	want := goodReport()
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != want.Requests || got.Warm.Count != want.Warm.Count || got.Rejected["429"] != 3 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file read without error")
+	}
+}

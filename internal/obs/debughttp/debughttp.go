@@ -32,6 +32,7 @@ type DebugState struct {
 //	/debug/vars          expvar (includes the "obs" metrics map)
 //	/debug/pprof/...     net/http/pprof profiles
 //	/debug/obs           JSON: current phase (open spans) + metric snapshot
+//	/metrics             Prometheus text exposition (format 0.0.4)
 //
 // The registry is published to expvar as a side effect. The listener is
 // bound synchronously so the caller learns the real address (addr may
@@ -64,9 +65,13 @@ func Serve(addr string, st DebugState) (*http.Server, string, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st.Metrics.WritePrometheus(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("stdcelltune debug server\n\n/debug/obs\n/debug/vars\n/debug/pprof/\n"))
+		w.Write([]byte("stdcelltune debug server\n\n/debug/obs\n/debug/vars\n/debug/pprof/\n/metrics\n"))
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -90,6 +90,18 @@ func TestServeDebugSurface(t *testing.T) {
 		t.Errorf("extra args %+v", snap.Args)
 	}
 
+	// /metrics: Prometheus text exposition of the same registry.
+	prom := string(get(t, "http://"+addr+"/metrics"))
+	if !strings.Contains(prom, "# TYPE robust_quarantined_cells counter") ||
+		!strings.Contains(prom, "robust_quarantined_cells 2") {
+		t.Errorf("/metrics missing counter exposition:\n%s", prom)
+	}
+	if samples, _, err := obs.ParsePrometheusText(strings.NewReader(prom)); err != nil {
+		t.Errorf("/metrics does not parse: %v", err)
+	} else if len(samples) == 0 {
+		t.Error("/metrics parsed to zero samples")
+	}
+
 	// /debug/pprof/ index and the plain-text front page.
 	if body := get(t, "http://"+addr+"/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
 		t.Error("pprof index missing profiles")

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The bucket index and bounds must agree: every value lands in a
+// bucket whose [low, high) range contains it, contiguously.
+func TestHDRIndexBoundsAgree(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<20 + 12345, 1 << 40, hdrMaxValue}
+	for i := int64(0); i < 4096; i++ {
+		vals = append(vals, i)
+	}
+	for _, v := range vals {
+		i := hdrIndex(v)
+		low, high := hdrBounds(i)
+		if v < low || v >= high {
+			t.Fatalf("value %d -> bucket %d [%d,%d) does not contain it", v, i, low, high)
+		}
+	}
+	// Buckets tile the axis up to the clamped maximum: bucket i+1 starts
+	// where bucket i ends. (Buckets above hdrMaxValue are unreachable;
+	// their bounds may overflow and are excluded.)
+	for i := 0; i < hdrIndex(hdrMaxValue); i++ {
+		_, high := hdrBounds(i)
+		low, _ := hdrBounds(i + 1)
+		if high != low {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)", i, high, i+1, low)
+		}
+	}
+}
+
+// Quantiles of a known uniform distribution must land within the
+// documented relative error bound (1/hdrSubCount plus interpolation
+// slack within one sub-bucket).
+func TestHDRQuantileAccuracy(t *testing.T) {
+	h := &HDRHistogram{}
+	const n = 100000
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]int64, n)
+	for i := range samples {
+		// Log-uniform over [1us, 1s) to exercise many octaves.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3)
+		samples[i] = v
+		h.Record(v)
+	}
+	exact := append([]int64(nil), samples...)
+	sortInt64(exact)
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(p*float64(n))) - 1
+		want := float64(exact[idx])
+		got := h.Quantile(p)
+		relErr := math.Abs(got-want) / want
+		if relErr > 2.0/hdrSubCount {
+			t.Errorf("p%.3f: got %.0f want %.0f (rel err %.4f > %.4f)", p, got, want, relErr, 2.0/hdrSubCount)
+		}
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestHDRQuantileSmallExact(t *testing.T) {
+	h := &HDRHistogram{}
+	for v := int64(1); v <= 10; v++ {
+		h.Record(v)
+	}
+	// Values below hdrSubCount sit in unit-width buckets: quantiles are
+	// exact up to the +1 interpolation inside the unit bucket.
+	if q := h.Quantile(0.5); q < 5 || q > 6 {
+		t.Errorf("p50 = %g, want in [5,6]", q)
+	}
+	if q := h.Quantile(1.0); q < 10 || q > 11 {
+		t.Errorf("p100 = %g, want in [10,11]", q)
+	}
+}
+
+func TestHDRMergeEquivalence(t *testing.T) {
+	a, b, both := &HDRHistogram{}, &HDRHistogram{}, &HDRHistogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		both.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d want %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	for _, p := range []float64{0.5, 0.99} {
+		if g, w := merged.Quantile(p), want.Quantile(p); g != w {
+			t.Errorf("p%g: merged %g, combined %g", p, g, w)
+		}
+	}
+}
+
+func TestHDREdgeCases(t *testing.T) {
+	h := &HDRHistogram{}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile %g, want 0", q)
+	}
+	h.Observe(-time.Second) // clamps to 0
+	h.Record(math.MaxInt64)
+	if h.Count() != 2 {
+		t.Errorf("count %d want 2", h.Count())
+	}
+	s := h.Summary()
+	if s.Count != 2 || math.IsNaN(s.P999MS) || math.IsInf(s.P999MS, 0) {
+		t.Errorf("summary %+v not finite", s)
+	}
+	if s.P50MS > s.P90MS || s.P90MS > s.P99MS || s.P99MS > s.P999MS {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHDRRegistryIntegration(t *testing.T) {
+	r := NewRegistry()
+	h := r.HDR("svc.latency")
+	if r.HDR("svc.latency") != h {
+		t.Fatal("HDR not idempotent")
+	}
+	h.Observe(2 * time.Millisecond)
+	snap := r.Snapshot()
+	sum, ok := snap["svc.latency"].(HDRSummary)
+	if !ok {
+		t.Fatalf("snapshot entry %T, want HDRSummary", snap["svc.latency"])
+	}
+	if sum.Count != 1 || sum.P50MS < 1.9 || sum.P50MS > 2.2 {
+		t.Errorf("summary %+v", sum)
+	}
+}

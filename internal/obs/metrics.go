@@ -19,15 +19,27 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() float64
 	hists      map[string]*Histogram
+	hdrs       map[string]*HDRHistogram
+
+	// Labeled families (prom.go): get-or-create vecs whose children are
+	// keyed by label values. Exposition renders them as Prometheus
+	// series; Snapshot flattens them as name{k="v"} entries.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	hdrVecs     map[string]*HDRVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() float64),
-		hists:      make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		gaugeFuncs:  make(map[string]func() float64),
+		hists:       make(map[string]*Histogram),
+		hdrs:        make(map[string]*HDRHistogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		hdrVecs:     make(map[string]*HDRVec),
 	}
 }
 
@@ -88,6 +100,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HDR returns (creating on first use) the named high-resolution
+// log-linear histogram (hdr.go) — the serving-path latency shape.
+func (r *Registry) HDR(name string) *HDRHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hdrs[name]
+	if !ok {
+		h = &HDRHistogram{}
+		r.hdrs[name] = h
+	}
+	return h
+}
+
 // Snapshot renders every metric into a plain JSON-marshalable map:
 // counters and gauges by value, histograms as {count, sum_ms, p50_ms,
 // p90_ms, p99_ms}. Computed gauges are evaluated here; a NaN result is
@@ -111,6 +136,18 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for name, h := range r.hists {
 		out[name] = h.Summary()
+	}
+	for name, h := range r.hdrs {
+		out[name] = h.Summary()
+	}
+	for _, v := range r.counterVecs {
+		v.each(func(series string, c *Counter) { out[series] = c.Value() })
+	}
+	for _, v := range r.gaugeVecs {
+		v.each(func(series string, g *Gauge) { out[series] = g.Value() })
+	}
+	for _, v := range r.hdrVecs {
+		v.each(func(series string, h *HDRHistogram) { out[series] = h.Summary() })
 	}
 	return out
 }
@@ -140,6 +177,18 @@ type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores the gauge value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative to decrement) — the
+// in-flight-request shape. Lock-free via compare-and-swap.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
 
 // Value returns the gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
@@ -193,7 +242,14 @@ type HistSummary struct {
 	P99MS float64 `json:"p99_ms"`
 }
 
-// Summary renders counts and approximate quantiles.
+// Summary renders counts and approximate quantiles. A quantile is
+// interpolated linearly inside its power-of-two bucket (bucket b >= 1
+// covers [2^b, 2^(b+1)) ns; bucket 0 covers [0, 2)), so the reported
+// value always lies inside the containing bucket: the error is bounded
+// by the bucket width (a factor of 2 in the value), with no systematic
+// upper-bound bias. For tighter error on serving paths use
+// HDRHistogram, whose sub-bucketed buckets bound the relative error at
+// 1/32.
 func (h *Histogram) Summary() HistSummary {
 	var counts [histBuckets]int64
 	total := int64(0)
@@ -207,12 +263,21 @@ func (h *Histogram) Summary() HistSummary {
 	}
 	q := func(p float64) float64 {
 		target := int64(math.Ceil(p * float64(total)))
+		if target < 1 {
+			target = 1
+		}
 		seen := int64(0)
 		for i, c := range counts {
-			seen += c
-			if seen >= target {
-				return math.Pow(2, float64(i+1)) / 1e6 // upper bucket bound, in ms
+			if seen+c >= target {
+				low := 0.0
+				if i > 0 {
+					low = math.Pow(2, float64(i))
+				}
+				high := math.Pow(2, float64(i+1))
+				frac := float64(target-seen) / float64(c)
+				return (low + frac*(high-low)) / 1e6 // interpolated within the bucket, in ms
 			}
+			seen += c
 		}
 		return math.Pow(2, histBuckets) / 1e6
 	}

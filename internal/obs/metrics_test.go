@@ -64,17 +64,56 @@ func TestHistogramQuantiles(t *testing.T) {
 	if math.Abs(s.SumMS-(90+10*100)) > 1e-6 {
 		t.Errorf("sum %g ms want 1090", s.SumMS)
 	}
-	// Quantiles are upper bucket bounds: p50 lands in the 1 ms bucket
-	// (bound 2^20 ns ≈ 2.1 ms), p99 in the 100 ms bucket (bound 2^27 ns
-	// ≈ 268 ms, i.e. within [100, 537) ms).
-	if s.P50MS < 1 || s.P50MS > 5 {
-		t.Errorf("p50 %g ms outside [1,5]", s.P50MS)
+	// Quantiles interpolate inside the containing power-of-two bucket:
+	// 1 ms lives in bucket 19 ([2^19, 2^20) ns ≈ [0.52, 1.05) ms), 100 ms
+	// in bucket 26 ([2^26, 2^27) ns ≈ [67, 134) ms). The estimate must
+	// land inside its bucket — no more upper-bound bias.
+	if s.P50MS < 0.52 || s.P50MS > 1.05 {
+		t.Errorf("p50 %g ms outside its bucket [0.52,1.05]", s.P50MS)
 	}
-	if s.P99MS < 100 || s.P99MS > 537 {
-		t.Errorf("p99 %g ms outside [100,537]", s.P99MS)
+	if s.P99MS < 67 || s.P99MS > 135 {
+		t.Errorf("p99 %g ms outside its bucket [67,135]", s.P99MS)
 	}
 	if s.P50MS > s.P90MS || s.P90MS > s.P99MS {
 		t.Errorf("quantiles not monotone: %g %g %g", s.P50MS, s.P90MS, s.P99MS)
+	}
+}
+
+// Regression for the upper-bound bias: quantiles of known
+// distributions must land inside the containing bucket (error bounded
+// by the bucket width, i.e. within a factor of 2 of the true value),
+// not at the bucket's upper bound.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// Point mass: 1000 identical observations of 10 µs (10240 ns, bucket
+	// 13 = [8192, 16384) ns). Every quantile must stay inside the bucket.
+	point := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		point.ObserveN(10240)
+	}
+	s := point.Summary()
+	for _, q := range []float64{s.P50MS, s.P90MS, s.P99MS} {
+		if q < 8192.0/1e6 || q >= 16384.0/1e6 {
+			t.Errorf("point-mass quantile %g ms escaped bucket [0.008192, 0.016384)", q)
+		}
+	}
+
+	// Uniform over [1, 4096] ns: true p50 = 2048, p90 = 3687, p99 = 4056.
+	uni := &Histogram{}
+	for v := int64(1); v <= 4096; v++ {
+		uni.ObserveN(v)
+	}
+	u := uni.Summary()
+	for _, tc := range []struct {
+		name string
+		got  float64 // ms
+		want float64 // ns
+	}{
+		{"p50", u.P50MS, 2048}, {"p90", u.P90MS, 3687}, {"p99", u.P99MS, 4056},
+	} {
+		gotNS := tc.got * 1e6
+		if gotNS < tc.want/2 || gotNS > tc.want*2 {
+			t.Errorf("uniform %s = %.0f ns, want within 2x of %.0f", tc.name, gotNS, tc.want)
+		}
 	}
 }
 

@@ -49,7 +49,10 @@ var (
 	jobsCancelled = obs.Default().Counter("service.jobs_cancelled")
 	jobsRecovered = obs.Default().Counter("service.jobs_recovered")
 	jobPanics     = obs.Default().Counter("service.job_panics")
-	jobTime       = obs.Default().Histogram("service.job_time")
+	// Job wall time on the high-resolution HDR histogram: the serving
+	// tier quotes p99/p99.9 off this, where the old power-of-two buckets'
+	// factor-of-two error was too coarse.
+	jobTime = obs.Default().HDR("service.job_time")
 
 	admitRateLimited = obs.Default().Counter("service.admit_rate_limited")
 	admitQuota       = obs.Default().Counter("service.admit_quota_rejected")
@@ -64,6 +67,7 @@ type Job struct {
 	Spec      Spec   // normalized
 	Digest    string // Spec.Digest(), the cache key
 	Tenant    string // API-key header value, "" = anonymous
+	RequestID string // X-Request-ID of the submitting request, "" when recovered/internal
 	Recovered bool   // re-enqueued from the journal at startup
 
 	runCtx context.Context
@@ -78,6 +82,7 @@ type Job struct {
 	mu       sync.Mutex
 	status   Status
 	outcome  string // cache outcome: "hit", "miss" or "shared"
+	tracer   *obs.Tracer
 	err      error
 	created  time.Time
 	started  time.Time
@@ -92,6 +97,15 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Tracer returns the job's span tracer, nil until the job starts
+// running or when tracing is disabled. The GET /v1/jobs/{id}/trace
+// endpoint renders it as Chrome trace-event JSON.
+func (j *Job) Tracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
 }
 
 // Entry returns the job's sealed artifact entry once done, else nil.
@@ -201,6 +215,7 @@ type JobView struct {
 	Spec      Spec           `json:"spec"`
 	Status    Status         `json:"status"`
 	Outcome   string         `json:"cache_outcome,omitempty"`
+	RequestID string         `json:"request_id,omitempty"`
 	Tenant    string         `json:"tenant,omitempty"`
 	Recovered bool           `json:"recovered,omitempty"`
 	Error     string         `json:"error,omitempty"`
@@ -219,7 +234,7 @@ func (j *Job) View() JobView {
 	v := JobView{
 		Schema: SchemaJob, ID: j.ID, Digest: j.Digest, Spec: j.Spec,
 		Status: j.status, Outcome: j.outcome, Created: j.created,
-		Tenant: j.Tenant, Recovered: j.Recovered,
+		RequestID: j.RequestID, Tenant: j.Tenant, Recovered: j.Recovered,
 		Events: len(j.events),
 	}
 	if !j.started.IsZero() {
@@ -471,6 +486,13 @@ func (m *Manager) jobTerminal(j *Job, st Status, outcome string, err error) {
 // breaker, per-tenant quota, queue capacity — cheapest and most global
 // first, so an overloaded daemon spends no pool time deciding.
 func (m *Manager) Submit(spec Spec, tenant string) (*Job, error) {
+	return m.SubmitTagged(spec, tenant, "")
+}
+
+// SubmitTagged is Submit carrying the originating request's
+// X-Request-ID, which then appears on the job document, the accept log
+// line and the job's trace spans — the correlation chain.
+func (m *Manager) SubmitTagged(spec Spec, tenant, requestID string) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -527,7 +549,7 @@ func (m *Manager) Submit(spec Spec, tenant string) (*Job, error) {
 	}
 	jobCtx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		ID: id, Spec: norm, Digest: dig, Tenant: tenant,
+		ID: id, Spec: norm, Digest: dig, Tenant: tenant, RequestID: requestID,
 		cancel: cancel, done: make(chan struct{}),
 		status: StatusQueued, created: time.Now(),
 		subs:       make(map[chan obs.SpanEvent]struct{}),
@@ -539,6 +561,7 @@ func (m *Manager) Submit(spec Spec, tenant string) (*Job, error) {
 	m.order = append(m.order, id)
 	m.tenantActive[tenant]++
 	jobsSubmitted.Add(1)
+	obs.Log().Info("job accepted", "job", id, "digest", dig, "tenant", tenant, "request_id", requestID)
 	return j, nil
 }
 
@@ -602,6 +625,11 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) execute(j *Job) {
+	var tr *obs.Tracer
+	if m.opts.Trace {
+		tr = obs.NewTracer(time.Now)
+		tr.SetSink(j.publish)
+	}
 	j.mu.Lock()
 	if j.status != StatusQueued { // cancelled while queued
 		j.mu.Unlock()
@@ -609,6 +637,7 @@ func (m *Manager) execute(j *Job) {
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	j.tracer = tr
 	j.mu.Unlock()
 
 	if m.jnl != nil {
@@ -624,10 +653,13 @@ func (m *Manager) execute(j *Job) {
 	}
 
 	ctx := j.runCtx
-	if m.opts.Trace {
-		tr := obs.NewTracer(time.Now)
-		tr.SetSink(j.publish)
+	var root *obs.Span
+	if tr != nil {
 		ctx = obs.WithTracer(ctx, tr)
+		// The root span carries the correlation chain: API clients see the
+		// same request_id on the job document, the accept log line, the
+		// SSE stream and this span in the Chrome trace.
+		root = tr.Start("job", "service", "job", j.ID, "digest", j.Digest, "request_id", j.RequestID)
 	}
 	entry, outcome, err := m.store.GetOrCompute(ctx, j.Digest, func(ctx context.Context) (blobs map[string][]byte, err error) {
 		// A panicking pipeline must not take the worker down: the panic
@@ -640,6 +672,8 @@ func (m *Manager) execute(j *Job) {
 		}()
 		return m.opts.Run(ctx, j.Spec)
 	})
+	root.Set("cache_outcome", outcome)
+	root.End()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

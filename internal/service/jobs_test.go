@@ -270,8 +270,11 @@ func TestJobEvents(t *testing.T) {
 	waitDone(t, j)
 	replay, ch, unsub := j.Subscribe()
 	defer unsub()
-	if len(replay) != 2 || replay[0].Name != "stage-one" || replay[1].Name != "stage-two" {
-		t.Fatalf("replay %+v, want stage-one,stage-two", replay)
+	if len(replay) != 3 || replay[0].Name != "stage-one" || replay[1].Name != "stage-two" || replay[2].Name != "job" {
+		t.Fatalf("replay %+v, want stage-one,stage-two,job", replay)
+	}
+	if replay[2].Args["job"] != j.ID {
+		t.Fatalf("root span args %v missing job id", replay[2].Args)
 	}
 	if _, open := <-ch; open {
 		t.Fatal("terminal job's event channel not closed")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stdcelltune"
+	"stdcelltune/internal/obs"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a
@@ -57,14 +58,23 @@ type errorDoc struct {
 //	GET    /v1/jobs/{id}            job document
 //	DELETE /v1/jobs/{id}            cancel, 202 + job document
 //	GET    /v1/jobs/{id}/events     SSE stream of pipeline span events
+//	GET    /v1/jobs/{id}/trace      Chrome trace-event JSON of the job's spans
 //	GET    /v1/artifacts            list cached digests
 //	GET    /v1/artifacts/{digest}   artifact index of one cache entry
 //	GET    /v1/artifacts/{digest}/{name}  artifact bytes
 //	GET    /healthz                 liveness + queue snapshot
+//	GET    /metrics                 Prometheus text exposition (format 0.0.4)
+//
+// Every route is wrapped by the instrument middleware: the mux pattern
+// doubles as the RED-metric route label, and each request carries an
+// accepted-or-minted X-Request-ID.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(pattern, fn))
+	}
 
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -72,7 +82,7 @@ func Handler(m *Manager) http.Handler {
 			writeError(w, fmt.Errorf("%w: %v", ErrBadSpec, err))
 			return
 		}
-		j, err := m.Submit(spec, r.Header.Get("X-API-Key"))
+		j, err := m.SubmitTagged(spec, r.Header.Get("X-API-Key"), RequestIDFrom(r.Context()))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -80,7 +90,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, j.View())
 	})
 
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := m.Jobs()
 		views := make([]JobView, len(jobs))
 		for i, j := range jobs {
@@ -89,7 +99,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
@@ -98,7 +108,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, j.View())
 	})
 
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
@@ -108,7 +118,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, j.View())
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
@@ -117,11 +127,26 @@ func Handler(m *Manager) http.Handler {
 		serveEvents(w, r, j)
 	})
 
-	mux.HandleFunc("GET /v1/artifacts", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such job", Status: http.StatusNotFound})
+			return
+		}
+		tr := j.Tracer()
+		if tr == nil {
+			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no trace for job (tracing disabled or job not started)", Status: http.StatusNotFound})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteChromeTrace(w)
+	})
+
+	handle("GET /v1/artifacts", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"digests": m.Digests()})
 	})
 
-	mux.HandleFunc("GET /v1/artifacts/{digest}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/artifacts/{digest}", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := m.Store().Lookup(r.PathValue("digest"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such artifact set", Status: http.StatusNotFound})
@@ -134,7 +159,7 @@ func Handler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"digest": e.Digest, "artifacts": views})
 	})
 
-	mux.HandleFunc("GET /v1/artifacts/{digest}/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/artifacts/{digest}/{name}", func(w http.ResponseWriter, r *http.Request) {
 		e, ok := m.Store().Lookup(r.PathValue("digest"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorDoc{Error: "no such artifact set", Status: http.StatusNotFound})
@@ -154,7 +179,7 @@ func Handler(m *Manager) http.Handler {
 		w.Write(a.Bytes())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":           true,
 			"schema":       SchemaSpec,
@@ -167,8 +192,19 @@ func Handler(m *Manager) http.Handler {
 		})
 	})
 
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w)
+	})
+
 	return mux
 }
+
+// sseKeepAlive is the interval between SSE comment frames (": ping")
+// sent while a stream is idle, so proxies and clients with read
+// timeouts keep long-quiet streams open. Package-level so tests can
+// shrink it.
+var sseKeepAlive = 15 * time.Second
 
 // serveEvents streams a job's span events as Server-Sent Events:
 // replayed history first, then live events, then one "done" event
@@ -183,6 +219,13 @@ func serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// The stream opens with its correlation id as a comment frame, so a
+	// captured SSE transcript ties back to the request without headers.
+	if id := RequestIDFrom(r.Context()); id != "" {
+		fmt.Fprintf(w, ": request-id=%s\n\n", id)
+		fl.Flush()
+	}
+
 	replay, ch, unsub := j.Subscribe()
 	defer unsub()
 	send := func(event string, v any) {
@@ -196,6 +239,8 @@ func serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	for _, ev := range replay {
 		send("span", ev)
 	}
+	keepalive := time.NewTicker(sseKeepAlive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case ev, open := <-ch:
@@ -204,6 +249,11 @@ func serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 				return
 			}
 			send("span", ev)
+		case <-keepalive.C:
+			// Comment frame per the SSE spec: ignored by clients, but
+			// enough traffic to defeat idle timeouts.
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -222,10 +272,14 @@ func writeError(w http.ResponseWriter, err error) {
 	status := HTTPStatus(err)
 	if after, ok := RetryAfter(err); ok {
 		// Whole seconds per RFC 9110; round up so "retry after 10ms"
-		// doesn't become "retry immediately".
+		// doesn't become "retry immediately", and clamp to at least one
+		// second — a zero hint invites an instant retry storm.
 		secs := int(after / time.Second)
 		if after%time.Second != 0 {
 			secs++
+		}
+		if secs < 1 {
+			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}

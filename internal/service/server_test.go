@@ -221,7 +221,8 @@ func TestServerEventsSSE(t *testing.T) {
 	if !gotDone {
 		t.Fatal("no done event before stream end")
 	}
-	want := []string{"characterize", "tune", "synthesize"}
+	// The manager's root "job" span ends last, after the pipeline spans.
+	want := []string{"characterize", "tune", "synthesize", "job"}
 	if fmt.Sprint(spanNames) != fmt.Sprint(want) {
 		t.Fatalf("span events %v, want %v", spanNames, want)
 	}

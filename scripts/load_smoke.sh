@@ -1,0 +1,72 @@
+#!/bin/sh
+# load_smoke.sh — serving-tier observability smoke, the assertion half
+# being cmd/obscheck. Boots stcd on an ephemeral port, drives a small
+# open-loop warm/cold mix through cmd/stcload, and proves:
+#
+#   1. the stdcelltune-load/1 report validates (obscheck -loadreport):
+#      non-zero warm AND cold samples, accounting adds up, monotone
+#      p50 <= p90 <= p99 <= p99.9 per class;
+#   2. GET /metrics parses as Prometheus text format 0.0.4 and carries
+#      the per-route RED series — request counters labeled by route
+#      pattern ("POST /v1/jobs", "GET /v1/jobs/{id}"), latency
+#      histograms with +Inf buckets, in-flight gauges
+#      (obscheck -metrics);
+#   3. the daemon still drains cleanly on SIGTERM after the burst.
+#
+# Usage: scripts/load_smoke.sh [workdir]  (defaults to a fresh mktemp dir)
+set -eu
+
+GO=${GO:-go}
+DIR=${1:-$(mktemp -d /tmp/load-smoke.XXXXXX)}
+mkdir -p "$DIR"
+ADDRFILE="$DIR/addr"
+LOG="$DIR/stcd.log"
+
+say() { echo "load-smoke: $*"; }
+die() { say "FAIL: $*"; [ -f "$LOG" ] && sed 's/^/load-smoke:   stcd: /' "$LOG" >&2; exit 1; }
+
+$GO build -o "$DIR/stcd" ./cmd/stcd
+$GO build -o "$DIR/stcload" ./cmd/stcload
+$GO build -o "$DIR/obscheck" ./cmd/obscheck
+
+"$DIR/stcd" -addr 127.0.0.1:0 -addrfile "$ADDRFILE" -workers 2 >"$LOG" 2>&1 &
+STCD_PID=$!
+trap 'kill "$STCD_PID" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$ADDRFILE" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "stcd did not write $ADDRFILE"
+    kill -0 "$STCD_PID" 2>/dev/null || die "stcd exited early"
+    sleep 0.1
+done
+BASE="http://$(cat "$ADDRFILE" | tr -d '[:space:]')"
+say "stcd up at $BASE"
+
+# Small open-loop mix: ~20 requests at 4 rps, 30% unique-seed (cold)
+# specs. The prime phase runs the warm spec to completion first, so
+# warm requests are genuine content-addressed cache hits.
+"$DIR/stcload" -target "$BASE" -rps 4 -duration 5s -coldfrac 0.3 \
+    -out "$DIR/load.json" || die "stcload run failed"
+
+"$DIR/obscheck" -loadreport "$DIR/load.json" || die "obscheck rejected the load report"
+
+# Scrape the exposition after the burst and validate the RED series.
+curl -fsS "$BASE/metrics" >"$DIR/metrics.prom" || die "GET /metrics unreachable"
+"$DIR/obscheck" -metrics "$DIR/metrics.prom" || die "obscheck rejected /metrics"
+
+# Graceful drain still works after load.
+kill -TERM "$STCD_PID"
+i=0
+while kill -0 "$STCD_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && die "stcd did not exit after SIGTERM"
+    sleep 0.1
+done
+trap - EXIT
+wait "$STCD_PID" 2>/dev/null && :
+RC=$?
+[ "$RC" -eq 0 ] || die "stcd exited $RC after SIGTERM"
+grep -q "drained cleanly" "$LOG" || die "no clean-drain log line"
+
+say "OK (workdir $DIR)"
