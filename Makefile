@@ -12,9 +12,9 @@ BENCH_SCALE ?= small
 # whose allocs_per_op exceeds ALLOC_RATIO x its recorded baseline.
 ALLOC_RATIO ?= 1.10
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke load-smoke clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke cluster-bench clean
 
-ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke load-smoke
+ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +90,21 @@ crash-smoke:
 # See scripts/load_smoke.sh.
 load-smoke:
 	GO="$(GO)" sh scripts/load_smoke.sh
+
+# Cluster-mode smoke: a coordinator plus worker fleet runs a sharded
+# characterize, one worker is SIGKILLed mid-shard (lease expiry + steal
+# recover it with byte-identical artifacts), and a third node fills its
+# cache from a peer with SHA-256 verification (outcome "peer"). The
+# retained shard set validates via obscheck -shard. See
+# scripts/cluster_smoke.sh and DESIGN.md section 15.
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# Cluster scaling curve: single-node baseline vs 1/2/4 workers at
+# N=200 with simulated characterizer latency; writes BENCH_PR9.json.
+# Not part of `make ci` (it takes minutes by construction).
+cluster-bench:
+	GO="$(GO)" sh scripts/cluster_bench.sh
 
 clean:
 	$(GO) clean ./...

@@ -2,12 +2,21 @@
 // produces: the Chrome trace-event JSON (-trace), the run manifest
 // (-manifest), the benchmark JSON (-bench), the tuning daemon's API
 // documents (-apijob, -apiartifacts), the daemon's durable job
-// journal (-journal), the stcload latency report (-loadreport) and a
-// scraped Prometheus exposition (-metrics). It is the assertion half of
-// `make obs-smoke`, `make serve-smoke`, `make crash-smoke` and `make
-// load-smoke`: the smoke targets run the pipeline (batch or served),
+// journal (-journal), a retained cluster shard set (-shard), the
+// stcload latency report (-loadreport) and a scraped Prometheus
+// exposition (-metrics). It is the assertion half of `make obs-smoke`,
+// `make serve-smoke`, `make crash-smoke`, `make load-smoke` and `make
+// cluster-smoke`: the smoke targets run the pipeline (batch or served),
 // then obscheck fails the build if an artifact does not parse, misses
 // expected content, or violates its versioned schema.
+//
+// -shard validates the stdcelltune-shard/1 document GET
+// /v1/cluster/shards/{digest} returns: fixed merge order (shard k at
+// position k), contiguous tiling of [0, instances), per-accumulator
+// counts within the shard's range and non-negative M2 (variance), and
+// per-entry counts summing to exactly N across the set — the invariant
+// that proves no shard was lost or double-counted, lease bounces and
+// steals included.
 //
 // Usage:
 //
@@ -15,6 +24,7 @@
 //	obscheck -bench BENCH_PR7.json -allocratio 1.1   # fail allocs_per_op regressions vs baseline
 //	obscheck -apijob /tmp/job.json -apiartifacts /tmp/index.json
 //	obscheck -journal /var/lib/stcd/jobs.wal
+//	obscheck -shard /tmp/shards.json
 //	obscheck -loadreport LOAD_PR8.json -metrics /tmp/metrics.prom
 package main
 
@@ -26,11 +36,14 @@ import (
 	"os"
 	"strings"
 
+	"stdcelltune/internal/dist"
 	"stdcelltune/internal/loadreport"
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/perfstat"
 	"stdcelltune/internal/service"
 	"stdcelltune/internal/service/journal"
+	"stdcelltune/internal/service/shard"
+	"stdcelltune/internal/statlib"
 )
 
 // chromeTrace mirrors the exported subset of the trace-event format the
@@ -56,6 +69,7 @@ func main() {
 	apiJobPath := flag.String("apijob", "", "stcd job document (stdcelltune-job/1) to validate")
 	apiArtifactsPath := flag.String("apiartifacts", "", "stcd artifact index JSON to validate")
 	journalPath := flag.String("journal", "", "stcd job journal (stdcelltune-journal/1) to validate")
+	shardPath := flag.String("shard", "", "retained cluster shard set (stdcelltune-shard/1) to validate")
 	loadPath := flag.String("loadreport", "", "stcload latency report (stdcelltune-load/1) to validate")
 	metricsPath := flag.String("metrics", "", "Prometheus text exposition scrape to validate (expects stcd's RED series)")
 	flag.Parse()
@@ -228,7 +242,7 @@ func main() {
 		if j.Status != service.StatusDone {
 			fail("%s: status %q, want done", *apiJobPath, j.Status)
 		}
-		if j.Outcome != "hit" && j.Outcome != "miss" && j.Outcome != "shared" {
+		if j.Outcome != "hit" && j.Outcome != "miss" && j.Outcome != "shared" && j.Outcome != "peer" {
 			fail("%s: cache outcome %q", *apiJobPath, j.Outcome)
 		}
 		have := map[string]bool{}
@@ -326,6 +340,123 @@ func main() {
 			len(recs), len(seen), terminal, len(journal.Pending(recs)), valid)
 	}
 
+	if *shardPath != "" {
+		data, err := os.ReadFile(*shardPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		var set shard.ShardSet
+		if err := dec.Decode(&set); err != nil {
+			log.Fatalf("%s: not a shard set: %v", *shardPath, err)
+		}
+		if set.Schema != statlib.SchemaShard {
+			fail("%s: schema %q, want %q", *shardPath, set.Schema, statlib.SchemaShard)
+		}
+		if set.Instances <= 0 {
+			fail("%s: instances %d not positive", *shardPath, set.Instances)
+		}
+		if len(set.Shards) == 0 {
+			fail("%s: empty shard set", *shardPath)
+		}
+		// The retained set must be in the fixed merge order (index k at
+		// position k), tile [0, Instances) contiguously, and agree with the
+		// container on every global fact — exactly what MergeShards enforces
+		// before folding a single moment.
+		parts := make([]*statlib.Partial, 0, len(set.Shards))
+		for i, raw := range set.Shards {
+			pd := json.NewDecoder(strings.NewReader(string(raw)))
+			pd.DisallowUnknownFields()
+			var p statlib.Partial
+			if err := pd.Decode(&p); err != nil {
+				log.Fatalf("%s: shard %d does not decode as %s: %v", *shardPath, i, statlib.SchemaShard, err)
+			}
+			switch {
+			case p.Schema != statlib.SchemaShard:
+				fail("%s: shard %d schema %q, want %q", *shardPath, i, p.Schema, statlib.SchemaShard)
+			case p.Index != i:
+				fail("%s: shard at position %d has index %d — retained order is the fixed merge order", *shardPath, i, p.Index)
+			case p.Shards != len(set.Shards):
+				fail("%s: shard %d claims %d shards, set has %d", *shardPath, i, p.Shards, len(set.Shards))
+			case p.N != set.Instances:
+				fail("%s: shard %d has N=%d, set says %d", *shardPath, i, p.N, set.Instances)
+			case p.Lo >= p.Hi:
+				fail("%s: shard %d range [%d,%d) empty", *shardPath, i, p.Lo, p.Hi)
+			case i == 0 && p.Lo != 0:
+				fail("%s: first shard starts at %d, want 0", *shardPath, p.Lo)
+			case i > 0 && p.Lo != parts[i-1].Hi:
+				fail("%s: shard %d starts at %d, previous ended at %d", *shardPath, i, p.Lo, parts[i-1].Hi)
+			}
+			parts = append(parts, &p)
+		}
+		if last := parts[len(parts)-1]; last.Hi != set.Instances {
+			fail("%s: shards end at %d, want %d", *shardPath, last.Hi, set.Instances)
+		}
+		// Moment sanity per accumulator, then accounting: a shard folds
+		// every instance of its range into every tabulated entry, so counts
+		// are Hi-Lo within a shard and sum to exactly N across the set —
+		// a lost or double-counted shard shows up here. Cells any shard
+		// quarantined are exempt (the merge drops them library-wide).
+		totals := map[string]map[string]int64{}
+		badCells := map[string]bool{}
+		states := 0
+		for _, p := range parts {
+			span := int64(p.Hi - p.Lo)
+			for _, pc := range p.Cells {
+				if pc.Bad != "" {
+					badCells[pc.Name] = true
+					continue
+				}
+				entries := totals[pc.Name]
+				if entries == nil {
+					entries = map[string]int64{}
+					totals[pc.Name] = entries
+				}
+				for _, pp := range pc.Pins {
+					for _, pa := range pp.Arcs {
+						for _, edge := range []struct {
+							label string
+							ws    []dist.WelfordState
+						}{{"rise", pa.Rise}, {"fall", pa.Fall}} {
+							for k, s := range edge.ws {
+								states++
+								if s.N < 0 || s.N > span {
+									fail("%s: shard %d %s/%s/%s %s[%d] count %d outside [0,%d]",
+										*shardPath, p.Index, pc.Name, pp.Name, pa.RelatedPin, edge.label, k, s.N, span)
+								}
+								if s.M2 < -1e-9 {
+									fail("%s: shard %d %s/%s/%s %s[%d] M2 %g negative — variance must be >= 0",
+										*shardPath, p.Index, pc.Name, pp.Name, pa.RelatedPin, edge.label, k, s.M2)
+								}
+								entries[fmt.Sprintf("%s/%s/%s[%d]", pp.Name, pa.RelatedPin, edge.label, k)] += s.N
+							}
+						}
+					}
+				}
+			}
+		}
+		for cell, entries := range totals {
+			if badCells[cell] {
+				continue
+			}
+			for key, n := range entries {
+				if n != int64(set.Instances) {
+					fail("%s: %s/%s counts sum to %d across shards, want %d",
+						*shardPath, cell, key, n, set.Instances)
+				}
+			}
+		}
+		cells := len(totals)
+		for c := range badCells {
+			if _, ok := totals[c]; !ok {
+				cells++
+			}
+		}
+		fmt.Printf("obscheck: shard set ok: %s, %d instances in %d shards, %d accumulators (%d cells, %d quarantined)\n",
+			set.Group, set.Instances, len(set.Shards), states, cells, len(badCells))
+	}
+
 	if *loadPath != "" {
 		rep, err := loadreport.Read(*loadPath)
 		if err != nil {
@@ -386,8 +517,8 @@ func main() {
 			len(samples), len(routes), infBuckets)
 	}
 
-	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" && *loadPath == "" && *metricsPath == "" {
-		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts, -journal, -loadreport and/or -metrics")
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" && *shardPath == "" && *loadPath == "" && *metricsPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts, -journal, -shard, -loadreport and/or -metrics")
 	}
 	if failed {
 		os.Exit(1)

@@ -35,6 +35,19 @@
 //	-profiledir     write cpu.pprof (whole lifetime) and heap.pprof (at shutdown) here
 //	-log            log level: debug, info, warn, error (default info)
 //
+// Cluster flags (see DESIGN.md §15):
+//
+//	-cluster        host a shard coordinator: characterize stages distribute to
+//	                registered workers and /v1/cluster routes mount
+//	-worker         run as a worker instead of a daemon (requires -join)
+//	-join           coordinator base URL a worker registers with
+//	-name           worker name label (default host-pid)
+//	-leasetimeout   shard lease TTL before a silent worker's task re-queues (default 10s)
+//	-shardsize      Monte-Carlo instances per shard task (default 25)
+//	-peers          comma-separated peer stcd addresses for the peer cache tier
+//	-peeraddr       artifact address a worker advertises at registration
+//	-simcharlatency simulated external-characterizer latency per instance (benchmarks)
+//
 // GET /metrics on the main address serves the Prometheus text
 // exposition (format 0.0.4) of the process registry, including the
 // per-route RED series the instrument middleware records.
@@ -45,6 +58,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -52,6 +66,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +76,7 @@ import (
 	"stdcelltune/internal/service/cache"
 	"stdcelltune/internal/service/chaos"
 	"stdcelltune/internal/service/journal"
+	"stdcelltune/internal/service/shard"
 )
 
 func main() {
@@ -88,6 +104,15 @@ func run() error {
 	debugAddr := flag.String("debugaddr", "", "serve expvar/pprof/obs debug surface on this address")
 	profileDir := flag.String("profiledir", "", "write cpu.pprof (lifetime) and heap.pprof (at shutdown) into this directory")
 	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
+	clusterMode := flag.Bool("cluster", false, "host a shard coordinator for distributed characterization")
+	workerMode := flag.Bool("worker", false, "run as a cluster worker (requires -join)")
+	join := flag.String("join", "", "coordinator base URL to register with (worker mode)")
+	workerName := flag.String("name", "", "worker name label (default host-pid)")
+	leaseTimeout := flag.Duration("leasetimeout", 10*time.Second, "shard lease TTL before a silent worker's task re-queues")
+	shardSize := flag.Int("shardsize", 0, "Monte-Carlo instances per shard task (0 = default)")
+	peerList := flag.String("peers", "", "comma-separated peer stcd addresses for the peer cache tier")
+	peerAddr := flag.String("peeraddr", "", "artifact address a worker advertises at registration")
+	simCharLatency := flag.Duration("simcharlatency", 0, "simulated external-characterizer latency per Monte-Carlo instance")
 	flag.Parse()
 
 	level, ok := obs.ParseLogLevel(*logLevel)
@@ -95,6 +120,10 @@ func run() error {
 		return fmt.Errorf("unknown -log level %q", *logLevel)
 	}
 	log := obs.InitLog(os.Stderr, level)
+
+	if *workerMode {
+		return runWorker(log, *join, *workerName, *peerAddr, *simCharLatency)
+	}
 
 	if *profileDir != "" {
 		stop, err := startProfiles(*profileDir)
@@ -137,9 +166,41 @@ func run() error {
 			"torn_tails", obs.Default().Counter("journal.torn_tail_truncated").Value())
 	}
 
+	// Cluster tier: a coordinator distributes characterize stages to
+	// registered workers; the peer client fills local cache misses from
+	// other nodes' verified artifacts. Neither is constructed for a
+	// plain single-node daemon, whose pipeline stays the byte-identical
+	// default.
+	var coord *shard.Coordinator
+	var peerClient *service.PeerClient
+	var pipelineRun func(context.Context, service.Spec) (map[string][]byte, error)
+	if *peerList != "" || *clusterMode {
+		peerClient = service.NewPeerClient(strings.Split(*peerList, ","))
+		store.SetPeerFetch(peerClient.Fetch)
+		if ps := peerClient.Peers(); len(ps) > 0 {
+			log.Info("peer cache tier enabled", "peers", ps)
+		}
+	}
+	if *clusterMode {
+		coord = shard.New(shard.Options{
+			LeaseTTL: *leaseTimeout,
+			OnRegister: func(name, addr string) {
+				log.Info("worker registered", "worker", name, "peer_addr", addr)
+				if addr != "" {
+					peerClient.Add(addr)
+				}
+			},
+		})
+	}
+	if coord != nil || *simCharLatency > 0 {
+		p := &service.Pipeline{Cluster: coord, ShardSize: *shardSize, SimCharLatency: *simCharLatency}
+		pipelineRun = p.Run
+	}
+
 	mgr := service.NewManager(store, service.ManagerOptions{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
+		Run:             pipelineRun,
 		Trace:           true,
 		Journal:         jnl,
 		Recovered:       replayed,
@@ -148,6 +209,8 @@ func run() error {
 		TenantQuota:     *tenantQuota,
 		BreakerK:        *breakerK,
 		BreakerCooldown: *breakerCooldown,
+		Cluster:         coord,
+		Peers:           peerClient,
 	})
 	if n := mgr.Recovered(); n > 0 {
 		log.Info("recovered jobs re-enqueued", "jobs", n)
@@ -175,7 +238,8 @@ func run() error {
 	}
 	srv := &http.Server{Handler: service.Handler(mgr)}
 	log.Info("stcd listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queueDepth,
-		"maxrps", *maxRPS, "tenantquota", *tenantQuota, "breakerk", *breakerK)
+		"maxrps", *maxRPS, "tenantquota", *tenantQuota, "breakerk", *breakerK,
+		"cluster", *clusterMode, "shardsize", *shardSize)
 
 	errc := make(chan error, 1)
 	go func() {
@@ -210,6 +274,41 @@ func run() error {
 	if *stateDir != "" {
 		writeManifest(*stateDir, mgr, drainErr == nil)
 	}
+	return nil
+}
+
+// runWorker is the -worker entry point: no HTTP surface, no job queue —
+// just the cluster poll loop executing characterization shards until a
+// signal arrives. Dying mid-shard (SIGKILL) is safe by protocol: the
+// lease expires and another worker steals the shard.
+func runWorker(log *slog.Logger, join, name, peerAddr string, simCharLatency time.Duration) error {
+	if join == "" {
+		return errors.New("-worker requires -join=<coordinator URL>")
+	}
+	if !strings.Contains(join, "://") {
+		join = "http://" + join
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &shard.Worker{
+		Base:     strings.TrimRight(join, "/"),
+		Name:     name,
+		PeerAddr: peerAddr,
+		Exec:     shard.Executor{SimCharLatency: simCharLatency},
+	}
+	log.Info("stcd worker starting", "coordinator", w.Base, "name", name,
+		"simcharlatency", simCharLatency.String())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	log.Info("stcd worker stopped")
 	return nil
 }
 

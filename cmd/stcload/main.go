@@ -22,9 +22,18 @@
 // classified warm/cold by the *observed* cache outcome, not the
 // intent.
 //
+// With -targets=<url,url,...> the harness drives a fleet: requests
+// round-robin across the daemons (request index picks the target, so
+// the spread is exact), each target gets its own collector, and the
+// report's percentiles come from merging the per-target HDR snapshots
+// bucketwise — fleet-aggregate quantiles of the combined population,
+// not an average of per-node percentiles. The report then carries
+// `targets` and `per_target_requests`.
+//
 // Usage:
 //
 //	stcload -target http://127.0.0.1:8372 -rps 5 -duration 10s -coldfrac 0.3 -out report.json
+//	stcload -targets http://10.0.0.1:8372,http://10.0.0.2:8372 -conc 8 -duration 10s
 package main
 
 import (
@@ -53,9 +62,13 @@ func main() {
 	}
 }
 
-// collector aggregates request outcomes across generator goroutines.
+// collector aggregates request outcomes for one target daemon. A fleet
+// run keeps one collector per target and merges their HDR snapshots at
+// the end — quantiles come from the merged buckets, never from
+// averaging per-target percentiles.
 type collector struct {
 	mu        sync.Mutex
+	requests  int64
 	succeeded int64
 	failed    int64
 	rejected  map[string]int64
@@ -92,7 +105,8 @@ func (c *collector) failure() {
 }
 
 func run() error {
-	target := flag.String("target", "", "base URL of the stcd daemon (required)")
+	target := flag.String("target", "", "base URL of the stcd daemon")
+	targets := flag.String("targets", "", "comma-separated daemon base URLs; requests round-robin across the fleet")
 	rps := flag.Float64("rps", 0, "open-loop request rate, req/sec (0 = closed loop)")
 	conc := flag.Int("conc", 4, "closed-loop worker count (ignored in open-loop mode)")
 	duration := flag.Duration("duration", 10*time.Second, "generation window")
@@ -106,13 +120,21 @@ func run() error {
 	out := flag.String("out", "", "write the stdcelltune-load/1 report here (default stdout)")
 	flag.Parse()
 
-	if *target == "" {
-		return fmt.Errorf("-target is required")
+	var bases []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			bases = append(bases, strings.TrimSuffix(t, "/"))
+		}
+	}
+	if len(bases) == 0 && *target != "" {
+		bases = []string{strings.TrimSuffix(*target, "/")}
+	}
+	if len(bases) == 0 {
+		return fmt.Errorf("-target or -targets is required")
 	}
 	if *coldFrac < 0 || *coldFrac > 1 {
 		return fmt.Errorf("-coldfrac %g outside [0,1]", *coldFrac)
 	}
-	base := strings.TrimSuffix(*target, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	warmSpec := service.Spec{
@@ -126,16 +148,23 @@ func run() error {
 	}
 
 	if *prime {
-		t0 := time.Now()
-		outcome, status, err := runJob(client, base, warmSpec, "stcload-prime", *jobTimeout, *pollEvery)
-		if err != nil || status != 0 {
-			return fmt.Errorf("prime run failed (status %d): %v", status, err)
+		// Every target is primed so warm requests are hits fleet-wide
+		// (peer-cache fills make later primes fast when the tier is on).
+		for _, base := range bases {
+			t0 := time.Now()
+			outcome, status, err := runJob(client, base, warmSpec, "stcload-prime", *jobTimeout, *pollEvery)
+			if err != nil || status != 0 {
+				return fmt.Errorf("prime run against %s failed (status %d): %v", base, status, err)
+			}
+			fmt.Fprintf(os.Stderr, "stcload: primed %s in %s (outcome %s)\n",
+				base, time.Since(t0).Round(time.Millisecond), outcome)
 		}
-		fmt.Fprintf(os.Stderr, "stcload: primed warm spec in %s (outcome %s)\n",
-			time.Since(t0).Round(time.Millisecond), outcome)
 	}
 
-	var col collector
+	cols := make([]*collector, len(bases))
+	for i := range cols {
+		cols[i] = &collector{}
+	}
 	var launched atomic.Int64
 	// isCold spreads the cold fraction deterministically over the request
 	// index so the mix is exact regardless of scheduling races.
@@ -150,6 +179,13 @@ func run() error {
 		if isCold(i) {
 			spec = coldSpec(i)
 		}
+		// Round-robin over the fleet: request index picks the target, so
+		// the spread is exact and independent of completion timing.
+		base := bases[i%int64(len(bases))]
+		col := cols[i%int64(len(bases))]
+		col.mu.Lock()
+		col.requests++
+		col.mu.Unlock()
 		outcome, status, err := runJob(client, base, spec, fmt.Sprintf("stcload-%d", i), *jobTimeout, *pollEvery)
 		switch {
 		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
@@ -204,19 +240,40 @@ func run() error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	col.mu.Lock()
+	// Fleet aggregation: bucketwise-merge the per-target HDR snapshots,
+	// then quantile the merged population.
+	var overall, warm, cold obs.HDRSnapshot
+	var succeeded, failed int64
+	rejected := make(map[string]int64)
+	perTarget := make(map[string]int64, len(bases))
+	for i, col := range cols {
+		col.mu.Lock()
+		succeeded += col.succeeded
+		failed += col.failed
+		for status, n := range col.rejected {
+			rejected[status] += n
+		}
+		perTarget[bases[i]] = col.requests
+		col.mu.Unlock()
+		overall.Merge(col.overall.Snapshot())
+		warm.Merge(col.warm.Snapshot())
+		cold.Merge(col.cold.Snapshot())
+	}
+	if len(rejected) == 0 {
+		rejected = nil
+	}
 	rep := &loadreport.Report{
-		Schema: loadreport.Schema, Target: base, Mode: mode,
+		Schema: loadreport.Schema, Target: strings.Join(bases, ","), Mode: mode,
+		Targets: bases, PerTarget: perTarget,
 		RPS: *rps, Concurrency: *conc,
 		DurationSec: elapsed.Seconds(), ColdFrac: *coldFrac,
 		Requests:  launched.Load(),
-		Succeeded: col.succeeded, Failed: col.failed, Rejected: col.rejected,
-		ThroughputRPS: float64(col.succeeded) / elapsed.Seconds(),
-		Overall:       stats(&col.overall),
-		Warm:          stats(&col.warm),
-		Cold:          stats(&col.cold),
+		Succeeded: succeeded, Failed: failed, Rejected: rejected,
+		ThroughputRPS: float64(succeeded) / elapsed.Seconds(),
+		Overall:       stats(overall),
+		Warm:          stats(warm),
+		Cold:          stats(cold),
 	}
-	col.mu.Unlock()
 
 	if err := rep.Validate(); err != nil {
 		return fmt.Errorf("generated report invalid: %w", err)
@@ -234,9 +291,10 @@ func run() error {
 	return rep.Write(*out)
 }
 
-// stats converts an HDR histogram into the report's latency block.
-func stats(h *obs.HDRHistogram) loadreport.LatencyStats {
-	s := h.Summary()
+// stats converts a (possibly merged) HDR snapshot into the report's
+// latency block.
+func stats(snap obs.HDRSnapshot) loadreport.LatencyStats {
+	s := snap.Summary()
 	mean := 0.0
 	if s.Count > 0 {
 		mean = s.SumMS / float64(s.Count)

@@ -1,0 +1,56 @@
+// Command tracedur sums the wall time of the named complete ("X")
+// spans in a Chrome trace-event JSON file and prints the total in
+// nanoseconds. It exists so shell harnesses (scripts/cluster_bench.sh)
+// can pull one phase's duration out of GET /v1/jobs/{id}/trace without
+// fragile text scraping — the trace is nested JSON, which sed cannot
+// parse reliably.
+//
+// Usage:
+//
+//	tracedur -trace /tmp/job-trace.json -span characterize
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracedur: ")
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file (required)")
+	span := flag.String("span", "", "span name to sum (required)")
+	flag.Parse()
+	if *tracePath == "" || *span == "" {
+		log.Fatal("usage: tracedur -trace file.json -span characterize")
+	}
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  int64  `json:"dur"` // microseconds, per the trace-event format
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		log.Fatalf("%s: not valid trace JSON: %v", *tracePath, err)
+	}
+	var total int64
+	matched := 0
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && e.Name == *span {
+			total += e.Dur
+			matched++
+		}
+	}
+	if matched == 0 {
+		log.Fatalf("%s: no complete spans named %q", *tracePath, *span)
+	}
+	fmt.Println(total * 1000)
+}

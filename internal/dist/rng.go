@@ -37,6 +37,21 @@ func (g *RNG) ForkNamed(name string) *RNG {
 	return NewRNG(h ^ g.seed)
 }
 
+// ForkNamedBytes is ForkNamed for a key assembled in a caller-owned
+// byte buffer, hashing the identical FNV-1a stream: for any name,
+// ForkNamedBytes([]byte(name)) derives the same child as
+// ForkNamed(name). Hot paths (the per-(instance, cell) mismatch draws)
+// build keys with strconv.AppendInt into a stack buffer and fork here
+// without the fmt.Sprintf allocation. The buffer is not retained.
+func (g *RNG) ForkNamedBytes(name []byte) *RNG {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return NewRNG(h ^ g.seed)
+}
+
 // Float64 returns a uniform sample in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -71,12 +71,20 @@ func (w Welford) N() int64 { return w.n }
 func (w Welford) Mean() float64 { return w.mean }
 
 // Variance returns the unbiased (N−1) sample variance; fewer than two
-// samples have zero variance, matching Variance on slices.
+// samples have zero variance, matching Variance on slices. The centered
+// second moment is non-negative in exact arithmetic; float rounding on
+// near-constant data can leave it a few ulps below zero, which is
+// clamped so Variance (and StdDev via its square root) never report a
+// negative or NaN spread for finite inputs.
 func (w Welford) Variance() float64 {
 	if w.n < 2 {
 		return 0
 	}
-	return w.m2 / float64(w.n-1)
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // StdDev returns the unbiased sample standard deviation.
@@ -85,3 +93,28 @@ func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 // Normal fits a Normal to the accumulated samples, the streaming
 // counterpart of Estimate.
 func (w Welford) Normal() Normal { return Normal{Mu: w.Mean(), Sigma: w.StdDev()} }
+
+// WelfordState is the serializable snapshot of a Welford accumulator:
+// the exact (count, mean, M2) triple, nothing derived. It is the wire
+// form of the stdcelltune-shard/1 partial-moments documents — a worker
+// folds its shard, ships State(), and the coordinator rebuilds the
+// accumulator with WelfordFromState and Merges in fixed shard order.
+// The round trip is bitwise exact: State/WelfordFromState copy the
+// three fields without arithmetic, and encoding/json round-trips
+// float64 values exactly.
+type WelfordState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots the accumulator for serialization.
+func (w Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// WelfordFromState rebuilds an accumulator from a snapshot. For any w,
+// WelfordFromState(w.State()) == w bitwise.
+func WelfordFromState(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2}
+}

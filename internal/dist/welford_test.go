@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -148,5 +149,160 @@ func TestWelfordFewSamples(t *testing.T) {
 	n := w.Normal()
 	if n.Mu != 7 || n.Sigma != 0 {
 		t.Errorf("Normal() = %+v", n)
+	}
+}
+
+// shardSamples splits xs into k contiguous shards, mimicking how the
+// cluster tier tiles [0, N) Monte-Carlo instances across workers.
+func shardSamples(xs []float64, k int) [][]float64 {
+	shards := make([][]float64, k)
+	for i := range shards {
+		lo, hi := i*len(xs)/k, (i+1)*len(xs)/k
+		shards[i] = xs[lo:hi]
+	}
+	return shards
+}
+
+// TestWelfordMergeOrderInvariance pins the determinism argument of the
+// sharded characterization tier: merging the same partials in the same
+// (fixed shard) order is bitwise reproducible run-to-run, whatever
+// order the partials arrived in. Different merge orders are allowed to
+// differ — but only by ulps, which is also checked so the fixed-order
+// requirement stays a determinism contract, not an accuracy one.
+func TestWelfordMergeOrderInvariance(t *testing.T) {
+	xs := cancellationSamples()
+	const k = 4
+	parts := make([]Welford, k)
+	for i, shard := range shardSamples(xs, k) {
+		for _, x := range shard {
+			parts[i].Add(x)
+		}
+	}
+
+	foldInOrder := func(order []int) Welford {
+		var w Welford
+		for _, i := range order {
+			w.Merge(parts[i])
+		}
+		return w
+	}
+
+	fixed := foldInOrder([]int{0, 1, 2, 3})
+	// Re-merging in the fixed order must reproduce the exact bits, from
+	// copies, any number of times.
+	for trial := 0; trial < 3; trial++ {
+		if again := foldInOrder([]int{0, 1, 2, 3}); again != fixed {
+			t.Fatalf("trial %d: fixed-order merge not reproducible: %+v vs %+v", trial, again.State(), fixed.State())
+		}
+	}
+
+	// Arrival orders differ; sorting back to shard order before merging
+	// (what statlib.MergeShards does) must land on the same bits.
+	arrivals := [][]int{{3, 1, 0, 2}, {2, 3, 1, 0}, {1, 0, 3, 2}}
+	for _, arrival := range arrivals {
+		sorted := append([]int(nil), arrival...)
+		for i := range sorted {
+			sorted[i] = i // shard index order, independent of arrival
+		}
+		if got := foldInOrder(sorted); got != fixed {
+			t.Fatalf("arrival %v: sorted merge diverged: %+v vs %+v", arrival, got.State(), fixed.State())
+		}
+		// The unsorted merge may differ, but only at ulp scale.
+		perm := foldInOrder(arrival)
+		if perm.N() != fixed.N() {
+			t.Fatalf("arrival %v: N %d want %d", arrival, perm.N(), fixed.N())
+		}
+		if rel := math.Abs(perm.StdDev()-fixed.StdDev()) / fixed.StdDev(); rel > 1e-6 {
+			t.Errorf("arrival %v: permuted sigma off by rel %g", arrival, rel)
+		}
+	}
+}
+
+// TestWelfordStateRoundTrip: serialize -> deserialize -> Merge must
+// match the in-process fold exactly (bitwise), including through JSON —
+// the stdcelltune-shard/1 wire format.
+func TestWelfordStateRoundTrip(t *testing.T) {
+	xs := cancellationSamples()
+	shards := shardSamples(xs, 3)
+
+	var inProcess Welford
+	parts := make([]Welford, len(shards))
+	for i, shard := range shards {
+		for _, x := range shard {
+			parts[i].Add(x)
+		}
+	}
+	for _, p := range parts {
+		inProcess.Merge(p)
+	}
+
+	var wire Welford
+	for _, p := range parts {
+		s := p.State()
+		if back := WelfordFromState(s); back != p {
+			t.Fatalf("State/WelfordFromState not bitwise: %+v vs %+v", back.State(), s)
+		}
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got WelfordState
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("JSON round trip changed state: %+v vs %+v", got, s)
+		}
+		wire.Merge(WelfordFromState(got))
+	}
+	if wire != inProcess {
+		t.Fatalf("wire fold %+v != in-process fold %+v", wire.State(), inProcess.State())
+	}
+}
+
+// TestWelfordShardEdgeCases: N=0 and N=1 shards — a worker can
+// legitimately return an empty or single-sample partial (quarantined
+// entries, tiny tail shard) and the merge must treat them exactly like
+// the sequential stream would.
+func TestWelfordShardEdgeCases(t *testing.T) {
+	// N=0 shard merged into anything is the identity, both ways.
+	var empty, some Welford
+	some.Add(2.5)
+	some.Add(4.5)
+	before := some
+	some.Merge(empty)
+	if some != before {
+		t.Fatalf("merging empty shard changed accumulator: %+v vs %+v", some.State(), before.State())
+	}
+	var lhs Welford
+	lhs.Merge(before)
+	if lhs != before {
+		t.Fatalf("merging into empty accumulator not a copy: %+v vs %+v", lhs.State(), before.State())
+	}
+
+	// A run split into N=1 shards folds to the same moments as the
+	// sequential stream (tolerance: Merge and Add round differently).
+	xs := []float64{3, 1, 4, 1.5, 9, 2.6}
+	var seq Welford
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	var merged Welford
+	for _, x := range xs {
+		var one Welford
+		one.Add(x)
+		if one.N() != 1 || one.Variance() != 0 {
+			t.Fatalf("single-sample shard: N=%d var=%g", one.N(), one.Variance())
+		}
+		merged.Merge(one)
+	}
+	if merged.N() != seq.N() {
+		t.Fatalf("N %d want %d", merged.N(), seq.N())
+	}
+	if math.Abs(merged.Mean()-seq.Mean()) > 1e-12*(1+math.Abs(seq.Mean())) {
+		t.Errorf("mean %v want %v", merged.Mean(), seq.Mean())
+	}
+	if math.Abs(merged.StdDev()-seq.StdDev()) > 1e-12*(1+seq.StdDev()) {
+		t.Errorf("sigma %v want %v", merged.StdDev(), seq.StdDev())
 	}
 }

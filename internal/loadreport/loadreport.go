@@ -37,13 +37,20 @@ func (s LatencyStats) monotone() bool {
 // against a live stcd, with the mix, the error breakdown and the
 // latency percentiles per cache-outcome class.
 type Report struct {
-	Schema      string  `json:"schema"`
-	Target      string  `json:"target"`        // base URL of the daemon under load
-	Mode        string  `json:"mode"`          // "open" (fixed-RPS) or "closed" (fixed-concurrency)
-	RPS         float64 `json:"rps,omitempty"` // open-loop target rate
-	Concurrency int     `json:"concurrency,omitempty"`
-	DurationSec float64 `json:"duration_sec"`
-	ColdFrac    float64 `json:"cold_fraction"`
+	Schema string `json:"schema"`
+	Target string `json:"target"` // base URL of the daemon under load (comma-joined for a fleet)
+	// Targets lists the individual daemons of a fleet run (stcload
+	// -targets). Requests round-robin across them and the latency blocks
+	// below are fleet aggregates: per-target HDR snapshots merged
+	// bucketwise before quantiling, so the percentiles describe the
+	// combined population rather than an average of averages.
+	Targets     []string         `json:"targets,omitempty"`
+	PerTarget   map[string]int64 `json:"per_target_requests,omitempty"`
+	Mode        string           `json:"mode"`          // "open" (fixed-RPS) or "closed" (fixed-concurrency)
+	RPS         float64          `json:"rps,omitempty"` // open-loop target rate
+	Concurrency int              `json:"concurrency,omitempty"`
+	DurationSec float64          `json:"duration_sec"`
+	ColdFrac    float64          `json:"cold_fraction"`
 
 	Requests  int64            `json:"requests"`
 	Succeeded int64            `json:"succeeded"`
@@ -74,6 +81,26 @@ func (r *Report) Validate() error {
 	}
 	if r.Target == "" {
 		return fmt.Errorf("loadreport: empty target")
+	}
+	for i, tgt := range r.Targets {
+		if tgt == "" {
+			return fmt.Errorf("loadreport: targets[%d] is empty", i)
+		}
+	}
+	if len(r.PerTarget) > 0 {
+		if len(r.Targets) == 0 {
+			return fmt.Errorf("loadreport: per_target_requests without targets")
+		}
+		var perTarget int64
+		for tgt, n := range r.PerTarget {
+			if n < 0 {
+				return fmt.Errorf("loadreport: negative per-target count %d for %s", n, tgt)
+			}
+			perTarget += n
+		}
+		if perTarget != r.Requests {
+			return fmt.Errorf("loadreport: per-target requests sum %d != requests %d", perTarget, r.Requests)
+		}
 	}
 	if r.DurationSec <= 0 {
 		return fmt.Errorf("loadreport: duration_sec %g not positive", r.DurationSec)

@@ -45,6 +45,14 @@ func TestValidateRejects(t *testing.T) {
 		{"count split", func(r *Report) { r.Overall.Count = 44 }, "overall count"},
 		{"percentile inversion", func(r *Report) { r.Cold.P99MS = 1 }, "monotone"},
 		{"max below p999", func(r *Report) { r.Warm.MaxMS = 0.1 }, "max"},
+		{"empty target entry", func(r *Report) { r.Targets = []string{"http://a", ""} }, "targets[1]"},
+		{"per-target without targets", func(r *Report) {
+			r.PerTarget = map[string]int64{"http://a": 50}
+		}, "per_target_requests"},
+		{"per-target sum", func(r *Report) {
+			r.Targets = []string{"http://a", "http://b"}
+			r.PerTarget = map[string]int64{"http://a": 25, "http://b": 24}
+		}, "per-target"},
 	}
 	for _, tc := range cases {
 		r := goodReport()
@@ -57,6 +65,18 @@ func TestValidateRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestValidateFleet: a fleet report with targets and exact per-target
+// accounting passes.
+func TestValidateFleet(t *testing.T) {
+	r := goodReport()
+	r.Target = "http://a,http://b"
+	r.Targets = []string{"http://a", "http://b"}
+	r.PerTarget = map[string]int64{"http://a": 25, "http://b": 25}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fleet report rejected: %v", err)
 	}
 }
 

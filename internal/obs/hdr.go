@@ -187,6 +187,16 @@ type HDRSummary struct {
 // recorded unit was nanoseconds.
 func (h *HDRHistogram) Summary() HDRSummary {
 	s := h.Snapshot()
+	return s.Summary()
+}
+
+// Summary renders a snapshot's counts and interpolated quantiles,
+// assuming the recorded unit was nanoseconds. Summarizing a merged
+// snapshot is how fleet-aggregate percentiles are produced: quantiles
+// of merged bucket counts are the quantiles of the combined population
+// (within the histogram's 1/32 relative error), which averaging
+// per-node percentiles would not be.
+func (s *HDRSnapshot) Summary() HDRSummary {
 	return HDRSummary{
 		Count:  s.Count,
 		SumMS:  float64(s.Sum) / 1e6,

@@ -45,7 +45,24 @@ var (
 	// mismatch. Nonzero after a restart means the cache directory took
 	// damage; the entries cost a recomputation each, never wrong bytes.
 	corruptDropped = obs.Default().Counter("cache.corrupt_dropped")
+
+	// Peer-tier outcomes: a "peer" hit filled a local miss from another
+	// node's cache instead of recomputing; a peer miss fell through to
+	// the local compute. The ratio gauge is what the fleet dashboards
+	// watch — how often identical specs dedup across nodes.
+	peerHits   = obs.Default().Counter("cache.peer_hits")
+	peerMisses = obs.Default().Counter("cache.peer_misses")
 )
+
+func init() {
+	obs.Default().GaugeFunc("cache.peer_hit_ratio", func() float64 {
+		h, m := float64(peerHits.Value()), float64(peerMisses.Value())
+		if h+m == 0 {
+			return 0
+		}
+		return h / (h + m)
+	})
+}
 
 // Artifact is one stored blob: a named output of the pipeline plus its
 // content hash.
@@ -83,6 +100,14 @@ type flight struct {
 	err   error
 }
 
+// PeerFetchFunc asks the fleet's registered peers for the full
+// artifact set of a digest. It returns ok=false when no peer has it or
+// every fetched copy failed verification; the implementation (the
+// service's peer client) must verify each blob against the peer's
+// declared SHA-256 before returning it, so the cache only ever seals
+// bytes whose content hash was checked end to end.
+type PeerFetchFunc func(ctx context.Context, dig string) (map[string][]byte, bool)
+
 // Store is the content-addressed artifact store. Safe for concurrent
 // use.
 type Store struct {
@@ -91,6 +116,17 @@ type Store struct {
 	mu       sync.Mutex
 	entries  map[string]*Entry
 	inflight map[string]*flight
+	peers    PeerFetchFunc
+}
+
+// SetPeerFetch installs the peer tier: on a local miss, GetOrCompute
+// consults f before computing. The single-flight slot covers the peer
+// fetch too, so concurrent requests for one digest make one peer round
+// trip at most.
+func (s *Store) SetPeerFetch(f PeerFetchFunc) {
+	s.mu.Lock()
+	s.peers = f
+	s.mu.Unlock()
 }
 
 // New creates a store. A non-empty dir enables persistence: entries are
@@ -131,8 +167,9 @@ func (s *Store) Lookup(dig string) (*Entry, bool) {
 
 // GetOrCompute returns the entry for dig, computing it at most once
 // across all concurrent callers. The outcome string is "hit" (entry was
-// already cached), "miss" (this call computed it), or "shared" (another
-// in-flight call computed it while we waited).
+// already cached), "peer" (a registered peer supplied verified bytes),
+// "miss" (this call computed it), or "shared" (another in-flight call
+// computed it while we waited).
 //
 // compute runs under the first caller's context; a waiter whose own ctx
 // is cancelled stops waiting and returns its context error (the
@@ -156,13 +193,35 @@ func (s *Store) GetOrCompute(ctx context.Context, dig string, compute func(conte
 	}
 	fl := &flight{done: make(chan struct{})}
 	s.inflight[dig] = fl
+	peers := s.peers
 	s.mu.Unlock()
 
-	cacheMisses.Add(1)
-	blobs, err := compute(ctx)
+	outcome := "miss"
 	var entry *Entry
-	if err == nil {
-		entry, err = s.seal(dig, blobs)
+	var err error
+	if peers != nil {
+		if fetched, ok := peers(ctx, dig); ok {
+			if e, serr := s.seal(dig, fetched); serr == nil {
+				entry, outcome = e, "peer"
+				peerHits.Add(1)
+			} else {
+				// A peer copy that fails to seal (bad name, persistence
+				// error) falls through to the local compute — a broken
+				// peer must cost latency, never correctness.
+				obs.Log().Warn("cache: peer entry rejected", "digest", dig, "err", serr)
+				peerMisses.Add(1)
+			}
+		} else {
+			peerMisses.Add(1)
+		}
+	}
+	if entry == nil {
+		cacheMisses.Add(1)
+		var blobs map[string][]byte
+		blobs, err = compute(ctx)
+		if err == nil {
+			entry, err = s.seal(dig, blobs)
+		}
 	}
 	fl.entry, fl.err = entry, err
 
@@ -173,7 +232,7 @@ func (s *Store) GetOrCompute(ctx context.Context, dig string, compute func(conte
 	delete(s.inflight, dig)
 	s.mu.Unlock()
 	close(fl.done)
-	return entry, "miss", err
+	return entry, outcome, err
 }
 
 // Put stores a computed artifact set directly (the rehydration and test

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stdcelltune/internal/digest"
+	"stdcelltune/internal/service/cache"
+	"stdcelltune/internal/service/shard"
+)
+
+// clusterSpec is the scaled-down request the cluster round trip uses:
+// enough instances for multiple shards at ShardSize 2.
+var clusterSpec = Spec{
+	Design: "mcu-small", Instances: 5, Seed: 1,
+	Method: "sigma-ceiling", Bound: 0.02, ClockNS: 6,
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterEndToEnd drives the whole tentpole in-process: a
+// coordinator-hosting daemon, a real worker polling its HTTP cluster
+// routes, a submitted job whose characterize stage distributes as
+// shards, and the retained shard set queryable afterwards.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cluster pipeline over HTTP")
+	}
+	coord := shard.New(shard.Options{LeaseTTL: 5 * time.Second})
+	p := &Pipeline{Cluster: coord, ShardSize: 2}
+	store, _ := cache.New("")
+	m := NewManager(store, ManagerOptions{Run: p.Run, Cluster: coord, Trace: true})
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		w := &shard.Worker{Base: ts.URL, Name: name, Poll: 2 * time.Millisecond}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+	defer wg.Wait()
+	defer cancel()
+	waitUntil(t, "workers registered", func() bool { return coord.Workers() == 2 })
+
+	v := postJob(t, ts, clusterSpec)
+	done := awaitJob(t, ts, m, v.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("cluster job failed: %s (%d)", done.Error, done.HTTPCode)
+	}
+	if done.Outcome != "miss" {
+		t.Fatalf("cold cluster outcome %q, want miss", done.Outcome)
+	}
+	if len(done.Artifacts) == 0 {
+		t.Fatal("cluster job produced no artifacts")
+	}
+
+	// The shard queue actually did the characterize work: ceil(5/2)=3
+	// tasks enqueued and completed, none lost.
+	st := coord.Stats()
+	if st.Enqueued != 3 || st.Completed != 3 {
+		t.Fatalf("coordinator stats: enqueued=%d completed=%d, want 3/3", st.Enqueued, st.Completed)
+	}
+	if st.QueueDepth != 0 || st.Leased != 0 {
+		t.Fatalf("queue not drained: depth=%d leased=%d", st.QueueDepth, st.Leased)
+	}
+
+	// Same set of artifact names as the single-node pipeline, and the
+	// normalized spec document is byte-identical (determinism of the
+	// spec layer is mode-independent).
+	direct, err := Run(context.Background(), clusterSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Artifacts) != len(direct) {
+		t.Fatalf("cluster job lists %d artifacts, single-node produced %d", len(done.Artifacts), len(direct))
+	}
+	got := getBytes(t, ts.URL+"/v1/artifacts/"+done.Digest+"/"+ArtifactSpec)
+	if !bytes.Equal(got, direct[ArtifactSpec]) {
+		t.Fatalf("%s differs between cluster and single-node runs", ArtifactSpec)
+	}
+
+	// The retained shard set is served over HTTP for obscheck -shard.
+	var set shard.ShardSet
+	if err := json.Unmarshal(getBytes(t, ts.URL+"/v1/cluster/shards/"+done.Digest), &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Instances != 5 || len(set.Shards) != 3 {
+		t.Fatalf("retained shard set: instances=%d shards=%d, want 5/3", set.Instances, len(set.Shards))
+	}
+
+	// Cluster state shows up on the operational surfaces.
+	var stats shard.Stats
+	if err := json.Unmarshal(getBytes(t, ts.URL+"/v1/cluster"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 3 {
+		t.Fatalf("GET /v1/cluster completed=%d, want 3", stats.Completed)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(getBytes(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := health["cluster"]; !ok {
+		t.Fatal("healthz on a coordinator lacks the cluster section")
+	}
+
+	// A sharded re-run of the same spec is a cache hit — the cluster sits
+	// behind the content-addressed tier, not beside it.
+	again := postJob(t, ts, clusterSpec)
+	if doc := awaitJob(t, ts, m, again.ID); doc.Outcome != "hit" {
+		t.Fatalf("warm cluster outcome %q, want hit", doc.Outcome)
+	}
+}
+
+// TestClusterFallbackLocal: when the fleet dies mid-wait (registered
+// node goes silent past the liveness window), the characterize stage
+// falls back to local computation and the job still succeeds — with
+// bytes identical to the plain single-node pipeline, because the local
+// fallback is the byte-identity path.
+func TestClusterFallbackLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	clock := struct {
+		mu sync.Mutex
+		t  time.Time
+	}{t: time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)}
+	now := func() time.Time {
+		clock.mu.Lock()
+		defer clock.mu.Unlock()
+		return clock.t
+	}
+	coord := shard.New(shard.Options{LeaseTTL: 100 * time.Millisecond, Now: now})
+	coord.Register("ghost", "") // live at t0, never polls again
+
+	p := &Pipeline{Cluster: coord, ShardSize: 2}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		// Once the characterize tasks are queued, jump the fake clock past
+		// the liveness window: the ghost node is declared dead and the
+		// group fails with ErrNoWorkers.
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if coord.Stats().QueueDepth > 0 {
+				clock.mu.Lock()
+				clock.t = clock.t.Add(time.Minute)
+				clock.mu.Unlock()
+				return
+			}
+		}
+	}()
+
+	got, err := p.Run(context.Background(), clusterSpec)
+	if err != nil {
+		t.Fatalf("fallback run failed: %v", err)
+	}
+	want, err := Run(context.Background(), clusterSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wb := range want {
+		if !bytes.Equal(got[name], wb) {
+			t.Errorf("fallback artifact %s differs from single-node run", name)
+		}
+	}
+	if st := coord.Stats(); st.QueueDepth != 0 {
+		t.Fatalf("failed group left %d tasks queued", st.QueueDepth)
+	}
+}
+
+// TestCachePeerTier: a local miss fills from a peer's verified artifact
+// set (outcome "peer", compute never invoked); a peer serving corrupt
+// bytes is rejected whole and the store computes locally instead.
+func TestCachePeerTier(t *testing.T) {
+	blobs := map[string][]byte{
+		"spec.json":   []byte(`{"x":1}` + "\n"),
+		"statlib.lib": []byte("library (x) {}\n"),
+	}
+	const dig = "sha256:feedface"
+
+	// Node A has the entry and serves the real artifact routes.
+	storeA, _ := cache.New("")
+	if _, err := storeA.Put(dig, blobs); err != nil {
+		t.Fatal(err)
+	}
+	mA := NewManager(storeA, ManagerOptions{})
+	tsA := httptest.NewServer(Handler(mA))
+	defer tsA.Close()
+
+	// Node B misses locally and fills from A without computing.
+	storeB, _ := cache.New("")
+	storeB.SetPeerFetch(NewPeerClient([]string{tsA.URL}).Fetch)
+	entry, outcome, err := storeB.GetOrCompute(context.Background(), dig,
+		func(context.Context) (map[string][]byte, error) {
+			t.Error("compute ran despite a peer having the entry")
+			return blobs, nil
+		})
+	if err != nil || outcome != "peer" {
+		t.Fatalf("peer fill: outcome=%q err=%v, want peer/nil", outcome, err)
+	}
+	for name, want := range blobs {
+		a := entry.Artifact(name)
+		if a == nil || !bytes.Equal(a.Bytes(), want) {
+			t.Fatalf("peer-filled artifact %s missing or differs", name)
+		}
+	}
+	// The fill is sealed: a second request is a plain local hit.
+	if _, outcome, _ := storeB.GetOrCompute(context.Background(), dig, nil); outcome != "hit" {
+		t.Fatalf("second read outcome %q, want hit", outcome)
+	}
+
+	// A peer whose blobs do not match their declared hashes is rejected
+	// whole; the store falls through to the local compute.
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/artifacts/" + dig:
+			fmt.Fprintf(w, `{"digest":%q,"artifacts":[{"name":"spec.json","sha256":%q,"size_bytes":8}]}`,
+				dig, digest.Bytes(blobs["spec.json"]))
+		default:
+			w.Write([]byte("tampered bytes"))
+		}
+	}))
+	defer evil.Close()
+	storeC, _ := cache.New("")
+	storeC.SetPeerFetch(NewPeerClient([]string{evil.URL}).Fetch)
+	computed := false
+	_, outcome, err = storeC.GetOrCompute(context.Background(), dig,
+		func(context.Context) (map[string][]byte, error) {
+			computed = true
+			return blobs, nil
+		})
+	if err != nil || outcome != "miss" || !computed {
+		t.Fatalf("corrupt peer: outcome=%q computed=%v err=%v, want miss/true/nil", outcome, computed, err)
+	}
+}

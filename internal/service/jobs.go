@@ -15,6 +15,7 @@ import (
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/service/cache"
 	"stdcelltune/internal/service/journal"
+	"stdcelltune/internal/service/shard"
 )
 
 // SchemaJob is the versioned job-document schema identifier.
@@ -300,6 +301,18 @@ type ManagerOptions struct {
 	BreakerCooldown time.Duration
 	// Now injects the admission clock (tests); nil means time.Now.
 	Now func() time.Time
+
+	// Cluster, when non-nil, is the shard coordinator this daemon hosts:
+	// the Handler mounts the /v1/cluster routes over it and healthz
+	// reports its fleet snapshot. The pipeline that distributes work to
+	// it is wired separately (see Pipeline), keeping the queue tier and
+	// the compute tier independently testable.
+	Cluster *shard.Coordinator
+	// Peers, when non-nil, is the peer-cache client whose registered
+	// nodes healthz reports; worker registrations that advertise an
+	// artifact address are added to it via the coordinator's OnRegister
+	// hook.
+	Peers *PeerClient
 }
 
 // Manager owns the job queue and the artifact cache. One per daemon.
@@ -427,6 +440,13 @@ func (m *Manager) BreakerOpen() int { return m.brk.openCount() }
 
 // Store exposes the artifact cache (the HTTP artifact endpoints read it).
 func (m *Manager) Store() *cache.Store { return m.store }
+
+// Cluster exposes the shard coordinator, nil when this daemon does not
+// host one (the Handler gates the /v1/cluster routes on it).
+func (m *Manager) Cluster() *shard.Coordinator { return m.opts.Cluster }
+
+// Peers exposes the peer-cache client, nil when no peer tier is wired.
+func (m *Manager) Peers() *PeerClient { return m.opts.Peers }
 
 // journalTerminal appends a terminal record (fsynced) for a job id.
 // Best-effort once the job already finished in memory: a journal write

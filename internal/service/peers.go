@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"stdcelltune/internal/digest"
+	"stdcelltune/internal/obs"
+)
+
+// PeerClient fetches verified artifact sets from peer stcd nodes — the
+// fleet tier of the artifact cache. On a local miss the cache asks
+// each registered peer for the spec digest's full artifact set; every
+// blob is re-hashed locally against the peer's declared SHA-256 before
+// anything is accepted, so a tampered or torn peer response costs a
+// fall-through to recomputation, never wrong bytes. Warm hits thereby
+// survive node loss: any node that ever computed a spec can seed the
+// rest of the fleet.
+type PeerClient struct {
+	client *http.Client
+
+	mu    sync.Mutex
+	peers []string // base URLs, probe order
+}
+
+// NewPeerClient builds a client over the given peer addresses
+// (host:port or full URLs; empty entries ignored).
+func NewPeerClient(addrs []string) *PeerClient {
+	p := &PeerClient{client: &http.Client{Timeout: 10 * time.Second}}
+	for _, a := range addrs {
+		p.Add(a)
+	}
+	return p
+}
+
+// Add registers a peer (idempotent). Used both for the static -peers
+// flag and for nodes that advertise an artifact address when they
+// register with the cluster coordinator.
+func (p *PeerClient) Add(addr string) {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	addr = strings.TrimRight(addr, "/")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, have := range p.peers {
+		if have == addr {
+			return
+		}
+	}
+	p.peers = append(p.peers, addr)
+}
+
+// Peers lists the registered peer base URLs.
+func (p *PeerClient) Peers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.peers...)
+}
+
+// Fetch implements cache.PeerFetchFunc: probe peers in registration
+// order, return the first fully verified artifact set. A peer that
+// lacks the digest, answers garbage, or fails even one blob's hash
+// check is skipped whole — partial sets are never assembled across
+// peers, because the byte-identity contract is per entry, not per
+// artifact.
+func (p *PeerClient) Fetch(ctx context.Context, dig string) (map[string][]byte, bool) {
+	for _, base := range p.Peers() {
+		blobs, err := p.fetchFrom(ctx, base, dig)
+		if err == nil {
+			obs.Log().Debug("peer cache fill", "digest", dig, "peer", base, "artifacts", len(blobs))
+			return blobs, true
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		obs.Log().Debug("peer fetch failed", "digest", dig, "peer", base, "err", err)
+	}
+	return nil, false
+}
+
+// peerIndex mirrors the GET /v1/artifacts/{digest} response shape.
+type peerIndex struct {
+	Digest    string         `json:"digest"`
+	Artifacts []ArtifactView `json:"artifacts"`
+}
+
+func (p *PeerClient) fetchFrom(ctx context.Context, base, dig string) (map[string][]byte, error) {
+	var idx peerIndex
+	if err := p.getJSON(ctx, base+"/v1/artifacts/"+dig, &idx); err != nil {
+		return nil, err
+	}
+	if idx.Digest != dig {
+		return nil, fmt.Errorf("peer served digest %q, asked for %q", idx.Digest, dig)
+	}
+	if len(idx.Artifacts) == 0 {
+		return nil, fmt.Errorf("peer index is empty")
+	}
+	blobs := make(map[string][]byte, len(idx.Artifacts))
+	for _, a := range idx.Artifacts {
+		if a.Name == "" || strings.ContainsAny(a.Name, "/\\\x00") {
+			return nil, fmt.Errorf("peer index names unsafe artifact %q", a.Name)
+		}
+		body, err := p.getBytes(ctx, base+"/v1/artifacts/"+dig+"/"+a.Name)
+		if err != nil {
+			return nil, fmt.Errorf("artifact %s: %w", a.Name, err)
+		}
+		// The whole point: the peer's declared hash is re-checked over
+		// the bytes that actually arrived, exactly as rehydration checks
+		// the disk cache.
+		if got := digest.Bytes(body); got != a.SHA256 {
+			return nil, fmt.Errorf("artifact %s hash mismatch: got %s, peer declared %s", a.Name, got, a.SHA256)
+		}
+		blobs[a.Name] = body
+	}
+	return blobs, nil
+}
+
+func (p *PeerClient) getJSON(ctx context.Context, url string, out any) error {
+	body, err := p.getBytes(ctx, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (p *PeerClient) getBytes(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, res.Body)
+		return nil, fmt.Errorf("%s: %s", url, res.Status)
+	}
+	return io.ReadAll(res.Body)
+}

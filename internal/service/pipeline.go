@@ -3,12 +3,18 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"stdcelltune"
+	"stdcelltune/internal/liberty"
 	"stdcelltune/internal/obs"
+	"stdcelltune/internal/service/shard"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/variation"
 )
 
 // Artifact names produced by one pipeline run. Every run yields exactly
@@ -31,6 +37,42 @@ const (
 	SchemaVariation = "stdcelltune-variation/1"
 )
 
+// DefaultShardSize is the instances-per-shard default of the cluster
+// tier: small enough that a 200-instance job spreads over a handful of
+// workers with steals possible, large enough that the per-shard
+// partial-snapshot overhead stays negligible against the fold itself.
+const DefaultShardSize = 25
+
+// charNoise is the characterization-noise setting of the service
+// pipeline, matching the facade's CharacterizeCtx exactly — the
+// sharded fold must feed variation.Instance the identical Config or
+// the per-instance bytes change.
+var charNoise = variation.DefaultConfig().CharNoise
+
+// Pipeline is the service compute function with its cluster knobs. The
+// zero value IS the classic single-node pipeline: no coordinator, no
+// simulated characterizer latency, byte-identical behavior to the
+// pre-cluster daemon (package-level Run delegates to it).
+type Pipeline struct {
+	// Cluster, when non-nil and currently seeing live workers,
+	// distributes the characterize stage as shard tasks and merges the
+	// returned partials in fixed shard order. If the fleet dies mid-job
+	// (shard.ErrNoWorkers) the stage falls back to computing locally —
+	// cluster loss costs latency, never the job.
+	Cluster *shard.Coordinator
+	// ShardSize is the instances-per-shard split; 0 means
+	// DefaultShardSize. The split is a pure function of (N, ShardSize),
+	// so the merged result is independent of worker count.
+	ShardSize int
+	// SimCharLatency injects a per-instance sleep modeling an external
+	// characterizer (one SPICE run per Monte-Carlo instance). It
+	// applies to the local fallback path here and, via the worker's
+	// Executor, to shard computes — making single-node vs cluster
+	// benchmarks an apples-to-apples comparison of the same
+	// latency-bound workload.
+	SimCharLatency time.Duration
+}
+
 // Run executes the full paper pipeline for a spec and returns the
 // artifact set. It is the compute function behind the cache: pure in
 // the spec (the pipeline is deterministic per spec digest), cancellable
@@ -41,6 +83,13 @@ const (
 // ErrQuarantined and ErrWindowInfeasible all survive to the HTTP
 // mapping via errors.Is.
 func Run(ctx context.Context, spec Spec) (map[string][]byte, error) {
+	var p Pipeline
+	return p.Run(ctx, spec)
+}
+
+// Run is the pipeline with this Pipeline's cluster configuration; see
+// the package-level Run for the contract.
+func (p *Pipeline) Run(ctx context.Context, spec Spec) (map[string][]byte, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,17 +99,13 @@ func Run(ctx context.Context, spec Spec) (map[string][]byte, error) {
 	corner, _ := cornerFromSlug(spec.Corner)
 	cat := stdcelltune.NewCatalogue(corner)
 
-	span := tr.Start("characterize", "service", "instances", spec.Instances, "seed", spec.Seed)
-	stat, err := stdcelltune.CharacterizeCtx(ctx, cat, stdcelltune.CharacterizeOptions{
-		Instances: spec.Instances, Seed: spec.Seed,
-	})
-	span.End()
+	stat, err := p.characterize(ctx, cat, spec)
 	if err != nil {
 		return nil, fmt.Errorf("characterize: %w", err)
 	}
 
 	method, _ := methodFromSlug(spec.Method)
-	span = tr.Start("tune", "service", "method", spec.Method, "bound", spec.Bound)
+	span := tr.Start("tune", "service", "method", spec.Method, "bound", spec.Bound)
 	win, rep, err := stdcelltune.TuneCtx(ctx, stat, stdcelltune.TuneOptions{Method: method, Bound: spec.Bound})
 	span.End()
 	if err != nil {
@@ -90,6 +135,108 @@ func Run(ctx context.Context, spec Spec) (map[string][]byte, error) {
 	}
 
 	return encodeArtifacts(spec, stat, win, rep, res, ds)
+}
+
+// characterize runs the Monte-Carlo characterization stage, picking the
+// execution mode:
+//
+//   - cluster: a live worker fleet folds shards remotely and the
+//     coordinator merges the partials in fixed shard order. Numerically
+//     within the documented BuildStream ulp contract of the two-pass
+//     Build; deterministically reproducible because the shard split and
+//     merge order depend only on (N, ShardSize), never on which worker
+//     computed what.
+//   - simulated latency: local fold through the same streaming path,
+//     with the per-instance sleep the workers would apply — the
+//     single-node baseline for cluster benchmarks.
+//   - local: the facade's CharacterizeCtx, byte-identical to the
+//     pre-cluster pipeline. The zero-value Pipeline always lands here.
+func (p *Pipeline) characterize(ctx context.Context, cat *stdcelltune.Catalogue, spec Spec) (*stdcelltune.StatisticalLibrary, error) {
+	tr := obs.TracerFrom(ctx)
+	n := spec.Instances
+	name := "stat_" + cat.Corner.Name()
+
+	if p.Cluster != nil && p.Cluster.Workers() > 0 {
+		size := p.ShardSize
+		if size <= 0 {
+			size = DefaultShardSize
+		}
+		span := tr.Start("characterize", "service",
+			"instances", n, "seed", spec.Seed, "mode", "cluster", "shard_size", size)
+		stat, err := p.distribute(ctx, cat, spec, name, size)
+		span.End()
+		if err == nil {
+			return stat, nil
+		}
+		if !errors.Is(err, shard.ErrNoWorkers) {
+			return nil, err
+		}
+		// The fleet died mid-wait. Cluster loss costs latency, never the
+		// job: recompute locally below.
+		obs.Log().Warn("cluster characterize lost its workers, computing locally", "spec", spec.Digest())
+	}
+
+	if p.SimCharLatency > 0 {
+		span := tr.Start("characterize", "service",
+			"instances", n, "seed", spec.Seed, "mode", "local-simlatency")
+		defer span.End()
+		sm := variation.NewSampler(spec.Seed)
+		cfg := variation.Config{N: n, Seed: spec.Seed, CharNoise: charNoise}
+		stat, err := statlib.BuildStream(name, n, func(i int) (*liberty.Library, error) {
+			if err := sleepCtx(ctx, p.SimCharLatency); err != nil {
+				return nil, err
+			}
+			return variation.Instance(cat, sm, i, cfg), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return (*stdcelltune.StatisticalLibrary)(stat), nil
+	}
+
+	span := tr.Start("characterize", "service", "instances", n, "seed", spec.Seed)
+	defer span.End()
+	return stdcelltune.CharacterizeCtx(ctx, cat, stdcelltune.CharacterizeOptions{
+		Instances: spec.Instances, Seed: spec.Seed,
+	})
+}
+
+// distribute splits the characterize stage into shard tasks, runs them
+// on the cluster, and merges the returned partials.
+func (p *Pipeline) distribute(ctx context.Context, cat *stdcelltune.Catalogue, spec Spec, name string, size int) (*stdcelltune.StatisticalLibrary, error) {
+	dig := spec.Digest()
+	tasks := shard.CharTasks(dig, name, spec.Corner, spec.Seed, charNoise, spec.Instances, size)
+	raws, err := p.Cluster.Run(ctx, dig, spec.Instances, tasks)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*statlib.Partial, len(raws))
+	for i, raw := range raws {
+		part := new(statlib.Partial)
+		if err := json.Unmarshal(raw, part); err != nil {
+			return nil, fmt.Errorf("shard %d: decode partial: %w", i, err)
+		}
+		parts[i] = part
+	}
+	// The structural reference is the nominal (unperturbed) library —
+	// cheap, and congruent with every instance by construction.
+	stat, err := statlib.MergeShards(name, spec.Instances, cat.BuildLibrary(name+"_ref", nil), parts)
+	if err != nil {
+		return nil, err
+	}
+	return (*stdcelltune.StatisticalLibrary)(stat), nil
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // windowsDoc is the ArtifactWindows JSON shape.

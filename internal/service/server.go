@@ -12,6 +12,7 @@ import (
 
 	"stdcelltune"
 	"stdcelltune/internal/obs"
+	"stdcelltune/internal/service/shard"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a
@@ -64,6 +65,15 @@ type errorDoc struct {
 //	GET    /v1/artifacts/{digest}/{name}  artifact bytes
 //	GET    /healthz                 liveness + queue snapshot
 //	GET    /metrics                 Prometheus text exposition (format 0.0.4)
+//
+// When the manager carries a cluster coordinator, the shard protocol
+// mounts alongside (absent on single-node daemons):
+//
+//	POST   /v1/cluster/nodes            worker registration
+//	POST   /v1/cluster/lease            lease a shard task (204 = no work)
+//	POST   /v1/cluster/complete         report a shard result (409 = stale lease)
+//	GET    /v1/cluster                  coordinator statistics
+//	GET    /v1/cluster/shards/{digest}  retained shard set of a finished job
 //
 // Every route is wrapped by the instrument middleware: the mux pattern
 // doubles as the RED-metric route label, and each request carries an
@@ -179,8 +189,76 @@ func Handler(m *Manager) http.Handler {
 		w.Write(a.Bytes())
 	})
 
+	// Cluster routes exist only when the daemon runs as a coordinator;
+	// a single-node daemon's HTTP surface is exactly the pre-cluster one.
+	if c := m.Cluster(); c != nil {
+		handle("POST /v1/cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+			var req shard.RegisterRequest
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil || req.Name == "" {
+				writeJSON(w, http.StatusBadRequest, errorDoc{Error: "register needs a node name", Status: http.StatusBadRequest})
+				return
+			}
+			writeJSON(w, http.StatusOK, c.Register(req.Name, req.PeerAddr))
+		})
+
+		handle("POST /v1/cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+			var req shard.LeaseRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad lease request", Status: http.StatusBadRequest})
+				return
+			}
+			lease, ok, err := c.Lease(req.Node)
+			switch {
+			case errors.Is(err, shard.ErrUnknownNode):
+				writeJSON(w, http.StatusNotFound, errorDoc{Error: err.Error(), Status: http.StatusNotFound})
+			case err != nil:
+				writeError(w, err)
+			case !ok:
+				w.WriteHeader(http.StatusNoContent) // no work right now; poll again
+			default:
+				writeJSON(w, http.StatusOK, lease)
+			}
+		})
+
+		handle("POST /v1/cluster/complete", func(w http.ResponseWriter, r *http.Request) {
+			var req shard.CompleteRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad complete request", Status: http.StatusBadRequest})
+				return
+			}
+			err := c.Complete(req.Node, req.Task, req.Token, req.Result, req.Error)
+			switch {
+			case errors.Is(err, shard.ErrStaleLease):
+				// The fencing token lost: another worker holds (or already
+				// finished) this shard. 409 tells the zombie to drop it.
+				writeJSON(w, http.StatusConflict, errorDoc{Error: err.Error(), Status: http.StatusConflict})
+			case errors.Is(err, shard.ErrUnknownNode):
+				writeJSON(w, http.StatusNotFound, errorDoc{Error: err.Error(), Status: http.StatusNotFound})
+			case err != nil:
+				writeError(w, err)
+			default:
+				writeJSON(w, http.StatusOK, shard.CompleteResponse{OK: true})
+			}
+		})
+
+		handle("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, c.Stats())
+		})
+
+		handle("GET /v1/cluster/shards/{digest}", func(w http.ResponseWriter, r *http.Request) {
+			set, ok := c.ShardSet(r.PathValue("digest"))
+			if !ok {
+				writeJSON(w, http.StatusNotFound, errorDoc{Error: "no retained shard set for digest", Status: http.StatusNotFound})
+				return
+			}
+			writeJSON(w, http.StatusOK, set)
+		})
+	}
+
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		doc := map[string]any{
 			"ok":           true,
 			"schema":       SchemaSpec,
 			"jobs":         len(m.Jobs()),
@@ -189,7 +267,20 @@ func Handler(m *Manager) http.Handler {
 			"recovered":    m.Recovered(),
 			"breaker_open": m.BreakerOpen(),
 			"draining":     m.Draining(),
-		})
+		}
+		if c := m.Cluster(); c != nil {
+			st := c.Stats()
+			doc["cluster"] = map[string]any{
+				"workers":        st.Workers,
+				"queue_depth":    st.QueueDepth,
+				"steals":         st.Steals,
+				"lease_expiries": st.LeaseExpiries,
+			}
+		}
+		if p := m.Peers(); p != nil {
+			doc["peers"] = p.Peers()
+		}
+		writeJSON(w, http.StatusOK, doc)
 	})
 
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

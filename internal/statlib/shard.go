@@ -1,0 +1,337 @@
+package statlib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stdcelltune/internal/dist"
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/robust"
+)
+
+// SchemaShard identifies the partial-moments documents the cluster tier
+// exchanges: a worker folds a contiguous slice [Lo, Hi) of the N
+// Monte-Carlo instances through the streaming Welford path and ships
+// back one Partial — per-entry (count, mean, M2) triples instead of
+// whole Liberty libraries, typically two orders of magnitude smaller
+// than the instances it summarizes. The same schema string names the
+// shard-set container the coordinator retains for obscheck -shard.
+const SchemaShard = "stdcelltune-shard/1"
+
+// Partial is one shard's contribution to a statistical library build.
+// It carries only names (for congruence checks against the nominal
+// catalogue structure) and raw moments; axes, areas and every other
+// structural fact come from the coordinator's reference library, so a
+// tampered or stale partial cannot silently reshape the result.
+type Partial struct {
+	Schema string `json:"schema"`
+	// Name is the statistical library under construction; every partial
+	// of a merge must agree on it.
+	Name string `json:"name"`
+	// N is the total instance count of the job; Shards the total shard
+	// count; Index this shard's position in [0, Shards). The merge
+	// requires the set to tile [0, N) exactly: Lo/Hi of consecutive
+	// indexes must abut, shard 0 starting at 0 and the last ending at N.
+	N      int `json:"instances"`
+	Shards int `json:"shards"`
+	Index  int `json:"shard"`
+	Lo     int `json:"lo"`
+	Hi     int `json:"hi"`
+	// Cells follows the reference library's cell order. A cell that
+	// failed structural agreement inside the shard reports Bad and no
+	// pins; the merge quarantines it library-wide, exactly as a
+	// single-node BuildStream would.
+	Cells []PartialCell `json:"cells"`
+}
+
+// PartialCell is one cell's accumulated moments (or its quarantine
+// reason).
+type PartialCell struct {
+	Name string       `json:"name"`
+	Bad  string       `json:"bad,omitempty"`
+	Pins []PartialPin `json:"pins,omitempty"`
+}
+
+// PartialPin covers one timed output pin, arcs in reference order.
+type PartialPin struct {
+	Name string       `json:"name"`
+	Arcs []PartialArc `json:"arcs"`
+}
+
+// PartialArc holds the flattened row-major per-entry accumulators of
+// one timing arc; an untabulated edge has an empty slice.
+type PartialArc struct {
+	RelatedPin string              `json:"related_pin"`
+	Rise       []dist.WelfordState `json:"rise,omitempty"`
+	Fall       []dist.WelfordState `json:"fall,omitempty"`
+}
+
+// FoldShard folds the contiguous instance range [lo, hi) of an N-instance
+// Monte-Carlo characterization into a serializable Partial. gen(i) must
+// produce instance i exactly as the single-node fold would (same seed,
+// same per-instance named RNG forks), which is what makes the sharded
+// result a pure re-bracketing of the sequential Welford stream: each
+// instance's samples are bit-identical wherever they are generated, and
+// only the fold order changes — bounded by the dist.Welford ulp
+// contract. The first instance of the shard is the shard's structural
+// reference; a cell disagreeing with it is marked Bad, mirroring
+// BuildStream's quarantine, and the final verdict is left to the merge.
+func FoldShard(name string, n, shards, index, lo, hi int, gen func(i int) (*liberty.Library, error)) (*Partial, error) {
+	switch {
+	case n < 2:
+		return nil, errors.New("statlib: need at least two instances")
+	case shards < 1 || index < 0 || index >= shards:
+		return nil, fmt.Errorf("statlib: shard %d of %d out of range", index, shards)
+	case lo < 0 || lo >= hi || hi > n:
+		return nil, fmt.Errorf("statlib: shard range [%d,%d) invalid for n=%d", lo, hi, n)
+	}
+	ref, err := gen(lo)
+	if err != nil {
+		return nil, fmt.Errorf("statlib: instance %d: %w", lo, err)
+	}
+	acc := make([]*streamCell, 0, len(ref.Cells))
+	bad := make(map[string]string)
+	for _, refCell := range ref.Cells {
+		sc := &streamCell{ref: refCell}
+		sc.init()
+		acc = append(acc, sc)
+	}
+	for i := lo + 1; i < hi; i++ {
+		inst, err := gen(i)
+		if err != nil {
+			return nil, fmt.Errorf("statlib: instance %d: %w", i, err)
+		}
+		for _, sc := range acc {
+			if sc.bad {
+				continue
+			}
+			if err := sc.fold(inst, i); err != nil {
+				bad[sc.ref.Name] = err.Error()
+				sc.quarantine()
+			}
+		}
+	}
+
+	p := &Partial{Schema: SchemaShard, Name: name, N: n, Shards: shards, Index: index, Lo: lo, Hi: hi}
+	for _, sc := range acc {
+		pc := PartialCell{Name: sc.ref.Name}
+		if sc.bad {
+			pc.Bad = bad[sc.ref.Name]
+		} else {
+			for _, sp := range sc.pins {
+				pp := PartialPin{Name: sp.name}
+				for _, sa := range sp.arcs {
+					pp.Arcs = append(pp.Arcs, PartialArc{
+						RelatedPin: sa.relatedPin,
+						Rise:       welfordStates(sa.rise),
+						Fall:       welfordStates(sa.fall),
+					})
+				}
+				pc.Pins = append(pc.Pins, pp)
+			}
+		}
+		p.Cells = append(p.Cells, pc)
+	}
+	return p, nil
+}
+
+func welfordStates(ws []dist.Welford) []dist.WelfordState {
+	if ws == nil {
+		return nil
+	}
+	out := make([]dist.WelfordState, len(ws))
+	for i, w := range ws {
+		out[i] = w.State()
+	}
+	return out
+}
+
+// MergeShards combines a complete shard set into the statistical
+// library. ref is the nominal (unperturbed) catalogue library, the
+// source of the cell/pin/arc structure and table axes — every partial
+// is checked for congruence against it before a single moment is
+// folded. Partials are merged in ascending shard index regardless of
+// the order they are passed in (or arrived over the network), so the
+// result is run-to-run deterministic: same spec, same bytes, whichever
+// worker computed which shard and however leases bounced. The merged
+// library equals the single-node streaming fold of the same N instances
+// up to the dist.Welford Merge ulp contract.
+func MergeShards(name string, n int, ref *liberty.Library, parts []*Partial) (*Library, error) {
+	if n < 2 {
+		return nil, errors.New("statlib: need at least two instances")
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("statlib: no shards to merge")
+	}
+	ordered := append([]*Partial(nil), parts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
+	for k, p := range ordered {
+		switch {
+		case p == nil:
+			return nil, fmt.Errorf("statlib: shard %d missing", k)
+		case p.Schema != SchemaShard:
+			return nil, fmt.Errorf("statlib: shard %d schema %q, want %q", k, p.Schema, SchemaShard)
+		case p.Name != name:
+			return nil, fmt.Errorf("statlib: shard %d is for library %q, want %q", k, p.Name, name)
+		case p.N != n:
+			return nil, fmt.Errorf("statlib: shard %d has N=%d, want %d", k, p.N, n)
+		case p.Shards != len(ordered):
+			return nil, fmt.Errorf("statlib: shard %d claims %d shards, set has %d", k, p.Shards, len(ordered))
+		case p.Index != k:
+			return nil, fmt.Errorf("statlib: shard index %d duplicated or missing (position %d)", p.Index, k)
+		case k == 0 && p.Lo != 0:
+			return nil, fmt.Errorf("statlib: first shard starts at %d, want 0", p.Lo)
+		case k > 0 && p.Lo != ordered[k-1].Hi:
+			return nil, fmt.Errorf("statlib: shard %d starts at %d, previous ended at %d", k, p.Lo, ordered[k-1].Hi)
+		case p.Lo >= p.Hi:
+			return nil, fmt.Errorf("statlib: shard %d range [%d,%d) empty", k, p.Lo, p.Hi)
+		}
+	}
+	if last := ordered[len(ordered)-1]; last.Hi != n {
+		return nil, fmt.Errorf("statlib: shards end at %d, want %d", last.Hi, n)
+	}
+
+	sl := &Library{
+		Name: name, Samples: n, Cells: make(map[string]*Cell),
+		Quarantine: robust.NewQuarantine("statlib"),
+		slab:       lut.NewSlab(foldSlabHint(ref)),
+	}
+	sl.Quarantine.Total = len(ref.Cells)
+
+	// Structure-only accumulators: unlike BuildStream's init, the
+	// reference's own table values are NOT folded in — the nominal
+	// library is axes and shape, every sample arrives via partials.
+	acc := make([]*streamCell, 0, len(ref.Cells))
+	for _, refCell := range ref.Cells {
+		sc := &streamCell{ref: refCell}
+		sc.initEmpty()
+		acc = append(acc, sc)
+	}
+
+	for _, p := range ordered {
+		if len(p.Cells) != len(acc) {
+			return nil, fmt.Errorf("statlib: shard %d has %d cells, reference has %d", p.Index, len(p.Cells), len(acc))
+		}
+		for ci, pc := range p.Cells {
+			sc := acc[ci]
+			if pc.Name != sc.ref.Name {
+				return nil, fmt.Errorf("statlib: shard %d cell %d is %q, reference has %q", p.Index, ci, pc.Name, sc.ref.Name)
+			}
+			if sc.bad {
+				continue
+			}
+			if pc.Bad != "" {
+				sl.Quarantine.Add(sc.ref.Name, fmt.Sprintf("shard %d: %s", p.Index, pc.Bad))
+				sc.quarantine()
+				continue
+			}
+			if err := sc.mergePartial(&pc); err != nil {
+				return nil, fmt.Errorf("statlib: shard %d cell %s: %w", p.Index, pc.Name, err)
+			}
+		}
+	}
+
+	for _, sc := range acc {
+		if sc.bad {
+			continue
+		}
+		cell, err := sc.materialize(sl.slab, n)
+		if err != nil {
+			sl.Quarantine.Add(sc.ref.Name, err.Error())
+			continue
+		}
+		if reason := degenerateCell(cell); reason != "" {
+			sl.Quarantine.Add(sc.ref.Name, reason)
+			continue
+		}
+		sl.Cells[cell.Name] = cell
+		sl.CellOrder = append(sl.CellOrder, cell.Name)
+	}
+	if err := sl.Quarantine.Check(robust.DefaultQuarantineLimit); err != nil {
+		return nil, err
+	}
+	return sl, nil
+}
+
+// initEmpty builds zero-valued accumulator grids from the reference
+// cell without folding the reference's samples — MergeShards's variant
+// of init, where every sample arrives through partial snapshots.
+func (sc *streamCell) initEmpty() {
+	for _, refPin := range sc.ref.Pins {
+		if refPin.Direction != liberty.Output || len(refPin.Timing) == 0 {
+			continue
+		}
+		sp := &streamPin{name: refPin.Name, maxCap: refPin.MaxCap}
+		for _, arc := range refPin.Timing {
+			sa := &streamArc{relatedPin: arc.RelatedPin}
+			if t := arc.CellRise; t != nil {
+				sa.riseRef = t
+				sa.rise = make([]dist.Welford, len(t.Loads)*len(t.Slews))
+			}
+			if t := arc.CellFall; t != nil {
+				sa.fallRef = t
+				sa.fall = make([]dist.Welford, len(t.Loads)*len(t.Slews))
+			}
+			sp.arcs = append(sp.arcs, sa)
+		}
+		sc.pins = append(sc.pins, sp)
+	}
+}
+
+// mergePartial folds one shard's moments for this cell into the
+// accumulators, enforcing congruence with the reference structure.
+func (sc *streamCell) mergePartial(pc *PartialCell) error {
+	if len(pc.Pins) != len(sc.pins) {
+		return fmt.Errorf("%d pins, reference has %d", len(pc.Pins), len(sc.pins))
+	}
+	for pi, pp := range pc.Pins {
+		sp := sc.pins[pi]
+		if pp.Name != sp.name {
+			return fmt.Errorf("pin %d is %q, reference has %q", pi, pp.Name, sp.name)
+		}
+		if len(pp.Arcs) != len(sp.arcs) {
+			return fmt.Errorf("pin %s has %d arcs, reference has %d", pp.Name, len(pp.Arcs), len(sp.arcs))
+		}
+		for ai, pa := range pp.Arcs {
+			sa := sp.arcs[ai]
+			if pa.RelatedPin != sa.relatedPin {
+				return fmt.Errorf("pin %s arc %d related to %q, reference has %q", pp.Name, ai, pa.RelatedPin, sa.relatedPin)
+			}
+			for _, e := range []struct {
+				label string
+				state []dist.WelfordState
+				w     []dist.Welford
+			}{{"rise", pa.Rise, sa.rise}, {"fall", pa.Fall, sa.fall}} {
+				if len(e.state) != len(e.w) {
+					return fmt.Errorf("pin %s arc %s %s has %d entries, reference has %d",
+						pp.Name, sa.relatedPin, e.label, len(e.state), len(e.w))
+				}
+				for k, s := range e.state {
+					e.w[k].Merge(dist.WelfordFromState(s))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ShardRanges tiles [0, n) into contiguous shards of at most size
+// instances — the pure split function both the coordinator and the
+// local fallback use, so the shard layout (and therefore the merged
+// bits) depends only on (n, size), never on worker count or timing.
+func ShardRanges(n, size int) [][2]int {
+	if size <= 0 {
+		size = n
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package statlib
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/lut"
+	"stdcelltune/internal/stdcell"
+	"stdcelltune/internal/variation"
+)
+
+// foldParts runs FoldShard over every range of the given split,
+// round-tripping each partial through JSON like the cluster wire does.
+func foldParts(t *testing.T, name string, n, size int, libs []*liberty.Library) []*Partial {
+	t.Helper()
+	ranges := ShardRanges(n, size)
+	parts := make([]*Partial, len(ranges))
+	for k, r := range ranges {
+		p, err := FoldShard(name, n, len(ranges), k, r[0], r[1], func(i int) (*liberty.Library, error) {
+			return libs[i], nil
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Partial
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		parts[k] = &back
+	}
+	return parts
+}
+
+func libsEqual(t *testing.T, label string, a, b *Library, tol float64) {
+	t.Helper()
+	if a.Samples != b.Samples || len(a.Cells) != len(b.Cells) || len(a.CellOrder) != len(b.CellOrder) {
+		t.Fatalf("%s: structure %d cells/%d samples vs %d/%d", label, len(a.Cells), a.Samples, len(b.Cells), b.Samples)
+	}
+	for i := range a.CellOrder {
+		if a.CellOrder[i] != b.CellOrder[i] {
+			t.Fatalf("%s: cell order [%d] %s vs %s", label, i, a.CellOrder[i], b.CellOrder[i])
+		}
+	}
+	for _, name := range a.CellOrder {
+		ac, bc := a.Cell(name), b.Cell(name)
+		for pi, ap := range ac.Pins {
+			bp := bc.Pins[pi]
+			for ai, aa := range ap.Arcs {
+				ba := bp.Arcs[ai]
+				for _, pair := range []struct {
+					label string
+					a, b  *lut.Table
+				}{
+					{"mean_rise", aa.MeanRise, ba.MeanRise},
+					{"mean_fall", aa.MeanFall, ba.MeanFall},
+					{"sigma_rise", aa.SigmaRise, ba.SigmaRise},
+					{"sigma_fall", aa.SigmaFall, ba.SigmaFall},
+				} {
+					if (pair.a == nil) != (pair.b == nil) {
+						t.Fatalf("%s: %s/%s %s nil mismatch", label, name, ap.Name, pair.label)
+					}
+					if pair.a == nil {
+						continue
+					}
+					for i := range pair.a.Values {
+						for j, av := range pair.a.Values[i] {
+							bv := pair.b.Values[i][j]
+							if tol == 0 {
+								if av != bv {
+									t.Fatalf("%s: %s/%s arc %s %s[%d][%d]: %v != %v (want bitwise)",
+										label, name, ap.Name, aa.RelatedPin, pair.label, i, j, av, bv)
+								}
+								continue
+							}
+							if rel := math.Abs(av-bv) / (math.Abs(bv) + 1e-30); rel > tol {
+								t.Fatalf("%s: %s/%s arc %s %s[%d][%d]: %g vs %g (rel %g)",
+									label, name, ap.Name, aa.RelatedPin, pair.label, i, j, av, bv, rel)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeShardsMatchesBuild: the sharded fold-and-merge must agree
+// with the buffered two-pass Build to the same tolerance BuildStream
+// does — sharding is a re-bracketing of the Welford stream, bounded by
+// the dist.Welford ulp contract, not a different computation.
+func TestMergeShardsMatchesBuild(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 20
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 1, CharNoise: 0.02})
+	want, err := Build("stat", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := cat.BuildLibrary("ref", nil)
+	for _, size := range []int{7, 4, 1} {
+		parts := foldParts(t, "stat", n, size, libs)
+		got, err := MergeShards("stat", n, ref, parts)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		libsEqual(t, fmt.Sprintf("size %d vs build", size), got, want, 1e-9)
+	}
+}
+
+// TestMergeShardsArrivalOrderInvariant: merging the same partial set
+// passed in any order produces bitwise-identical tables — the fixed
+// shard-order determinism contract of the cluster tier.
+func TestMergeShardsArrivalOrderInvariant(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 11
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 3, CharNoise: 0.02})
+	ref := cat.BuildLibrary("ref", nil)
+	parts := foldParts(t, "stat", n, 3, libs)
+
+	base, err := MergeShards("stat", n, ref, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{{3, 1, 0, 2}, {2, 3, 0, 1}, {1, 0, 3, 2}} {
+		shuffled := make([]*Partial, len(parts))
+		for i, k := range order {
+			shuffled[i] = parts[k]
+		}
+		got, err := MergeShards("stat", n, ref, shuffled)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		libsEqual(t, "arrival order", got, base, 0)
+	}
+}
+
+// TestMergeShardsValidation: an incomplete, overlapping, or
+// inconsistent shard set must be rejected — a silently dropped or
+// double-counted shard is exactly the corruption the cluster tier's
+// kill-a-worker test guards against.
+func TestMergeShardsValidation(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 8
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 5, CharNoise: 0.02})
+	ref := cat.BuildLibrary("ref", nil)
+	parts := foldParts(t, "stat", n, 2, libs) // 4 shards
+
+	cases := []struct {
+		label  string
+		mutate func([]*Partial) []*Partial
+	}{
+		{"missing shard", func(ps []*Partial) []*Partial { return ps[:3] }},
+		{"duplicated shard", func(ps []*Partial) []*Partial { return []*Partial{ps[0], ps[1], ps[1], ps[3]} }},
+		{"wrong N", func(ps []*Partial) []*Partial {
+			q := *ps[2]
+			q.N = n + 1
+			return []*Partial{ps[0], ps[1], &q, ps[3]}
+		}},
+		{"wrong library", func(ps []*Partial) []*Partial {
+			q := *ps[0]
+			q.Name = "other"
+			return []*Partial{&q, ps[1], ps[2], ps[3]}
+		}},
+		{"bad schema", func(ps []*Partial) []*Partial {
+			q := *ps[0]
+			q.Schema = "stdcelltune-shard/0"
+			return []*Partial{&q, ps[1], ps[2], ps[3]}
+		}},
+		{"gap", func(ps []*Partial) []*Partial {
+			q := *ps[1]
+			q.Lo, q.Hi = 3, 4
+			return []*Partial{ps[0], &q, ps[2], ps[3]}
+		}},
+		{"empty set", func(ps []*Partial) []*Partial { return nil }},
+	}
+	for _, tc := range cases {
+		if _, err := MergeShards("stat", n, ref, tc.mutate(append([]*Partial(nil), parts...))); err == nil {
+			t.Errorf("%s: merge accepted a corrupt shard set", tc.label)
+		}
+	}
+
+	// The untouched set still merges — the cases above failed for the
+	// injected corruption, not a broken fixture.
+	if _, err := MergeShards("stat", n, ref, parts); err != nil {
+		t.Fatalf("control merge failed: %v", err)
+	}
+}
+
+// TestFoldShardSingleInstance: a tail shard can hold exactly one
+// instance; its per-entry counts are 1 and the merge still reproduces
+// the full-stream statistics.
+func TestFoldShardSingleInstance(t *testing.T) {
+	cat := stdcell.NewCatalogue(stdcell.Typical)
+	const n = 5
+	libs := variation.Instances(cat, variation.Config{N: n, Seed: 2, CharNoise: 0.02})
+	parts := foldParts(t, "stat", n, 2, libs) // [0,2) [2,4) [4,5)
+	tail := parts[2]
+	if tail.Lo != 4 || tail.Hi != 5 {
+		t.Fatalf("tail shard range [%d,%d), want [4,5)", tail.Lo, tail.Hi)
+	}
+	// Every tail-shard accumulator saw exactly one sample.
+	for _, pc := range tail.Cells {
+		for _, pp := range pc.Pins {
+			for _, pa := range pp.Arcs {
+				for _, s := range pa.Rise {
+					if s.N != 1 {
+						t.Fatalf("tail shard rise count %d, want 1", s.N)
+					}
+				}
+				for _, s := range pa.Fall {
+					if s.N != 1 {
+						t.Fatalf("tail shard fall count %d, want 1", s.N)
+					}
+				}
+			}
+		}
+	}
+
+	want, err := Build("stat", libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeShards("stat", n, cat.BuildLibrary("ref", nil), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libsEqual(t, "single-instance tail", got, want, 1e-9)
+}
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    [][2]int
+	}{
+		{10, 4, [][2]int{{0, 4}, {4, 8}, {8, 10}}},
+		{10, 10, [][2]int{{0, 10}}},
+		{10, 25, [][2]int{{0, 10}}},
+		{10, 0, [][2]int{{0, 10}}},
+		{3, 1, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{0, 4, nil},
+	}
+	for _, tc := range cases {
+		got := ShardRanges(tc.n, tc.size)
+		if len(got) != len(tc.want) {
+			t.Fatalf("ShardRanges(%d,%d) = %v, want %v", tc.n, tc.size, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("ShardRanges(%d,%d) = %v, want %v", tc.n, tc.size, got, tc.want)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package variation
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"stdcelltune/internal/dist"
 	"stdcelltune/internal/liberty"
@@ -81,15 +82,32 @@ func NewSampler(seed int64) *Sampler {
 
 // Cell returns the mismatch sample of the named cell in the given
 // Monte-Carlo instance. The draw depends only on (seed, instance, name).
+//
+// The fork key is assembled with append/strconv into a stack buffer
+// instead of fmt.Sprintf: this runs once per (instance, cell) across
+// every Monte-Carlo fold, and the Sprintf allocation dominated the
+// sampler's profile. The byte stream is identical to the previous
+// "mc%d/%s" key, so every draw stays bit-identical; the buffer must be
+// per-call (not a Sampler field) because InstancesCtx shares one
+// Sampler across the worker pool.
 func (sm *Sampler) Cell(instance int, name string) CellSample {
-	g := sm.rng.ForkNamed(fmt.Sprintf("mc%d/%s", instance, name))
+	var buf [48]byte
+	key := append(buf[:0], "mc"...)
+	key = strconv.AppendInt(key, int64(instance), 10)
+	key = append(key, '/')
+	key = append(key, name...)
+	g := sm.rng.ForkNamedBytes(key)
 	return CellSample{Vth: g.StandardNormal(), Beta: g.StandardNormal()}
 }
 
 // Global returns the die-level delay factor of the given instance,
-// centred on 1.0.
+// centred on 1.0. The fork key matches the previous "global%d" bytes
+// exactly (see Cell for why it is built without Sprintf).
 func (sm *Sampler) Global(instance int, sigma float64) float64 {
-	g := sm.rng.ForkNamed(fmt.Sprintf("global%d", instance))
+	var buf [32]byte
+	key := append(buf[:0], "global"...)
+	key = strconv.AppendInt(key, int64(instance), 10)
+	g := sm.rng.ForkNamedBytes(key)
 	return 1 + sigma*g.StandardNormal()
 }
 
@@ -127,7 +145,10 @@ func Instance(cat *stdcell.Catalogue, sm *Sampler, i int, cfg Config) *liberty.L
 	if cfg.GlobalSigma > 0 {
 		global = sm.Global(i, cfg.GlobalSigma)
 	}
-	noise := dist.NewRNG(cfg.Seed).ForkNamed(fmt.Sprintf("noise%d", i))
+	var nbuf [32]byte
+	nkey := append(nbuf[:0], "noise"...)
+	nkey = strconv.AppendInt(nkey, int64(i), 10)
+	noise := dist.NewRNG(cfg.Seed).ForkNamedBytes(nkey)
 	samples := make(map[string]CellSample, len(cat.Specs))
 	perturb := func(s *stdcell.Spec, load, slew float64) float64 {
 		cs, ok := samples[s.Name]

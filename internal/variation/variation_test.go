@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -145,5 +146,46 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if DefaultGlobalSigma <= 0 {
 		t.Error("DefaultGlobalSigma must be positive")
+	}
+}
+
+// TestSamplerKeysMatchSprintf pins the zero-allocation fork keys to the
+// exact draws the fmt.Sprintf keys produced: the statistical library's
+// bit-identity depends on the byte stream fed to ForkNamed not changing.
+func TestSamplerKeysMatchSprintf(t *testing.T) {
+	sm := NewSampler(42)
+	ref := dist.NewRNG(42)
+	for _, instance := range []int{0, 1, 9, 10, 123, 9999} {
+		for _, name := range []string{"INV_X1", "NAND2_X4", "DFF_X2"} {
+			g := ref.ForkNamed(fmt.Sprintf("mc%d/%s", instance, name))
+			want := CellSample{Vth: g.StandardNormal(), Beta: g.StandardNormal()}
+			if got := sm.Cell(instance, name); got != want {
+				t.Fatalf("Cell(%d, %s) = %+v, want %+v", instance, name, got, want)
+			}
+		}
+		gg := ref.ForkNamed(fmt.Sprintf("global%d", instance))
+		want := 1 + 0.035*gg.StandardNormal()
+		if got := sm.Global(instance, 0.035); got != want {
+			t.Fatalf("Global(%d) = %v, want %v", instance, got, want)
+		}
+	}
+}
+
+// TestSamplerCellAllocFree: the per-(instance, cell) draw must not
+// allocate for the fork key (the whole point of the append/strconv
+// path). The RNG construction itself allocates; assert we stay at that
+// floor rather than zero.
+func TestSamplerCellAllocFree(t *testing.T) {
+	sm := NewSampler(7)
+	base := testing.AllocsPerRun(200, func() {
+		dist.NewRNG(7).ForkNamedBytes([]byte("mc3/NAND2_X4"))
+	})
+	got := testing.AllocsPerRun(200, func() {
+		sm.Cell(3, "NAND2_X4")
+	})
+	// Cell = key build (must be free) + one ForkNamedBytes; allow the
+	// NewRNG(7) of the baseline as slack, so key building is provably 0.
+	if got > base {
+		t.Fatalf("Cell allocates %.1f/op, fork baseline %.1f/op — key building is allocating", got, base)
 	}
 }
