@@ -12,9 +12,9 @@ BENCH_SCALE ?= small
 # whose allocs_per_op exceeds ALLOC_RATIO x its recorded baseline.
 ALLOC_RATIO ?= 1.10
 
-.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke cluster-bench clean
+.PHONY: ci vet build test race fuzz fuzz-short bench-json bench-check experiments-small obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke query-smoke cluster-bench clean
 
-ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke
+ci: vet build race fuzz-short bench-check obs-smoke serve-smoke crash-smoke load-smoke cluster-smoke query-smoke
 
 vet:
 	$(GO) vet ./...
@@ -99,6 +99,16 @@ load-smoke:
 # scripts/cluster_smoke.sh and DESIGN.md section 15.
 cluster-smoke:
 	GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# Query-layer smoke: boot stcd, run one pipeline job through the
+# stdcelltune-api/2 surface, and prove the library-as-a-database
+# contract — cold query miss, warm byte-identical hit, normalization
+# reaching the cache key, substitute what-if answered with exactly one
+# full STA analysis, the api/2 error envelope, and docs/API.md in sync
+# with the served route table (obscheck -apispec). See
+# scripts/query_smoke.sh.
+query-smoke:
+	GO="$(GO)" sh scripts/query_smoke.sh
 
 # Cluster scaling curve: single-node baseline vs 1/2/4 workers at
 # N=200 with simulated characterizer latency; writes BENCH_PR9.json.

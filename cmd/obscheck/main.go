@@ -3,12 +3,18 @@
 // (-manifest), the benchmark JSON (-bench), the tuning daemon's API
 // documents (-apijob, -apiartifacts), the daemon's durable job
 // journal (-journal), a retained cluster shard set (-shard), the
-// stcload latency report (-loadreport) and a scraped Prometheus
-// exposition (-metrics). It is the assertion half of `make obs-smoke`,
-// `make serve-smoke`, `make crash-smoke`, `make load-smoke` and `make
-// cluster-smoke`: the smoke targets run the pipeline (batch or served),
-// then obscheck fails the build if an artifact does not parse, misses
-// expected content, or violates its versioned schema.
+// stcload latency report (-loadreport), a scraped Prometheus
+// exposition (-metrics) and the API spec's route inventory (-apispec).
+// It is the assertion half of `make obs-smoke`, `make serve-smoke`,
+// `make crash-smoke`, `make load-smoke`, `make cluster-smoke` and
+// `make query-smoke`: the smoke targets run the pipeline (batch or
+// served), then obscheck fails the build if an artifact does not
+// parse, misses expected content, or violates its versioned schema.
+//
+// -apispec parses the fenced ```routes blocks of docs/API.md and
+// requires set equality, in both directions, with the route table the
+// daemon compiles its mux from (service.Routes()) — the documented
+// surface and the served surface cannot drift apart.
 //
 // -shard validates the stdcelltune-shard/1 document GET
 // /v1/cluster/shards/{digest} returns: fixed merge order (shard k at
@@ -26,6 +32,7 @@
 //	obscheck -journal /var/lib/stcd/jobs.wal
 //	obscheck -shard /tmp/shards.json
 //	obscheck -loadreport LOAD_PR8.json -metrics /tmp/metrics.prom
+//	obscheck -apispec docs/API.md
 package main
 
 import (
@@ -72,6 +79,7 @@ func main() {
 	shardPath := flag.String("shard", "", "retained cluster shard set (stdcelltune-shard/1) to validate")
 	loadPath := flag.String("loadreport", "", "stcload latency report (stdcelltune-load/1) to validate")
 	metricsPath := flag.String("metrics", "", "Prometheus text exposition scrape to validate (expects stcd's RED series)")
+	apiSpecPath := flag.String("apispec", "", "API spec markdown (docs/API.md) to cross-check against the daemon's served route table")
 	flag.Parse()
 
 	failed := false
@@ -517,8 +525,64 @@ func main() {
 			len(samples), len(routes), infBuckets)
 	}
 
-	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" && *shardPath == "" && *loadPath == "" && *metricsPath == "" {
-		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts, -journal, -shard, -loadreport and/or -metrics")
+	if *apiSpecPath != "" {
+		data, err := os.ReadFile(*apiSpecPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The spec declares its routes in fenced ```routes blocks, one
+		// "METHOD /path" per line, " [cluster]"-suffixed for
+		// coordinator-only routes. The check is set equality in both
+		// directions against the daemon's compiled route table: a route
+		// served but not documented fails, and a route documented but not
+		// served fails. The spec cannot drift from the code.
+		documented := map[string]bool{}
+		inBlock := false
+		for ln, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			switch {
+			case trimmed == "```routes":
+				inBlock = true
+			case trimmed == "```":
+				inBlock = false
+			case inBlock && trimmed != "":
+				key := strings.TrimSuffix(trimmed, " [cluster]")
+				if parts := strings.Fields(key); len(parts) != 2 || !strings.HasPrefix(parts[1], "/") {
+					fail("%s:%d: malformed route line %q (want \"METHOD /path\")", *apiSpecPath, ln+1, trimmed)
+					continue
+				}
+				if documented[trimmed] {
+					fail("%s:%d: duplicate route %q", *apiSpecPath, ln+1, trimmed)
+				}
+				documented[trimmed] = true
+			}
+		}
+		served := map[string]bool{}
+		for _, rt := range service.Routes() {
+			key := rt.Pattern
+			if rt.Cluster {
+				key += " [cluster]"
+			}
+			served[key] = true
+			if !documented[key] {
+				fail("%s: served route %q is not documented", *apiSpecPath, key)
+			}
+		}
+		for key := range documented {
+			if !served[key] {
+				fail("%s: documented route %q is not served by the daemon", *apiSpecPath, key)
+			}
+		}
+		if len(documented) == 0 {
+			fail("%s: no ```routes blocks found", *apiSpecPath)
+		}
+		if !failed {
+			fmt.Printf("obscheck: API spec ok: %d routes documented, %d served, in sync\n", len(documented), len(served))
+		}
+	}
+
+	if *tracePath == "" && *manifestPath == "" && *benchPath == "" && *apiJobPath == "" && *apiArtifactsPath == "" && *journalPath == "" && *shardPath == "" && *loadPath == "" && *metricsPath == "" && *apiSpecPath == "" {
+		log.Fatal("nothing to check: pass -trace, -manifest, -bench, -apijob, -apiartifacts, -journal, -shard, -loadreport, -metrics and/or -apispec")
 	}
 	if failed {
 		os.Exit(1)

@@ -4,10 +4,17 @@
 //
 //	stcd -addr :8372 -cachedir /var/cache/stcd -statedir /var/lib/stcd
 //
-// Requests are stdcelltune-api/1 specs; identical specs share one
-// content-addressed cache entry, so a warm request returns the cold
-// run's bytes without recomputing (see internal/service and
-// internal/service/cache). With -statedir every job state transition is
+// The HTTP surface is stdcelltune-api/2 (see docs/API.md): jobs,
+// digest-addressed libraries, and a structured query layer over a
+// finished run's cells, windows, instances and results — including
+// what-if substitution and window-widening evaluated by incremental
+// reanalysis (POST /v2/libraries/{digest}/query, see internal/query).
+// The original /v1 routes remain as byte-identical compatibility
+// shims. Identical specs share one content-addressed cache entry, so a
+// warm request returns the cold run's bytes without recomputing (see
+// internal/service and internal/service/cache); query results share
+// the same cache, keyed by (library digest, normalized query). With
+// -statedir every job state transition is
 // journaled (stdcelltune-journal/1, fsynced on accept and terminal
 // states), so a crash — SIGKILL, OOM, power — loses no accepted job: on
 // restart the journal replays, pending jobs re-enqueue, and warm specs

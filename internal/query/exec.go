@@ -1,0 +1,693 @@
+package query
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaResult is the wire schema of a query result document.
+const SchemaResult = "stdcelltune-query-result/1"
+
+// Result is the full (unpaginated) execution outcome of a table query.
+// Rows hold values in Columns order. The document marshals
+// deterministically: fixed column order, stable row order.
+type Result struct {
+	Schema  string  `json:"schema"`
+	Library string  `json:"library"`
+	From    string  `json:"from"`
+	Columns []Col   `json:"columns"`
+	Rows    [][]any `json:"rows"`
+	Total   int     `json:"total_rows"`
+}
+
+// Col is one result column header.
+type Col struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Execute runs a normalized table query to completion. What-if queries
+// are dispatched by the caller (see Substitute/Widen) — Execute rejects
+// them so the two paths can't be confused.
+func (s *Store) Execute(q *Query) (*Result, error) {
+	if q.WhatIf != nil {
+		return nil, fmt.Errorf("%w: what_if query passed to Execute", ErrBadQuery)
+	}
+	base, ok := s.Tables[q.From]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown table %q (have %s)", ErrBadQuery, q.From, strings.Join(s.TableNames(), ", "))
+	}
+	var joinT *Table
+	if q.Join != nil {
+		joinT, ok = s.Tables[q.Join.Table]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown join table %q", ErrBadQuery, q.Join.Table)
+		}
+	}
+
+	// Filter: predicates over base columns run before the join;
+	// predicates naming joined columns run after.
+	var basePreds, joinPreds []compiledPred
+	for i := range q.Where {
+		p := &q.Where[i]
+		ref, err := resolveCol(p.Col, base, joinT)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := compilePred(p, ref)
+		if err != nil {
+			return nil, err
+		}
+		if ref.joined {
+			joinPreds = append(joinPreds, cp)
+		} else {
+			basePreds = append(basePreds, cp)
+		}
+	}
+
+	rows := make([]rowIdx, 0, base.Rows())
+	for i := 0; i < base.Rows(); i++ {
+		ok := true
+		for _, p := range basePreds {
+			if !p.eval(i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, rowIdx{base: i, join: -1})
+		}
+	}
+
+	if joinT != nil {
+		rows, ok = s.execJoin(q.Join, base, joinT, rows)
+		if !ok {
+			return nil, fmt.Errorf("%w: join columns %q/%q are incompatible", ErrBadQuery, q.Join.LeftCol, q.Join.RightCol)
+		}
+		if len(joinPreds) > 0 {
+			kept := rows[:0]
+			for _, r := range rows {
+				ok := true
+				for _, p := range joinPreds {
+					if !p.eval(r.join) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
+		}
+	} else if len(joinPreds) > 0 {
+		// resolveCol only marks joined=true when a join table exists, so
+		// this is unreachable; keep the guard for safety.
+		return nil, fmt.Errorf("%w: predicate on joined column without join", ErrBadQuery)
+	}
+
+	if len(q.Aggregate) > 0 {
+		return s.execAggregate(q, base, joinT, rows)
+	}
+	return s.execSelect(q, base, joinT, rows)
+}
+
+// rowIdx addresses one logical result row: an index into the base
+// table, plus (post-join) an index into the joined table.
+type rowIdx struct {
+	base, join int
+}
+
+// execJoin inner-joins the filtered base rows against the join table by
+// building a hash index over the right column. One base row may match
+// many join rows; matches append in join-table row order, keeping the
+// result deterministic.
+func (s *Store) execJoin(j *Join, base, joinT *Table, rows []rowIdx) ([]rowIdx, bool) {
+	left := base.Col(j.LeftCol)
+	right := joinT.Col(j.RightCol)
+	if left == nil || right == nil {
+		return nil, false
+	}
+	// Join keys compare via a canonical string form so int 4 matches
+	// int 4 across tables; string↔number joins simply never match.
+	if (left.Type == TString) != (right.Type == TString) {
+		return nil, false
+	}
+	index := make(map[string][]int, joinT.Rows())
+	for i := 0; i < joinT.Rows(); i++ {
+		k := joinKey(right, i)
+		index[k] = append(index[k], i)
+	}
+	out := make([]rowIdx, 0, len(rows))
+	for _, r := range rows {
+		for _, ji := range index[joinKey(left, r.base)] {
+			out = append(out, rowIdx{base: r.base, join: ji})
+		}
+	}
+	return out, true
+}
+
+func joinKey(c *Column, i int) string {
+	switch c.Type {
+	case TString:
+		return c.S[i]
+	case TInt:
+		return strconv.FormatInt(c.I[i], 10)
+	case TFloat:
+		return strconv.FormatFloat(c.F[i], 'g', -1, 64)
+	default:
+		return strconv.FormatBool(c.B[i])
+	}
+}
+
+// compiledPred is a predicate specialized against its column.
+type compiledPred struct {
+	ref  colRef
+	op   string
+	str  string
+	num  float64
+	b    bool
+	set  map[string]bool // for "in" over strings
+	nums []float64       // for "in" over numbers
+}
+
+func compilePred(p *Pred, ref colRef) (compiledPred, error) {
+	cp := compiledPred{ref: ref, op: p.Op}
+	var v any
+	if err := json.Unmarshal(p.Value, &v); err != nil {
+		return cp, fmt.Errorf("%w: predicate value for %q: %v", ErrBadQuery, p.Col, err)
+	}
+	switch p.Op {
+	case "in":
+		list, ok := v.([]any)
+		if !ok {
+			return cp, fmt.Errorf("%w: op \"in\" needs an array value", ErrBadQuery)
+		}
+		if ref.col.Type == TString {
+			cp.set = make(map[string]bool, len(list))
+			for _, e := range list {
+				s, ok := e.(string)
+				if !ok {
+					return cp, fmt.Errorf("%w: op \"in\" over string column %q needs string elements", ErrBadQuery, p.Col)
+				}
+				cp.set[s] = true
+			}
+		} else {
+			for _, e := range list {
+				n, ok := e.(float64)
+				if !ok {
+					return cp, fmt.Errorf("%w: op \"in\" over numeric column %q needs number elements", ErrBadQuery, p.Col)
+				}
+				cp.nums = append(cp.nums, n)
+			}
+		}
+		return cp, nil
+	case "contains", "prefix":
+		if ref.col.Type != TString {
+			return cp, fmt.Errorf("%w: op %q requires a string column, %q is %s", ErrBadQuery, p.Op, p.Col, ref.col.Type)
+		}
+	}
+	switch val := v.(type) {
+	case string:
+		if ref.col.Type != TString {
+			return cp, fmt.Errorf("%w: string value against %s column %q", ErrBadQuery, ref.col.Type, p.Col)
+		}
+		cp.str = val
+	case float64:
+		switch ref.col.Type {
+		case TInt, TFloat:
+			cp.num = val
+		default:
+			return cp, fmt.Errorf("%w: number value against %s column %q", ErrBadQuery, ref.col.Type, p.Col)
+		}
+	case bool:
+		if ref.col.Type != TBool {
+			return cp, fmt.Errorf("%w: bool value against %s column %q", ErrBadQuery, ref.col.Type, p.Col)
+		}
+		if p.Op != "eq" && p.Op != "ne" {
+			return cp, fmt.Errorf("%w: op %q not supported on bool column %q", ErrBadQuery, p.Op, p.Col)
+		}
+		cp.b = val
+	default:
+		return cp, fmt.Errorf("%w: unsupported predicate value type for %q", ErrBadQuery, p.Col)
+	}
+	return cp, nil
+}
+
+func (p *compiledPred) eval(i int) bool {
+	c := p.ref.col
+	switch c.Type {
+	case TString:
+		s := c.S[i]
+		switch p.op {
+		case "eq":
+			return s == p.str
+		case "ne":
+			return s != p.str
+		case "lt":
+			return s < p.str
+		case "le":
+			return s <= p.str
+		case "gt":
+			return s > p.str
+		case "ge":
+			return s >= p.str
+		case "in":
+			return p.set[s]
+		case "contains":
+			return strings.Contains(s, p.str)
+		case "prefix":
+			return strings.HasPrefix(s, p.str)
+		}
+	case TBool:
+		b := c.B[i]
+		if p.op == "eq" {
+			return b == p.b
+		}
+		return b != p.b
+	default:
+		n, _ := c.number(i)
+		switch p.op {
+		case "eq":
+			return n == p.num
+		case "ne":
+			return n != p.num
+		case "lt":
+			return n < p.num
+		case "le":
+			return n <= p.num
+		case "gt":
+			return n > p.num
+		case "ge":
+			return n >= p.num
+		case "in":
+			for _, v := range p.nums {
+				if n == v {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// execSelect projects the surviving rows, applies order_by, and renders
+// the result document.
+func (s *Store) execSelect(q *Query, base, joinT *Table, rows []rowIdx) (*Result, error) {
+	names := q.Select
+	if len(names) == 0 {
+		names = base.Columns()
+		if joinT != nil {
+			for _, c := range joinT.Columns() {
+				names = append(names, joinT.Name+"."+c)
+			}
+		}
+	}
+	refs := make([]colRef, len(names))
+	cols := make([]Col, len(names))
+	for i, n := range names {
+		ref, err := resolveCol(n, base, joinT)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+		cols[i] = Col{Name: n, Type: ref.col.Type.String()}
+	}
+	if err := s.orderRows(q, base, joinT, rows); err != nil {
+		return nil, err
+	}
+	out := make([][]any, len(rows))
+	for ri, r := range rows {
+		row := make([]any, len(refs))
+		for ci, ref := range refs {
+			idx := r.base
+			if ref.joined {
+				idx = r.join
+			}
+			row[ci] = ref.col.value(idx)
+		}
+		out[ri] = row
+	}
+	return &Result{
+		Schema:  SchemaResult,
+		Library: s.Library,
+		From:    q.From,
+		Columns: cols,
+		Rows:    out,
+		Total:   len(out),
+	}, nil
+}
+
+// orderRows sorts rows by the query's order_by keys (stable; ties keep
+// scan order). Without order_by, scan order — already deterministic —
+// is kept.
+func (s *Store) orderRows(q *Query, base, joinT *Table, rows []rowIdx) error {
+	if len(q.OrderBy) == 0 {
+		return nil
+	}
+	refs := make([]colRef, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		ref, err := resolveCol(o.Col, base, joinT)
+		if err != nil {
+			return err
+		}
+		refs[i] = ref
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, ref := range refs {
+			ia, ib := rows[a].base, rows[b].base
+			if ref.joined {
+				ia, ib = rows[a].join, rows[b].join
+			}
+			cmp := compareCol(ref.col, ia, ib)
+			if cmp == 0 {
+				continue
+			}
+			if q.OrderBy[i].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func compareCol(c *Column, a, b int) int {
+	switch c.Type {
+	case TString:
+		return strings.Compare(c.S[a], c.S[b])
+	case TBool:
+		x, y := 0, 0
+		if c.B[a] {
+			x = 1
+		}
+		if c.B[b] {
+			y = 1
+		}
+		return x - y
+	default:
+		x, _ := c.number(a)
+		y, _ := c.number(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count int
+	sum   float64
+	min   float64
+	max   float64
+	seen  map[string]bool // count_distinct
+}
+
+// execAggregate groups the surviving rows by the group_by keys and
+// folds each aggregate. Groups are emitted sorted ascending by key
+// tuple for determinism; order_by may re-sort over output columns.
+func (s *Store) execAggregate(q *Query, base, joinT *Table, rows []rowIdx) (*Result, error) {
+	keyRefs := make([]colRef, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		ref, err := resolveCol(g, base, joinT)
+		if err != nil {
+			return nil, err
+		}
+		keyRefs[i] = ref
+	}
+	aggRefs := make([]colRef, len(q.Aggregate))
+	for i, a := range q.Aggregate {
+		if a.Col == "" {
+			continue // plain count
+		}
+		ref, err := resolveCol(a.Col, base, joinT)
+		if err != nil {
+			return nil, err
+		}
+		switch a.Op {
+		case "sum", "avg", "min", "max":
+			if ref.col.Type != TInt && ref.col.Type != TFloat {
+				return nil, fmt.Errorf("%w: aggregate %s needs a numeric column, %q is %s", ErrBadQuery, a.Op, a.Col, ref.col.Type)
+			}
+		}
+		aggRefs[i] = ref
+	}
+
+	type group struct {
+		key  []any
+		aggs []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	idxOf := func(r rowIdx, ref colRef) int {
+		if ref.joined {
+			return r.join
+		}
+		return r.base
+	}
+	for _, r := range rows {
+		var kb strings.Builder
+		key := make([]any, len(keyRefs))
+		for i, ref := range keyRefs {
+			idx := idxOf(r, ref)
+			key[i] = ref.col.value(idx)
+			kb.WriteString(joinKey(ref.col, idx))
+			kb.WriteByte(0)
+		}
+		ks := kb.String()
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key, aggs: make([]*aggState, len(q.Aggregate))}
+			for i := range g.aggs {
+				g.aggs[i] = &aggState{min: math.Inf(1), max: math.Inf(-1)}
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i, a := range q.Aggregate {
+			st := g.aggs[i]
+			st.count++
+			if a.Col == "" {
+				continue
+			}
+			ref := aggRefs[i]
+			idx := idxOf(r, ref)
+			if a.Op == "count_distinct" {
+				if st.seen == nil {
+					st.seen = make(map[string]bool)
+				}
+				st.seen[joinKey(ref.col, idx)] = true
+				continue
+			}
+			if n, ok := ref.col.number(idx); ok {
+				st.sum += n
+				if n < st.min {
+					st.min = n
+				}
+				if n > st.max {
+					st.max = n
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+
+	cols := make([]Col, 0, len(q.GroupBy)+len(q.Aggregate))
+	for i, g := range q.GroupBy {
+		cols = append(cols, Col{Name: g, Type: keyRefs[i].col.Type.String()})
+	}
+	for i, a := range q.Aggregate {
+		ty := "float"
+		if a.Op == "count" || a.Op == "count_distinct" {
+			ty = "int"
+		} else if a.Op != "avg" && aggRefs[i].col != nil && aggRefs[i].col.Type == TInt {
+			ty = "int"
+		}
+		cols = append(cols, Col{Name: a.As, Type: ty})
+	}
+
+	out := make([][]any, 0, len(order))
+	for _, ks := range order {
+		g := groups[ks]
+		row := make([]any, 0, len(cols))
+		row = append(row, g.key...)
+		for i, a := range q.Aggregate {
+			st := g.aggs[i]
+			switch a.Op {
+			case "count":
+				row = append(row, int64(st.count))
+			case "count_distinct":
+				row = append(row, int64(len(st.seen)))
+			case "sum":
+				row = append(row, numOut(st.sum, aggRefs[i]))
+			case "avg":
+				row = append(row, st.sum/float64(st.count))
+			case "min":
+				if st.count == 0 || math.IsInf(st.min, 1) {
+					row = append(row, nil)
+				} else {
+					row = append(row, numOut(st.min, aggRefs[i]))
+				}
+			case "max":
+				if st.count == 0 || math.IsInf(st.max, -1) {
+					row = append(row, nil)
+				} else {
+					row = append(row, numOut(st.max, aggRefs[i]))
+				}
+			}
+		}
+		out = append(out, row)
+	}
+
+	res := &Result{
+		Schema:  SchemaResult,
+		Library: s.Library,
+		From:    q.From,
+		Columns: cols,
+		Rows:    out,
+		Total:   len(out),
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderResult(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func numOut(v float64, ref colRef) any {
+	if ref.col != nil && ref.col.Type == TInt {
+		return int64(v)
+	}
+	return v
+}
+
+// orderResult re-sorts an aggregate result by output column names.
+func orderResult(r *Result, keys []Order) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		found := -1
+		for ci, c := range r.Columns {
+			if c.Name == k.Col {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("%w: order_by column %q is not in the result", ErrBadQuery, k.Col)
+		}
+		idx[i] = found
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		for i, ci := range idx {
+			cmp := compareAny(r.Rows[a][ci], r.Rows[b][ci])
+			if cmp == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func compareAny(a, b any) int {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return strings.Compare(as, bs)
+	}
+	return 0
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	case bool:
+		if n {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Page slices a full result according to limit/cursor, returning the
+// window and the cursor addressing the next window ("" when exhausted).
+// Cursors are opaque base64url offsets; a cursor from a different query
+// still decodes (offsets are positional), matching the API contract
+// that cursors are only meaningful with the query that produced them.
+func Page(r *Result, limit int, cursor string) (*Result, string, error) {
+	start := 0
+	if cursor != "" {
+		off, err := DecodeCursor(cursor)
+		if err != nil {
+			return nil, "", err
+		}
+		start = off
+	}
+	if start > len(r.Rows) {
+		start = len(r.Rows)
+	}
+	end := len(r.Rows)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	page := *r
+	page.Rows = r.Rows[start:end]
+	next := ""
+	if end < len(r.Rows) {
+		next = EncodeCursor(end)
+	}
+	return &page, next, nil
+}
+
+// EncodeCursor renders a row offset as an opaque cursor token.
+func EncodeCursor(offset int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("r:" + strconv.Itoa(offset)))
+}
+
+// DecodeCursor parses a cursor token back to a row offset.
+func DecodeCursor(cursor string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadQuery)
+	}
+	s, ok := strings.CutPrefix(string(raw), "r:")
+	if !ok {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadQuery)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: bad cursor", ErrBadQuery)
+	}
+	return n, nil
+}

@@ -1,0 +1,298 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"stdcelltune/internal/digest"
+)
+
+// SchemaQuery is the wire schema of a query document.
+const SchemaQuery = "stdcelltune-query/1"
+
+// ErrBadQuery marks a malformed or unexecutable query; the service maps
+// it to 400.
+var ErrBadQuery = errors.New("bad query")
+
+// Pred is one filter predicate: column op value.
+type Pred struct {
+	Col   string          `json:"col"`
+	Op    string          `json:"op"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Join describes an inner join of the base table against another table.
+// Joined columns appear as "table.col" in select/group_by/order_by.
+type Join struct {
+	Table    string `json:"table"`
+	LeftCol  string `json:"left_col"`
+	RightCol string `json:"right_col"`
+}
+
+// Agg is one aggregate output: op over col, emitted under name As.
+type Agg struct {
+	Op  string `json:"op"`
+	Col string `json:"col,omitempty"`
+	As  string `json:"as,omitempty"`
+}
+
+// Order is one sort key.
+type Order struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// WhatIf requests an evaluator run instead of a table scan.
+type WhatIf struct {
+	Op     string  `json:"op"`             // "substitute" | "widen"
+	From   string  `json:"from,omitempty"` // substitute: source cell
+	To     string  `json:"to,omitempty"`   // substitute: target cell
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Query is the typed form of a stdcelltune-query/1 document. Exactly
+// one of (From, WhatIf) drives execution; Select and Aggregate are
+// mutually exclusive.
+type Query struct {
+	Schema    string   `json:"schema"`
+	From      string   `json:"from,omitempty"`
+	Where     []Pred   `json:"where,omitempty"`
+	Join      *Join    `json:"join,omitempty"`
+	GroupBy   []string `json:"group_by,omitempty"`
+	Aggregate []Agg    `json:"aggregate,omitempty"`
+	Select    []string `json:"select,omitempty"`
+	OrderBy   []Order  `json:"order_by,omitempty"`
+	Limit     int      `json:"limit,omitempty"`
+	Cursor    string   `json:"cursor,omitempty"`
+	WhatIf    *WhatIf  `json:"what_if,omitempty"`
+}
+
+var validOps = map[string]bool{
+	"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true,
+	"in": true, "contains": true, "prefix": true,
+}
+
+var validAggOps = map[string]bool{
+	"count": true, "count_distinct": true, "sum": true, "avg": true,
+	"min": true, "max": true,
+}
+
+// Parse strictly decodes a query document. Unknown fields are rejected
+// so typos fail loudly instead of silently scanning a whole table.
+func Parse(raw []byte) (*Query, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var q Query
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after query document", ErrBadQuery)
+	}
+	if err := q.normalize(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// normalize fills defaults, lowercases operator names, and validates
+// structure. After normalize, two semantically-identical documents
+// (whitespace, field order, case of ops) have identical typed forms.
+func (q *Query) normalize() error {
+	if q.Schema == "" {
+		q.Schema = SchemaQuery
+	}
+	if q.Schema != SchemaQuery {
+		return fmt.Errorf("%w: unsupported schema %q (want %q)", ErrBadQuery, q.Schema, SchemaQuery)
+	}
+	if q.WhatIf != nil {
+		if q.From != "" || q.Join != nil || len(q.Where) > 0 || len(q.GroupBy) > 0 ||
+			len(q.Aggregate) > 0 || len(q.Select) > 0 || len(q.OrderBy) > 0 {
+			return fmt.Errorf("%w: what_if cannot be combined with table query clauses", ErrBadQuery)
+		}
+		w := q.WhatIf
+		w.Op = strings.ToLower(w.Op)
+		switch w.Op {
+		case "substitute":
+			if w.From == "" || w.To == "" {
+				return fmt.Errorf("%w: substitute needs from and to cells", ErrBadQuery)
+			}
+			if w.Factor != 0 {
+				return fmt.Errorf("%w: substitute takes no factor", ErrBadQuery)
+			}
+		case "widen":
+			if w.Factor <= 0 {
+				return fmt.Errorf("%w: widen needs factor > 0", ErrBadQuery)
+			}
+			if w.From != "" || w.To != "" {
+				return fmt.Errorf("%w: widen takes no from/to", ErrBadQuery)
+			}
+		default:
+			return fmt.Errorf("%w: unknown what_if op %q", ErrBadQuery, w.Op)
+		}
+		if q.Limit != 0 || q.Cursor != "" {
+			return fmt.Errorf("%w: what_if results are not paginated", ErrBadQuery)
+		}
+		return nil
+	}
+	if q.From == "" {
+		return fmt.Errorf("%w: missing from table", ErrBadQuery)
+	}
+	q.From = strings.ToLower(q.From)
+	for i := range q.Where {
+		q.Where[i].Op = strings.ToLower(q.Where[i].Op)
+		if q.Where[i].Col == "" {
+			return fmt.Errorf("%w: where[%d] missing col", ErrBadQuery, i)
+		}
+		if !validOps[q.Where[i].Op] {
+			return fmt.Errorf("%w: where[%d] unknown op %q", ErrBadQuery, i, q.Where[i].Op)
+		}
+		if len(q.Where[i].Value) == 0 {
+			return fmt.Errorf("%w: where[%d] missing value", ErrBadQuery, i)
+		}
+	}
+	if q.Join != nil {
+		q.Join.Table = strings.ToLower(q.Join.Table)
+		if q.Join.Table == "" || q.Join.LeftCol == "" || q.Join.RightCol == "" {
+			return fmt.Errorf("%w: join needs table, left_col, right_col", ErrBadQuery)
+		}
+		if q.Join.Table == q.From {
+			return fmt.Errorf("%w: self-join is not supported", ErrBadQuery)
+		}
+	}
+	if len(q.Select) > 0 && len(q.Aggregate) > 0 {
+		return fmt.Errorf("%w: select and aggregate are mutually exclusive", ErrBadQuery)
+	}
+	if len(q.GroupBy) > 0 && len(q.Aggregate) == 0 {
+		return fmt.Errorf("%w: group_by requires aggregate", ErrBadQuery)
+	}
+	for i := range q.Aggregate {
+		a := &q.Aggregate[i]
+		a.Op = strings.ToLower(a.Op)
+		if !validAggOps[a.Op] {
+			return fmt.Errorf("%w: aggregate[%d] unknown op %q", ErrBadQuery, i, a.Op)
+		}
+		if a.Op != "count" && a.Col == "" {
+			return fmt.Errorf("%w: aggregate[%d] %s needs col", ErrBadQuery, i, a.Op)
+		}
+		if a.As == "" {
+			if a.Col == "" {
+				a.As = a.Op
+			} else {
+				a.As = a.Op + "_" + strings.ReplaceAll(a.Col, ".", "_")
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range q.Aggregate {
+		if seen[a.As] {
+			return fmt.Errorf("%w: duplicate aggregate output name %q", ErrBadQuery, a.As)
+		}
+		seen[a.As] = true
+	}
+	for i, o := range q.OrderBy {
+		if o.Col == "" {
+			return fmt.Errorf("%w: order_by[%d] missing col", ErrBadQuery, i)
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("%w: negative limit", ErrBadQuery)
+	}
+	return nil
+}
+
+// Canonical renders the normalized query with pagination stripped:
+// limit and cursor slice a cached full result at serve time, so they
+// must not perturb the cache key. Predicate values are re-marshaled
+// through any to erase formatting differences ("1e0" vs "1").
+func (q *Query) Canonical() ([]byte, error) {
+	c := *q
+	c.Limit = 0
+	c.Cursor = ""
+	c.Where = make([]Pred, len(q.Where))
+	for i, p := range q.Where {
+		var v any
+		if err := json.Unmarshal(p.Value, &v); err != nil {
+			return nil, fmt.Errorf("%w: where[%d] value: %v", ErrBadQuery, i, err)
+		}
+		canon, err := canonicalValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: where[%d] value: %v", ErrBadQuery, i, err)
+		}
+		c.Where[i] = Pred{Col: p.Col, Op: p.Op, Value: canon}
+	}
+	return json.Marshal(&c)
+}
+
+// canonicalValue re-marshals a decoded JSON value deterministically
+// (encoding/json already sorts map keys; this mainly normalizes number
+// formatting).
+func canonicalValue(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(b), nil
+}
+
+// Digest computes the cache key of this query against a library: two
+// documents that normalize identically digest identically, and any
+// change to the library's artifact digest changes the key.
+func (q *Query) Digest(library string) (string, error) {
+	canon, err := q.Canonical()
+	if err != nil {
+		return "", err
+	}
+	d := digest.New("stdcelltune-query-result/1")
+	d.Str("library", library)
+	d.Str("query", string(canon))
+	return d.Sum(), nil
+}
+
+// columnsOf resolves the referenced column name against base and joined
+// tables; joined columns are addressed "table.col".
+type colRef struct {
+	col    *Column
+	joined bool // value comes from the joined table via the row's join index
+}
+
+func resolveCol(name string, base *Table, join *Table) (colRef, error) {
+	if t, c, ok := strings.Cut(name, "."); ok {
+		if join != nil && t == join.Name {
+			if col := join.Col(c); col != nil {
+				return colRef{col: col, joined: true}, nil
+			}
+			return colRef{}, fmt.Errorf("%w: no column %q in table %q", ErrBadQuery, c, t)
+		}
+		if t == base.Name {
+			if col := base.Col(c); col != nil {
+				return colRef{col: col}, nil
+			}
+			return colRef{}, fmt.Errorf("%w: no column %q in table %q", ErrBadQuery, c, t)
+		}
+		return colRef{}, fmt.Errorf("%w: unknown table %q in column ref %q", ErrBadQuery, t, name)
+	}
+	if col := base.Col(name); col != nil {
+		return colRef{col: col}, nil
+	}
+	if join != nil {
+		if col := join.Col(name); col != nil {
+			return colRef{col: col, joined: true}, nil
+		}
+	}
+	return colRef{}, fmt.Errorf("%w: unknown column %q", ErrBadQuery, name)
+}
+
+// sortedKeys is a tiny helper for deterministic map iteration in tests.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

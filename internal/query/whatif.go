@@ -1,0 +1,324 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/stattime"
+	"stdcelltune/internal/stdcell"
+)
+
+// SchemaWhatIf is the wire schema of a what-if result document.
+const SchemaWhatIf = "stdcelltune-whatif/1"
+
+// ErrNoDesign marks a what-if against a library whose artifact set has
+// no synthesized netlist to evaluate on.
+var ErrNoDesign = errors.New("library has no synthesized design")
+
+// Metrics is one timing/area snapshot of the design.
+type Metrics struct {
+	AreaUM2        float64 `json:"area_um2"`
+	WNSNS          float64 `json:"wns_ns"`
+	TNSNS          float64 `json:"tns_ns"`
+	MuNS           float64 `json:"mu_ns"`
+	SigmaNS        float64 `json:"sigma_ns"`
+	MuPlus3SigmaNS float64 `json:"mu_plus_3sigma_ns"`
+}
+
+func (m Metrics) sub(o Metrics) Metrics {
+	return Metrics{
+		AreaUM2:        m.AreaUM2 - o.AreaUM2,
+		WNSNS:          m.WNSNS - o.WNSNS,
+		TNSNS:          m.TNSNS - o.TNSNS,
+		MuNS:           m.MuNS - o.MuNS,
+		SigmaNS:        m.SigmaNS - o.SigmaNS,
+		MuPlus3SigmaNS: m.MuPlus3SigmaNS - o.MuPlus3SigmaNS,
+	}
+}
+
+// Change records one netlist edit a what-if applied.
+type Change struct {
+	Inst string `json:"inst"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// maxReportedChanges bounds the change list in the result document;
+// Changed always carries the true count.
+const maxReportedChanges = 100
+
+// WhatIfResult is the outcome of a what-if evaluation: the baseline and
+// mutated design metrics, their delta, and the incremental-STA
+// accounting proving no re-synthesis happened.
+type WhatIfResult struct {
+	Schema  string  `json:"schema"`
+	Library string  `json:"library"`
+	Op      string  `json:"op"`
+	From    string  `json:"from,omitempty"`
+	To      string  `json:"to,omitempty"`
+	Factor  float64 `json:"factor,omitempty"`
+
+	Changed  int     `json:"changed"`
+	Baseline Metrics `json:"baseline"`
+	Result   Metrics `json:"result"`
+	Delta    Metrics `json:"delta"`
+
+	// Engine accounting for this evaluation: one full pass to establish
+	// the baseline, then incremental updates only.
+	FullAnalyses       int `json:"full_analyses"`
+	IncrementalUpdates int `json:"incremental_updates"`
+
+	Changes []Change `json:"changes,omitempty"`
+}
+
+// EvalWhatIf dispatches a normalized what-if clause.
+func (s *Store) EvalWhatIf(w *WhatIf) (*WhatIfResult, error) {
+	switch w.Op {
+	case "substitute":
+		return s.Substitute(w.From, w.To)
+	case "widen":
+		return s.Widen(w.Factor)
+	}
+	return nil, fmt.Errorf("%w: unknown what_if op %q", ErrBadQuery, w.Op)
+}
+
+// metrics folds one STA result plus its statistical analysis into a
+// snapshot.
+func (s *Store) metrics(nl *netlist.Netlist, r *sta.Result) (Metrics, error) {
+	ds, err := stattime.Analyze(r, s.stat, s.rho)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("query: what-if statistics: %w", err)
+	}
+	return Metrics{
+		AreaUM2:        nl.Area(),
+		WNSNS:          r.WNS(),
+		TNSNS:          r.TNS(),
+		MuNS:           ds.Design.Mu,
+		SigmaNS:        ds.Design.Sigma,
+		MuPlus3SigmaNS: ds.Design.ThreeSigmaUpper(),
+	}, nil
+}
+
+// Substitute evaluates "swap every instance of cell `from` for cell
+// `to`" with one baseline full analysis and a single batched
+// incremental reanalysis — no synthesis. Cross-footprint swaps are
+// rejected: pin names and logic function only line up within a family.
+func (s *Store) Substitute(from, to string) (*WhatIfResult, error) {
+	if s.nl == nil {
+		return nil, ErrNoDesign
+	}
+	cat := s.nl.Cat
+	fromSpec, toSpec := cat.Spec(from), cat.Spec(to)
+	if fromSpec == nil {
+		return nil, fmt.Errorf("%w: unknown cell %q", ErrBadQuery, from)
+	}
+	if toSpec == nil {
+		return nil, fmt.Errorf("%w: unknown cell %q", ErrBadQuery, to)
+	}
+	if fromSpec.Family != toSpec.Family {
+		return nil, fmt.Errorf("%w: cannot substitute across footprints %s -> %s", ErrBadQuery, fromSpec.Family, toSpec.Family)
+	}
+
+	nl := s.nl.Clone()
+	eng := sta.NewEngine(nl, s.staCfg)
+	defer eng.Close()
+	r, err := eng.Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("query: baseline analysis: %w", err)
+	}
+	base, err := s.metrics(nl, r)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WhatIfResult{
+		Schema:  SchemaWhatIf,
+		Library: s.Library,
+		Op:      "substitute",
+		From:    from,
+		To:      to,
+	}
+	for _, inst := range nl.Instances {
+		if inst.Spec.Name != from {
+			continue
+		}
+		if err := nl.Resize(inst, toSpec); err != nil {
+			return nil, fmt.Errorf("query: substitute %s: %w", inst.Name, err)
+		}
+		res.Changed++
+		if len(res.Changes) < maxReportedChanges {
+			res.Changes = append(res.Changes, Change{Inst: inst.Name, From: from, To: to})
+		}
+	}
+	if res.Changed == 0 {
+		res.Baseline, res.Result = base, base
+		res.FullAnalyses, res.IncrementalUpdates = eng.Counts()
+		return res, nil
+	}
+	nr, err := eng.Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("query: substituted analysis: %w", err)
+	}
+	after, err := s.metrics(nl, nr)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline, res.Result, res.Delta = base, after, after.sub(base)
+	res.FullAnalyses, res.IncrementalUpdates = eng.Counts()
+	return res, nil
+}
+
+// Widen evaluates "what if every tuned window were wider by factor f":
+// each window expands about its center (half-spans scaled by f, lower
+// bounds clamped at 0), then a greedy topological downsize pass
+// recovers area wherever the widened windows newly permit a smaller
+// drive, accepting only moves that keep timing and window legality.
+// factor > 1 widens, factor < 1 narrows. The report is the classic
+// tuning trade: area recovered vs sigma cost, with no synthesis run.
+func (s *Store) Widen(factor float64) (*WhatIfResult, error) {
+	if s.nl == nil {
+		return nil, ErrNoDesign
+	}
+	if s.windows == nil || s.windows.Len() == 0 {
+		return nil, fmt.Errorf("%w: library has no restriction windows to widen", ErrBadQuery)
+	}
+	widened := widenSet(s.windows, factor)
+
+	nl := s.nl.Clone()
+	cat := nl.Cat
+	eng := sta.NewEngine(nl, s.staCfg)
+	defer eng.Close()
+	r, err := eng.Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("query: baseline analysis: %w", err)
+	}
+	base, err := s.metrics(nl, r)
+	if err != nil {
+		return nil, err
+	}
+	baseWNS := r.WNS()
+
+	res := &WhatIfResult{
+		Schema:  SchemaWhatIf,
+		Library: s.Library,
+		Op:      "widen",
+		Factor:  factor,
+	}
+
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("query: what-if topo order: %w", err)
+	}
+	// Probe one step down per instance: apply, reanalyze incrementally,
+	// keep if timing holds (never worse than the baseline WNS) and the
+	// widened windows stay satisfied; otherwise revert. A reverted
+	// probe's dirty marks resolve in the next probe's analysis.
+	dirty := false
+	for _, inst := range order {
+		down := downsizeStep(cat, inst.Spec)
+		if down == nil {
+			continue
+		}
+		prev := inst.Spec
+		if err := nl.Resize(inst, down); err != nil {
+			continue
+		}
+		dirty = true
+		nr, err := eng.Analyze()
+		if err != nil {
+			return nil, fmt.Errorf("query: widen probe: %w", err)
+		}
+		ok := nr.WNS() >= math.Min(0, baseWNS)-1e-9 && legalUnder(nl, nr, widened) == 0
+		if ok {
+			res.Changed++
+			if len(res.Changes) < maxReportedChanges {
+				res.Changes = append(res.Changes, Change{Inst: inst.Name, From: prev.Name, To: down.Name})
+			}
+			r = nr
+			dirty = false
+			continue
+		}
+		if err := nl.Resize(inst, prev); err != nil {
+			return nil, fmt.Errorf("query: widen revert %s: %w", inst.Name, err)
+		}
+	}
+	if dirty {
+		r, err = eng.Analyze()
+		if err != nil {
+			return nil, fmt.Errorf("query: widen final analysis: %w", err)
+		}
+	}
+	after, err := s.metrics(nl, r)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline, res.Result, res.Delta = base, after, after.sub(base)
+	res.FullAnalyses, res.IncrementalUpdates = eng.Counts()
+	return res, nil
+}
+
+// widenSet scales every window's half-spans by factor about the window
+// center, clamping lower bounds at zero.
+func widenSet(set *restrict.Set, factor float64) *restrict.Set {
+	out := restrict.NewSet(set.Name + "-widened")
+	for _, k := range set.Keys() {
+		cell, pin := splitKey(k)
+		w, _ := set.Window(cell, pin)
+		cl, cs := (w.MinLoad+w.MaxLoad)/2, (w.MinSlew+w.MaxSlew)/2
+		hl, hs := (w.MaxLoad-w.MinLoad)/2*factor, (w.MaxSlew-w.MinSlew)/2*factor
+		out.Put(cell, pin, restrict.Window{
+			MinLoad: math.Max(0, cl-hl), MaxLoad: cl + hl,
+			MinSlew: math.Max(0, cs-hs), MaxSlew: cs + hs,
+		})
+	}
+	return out
+}
+
+// downsizeStep returns the next size down in the instance's family, or
+// nil at the smallest drive.
+func downsizeStep(cat *stdcell.Catalogue, spec *stdcell.Spec) *stdcell.Spec {
+	fam := cat.Families[spec.Family]
+	for i, c := range fam {
+		if c.Drive == spec.Drive && i > 0 {
+			return fam[i-1]
+		}
+	}
+	return nil
+}
+
+// legalUnder counts load/slew violations of the design against a
+// restriction set — the same legality the synthesizer enforces, but
+// parameterized over the candidate (widened) windows.
+func legalUnder(nl *netlist.Netlist, r *sta.Result, set *restrict.Set) int {
+	lastSlew := stdcell.SlewAxis[len(stdcell.SlewAxis)-1]
+	n := 0
+	for _, net := range nl.Nets {
+		if net.Driver != nil {
+			spec := net.Driver.Spec
+			if net.ID < len(r.Load) && r.Load[net.ID] > set.MaxLoad(spec.Name, net.DrvPin, spec.MaxCap())+1e-12 {
+				n++
+			}
+		}
+		// The slew bound of a net is the tightest input-slew window of
+		// any cell it feeds.
+		limit := math.Inf(1)
+		for _, snk := range net.Sinks {
+			if snk.Inst == nil {
+				continue
+			}
+			for _, outPin := range snk.Inst.Spec.Outputs {
+				if l := set.MaxSlew(snk.Inst.Spec.Name, outPin, lastSlew); l < limit {
+					limit = l
+				}
+			}
+		}
+		if net.ID < len(r.Slew) && r.Slew[net.ID] > limit+1e-12 {
+			n++
+		}
+	}
+	return n
+}

@@ -165,6 +165,16 @@ func (s *Store) Lookup(dig string) (*Entry, bool) {
 	return e, ok
 }
 
+// Peek returns the cached entry for a digest without recording a
+// cache-hit metric — for listings and existence checks that should not
+// skew the hit-ratio the dashboards watch.
+func (s *Store) Peek(dig string) (*Entry, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[dig]
+	s.mu.Unlock()
+	return e, ok
+}
+
 // GetOrCompute returns the entry for dig, computing it at most once
 // across all concurrent callers. The outcome string is "hit" (entry was
 // already cached), "peer" (a registered peer supplied verified bytes),

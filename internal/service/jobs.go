@@ -13,6 +13,7 @@ import (
 
 	"stdcelltune"
 	"stdcelltune/internal/obs"
+	"stdcelltune/internal/query"
 	"stdcelltune/internal/service/cache"
 	"stdcelltune/internal/service/journal"
 	"stdcelltune/internal/service/shard"
@@ -335,6 +336,10 @@ type Manager struct {
 	draining     bool
 	tenantActive map[string]int
 	recovered    int
+
+	// qstores caches decoded query stores per library digest (bounded;
+	// see queryStoreCacheSize).
+	qstores *queryStores
 }
 
 // NewManager builds and starts a manager over the given cache store.
@@ -361,6 +366,7 @@ func NewManager(store *cache.Store, opts ManagerOptions) *Manager {
 		queue:        make(chan *Job, opts.QueueDepth+len(pending)),
 		jobs:         make(map[string]*Job),
 		tenantActive: make(map[string]int),
+		qstores:      newQueryStores(),
 	}
 	if opts.MaxRPS > 0 {
 		m.bucket = newTokenBucket(opts.MaxRPS, opts.Burst, opts.Now)
@@ -602,6 +608,39 @@ func (m *Manager) Jobs() []*Job {
 		out = append(out, m.jobs[id])
 	}
 	return out
+}
+
+// JobsPage returns up to limit jobs starting at the opaque cursor's
+// position in the accept sequence, plus the cursor addressing the next
+// page ("" when exhausted). The accept sequence is append-only, so a
+// cursor taken now stays valid — and stable — while new jobs arrive.
+func (m *Manager) JobsPage(limit int, cursor string) ([]*Job, string, error) {
+	start := 0
+	if cursor != "" {
+		off, err := query.DecodeCursor(cursor)
+		if err != nil {
+			return nil, "", err
+		}
+		start = off
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if start > len(m.order) {
+		start = len(m.order)
+	}
+	end := len(m.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]*Job, 0, end-start)
+	for _, id := range m.order[start:end] {
+		out = append(out, m.jobs[id])
+	}
+	next := ""
+	if end < len(m.order) {
+		next = query.EncodeCursor(end)
+	}
+	return out, next, nil
 }
 
 // Draining reports whether the manager has stopped accepting jobs.

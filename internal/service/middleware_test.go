@@ -140,12 +140,26 @@ func TestRouteLabelCardinality(t *testing.T) {
 	randomID := func() string { return fmt.Sprintf("job-%d-%d", rng.Int63(), rng.Int63()) }
 
 	// Prime every label combination this test can produce, then measure.
+	// The id-bearing v2 routes ride along: {id}, {digest} and {name} must
+	// label by pattern exactly like the v1 originals.
 	hit := func(id string) {
-		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-		if err != nil {
-			t.Fatal(err)
+		for _, probe := range []struct{ method, path string }{
+			{"GET", "/v1/jobs/" + id},
+			{"GET", "/v2/jobs/" + id},
+			{"GET", "/v2/libraries/sha256:" + id},
+			{"GET", "/v2/libraries/sha256:" + id + "/artifacts/" + id},
+			{"POST", "/v2/libraries/sha256:" + id + "/query"},
+		} {
+			req, err := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
 		}
-		resp.Body.Close()
 	}
 	ids := []string{randomID()}
 	hit(ids[0])
@@ -174,6 +188,16 @@ func TestRouteLabelCardinality(t *testing.T) {
 	}
 	if !strings.Contains(exposition, `http_requests_total{route="GET /v1/jobs/{id}",code="4xx"}`) {
 		t.Errorf("pattern-labeled 404 series missing from exposition")
+	}
+	for _, route := range []string{
+		"GET /v2/jobs/{id}",
+		"GET /v2/libraries/{digest}",
+		"GET /v2/libraries/{digest}/artifacts/{name}",
+		"POST /v2/libraries/{digest}/query",
+	} {
+		if !strings.Contains(exposition, fmt.Sprintf(`http_requests_total{route=%q,code="4xx"}`, route)) {
+			t.Errorf("pattern-labeled series for %s missing from exposition", route)
+		}
 	}
 }
 

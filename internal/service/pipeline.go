@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 
 	"stdcelltune"
 	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/netlist"
 	"stdcelltune/internal/obs"
 	"stdcelltune/internal/service/shard"
 	"stdcelltune/internal/statlib"
@@ -27,6 +29,7 @@ const (
 	ArtifactTuning    = "tuning_report.json" // thresholds and per-pin restriction report
 	ArtifactSynthesis = "synthesis.json"     // restricted synthesis outcome
 	ArtifactVariation = "variation.json"     // statistical timing of the result
+	ArtifactNetlist   = "netlist.v"          // synthesized design, structural Verilog
 )
 
 // Versioned artifact schema identifiers.
@@ -311,7 +314,7 @@ type variationDoc struct {
 func encodeArtifacts(spec Spec, stat *stdcelltune.StatisticalLibrary, win *stdcelltune.Windows,
 	rep *stdcelltune.TuningReport, res *stdcelltune.SynthesisResult, ds *stdcelltune.DesignStats) (map[string][]byte, error) {
 
-	out := make(map[string][]byte, 6)
+	out := make(map[string][]byte, 7)
 	put := func(name string, v any) error {
 		data, err := json.MarshalIndent(v, "", "  ")
 		if err != nil {
@@ -393,6 +396,17 @@ func encodeArtifacts(spec Spec, stat *stdcelltune.StatisticalLibrary, win *stdce
 	if err := put(ArtifactSynthesis, sd); err != nil {
 		return nil, err
 	}
+
+	// The synthesized netlist rides along as deterministic structural
+	// Verilog: WriteVerilog emits sorted ports, wires and connections, so
+	// the byte-identity invariant holds — and the query layer can rebuild
+	// the exact design (instances, nets, what-if evaluation) from the
+	// artifact set alone.
+	var nb bytes.Buffer
+	if err := netlist.WriteVerilog(&nb, res.Netlist); err != nil {
+		return nil, fmt.Errorf("encode %s: %w", ArtifactNetlist, err)
+	}
+	out[ArtifactNetlist] = nb.Bytes()
 
 	maxDepth := 0
 	for _, p := range ds.Paths {

@@ -1,0 +1,299 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"stdcelltune/internal/liberty"
+	"stdcelltune/internal/netlist"
+	"stdcelltune/internal/query"
+	"stdcelltune/internal/restrict"
+	"stdcelltune/internal/service/cache"
+	"stdcelltune/internal/sta"
+	"stdcelltune/internal/statlib"
+	"stdcelltune/internal/stdcell"
+)
+
+// ErrNotQueryable marks a cached library whose artifact set predates
+// the query layer (no netlist.v) or is otherwise incomplete — the
+// entry serves artifacts fine but cannot back a query store. Mapped to
+// 409: the resource exists, the request is well-formed, they just
+// don't compose.
+var ErrNotQueryable = errors.New("library artifact set is not queryable")
+
+// ArtifactQueryResult is the single artifact of a cached query-result
+// entry. Entries carrying exactly this artifact are query results, not
+// libraries; library listings filter on ArtifactSpec instead.
+const ArtifactQueryResult = "result.json"
+
+// queryStoreCacheSize bounds the number of decoded query stores kept
+// hot on the manager. A store is tens of MB of columns plus the parsed
+// netlist; bounding the set makes memory proportional to working set,
+// not cache size. Eviction is FIFO — the workload is "analyst pounds
+// one or two libraries", not a scan.
+const queryStoreCacheSize = 4
+
+// queryStores is the manager's bounded digest→store cache.
+type queryStores struct {
+	mu     sync.Mutex
+	stores map[string]*query.Store
+	order  []string
+	// building single-flights store construction per digest: building a
+	// store runs a full STA pass, and concurrent first queries against
+	// one library must not each pay it.
+	building map[string]*storeFlight
+}
+
+type storeFlight struct {
+	done  chan struct{}
+	store *query.Store
+	err   error
+}
+
+func newQueryStores() *queryStores {
+	return &queryStores{stores: make(map[string]*query.Store), building: make(map[string]*storeFlight)}
+}
+
+// get returns the cached store or builds it via build, deduplicating
+// concurrent builds of the same digest.
+func (qs *queryStores) get(dig string, build func() (*query.Store, error)) (*query.Store, error) {
+	qs.mu.Lock()
+	if s, ok := qs.stores[dig]; ok {
+		qs.mu.Unlock()
+		return s, nil
+	}
+	if fl, ok := qs.building[dig]; ok {
+		qs.mu.Unlock()
+		<-fl.done
+		return fl.store, fl.err
+	}
+	fl := &storeFlight{done: make(chan struct{})}
+	qs.building[dig] = fl
+	qs.mu.Unlock()
+
+	fl.store, fl.err = build()
+
+	qs.mu.Lock()
+	if fl.err == nil {
+		qs.stores[dig] = fl.store
+		qs.order = append(qs.order, dig)
+		for len(qs.order) > queryStoreCacheSize {
+			evict := qs.order[0]
+			qs.order = qs.order[1:]
+			delete(qs.stores, evict)
+		}
+	}
+	delete(qs.building, dig)
+	qs.mu.Unlock()
+	close(fl.done)
+	return fl.store, fl.err
+}
+
+// QueryStore returns the columnar query store of a cached library,
+// building (and caching) it from the artifact set on first use.
+func (m *Manager) QueryStore(dig string) (*query.Store, error) {
+	e, ok := m.store.Peek(dig)
+	if !ok {
+		return nil, fmt.Errorf("%w: no such library %s", ErrNotFound, dig)
+	}
+	return m.qstores.get(dig, func() (*query.Store, error) {
+		return BuildQueryStore(e)
+	})
+}
+
+// BuildQueryStore reconstructs the queryable image of a pipeline run
+// from its artifact set alone: the statistical library from the
+// Liberty text, the tuned windows from windows.json, the synthesized
+// design from netlist.v, and the timing context from spec.json. That
+// the store needs nothing but artifacts is what lets any node — or a
+// post-mortem analyst with a cache directory — answer queries without
+// rerunning anything.
+func BuildQueryStore(e *cache.Entry) (*query.Store, error) {
+	specArt := e.Artifact(ArtifactSpec)
+	if specArt == nil {
+		return nil, fmt.Errorf("%w: %s has no %s", ErrNotQueryable, e.Digest, ArtifactSpec)
+	}
+	var spec Spec
+	if err := json.Unmarshal(specArt.Bytes(), &spec); err != nil {
+		return nil, fmt.Errorf("%w: decode %s: %v", ErrNotQueryable, ArtifactSpec, err)
+	}
+	spec = spec.Normalized()
+
+	statArt := e.Artifact(ArtifactStatLib)
+	if statArt == nil {
+		return nil, fmt.Errorf("%w: %s has no %s", ErrNotQueryable, e.Digest, ArtifactStatLib)
+	}
+	lib, err := liberty.Parse(string(statArt.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("%w: parse %s: %v", ErrNotQueryable, ArtifactStatLib, err)
+	}
+	stat, err := statlib.FromLiberty(lib)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuild statistical library: %v", ErrNotQueryable, err)
+	}
+
+	var windows *restrict.Set
+	if winArt := e.Artifact(ArtifactWindows); winArt != nil {
+		var wd windowsDoc
+		if err := json.Unmarshal(winArt.Bytes(), &wd); err != nil {
+			return nil, fmt.Errorf("%w: decode %s: %v", ErrNotQueryable, ArtifactWindows, err)
+		}
+		windows = restrict.NewSet(wd.Name)
+		for _, w := range wd.Windows {
+			windows.Put(w.Cell, w.Pin, restrict.Window{
+				MinLoad: w.MinLoad, MaxLoad: w.MaxLoad,
+				MinSlew: w.MinSlew, MaxSlew: w.MaxSlew,
+			})
+		}
+	}
+
+	src := query.Source{
+		Library: e.Digest,
+		Stat:    stat,
+		Windows: windows,
+		STA:     sta.DefaultConfig(spec.ClockNS),
+		Rho:     spec.Rho,
+	}
+
+	// Entries sealed before the query layer existed have no netlist.v;
+	// they still serve the library-side tables, but design tables and
+	// what-ifs need the netlist.
+	if nlArt := e.Artifact(ArtifactNetlist); nlArt != nil {
+		corner, ok := cornerFromSlug(spec.Corner)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown corner %q", ErrNotQueryable, spec.Corner)
+		}
+		cat := stdcell.NewCatalogue(corner)
+		nl, err := netlist.ParseVerilog(string(nlArt.Bytes()), cat)
+		if err != nil {
+			return nil, fmt.Errorf("%w: parse %s: %v", ErrNotQueryable, ArtifactNetlist, err)
+		}
+		src.Netlist = nl
+	}
+
+	if synthArt := e.Artifact(ArtifactSynthesis); synthArt != nil {
+		var sd synthDoc
+		if err := json.Unmarshal(synthArt.Bytes(), &sd); err != nil {
+			return nil, fmt.Errorf("%w: decode %s: %v", ErrNotQueryable, ArtifactSynthesis, err)
+		}
+		src.Synth = []query.SynthUnit{{
+			Unit:               spec.Digest(),
+			Design:             sd.Design,
+			ClockNS:            sd.ClockNS,
+			Met:                sd.Met,
+			AreaUM2:            sd.Area,
+			WNS:                sd.WNS,
+			TNS:                sd.TNS,
+			Iterations:         sd.Iterations,
+			Buffered:           sd.Buffered,
+			Upsized:            sd.Upsized,
+			Downsized:          sd.Downsized,
+			FullAnalyses:       sd.FullAnalyses,
+			IncrementalUpdates: sd.IncrementalUpdates,
+		}}
+	}
+
+	s, err := query.Build(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotQueryable, err)
+	}
+	return s, nil
+}
+
+// queryResultDoc is the paginated wire form of a table-query result:
+// the cached full result's fields plus the serve-time pagination
+// window.
+type queryResultDoc struct {
+	Schema     string      `json:"schema"`
+	Library    string      `json:"library"`
+	From       string      `json:"from"`
+	Columns    []query.Col `json:"columns"`
+	Rows       [][]any     `json:"rows"`
+	TotalRows  int         `json:"total_rows"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+}
+
+// ExecuteQuery runs a query document against a cached library. The
+// full (unpaginated) result is cached in the artifact store under the
+// digest of (library, normalized query) — limit and cursor never reach
+// the cache key, they slice the cached result at serve time. The
+// returned outcome is the cache verdict: "hit", "miss", "shared" or
+// "peer".
+func (m *Manager) ExecuteQuery(ctx context.Context, dig string, raw []byte) (any, string, error) {
+	if _, ok := m.store.Peek(dig); !ok {
+		return nil, "", fmt.Errorf("%w: no such library %s", ErrNotFound, dig)
+	}
+	q, err := query.Parse(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	resultDig, err := q.Digest(dig)
+	if err != nil {
+		return nil, "", err
+	}
+	entry, outcome, err := m.store.GetOrCompute(ctx, resultDig, func(context.Context) (map[string][]byte, error) {
+		s, err := m.QueryStore(dig)
+		if err != nil {
+			return nil, err
+		}
+		var doc any
+		if q.WhatIf != nil {
+			doc, err = s.EvalWhatIf(q.WhatIf)
+		} else {
+			doc, err = s.Execute(q)
+		}
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{ArtifactQueryResult: append(body, '\n')}, nil
+	})
+	if err != nil {
+		return nil, outcome, err
+	}
+	body := entry.Artifact(ArtifactQueryResult).Bytes()
+
+	if q.WhatIf != nil {
+		var wr query.WhatIfResult
+		if err := json.Unmarshal(body, &wr); err != nil {
+			return nil, outcome, fmt.Errorf("decode cached what-if result: %w", err)
+		}
+		return &wr, outcome, nil
+	}
+	var full query.Result
+	if err := json.Unmarshal(body, &full); err != nil {
+		return nil, outcome, fmt.Errorf("decode cached query result: %w", err)
+	}
+	page, next, err := query.Page(&full, q.Limit, q.Cursor)
+	if err != nil {
+		return nil, outcome, err
+	}
+	return &queryResultDoc{
+		Schema:     page.Schema,
+		Library:    page.Library,
+		From:       page.From,
+		Columns:    page.Columns,
+		Rows:       page.Rows,
+		TotalRows:  page.Total,
+		NextCursor: next,
+	}, outcome, nil
+}
+
+// Libraries lists the digests of cached entries that are libraries
+// (artifact sets with a spec.json) — query-result entries share the
+// cache but are not libraries.
+func (m *Manager) Libraries() []string {
+	out := []string{}
+	for _, dig := range m.store.Digests() {
+		if e, ok := m.store.Peek(dig); ok && e.Artifact(ArtifactSpec) != nil {
+			out = append(out, dig)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"stdcelltune/internal/service/cache"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// rfc3339 matches the timestamps the job document carries — the only
+// run-to-run volatile content in a v1 body (ids are a deterministic
+// per-manager sequence, digests are content-addressed).
+var rfc3339 = regexp.MustCompile(`"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})"`)
+
+func normalizeV1(body []byte) []byte {
+	return rfc3339.ReplaceAll(body, []byte(`"<TIME>"`))
+}
+
+// TestV1GoldenBodies pins every api/1 response body byte-for-byte
+// (after timestamp normalization). The /v1 surface is a frozen
+// compatibility shim: any diff here is a breaking change to deployed
+// clients and must not happen — fix the code, not the golden file.
+func TestV1GoldenBodies(t *testing.T) {
+	store, _ := cache.New("")
+	m := NewManager(store, ManagerOptions{
+		Run: func(_ context.Context, s Spec) (map[string][]byte, error) { return fakeBlobs(s), nil },
+	})
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	// One deterministic job, driven to completion before any capture.
+	spec := Spec{Design: "mcu-small", Instances: 3, Seed: 1, Method: "sigma-ceiling", Bound: 0.02, ClockNS: 6}
+	j, err := m.SubmitTagged(spec, "", "golden-req-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	dig := j.Digest
+
+	cases := []struct {
+		name, method, path string
+		body               string
+		wantStatus         int
+	}{
+		{"post_job_bad_spec", "POST", "/v1/jobs", `{"unknown_field":1}`, 400},
+		{"get_job", "GET", "/v1/jobs/job-1", "", 200},
+		{"get_job_missing", "GET", "/v1/jobs/absent", "", 404},
+		{"list_jobs", "GET", "/v1/jobs", "", 200},
+		{"list_artifacts", "GET", "/v1/artifacts", "", 200},
+		{"get_artifact_set", "GET", "/v1/artifacts/" + dig, "", 200},
+		{"get_artifact_set_missing", "GET", "/v1/artifacts/sha256:absent", "", 404},
+		{"get_artifact", "GET", "/v1/artifacts/" + dig + "/result.json", "", 200},
+		{"get_artifact_missing", "GET", "/v1/artifacts/" + dig + "/absent.txt", "", 404},
+		{"get_trace_missing", "GET", "/v1/jobs/job-1/trace", "", 404},
+	}
+	for _, tc := range cases {
+		var rd *bytes.Reader
+		if tc.body != "" {
+			rd = bytes.NewReader([]byte(tc.body))
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+			continue
+		}
+		got := normalizeV1(buf.Bytes())
+		// Digests are deterministic but long; keep goldens readable and
+		// robust to spec-digest evolution by tokenizing them too.
+		got = bytes.ReplaceAll(got, []byte(dig), []byte("<DIGEST>"))
+
+		path := filepath.Join("testdata", "v1_golden", tc.name+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update): %v", tc.name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: v1 body drifted from golden.\ngot:\n%s\nwant:\n%s", tc.name, got, want)
+		}
+	}
+}
